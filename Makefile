@@ -1,0 +1,45 @@
+# ftb — fault tolerance boundary. Standard-library Go only.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench examples repro clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/errorprop
+	$(GO) run ./examples/vulnmap
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/protect
+	$(GO) run ./examples/workflow
+
+# Reproduce the paper's evaluation (Tables 1-4, Figures 3-5, ablations).
+# Takes tens of minutes at paper scale on one core; see EXPERIMENTS.md.
+repro:
+	$(GO) run ./cmd/ftbcli exp all -size paper -trials 5 | tee results_paper.txt
+	$(GO) run ./cmd/ftbcli exp baseline -size paper -trials 5 | tee -a results_extra.txt
+	$(GO) run ./cmd/ftbcli exp ablation -size paper -trials 3 | tee -a results_extra.txt
+	$(GO) run ./cmd/ftbcli exp sensitivity -size paper -trials 5 | tee -a results_extra.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,242 @@
+package ftb_test
+
+// Benchmark harness: one testing.B benchmark per paper table and figure,
+// plus micro-benchmarks of the core machinery. The experiment benchmarks
+// run at test scale so `go test -bench=.` completes quickly; pass
+// -ftb.size/-ftb.trials to re-run them at paper scale, e.g.
+//
+//	go test -bench=Table1 -ftb.size=paper -ftb.trials=10
+//
+// The experiment harness memoizes exhaustive ground truths, so the first
+// iteration of each benchmark pays the campaign cost and later iterations
+// measure the experiment logic itself; the reported numbers are
+// end-to-end for the default b.N=1 shape of long benchmarks.
+
+import (
+	"flag"
+	"testing"
+
+	"ftb"
+	"ftb/internal/experiments"
+)
+
+var (
+	benchSize   = flag.String("ftb.size", ftb.SizeTest, "kernel size preset for experiment benchmarks")
+	benchTrials = flag.Int("ftb.trials", 2, "trials per measurement in experiment benchmarks")
+)
+
+func benchScale() experiments.Scale {
+	return experiments.Scale{Size: *benchSize, Trials: *benchTrials, Seed: 1}
+}
+
+// BenchmarkTable1 regenerates Table 1: golden vs boundary-approximated
+// SDC ratio from an exhaustive campaign, per benchmark kernel.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: ΔSDC histograms of the
+// exhaustive-search boundary.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: per-site-group SDC profiles at
+// 1% sampling, the potential-impact profile, and the progressive rerun.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: precision/recall/uncertainty of
+// the 1% inference boundary over repeated trials.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: precision & recall vs sample
+// size, with and without the filter operation.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: adaptive progressive sampling
+// budget and prediction quality.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: CG input-size scaling with a fixed
+// sample budget.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonotonicity regenerates the §5 ablation: non-monotonic site
+// fractions across all five kernels.
+func BenchmarkMonotonicity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Monotonicity(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaseline regenerates the Figure 1 comparison: Monte Carlo vs
+// boundary method at equal injection budgets.
+func BenchmarkBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baseline(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the sampling-strategy ablation (uniform
+// vs grouped vs progressive selection at matched budgets).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core-machinery micro-benchmarks -----------------------------------
+
+// BenchmarkGoldenRun measures tracing a full golden run of each kernel.
+func BenchmarkGoldenRun(b *testing.B) {
+	for _, name := range ftb.KernelNames() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an, err := ftb.NewKernelAnalysis(name, ftb.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = an.Golden()
+			}
+		})
+	}
+}
+
+// BenchmarkInjectionRun measures single fault-injection executions
+// (the unit cost an exhaustive campaign pays sites×bits times).
+func BenchmarkInjectionRun(b *testing.B) {
+	for _, name := range ftb.KernelNames() {
+		b.Run(name, func(b *testing.B) {
+			an, err := ftb.NewKernelAnalysis(name, ftb.SizeTest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs := []ftb.Pair{{Site: an.Sites() / 2, Bit: 30}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.RunPairs(pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustiveCampaign measures the full ground-truth campaign at
+// test scale — the cost the inference method avoids.
+func BenchmarkExhaustiveCampaign(b *testing.B) {
+	for _, name := range []string{"cg", "lu", "fft"} {
+		b.Run(name, func(b *testing.B) {
+			an, err := ftb.NewKernelAnalysis(name, ftb.SizeTest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Exhaustive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferBoundary measures the paper's method end to end: 1%
+// uniform sample, classification, propagation collection, aggregation.
+func BenchmarkInferBoundary(b *testing.B) {
+	for _, name := range []string{"cg", "lu", "fft"} {
+		b.Run(name, func(b *testing.B) {
+			an, err := ftb.NewKernelAnalysis(name, ftb.SizeTest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.InferBoundary(ftb.InferOptions{
+					SampleFrac: 0.01, Filter: true, Seed: uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProgressive measures the adaptive progressive loop.
+func BenchmarkProgressive(b *testing.B) {
+	an, err := ftb.NewKernelAnalysis("cg", ftb.SizeTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := an.Progressive(ftb.ProgressiveOptions{
+			RoundFrac: 0.005, Adaptive: true, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures per-(site,bit) prediction throughput, the
+// inner loop of SDC-ratio estimation over the full space.
+func BenchmarkPredict(b *testing.B) {
+	an, err := ftb.NewKernelAnalysis("cg", ftb.SizeTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := res.Predictor()
+	sites := an.Sites()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pred.Predict(i%sites, uint8(i&63))
+	}
+}

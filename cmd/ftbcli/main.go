@@ -1,0 +1,592 @@
+// Command ftbcli drives fault-tolerance-boundary analyses from the
+// terminal: golden-run inspection, exhaustive and sampled campaigns,
+// progressive sampling, and the paper's full experiment suite
+// (Tables 1–4, Figures 3–5, and the §5 monotonicity ablation).
+//
+// Usage:
+//
+//	ftbcli kernels
+//	ftbcli golden      -kernel cg  -size small
+//	ftbcli exhaustive  -kernel lu  -size small
+//	ftbcli infer       -kernel fft -size small -frac 0.01 -filter
+//	ftbcli progressive -kernel cg  -size small -adaptive
+//	ftbcli propagate   -kernel cg  -size small -site 100 -bit 40
+//	ftbcli report      -kernel lu  -size small -o report.md
+//	ftbcli exp         table1|figure3|figure4|table2|figure5|table3|table4|
+//	                   monotonic|baseline|ablation|sensitivity|all
+//	                   [-size paper] [-trials 10] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"ftb"
+	"ftb/internal/experiments"
+	"ftb/internal/kernels"
+	"ftb/internal/persist"
+	"ftb/internal/report"
+	"ftb/internal/stats"
+	"ftb/internal/textplot"
+	"ftb/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "kernels":
+		err = cmdKernels()
+	case "golden":
+		err = cmdGolden(os.Args[2:])
+	case "exhaustive":
+		err = cmdExhaustive(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "progressive":
+		err = cmdProgressive(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "propagate":
+		err = cmdPropagate(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ftbcli: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `ftbcli — fault tolerance boundary analysis
+
+commands:
+  kernels                          list built-in kernels and size presets
+  golden      -kernel K -size S    inspect a kernel's golden run and phases
+  exhaustive  -kernel K -size S    run the exhaustive campaign (ground truth)
+  infer       -kernel K -size S    infer the boundary from a uniform sample
+              [-frac F | -samples N] [-filter] [-seed X]
+  progressive -kernel K -size S    adaptive progressive sampling
+              [-round F] [-stop F] [-adaptive] [-filter] [-seed X]
+  exp         E                    reproduce a paper experiment; E is one of
+                                   table1 figure3 figure4 table2 figure5
+                                   table3 table4 monotonic baseline
+                                   ablation sensitivity all
+              [-size S] [-trials N] [-seed X]
+  show        FILE                 summarize a saved artifact (.ftb file)
+  propagate   -kernel K -size S    chart one injection's error propagation
+              [-site N] [-bit B]   (the paper's Figure 2)
+  report      -kernel K -size S    write a markdown resiliency report
+              [-frac F] [-evaluate] [-o FILE]
+  compare     FILE1 FILE2          compare two saved boundaries
+
+persistence:
+  exhaustive  -save FILE           save the ground truth for later analysis
+  exhaustive  -checkpoint FILE     batch-checkpoint long campaigns; resumes
+              [-batch N]           automatically if the file exists
+  infer       -save FILE           save the inferred boundary
+`)
+}
+
+func kernelFlags(fs *flag.FlagSet) (kernel, size *string) {
+	kernel = fs.String("kernel", "cg", "kernel name ("+strings.Join(kernels.Names(), ", ")+")")
+	size = fs.String("size", ftb.SizeSmall, "size preset (test, small, paper, large)")
+	return kernel, size
+}
+
+func cmdKernels() error {
+	fmt.Println("kernels:", strings.Join(kernels.Names(), ", "))
+	fmt.Println("sizes:  ", strings.Join([]string{ftb.SizeTest, ftb.SizeSmall, ftb.SizePaper, ftb.SizeLarge}, ", "))
+	for _, name := range kernels.Names() {
+		k, err := kernels.New(name, ftb.SizeSmall)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s small: %7d sites, tolerance %g\n", name, trace.CountSites(k), k.Tolerance())
+	}
+	return nil
+}
+
+func cmdGolden(args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := kernels.New(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	g, err := trace.Golden(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel %s (%s): %d dynamic instructions, %d-value output, tolerance %g\n",
+		*kernel, *size, g.Sites(), len(g.Output), k.Tolerance())
+	fmt.Println("phases:")
+	for _, p := range k.Phases() {
+		fmt.Printf("  %-14s [%7d, %7d)  %7d sites\n", p.Name, p.Start, p.End, p.End-p.Start)
+	}
+	return nil
+}
+
+func cmdExhaustive(args []string) error {
+	fs := flag.NewFlagSet("exhaustive", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	save := fs.String("save", "", "write the ground truth to this file")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
+	batch := fs.Int("batch", 256, "sites per checkpoint batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var gt *ftb.GroundTruth
+	if *checkpoint != "" {
+		gt, err = an.ExhaustiveCheckpointed(*checkpoint, *batch)
+	} else {
+		gt, err = an.Exhaustive()
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	overall := gt.Overall()
+	fmt.Printf("exhaustive campaign: %d experiments in %v\n", overall.Total(), elapsed.Round(time.Millisecond))
+	fmt.Printf("  masked %.2f%%  sdc %.2f%%  crash %.2f%%\n",
+		100*overall.MaskedRatio(), 100*overall.SDCRatio(), 100*overall.CrashRatio())
+	nm, err := an.NonMonotonicSites(gt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  non-monotonic sites: %d / %d (%.2f%%)\n", nm, an.Sites(), 100*float64(nm)/float64(an.Sites()))
+	if *save != "" {
+		if err := persist.SaveFile(*save, gt, persist.SaveGroundTruth); err != nil {
+			return err
+		}
+		fmt.Printf("  saved ground truth to %s\n", *save)
+	}
+	return nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	frac := fs.Float64("frac", 0.01, "sample fraction of the (site × bit) space")
+	samples := fs.Int("samples", 0, "absolute sample budget (overrides -frac when > 0)")
+	filter := fs.Bool("filter", false, "enable the §3.5 filter operation")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
+	save := fs.String("save", "", "write the inferred boundary to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	opts := ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed}
+	if *samples > 0 {
+		opts.SampleFrac, opts.Samples = 0, *samples
+	}
+	start := time.Now()
+	res, err := an.InferBoundary(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inferred boundary from %d samples (%.3f%% of %d) in %v\n",
+		res.Samples(), 100*res.SampleFraction(), an.SampleSpace(),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  predicted SDC ratio: %.2f%%\n", 100*res.PredictedSDCRatio())
+	fmt.Printf("  self-verified uncertainty: %.2f%%\n", 100*res.Uncertainty())
+	if *save != "" {
+		if err := persist.SaveFile(*save, res.Boundary(), persist.SaveBoundary); err != nil {
+			return err
+		}
+		fmt.Printf("  saved boundary to %s\n", *save)
+	}
+	if *evaluate {
+		gt, err := an.Exhaustive()
+		if err != nil {
+			return err
+		}
+		pr := res.Evaluate(gt)
+		overall := gt.Overall()
+		fmt.Printf("  against ground truth: precision %.2f%%  recall %.2f%%  golden SDC %.2f%%\n",
+			100*pr.Precision, 100*pr.Recall, 100*overall.SDCRatio())
+	}
+	return nil
+}
+
+// cmdShow loads a saved artifact and prints a type-appropriate summary.
+func cmdShow(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("show requires exactly one file argument")
+	}
+	path := args[0]
+	if gt, err := persist.LoadFile(path, persist.LoadGroundTruth); err == nil {
+		overall := gt.Overall()
+		fmt.Printf("%s: ground truth, %d sites x %d bits\n", path, gt.SitesN, gt.BitsN)
+		fmt.Printf("  masked %.2f%%  sdc %.2f%%  crash %.2f%%  (%d experiments)\n",
+			100*overall.MaskedRatio(), 100*overall.SDCRatio(), 100*overall.CrashRatio(), overall.Total())
+		return nil
+	}
+	if b, err := persist.LoadFile(path, persist.LoadBoundary); err == nil {
+		fmt.Printf("%s: fault tolerance boundary, %d sites\n", path, b.Sites())
+		zero, inf := 0, 0
+		var finite []float64
+		for _, th := range b.Thresholds {
+			switch {
+			case th == 0:
+				zero++
+			case math.IsInf(th, 1):
+				inf++
+			default:
+				finite = append(finite, th)
+			}
+		}
+		fmt.Printf("  zero thresholds: %d  infinite: %d  finite: %d\n", zero, inf, len(finite))
+		if len(finite) > 0 {
+			fmt.Printf("  finite threshold quantiles: p10 %.3g  p50 %.3g  p90 %.3g\n",
+				stats.Quantile(finite, 0.1), stats.Quantile(finite, 0.5), stats.Quantile(finite, 0.9))
+		}
+		return nil
+	}
+	if g, err := persist.LoadFile(path, persist.LoadGolden); err == nil {
+		fmt.Printf("%s: golden run, %d sites, %d output values\n", path, g.Sites(), len(g.Output))
+		return nil
+	}
+	if k, err := persist.LoadFile(path, persist.LoadKnown); err == nil {
+		fmt.Printf("%s: sampled-outcome table, %d sites x %d bits, %d known\n",
+			path, k.Sites(), k.BitsN(), k.Total())
+		return nil
+	}
+	return fmt.Errorf("show: %s is not a recognizable ftb artifact", path)
+}
+
+// deltaSink collects one run's per-site deviations.
+type deltaSink struct {
+	deltas []float64
+}
+
+func (s *deltaSink) Observe(site int, golden, delta float64) {
+	s.deltas = append(s.deltas, delta)
+}
+
+// cmdPropagate renders the paper's Figure 2 for one chosen injection: the
+// per-instruction deviation of the corrupted run from the golden run.
+func cmdPropagate(args []string) error {
+	fs := flag.NewFlagSet("propagate", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	site := fs.Int("site", -1, "injection site (default: one quarter into the run)")
+	bit := fs.Uint("bit", 40, "bit position to flip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := kernels.New(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	g, err := trace.Golden(k)
+	if err != nil {
+		return err
+	}
+	if *site < 0 {
+		*site = g.Sites() / 4
+	}
+	if *site >= g.Sites() {
+		return fmt.Errorf("site %d outside [0, %d)", *site, g.Sites())
+	}
+	if int(*bit) >= k.Width() {
+		return fmt.Errorf("bit %d outside the kernel's %d-bit fault population", *bit, k.Width())
+	}
+	sink := &deltaSink{}
+	var ctx trace.Ctx
+	res, err := trace.RunInjectDiff(&ctx, k, g, *site, *bit, sink)
+	if err != nil {
+		return err
+	}
+	if res.Crashed {
+		fmt.Printf("injection (site %d, bit %d) crashed at site %d after injecting error %.3g\n",
+			*site, *bit, res.CrashAt, res.InjErr)
+	}
+	outErr := 0.0
+	if !res.Crashed {
+		for i := range res.Output {
+			d := math.Abs(res.Output[i] - g.Output[i])
+			if d > outErr {
+				outErr = d
+			}
+		}
+	}
+	// Log-scale the deltas for the chart; zero deltas chart as the floor.
+	logs := make([]float64, len(sink.deltas))
+	const floor = -340
+	for i, d := range sink.deltas {
+		if d > 0 {
+			logs[i] = math.Log10(d)
+		} else {
+			logs[i] = floor
+		}
+	}
+	// Clamp the floor to just below the smallest nonzero value for a
+	// readable y-range.
+	minLog := 0.0
+	for _, l := range logs {
+		if l != floor && l < minLog {
+			minLog = l
+		}
+	}
+	for i, l := range logs {
+		if l == floor {
+			logs[i] = minLog - 2
+		}
+	}
+	fmt.Print(textplot.Chart(
+		fmt.Sprintf("log10 |Δ| per dynamic instruction — %s, inject site %d bit %d (injErr %.3g, outErr %.3g)",
+			*kernel, *site, *bit, res.InjErr, outErr),
+		96, 16,
+		textplot.Series{Name: "log10 delta", Marker: '*', Ys: logs},
+	))
+	kind := "masked"
+	switch {
+	case res.Crashed:
+		kind = "crash"
+	case outErr > k.Tolerance():
+		kind = "sdc"
+	}
+	fmt.Printf("outcome: %s (tolerance %g)\n", kind, k.Tolerance())
+	return nil
+}
+
+// cmdCompare contrasts two saved boundaries: threshold agreement and the
+// sites where they disagree most. Useful for checking seed stability or
+// the effect of a bigger budget on the same program.
+func cmdCompare(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("compare requires exactly two boundary files")
+	}
+	a, err := persist.LoadFile(args[0], persist.LoadBoundary)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	b, err := persist.LoadFile(args[1], persist.LoadBoundary)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[1], err)
+	}
+	if a.Sites() != b.Sites() {
+		return fmt.Errorf("boundaries cover different programs: %d vs %d sites", a.Sites(), b.Sites())
+	}
+	equal, aWider, bWider := 0, 0, 0
+	type diff struct {
+		site     int
+		ta, tb   float64
+		logRatio float64
+	}
+	var top []diff
+	for i := range a.Thresholds {
+		ta, tb := a.Thresholds[i], b.Thresholds[i]
+		switch {
+		case ta == tb:
+			equal++
+		case ta > tb:
+			aWider++
+		default:
+			bWider++
+		}
+		if ta > 0 && tb > 0 && ta != tb {
+			lr := math.Abs(math.Log10(ta / tb))
+			top = append(top, diff{site: i, ta: ta, tb: tb, logRatio: lr})
+		}
+	}
+	fmt.Printf("boundaries over %d sites\n", a.Sites())
+	fmt.Printf("  identical thresholds: %d (%.1f%%)\n", equal, 100*float64(equal)/float64(a.Sites()))
+	fmt.Printf("  %s wider: %d   %s wider: %d\n", args[0], aWider, args[1], bWider)
+	if len(top) > 0 {
+		for i := 0; i < len(top); i++ {
+			for j := i + 1; j < len(top); j++ {
+				if top[j].logRatio > top[i].logRatio {
+					top[i], top[j] = top[j], top[i]
+				}
+			}
+			if i == 4 {
+				break
+			}
+		}
+		fmt.Println("  largest disagreements (orders of magnitude):")
+		for i := 0; i < 5 && i < len(top); i++ {
+			d := top[i]
+			fmt.Printf("    site %6d: %.3g vs %.3g (%.1f dex)\n", d.site, d.ta, d.tb, d.logRatio)
+		}
+	}
+	return nil
+}
+
+// cmdReport infers a boundary and writes the markdown resiliency report.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	frac := fs.Float64("frac", 0.01, "sample fraction for the inference")
+	filter := fs.Bool("filter", true, "enable the §3.5 filter operation")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	evaluate := fs.Bool("evaluate", false, "run the exhaustive campaign and include the evaluation section")
+	out := fs.String("o", "", "output file (default stdout)")
+	topN := fs.Int("top", 10, "number of most-vulnerable sites to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := kernels.New(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	var gt *ftb.GroundTruth
+	if *evaluate {
+		if gt, err = an.Exhaustive(); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Markdown(w, an, k, res, gt, report.Config{TopN: *topN}); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote report to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdProgressive(args []string) error {
+	fs := flag.NewFlagSet("progressive", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	round := fs.Float64("round", 0.001, "per-round sample fraction")
+	stop := fs.Float64("stop", 0.95, "stop when this fraction of a round is non-masked")
+	adaptive := fs.Bool("adaptive", true, "bias sampling toward low-information sites")
+	filter := fs.Bool("filter", false, "enable the §3.5 filter operation")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, rounds, err := an.Progressive(ftb.ProgressiveOptions{
+		RoundFrac:         *round,
+		StopNonMaskedFrac: *stop,
+		Adaptive:          *adaptive,
+		Filter:            *filter,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("progressive sampling: %d rounds, %d samples (%.3f%%) in %v\n",
+		len(rounds), res.Samples(), 100*res.SampleFraction(),
+		time.Since(start).Round(time.Millisecond))
+	for i, r := range rounds {
+		fmt.Printf("  round %2d: space %7d  samples %5d  %v\n", i, r.Candidates, r.Samples, r.Counts)
+	}
+	fmt.Printf("  predicted SDC ratio: %.2f%%\n", 100*res.PredictedSDCRatio())
+	fmt.Printf("  self-verified uncertainty: %.2f%%\n", 100*res.Uncertainty())
+	if *evaluate {
+		gt, err := an.Exhaustive()
+		if err != nil {
+			return err
+		}
+		pr := res.Evaluate(gt)
+		overall := gt.Overall()
+		fmt.Printf("  against ground truth: precision %.2f%%  recall %.2f%%  golden SDC %.2f%%\n",
+			100*pr.Precision, 100*pr.Recall, 100*overall.SDCRatio())
+	}
+	return nil
+}
+
+func cmdExp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("exp requires an experiment name")
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	size := fs.String("size", ftb.SizePaper, "kernel size preset")
+	trials := fs.Int("trials", 10, "randomized trials per measurement")
+	seed := fs.Uint64("seed", 1, "base seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	scale := experiments.Scale{Size: *size, Trials: *trials, Seed: *seed}
+
+	type runner struct {
+		name string
+		run  func() (interface{ Render() string }, error)
+	}
+	runners := []runner{
+		{"table1", func() (interface{ Render() string }, error) { return experiments.Table1(scale) }},
+		{"figure3", func() (interface{ Render() string }, error) { return experiments.Figure3(scale) }},
+		{"figure4", func() (interface{ Render() string }, error) { return experiments.Figure4(scale) }},
+		{"table2", func() (interface{ Render() string }, error) { return experiments.Table2(scale) }},
+		{"figure5", func() (interface{ Render() string }, error) { return experiments.Figure5(scale) }},
+		{"table3", func() (interface{ Render() string }, error) { return experiments.Table3(scale) }},
+		{"table4", func() (interface{ Render() string }, error) { return experiments.Table4(scale) }},
+		{"monotonic", func() (interface{ Render() string }, error) { return experiments.Monotonicity(scale) }},
+		{"baseline", func() (interface{ Render() string }, error) { return experiments.Baseline(scale) }},
+		{"ablation", func() (interface{ Render() string }, error) { return experiments.Ablation(scale) }},
+		{"sensitivity", func() (interface{ Render() string }, error) { return experiments.Sensitivity(scale) }},
+	}
+	ran := false
+	for _, r := range runners {
+		if which != "all" && which != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ftb_test
+
+import (
+	"fmt"
+
+	"ftb"
+)
+
+// saxpy is the documentation example: a user program instrumented for
+// fault injection by funnelling every tracked store through Ctx.Store.
+type saxpy struct {
+	a      float64
+	xs, ys []float64
+}
+
+func (s *saxpy) Name() string { return "saxpy" }
+
+func (s *saxpy) Run(ctx *ftb.Ctx) []float64 {
+	out := make([]float64, len(s.xs))
+	for i := range s.xs {
+		out[i] = ctx.Store(s.a*s.xs[i] + s.ys[i])
+	}
+	return out
+}
+
+func newSaxpy() ftb.Program {
+	xs := make([]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i) * 0.25
+		ys[i] = 1.5 - float64(i)*0.125
+	}
+	return &saxpy{a: 2, xs: xs, ys: ys}
+}
+
+// Instrument a custom program and count its fault-injection sites.
+func ExampleNewAnalysis() {
+	an, err := ftb.NewAnalysis(newSaxpy, 1e-9, ftb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sites:", an.Sites())
+	fmt.Println("experiments:", an.SampleSpace())
+	// Output:
+	// sites: 32
+	// experiments: 2048
+}
+
+// Run a single fault injection and classify it by hand.
+func ExampleAnalysis_RunPairs() {
+	an, err := ftb.NewAnalysis(newSaxpy, 1e-9, ftb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	recs, err := an.RunPairs([]ftb.Pair{
+		{Site: 10, Bit: 0},  // one-ulp flip: masked
+		{Site: 10, Bit: 63}, // sign flip: silent corruption
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range recs {
+		fmt.Printf("site %d bit %d -> %v\n", r.Site, r.Bit, r.Kind)
+	}
+	// Output:
+	// site 10 bit 0 -> masked
+	// site 10 bit 63 -> sdc
+}
+
+// The exhaustive campaign is the ground truth the boundary method avoids;
+// saxpy is small enough to run it outright.
+func ExampleAnalysis_Exhaustive() {
+	an, err := ftb.NewAnalysis(newSaxpy, 1e-9, ftb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	gt, err := an.Exhaustive()
+	if err != nil {
+		panic(err)
+	}
+	overall := gt.Overall()
+	fmt.Println("experiments:", overall.Total())
+	fmt.Printf("masked experiments > 0: %v\n", overall.MaskedRatio() > 0)
+	// Output:
+	// experiments: 2048
+	// masked experiments > 0: true
+}
+
+// Infer the fault tolerance boundary from a small sample and self-verify
+// it — no ground truth involved.
+func ExampleAnalysis_InferBoundary() {
+	an, err := ftb.NewKernelAnalysis("stencil", ftb.SizeTest)
+	if err != nil {
+		panic(err)
+	}
+	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.1, Filter: true, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("spent %.0f%% of the space\n", 100*res.SampleFraction())
+	fmt.Printf("uncertainty at least 95%%: %v\n", res.Uncertainty() >= 0.95)
+	// Output:
+	// spent 10% of the space
+	// uncertainty at least 95%: true
+}

@@ -1,0 +1,52 @@
+// Adaptive: watch the §3.4 progressive sampling loop converge.
+//
+// Each round draws 0.5% of the remaining sample space (biased toward
+// dynamic instructions with little injection/propagation information),
+// absorbs the results into the boundary, and uses the boundary to discard
+// untested injections it already predicts masked. The loop stops when a
+// round is ≥95% non-masked — the boundary has soaked up the maskable part
+// of the space.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftb"
+)
+
+func main() {
+	an, err := ftb.NewKernelAnalysis("cg", ftb.SizeSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := an.SampleSpace()
+	fmt.Printf("cg sample space: %d experiments\n\n", space)
+
+	res, rounds, err := an.Progressive(ftb.ProgressiveOptions{
+		RoundFrac:         0.005,
+		StopNonMaskedFrac: 0.95,
+		Adaptive:          true,
+		Filter:            true,
+		Seed:              3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %12s %9s %9s %6s %7s\n", "round", "space left", "samples", "masked", "sdc", "crash")
+	for i, r := range rounds {
+		fmt.Printf("%-6d %12d %9d %9d %6d %7d\n",
+			i, r.Candidates, r.Samples,
+			r.Counts[ftb.Masked], r.Counts[ftb.SDC], r.Counts[ftb.Crash])
+	}
+
+	fmt.Printf("\nconverged after %d rounds and %d samples (%.2f%% of the space)\n",
+		len(rounds), res.Samples(), 100*res.SampleFraction())
+	fmt.Printf("predicted SDC ratio: %.2f%%   uncertainty: %.2f%%\n",
+		100*res.PredictedSDCRatio(), 100*res.Uncertainty())
+	fmt.Printf("an exhaustive campaign would have needed %d runs — %.0fx more\n",
+		space, float64(space)/float64(res.Samples()))
+}

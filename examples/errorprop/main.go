@@ -1,0 +1,114 @@
+// Errorprop: watch a single injected error propagate (the paper's
+// Figure 2).
+//
+// One bit flip is injected into the stencil kernel mid-run; the trace
+// layer streams the |golden − corrupted| deviation of every subsequent
+// dynamic instruction. The same propagation curve is what Algorithm 1
+// aggregates into the fault tolerance boundary: every point on it is a
+// lower bound on the error that instruction can tolerate.
+//
+//	go run ./examples/errorprop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"ftb"
+)
+
+// curveSink records the per-site deviation of one injected run.
+type curveSink struct {
+	deltas []float64
+}
+
+func (s *curveSink) Observe(site int, golden, delta float64) {
+	s.deltas = append(s.deltas, delta)
+}
+
+func main() {
+	k, err := ftb.NewKernel("stencil", ftb.SizeSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := ftb.Golden(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	site := golden.Sites() / 4
+	const bit = 40 // a mid-mantissa flip: visible but survivable
+	fmt.Printf("injecting bit %d flip at dynamic instruction %d of %d (%s)\n\n",
+		bit, site, golden.Sites(), k.Name())
+
+	sink := &curveSink{}
+	var ctx ftb.Ctx
+	res, err := ftb.RunInjectDiff(&ctx, k, golden, site, bit, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Crashed {
+		log.Fatalf("run crashed at site %d; pick a smaller bit", res.CrashAt)
+	}
+
+	outErr := 0.0
+	for i := range res.Output {
+		if d := math.Abs(res.Output[i] - golden.Output[i]); d > outErr {
+			outErr = d
+		}
+	}
+	kind := "masked"
+	if outErr > k.Tolerance() {
+		kind = "sdc"
+	}
+	fmt.Printf("injected error %.3g  ->  output error %.3g  ->  %s (tolerance %g)\n\n",
+		res.InjErr, outErr, kind, k.Tolerance())
+
+	// Render the propagation curve: max |Δ| per bucket of consecutive
+	// dynamic instructions, on a log scale.
+	const cols = 64
+	bucket := (len(sink.deltas) + cols - 1) / cols
+	fmt.Printf("per-instruction deviation from the golden run (log scale, %d sites/column):\n",
+		bucket)
+	var rows [8]string
+	maxs := make([]float64, 0, cols)
+	for lo := 0; lo < len(sink.deltas); lo += bucket {
+		hi := lo + bucket
+		if hi > len(sink.deltas) {
+			hi = len(sink.deltas)
+		}
+		m := 0.0
+		for _, d := range sink.deltas[lo:hi] {
+			if d > m {
+				m = d
+			}
+		}
+		maxs = append(maxs, m)
+	}
+	for r := 0; r < len(rows); r++ {
+		var b strings.Builder
+		// Row r covers magnitudes >= 10^(-2r) scale steps.
+		threshold := res.InjErr * math.Pow(10, float64(-2*r))
+		for _, m := range maxs {
+			if m >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("  >=%8.1e |%s|\n", threshold, b.String())
+	}
+	fmt.Printf("               %s^ injection at column %d\n",
+		strings.Repeat(" ", site/bucket), site/bucket)
+	if kind == "masked" {
+		fmt.Println("\nthe curve is Algorithm 1's evidence: every instruction the error")
+		fmt.Println("visited can tolerate at least that much perturbation, because this")
+		fmt.Println("run still ended within tolerance.")
+	} else {
+		fmt.Println("\nthis run exceeded the tolerance, so Algorithm 1 would NOT use its")
+		fmt.Println("propagation data; with the filter operation the injected error also")
+		fmt.Println("caps future threshold estimates at this site.")
+	}
+}

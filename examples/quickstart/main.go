@@ -1,0 +1,53 @@
+// Quickstart: infer a program's fault tolerance boundary from a 1% sample
+// and read off its resiliency — no exhaustive campaign required.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftb"
+)
+
+func main() {
+	// Analyze the conjugate gradient kernel (a MiniFE-like sparse solve).
+	an, err := ftb.NewKernelAnalysis("cg", ftb.SizeSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cg: %d dynamic instructions, %d possible fault injections\n",
+		an.Sites(), an.SampleSpace())
+
+	// Sample 1% of the (site × bit) space, classify each injection, and
+	// aggregate the masked runs' error propagation into the boundary
+	// (Algorithm 1 of the paper), with the filter operation enabled.
+	res, err := an.InferBoundary(ftb.InferOptions{
+		SampleFrac: 0.01,
+		Filter:     true,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spent %d fault injections (%.2f%% of the space)\n",
+		res.Samples(), 100*res.SampleFraction())
+
+	// The boundary predicts the outcome of every untested injection;
+	// unknown cases are conservatively assumed to be silent data
+	// corruption.
+	fmt.Printf("predicted whole-program SDC ratio: %.2f%%\n", 100*res.PredictedSDCRatio())
+
+	// The uncertainty metric self-verifies the boundary on the sampled
+	// outcomes — no ground truth needed. Values near 100% mean the
+	// boundary's masked predictions can be trusted.
+	fmt.Printf("self-verified uncertainty: %.2f%%\n", 100*res.Uncertainty())
+
+	// Individual predictions: how would a bit flip at the middle of the
+	// program behave?
+	site := an.Sites() / 2
+	for _, bit := range []uint8{0, 30, 52, 62, 63} {
+		fmt.Printf("  site %d bit %2d -> %v\n", site, bit, res.Predictor().Predict(site, bit))
+	}
+}

@@ -1,0 +1,82 @@
+// Workflow: the production loop — analyze once, persist, reload, decide.
+//
+// Fault-injection analyses are expensive relative to the decisions they
+// feed (which code to protect, whether a change regressed resiliency), so
+// the realistic workflow separates the two: a campaign machine infers and
+// saves the boundary; later consumers reload it and query without running
+// a single injection. This example plays both roles in one process and
+// finishes by comparing boundaries from two different sample budgets.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ftb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ftb-workflow-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- Producer: run the analysis and persist the artifacts. --------
+	an, err := ftb.NewKernelAnalysis("lu", ftb.SizeSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.02, Filter: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bPath := filepath.Join(dir, "lu-boundary.ftb")
+	gPath := filepath.Join(dir, "lu-golden.ftb")
+	if err := ftb.SaveBoundaryFile(bPath, res.Boundary()); err != nil {
+		log.Fatal(err)
+	}
+	if err := ftb.SaveGoldenRunFile(gPath, an.Golden()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("producer: %d injections -> boundary saved (%s)\n", res.Samples(), bPath)
+	fmt.Printf("producer: self-verified uncertainty %.2f%%\n\n", 100*res.Uncertainty())
+
+	// ---- Consumer: reload and query without any injections. -----------
+	b, err := ftb.LoadBoundaryFile(bPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := an.NewPredictor(b, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consumer: outcome predictions from the reloaded boundary:")
+	for _, q := range []struct {
+		site int
+		bit  uint8
+	}{{10, 0}, {10, 45}, {10, 62}, {500, 30}} {
+		fmt.Printf("  flip bit %2d at site %3d -> %v\n", q.bit, q.site, pred.Predict(q.site, q.bit))
+	}
+
+	// ---- Regression check: does a bigger budget move the boundary? ----
+	res2, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.10, Filter: true, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	small, big := res.Boundary().Thresholds, res2.Boundary().Thresholds
+	grew := 0
+	for i := range small {
+		if big[i] > small[i] {
+			grew++
+		}
+	}
+	fmt.Printf("\n5x more samples raised %d/%d thresholds (boundary growth is monotone in evidence)\n",
+		grew, len(small))
+	fmt.Printf("predicted SDC: %.2f%% (2%% budget) vs %.2f%% (10%% budget)\n",
+		100*res.PredictedSDCRatio(), 100*res2.PredictedSDCRatio())
+}

@@ -1,0 +1,210 @@
+package ftb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// countSink tallies observations for the low-level runner tests.
+type countSink struct{ n int }
+
+func (s *countSink) Observe(int, float64, float64) { s.n++ }
+
+func TestLowLevelRunnerFacade(t *testing.T) {
+	k, err := NewKernel("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSites(k); got == 0 {
+		t.Fatal("CountSites = 0")
+	}
+	g, err := Golden(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sites() != CountSites(k) {
+		t.Error("Golden/CountSites disagree")
+	}
+
+	var ctx Ctx
+	res := RunInject(&ctx, k, 3, 20)
+	if !res.Injected {
+		t.Error("RunInject did not fire")
+	}
+
+	sink := &countSink{}
+	dres, err := RunInjectDiff(&ctx, k, g, 3, 20, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Crashed {
+		t.Fatal("unexpected crash")
+	}
+	if sink.n != g.Sites() {
+		t.Errorf("diff observed %d sites, want %d", sink.n, g.Sites())
+	}
+
+	k2, err := NewKernel("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2 := &countSink{}
+	dual, gOut, err := RunInjectDiffDual(&ctx, k, k2, 3, 20, sink2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Crashed || len(gOut) != len(g.Output) {
+		t.Fatalf("dual run: crashed=%v out=%d", dual.Crashed, len(gOut))
+	}
+	if sink2.n != sink.n {
+		t.Errorf("dual observed %d sites, recorded path %d", sink2.n, sink.n)
+	}
+}
+
+func TestResultAccessorsAndProfiles(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.InferBoundary(InferOptions{SampleFrac: 0.08, Filter: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predictor() == nil || res.Known() == nil || res.Boundary() == nil {
+		t.Fatal("nil accessors")
+	}
+	info := res.Info()
+	if len(info) != an.Sites() {
+		t.Fatalf("info length %d", len(info))
+	}
+	reach := res.MeanReach()
+	if len(reach) != an.Sites() {
+		t.Fatalf("reach length %d", len(reach))
+	}
+	anyReach := false
+	for _, r := range reach {
+		if r < 0 {
+			t.Fatal("negative reach")
+		}
+		if r > 0 {
+			anyReach = true
+		}
+	}
+	if !anyReach {
+		t.Error("no site recorded any propagation reach at 8% sampling")
+	}
+
+	prof := res.Profile(gt)
+	if len(prof.TrueSDC) != an.Sites() {
+		t.Fatal("profile length wrong")
+	}
+	grouped := prof.Group(16)
+	if grouped.MeanAbsError() < 0 {
+		t.Error("negative MAE")
+	}
+	delta := res.DeltaSDC(gt)
+	for site, d := range delta {
+		if math.Abs(d) > 1 {
+			t.Errorf("ΔSDC[%d] = %g out of range", site, d)
+		}
+	}
+}
+
+func TestInferFromPairsAndGrouping(t *testing.T) {
+	k, err := NewKernel("cg", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewKernelAnalysis("cg", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := an.GroupedPairs(k.Phases(), 200, 11)
+	if len(pairs) != 200 {
+		t.Fatalf("grouped pairs = %d", len(pairs))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.Site < 0 || p.Site >= an.Sites() || int(p.Bit) >= an.Bits() {
+			t.Fatalf("pair out of range: %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	res, err := an.InferFromPairs(pairs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples() != 200 {
+		t.Errorf("samples = %d", res.Samples())
+	}
+	if u := res.Uncertainty(); u < 0 || u > 1 {
+		t.Errorf("uncertainty = %g", u)
+	}
+	if _, err := an.InferFromPairs(nil, false); err == nil {
+		t.Error("empty pairs accepted")
+	}
+}
+
+func TestBoundaryStreamFacade(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.InferBoundary(InferOptions{Samples: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBoundary(&buf, res.Boundary()); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBoundary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Sites() != an.Sites() {
+		t.Error("boundary stream round trip lost sites")
+	}
+}
+
+func TestExhaustiveCheckpointedResumeFacade(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a partial checkpoint on disk, then let the facade resume it.
+	path := t.TempDir() + "/cp.ftb"
+	partial := &GroundTruth{
+		SitesN: want.SitesN, BitsN: want.BitsN, WidthN: want.WidthN,
+		Kinds: append([]Outcome{}, want.Kinds...),
+	}
+	// Corrupt the suffix: resume must recompute it.
+	done := want.SitesN / 2
+	for i := done * want.BitsN; i < len(partial.Kinds); i++ {
+		partial.Kinds[i] = Crash
+	}
+	if err := saveCheckpointForTest(path, partial, done); err != nil {
+		t.Fatal(err)
+	}
+	got, err := an.ExhaustiveCheckpointed(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Kinds {
+		if got.Kinds[i] != want.Kinds[i] {
+			t.Fatalf("resumed kind[%d] differs", i)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package ftb (fault tolerance boundary) analyzes a program's resiliency
+// to silent data corruption through error propagation, implementing the
+// method of Li et al., "Understanding a Program's Resiliency Through
+// Error Propagation" (PPoPP 2021).
+//
+// The core idea: every dynamic instruction i of a program has a fault
+// tolerance threshold Δe_i — the largest error that can be injected into
+// its result while the program still produces an acceptable output. The
+// collection of thresholds is the program's fault tolerance boundary.
+// Instead of finding it with an exhaustive fault-injection campaign
+// (sites × 64 runs), ftb infers it from the error-propagation data of a
+// small sample of injections: when an injected error propagates a
+// perturbation Δe to instruction k and the run is still masked,
+// instruction k tolerates at least Δe.
+//
+// # Quick start
+//
+//	an, err := ftb.NewKernelAnalysis("cg", ftb.SizeSmall)
+//	if err != nil { ... }
+//	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.01, Filter: true, Seed: 1})
+//	if err != nil { ... }
+//	fmt.Printf("predicted SDC ratio: %.2f%%\n", 100*res.PredictedSDCRatio())
+//	fmt.Printf("self-verified uncertainty: %.2f%%\n", 100*res.Uncertainty())
+//
+// Programs are instrumented by writing every tracked floating-point store
+// as v = ctx.Store(v) against a trace.Ctx (see the Program interface);
+// the built-in HPC kernels (KernelNames lists them: cg, lu, fft, cholesky,
+// heat3d, stencil, stencil32, matvec, spmv, matmul) show the pattern.
+package ftb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"ftb/internal/boundary"
+	"ftb/internal/campaign"
+	"ftb/internal/kernels"
+	"ftb/internal/metrics"
+	"ftb/internal/outcome"
+	"ftb/internal/persist"
+	"ftb/internal/rng"
+	"ftb/internal/sampling"
+	"ftb/internal/trace"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public names.
+type (
+	// Program is an instrumented program: its Run method funnels every
+	// tracked floating-point store through Ctx.Store.
+	Program = trace.Program
+	// Ctx is the per-run execution context handed to Program.Run.
+	Ctx = trace.Ctx
+	// GoldenRun is a fault-free execution: per-site values plus output.
+	GoldenRun = trace.GoldenRun
+	// Kernel is a built-in benchmark program with tolerance and phases.
+	Kernel = kernels.Kernel
+	// Phase labels a contiguous dynamic-instruction range of a kernel.
+	Phase = kernels.Phase
+	// Pair identifies one experiment: flip Bit at dynamic instruction Site.
+	Pair = campaign.Pair
+	// Record is a classified experiment result.
+	Record = campaign.Record
+	// GroundTruth holds an exhaustive campaign's outcome per (site, bit).
+	GroundTruth = campaign.GroundTruth
+	// Outcome is an experiment outcome kind (Masked, SDC, Crash).
+	Outcome = outcome.Kind
+	// Boundary is a program's fault tolerance boundary.
+	Boundary = boundary.Boundary
+	// Known records sampled outcomes for the §4.4 shortcut and the
+	// uncertainty metric.
+	Known = boundary.Known
+	// Predictor classifies arbitrary (site, bit) experiments from a
+	// boundary.
+	Predictor = boundary.Predictor
+	// PR is the precision / recall / uncertainty evaluation triple.
+	PR = metrics.PR
+	// SiteSeries holds per-site true/predicted SDC and impact profiles.
+	SiteSeries = metrics.SiteSeries
+	// Grouped is a SiteSeries reduced over groups of consecutive sites.
+	Grouped = metrics.Grouped
+)
+
+// Outcome kinds.
+const (
+	Masked = outcome.Masked
+	SDC    = outcome.SDC
+	Crash  = outcome.Crash
+)
+
+// Kernel size presets accepted by NewKernelAnalysis.
+const (
+	SizeTest  = kernels.SizeTest
+	SizeSmall = kernels.SizeSmall
+	SizePaper = kernels.SizePaper
+	SizeLarge = kernels.SizeLarge
+)
+
+// KernelNames returns the registered built-in kernels.
+func KernelNames() []string { return kernels.Names() }
+
+// NewKernel builds a built-in kernel at a size preset. Use it to inspect
+// kernel metadata (phases, tolerance) or to run one directly; for
+// campaigns prefer NewKernelAnalysis.
+func NewKernel(name, size string) (Kernel, error) { return kernels.New(name, size) }
+
+// Low-level single-run primitives, re-exported for callers that drive
+// individual injections (e.g. to visualize one error-propagation curve)
+// rather than whole campaigns.
+type (
+	// DiffSink consumes per-site propagation errors during an
+	// injection-with-diff run.
+	DiffSink = trace.DiffSink
+	// InjectResult is the raw result of one injection run.
+	InjectResult = trace.InjectResult
+)
+
+// Golden executes p fault-free, recording its full dynamic-instruction
+// trace and output.
+func Golden(p Program) (*GoldenRun, error) { return trace.Golden(p) }
+
+// CountSites returns p's dynamic-instruction count without recording.
+func CountSites(p Program) int { return trace.CountSites(p) }
+
+// RunInject executes p once with a single bit flip at (site, bit).
+func RunInject(ctx *Ctx, p Program, site int, bit uint) InjectResult {
+	return trace.RunInject(ctx, p, site, bit)
+}
+
+// RunInjectDiff executes p once with a single bit flip at (site, bit),
+// streaming every site's |golden − corrupted| deviation to sink in
+// execution order.
+func RunInjectDiff(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink) (InjectResult, error) {
+	return trace.RunInjectDiff(ctx, p, golden, site, bit, sink)
+}
+
+// RunInjectDiffDual is RunInjectDiff without a recorded golden trace: a
+// second, independent program instance runs fault-free in lockstep and
+// supplies the reference values through a bounded buffer, so memory stays
+// O(bufSites) regardless of program length (the computation-duplication
+// approach the paper's §5 proposes for large-scale applications). It
+// returns the fault-free output alongside the injection result.
+func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink DiffSink, bufSites int) (InjectResult, []float64, error) {
+	return trace.RunInjectDiffDual(ctx, p, goldenProg, site, bit, sink, bufSites)
+}
+
+// Analysis binds a program to its golden run and fault model and exposes
+// the paper's workflows: exhaustive campaigns, boundary inference with
+// uniform sampling, and adaptive progressive sampling.
+type Analysis struct {
+	factory func() trace.Program
+	golden  *trace.GoldenRun
+	tol     float64
+	bits    int
+	width   int
+	workers int
+}
+
+// Options tweaks an Analysis.
+type Options struct {
+	// Bits is the flips-per-site count (default Width). Values below the
+	// width restrict the fault model to the low-order bits of the
+	// IEEE-754 representation (e.g. 52 injects only mantissa faults),
+	// which is useful for ablations; the paper's model is the full width.
+	Bits int
+	// Width is the IEEE-754 width of the program's data elements: 64 for
+	// programs instrumented with Ctx.Store (the default), 32 for programs
+	// instrumented with Ctx.Store32.
+	Width int
+	// Workers caps campaign parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// NewAnalysis builds an Analysis for a program. factory must return
+// fresh, independent program instances (one is created per campaign
+// worker); tol is the acceptable L∞ output deviation T.
+func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, error) {
+	if factory == nil {
+		return nil, errors.New("ftb: factory is required")
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("ftb: tolerance %g must be positive", tol)
+	}
+	g, err := trace.Golden(factory())
+	if err != nil {
+		return nil, err
+	}
+	width := opts.Width
+	if width == 0 {
+		width = 64
+	}
+	if width != 32 && width != 64 {
+		return nil, fmt.Errorf("ftb: width %d must be 32 or 64", width)
+	}
+	bits := opts.Bits
+	if bits == 0 {
+		bits = width
+	}
+	if bits < 1 || bits > width {
+		return nil, fmt.Errorf("ftb: bits %d outside [1, %d]", bits, width)
+	}
+	return &Analysis{
+		factory: factory,
+		golden:  g,
+		tol:     tol,
+		bits:    bits,
+		width:   width,
+		workers: opts.Workers,
+	}, nil
+}
+
+// NewKernelAnalysis builds an Analysis for a built-in kernel at one of
+// the size presets, using the kernel's default tolerance.
+func NewKernelAnalysis(name, size string) (*Analysis, error) {
+	k, err := kernels.New(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return NewAnalysis(func() Program {
+		kk, err := kernels.New(name, size)
+		if err != nil {
+			panic(err) // registry and size validated above
+		}
+		return kk
+	}, k.Tolerance(), Options{Width: k.Width()})
+}
+
+// Golden returns the program's fault-free run.
+func (a *Analysis) Golden() *GoldenRun { return a.golden }
+
+// Sites returns the number of dynamic instructions (injection sites).
+func (a *Analysis) Sites() int { return a.golden.Sites() }
+
+// Bits returns the flips-per-site count of the fault model.
+func (a *Analysis) Bits() int { return a.bits }
+
+// Width returns the IEEE-754 width of the program's data elements.
+func (a *Analysis) Width() int { return a.width }
+
+// SampleSpace returns the total number of possible experiments
+// (sites × bits).
+func (a *Analysis) SampleSpace() int { return a.Sites() * a.bits }
+
+// Tolerance returns the acceptable output deviation T.
+func (a *Analysis) Tolerance() float64 { return a.tol }
+
+func (a *Analysis) campaignConfig() campaign.Config {
+	return campaign.Config{
+		Factory: a.factory,
+		Golden:  a.golden,
+		Tol:     a.tol,
+		Bits:    a.bits,
+		Width:   a.width,
+		Workers: a.workers,
+	}
+}
+
+// Exhaustive runs the full fault-injection campaign: every bit of every
+// dynamic instruction. Cost: SampleSpace() program executions.
+func (a *Analysis) Exhaustive() (*GroundTruth, error) {
+	return campaign.Exhaustive(a.campaignConfig())
+}
+
+// ExhaustiveCheckpointed runs the full campaign with progress persisted
+// to checkpointPath every batch sites, resuming automatically if the file
+// already holds a matching partial campaign. The checkpoint file is
+// removed on successful completion.
+func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int) (*GroundTruth, error) {
+	var prior *GroundTruth
+	priorSites := 0
+	if cp, err := persist.LoadFile(checkpointPath, persist.LoadCheckpoint); err == nil {
+		prior, priorSites = cp.GT, cp.DoneSites
+	} else if !os.IsNotExist(err) && !errors.Is(err, os.ErrNotExist) {
+		// A present-but-unreadable checkpoint is surfaced rather than
+		// silently recomputed over.
+		if _, statErr := os.Stat(checkpointPath); statErr == nil {
+			return nil, fmt.Errorf("ftb: unreadable checkpoint %s: %w", checkpointPath, err)
+		}
+	}
+	gt, err := campaign.ExhaustiveCheckpointed(a.campaignConfig(), prior, priorSites, batch,
+		func(partial *GroundTruth, done int) error {
+			return persist.SaveFile(checkpointPath, persist.Checkpoint{GT: partial, DoneSites: done}, persist.SaveCheckpoint)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Remove(checkpointPath); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("ftb: campaign done but checkpoint cleanup failed: %w", err)
+	}
+	return gt, nil
+}
+
+// ExhaustiveBoundary derives the exact fault tolerance boundary from an
+// exhaustive campaign's ground truth (§4.1).
+func (a *Analysis) ExhaustiveBoundary(gt *GroundTruth) (*Boundary, error) {
+	return boundary.ExhaustiveSearch(gt, a.golden)
+}
+
+// NonMonotonicSites counts sites whose error response is non-monotonic in
+// the ground truth (§4.1 / §5).
+func (a *Analysis) NonMonotonicSites(gt *GroundTruth) (int, error) {
+	return boundary.NonMonotonicSites(gt, a.golden)
+}
+
+// RunPairs classifies an explicit set of experiments.
+func (a *Analysis) RunPairs(pairs []Pair) ([]Record, error) {
+	return campaign.RunPairs(a.campaignConfig(), pairs)
+}
+
+// NewPredictor builds a predictor for an arbitrary boundary (e.g. one
+// obtained from ExhaustiveBoundary or loaded from disk) against this
+// analysis's golden run and fault model. known may be nil.
+func (a *Analysis) NewPredictor(b *Boundary, known *Known) (*Predictor, error) {
+	pred, err := boundary.NewPredictor(b, a.golden, known)
+	if err != nil {
+		return nil, err
+	}
+	if err := pred.SetWidth(a.width); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}
+
+// InferOptions configures InferBoundary.
+type InferOptions struct {
+	// SampleFrac is the fraction of the sample space to inject
+	// (e.g. 0.01 for the paper's 1%). Mutually exclusive with Samples.
+	SampleFrac float64
+	// Samples is an absolute sample budget (the §4.6 experiments use a
+	// fixed 1000). Used when SampleFrac is zero.
+	Samples int
+	// Filter enables the §3.5 filter operation.
+	Filter bool
+	// Seed drives sample selection.
+	Seed uint64
+}
+
+// Result is an inferred boundary plus everything needed to use and judge
+// it.
+type Result struct {
+	analysis *Analysis
+	builder  *boundary.Builder
+	boundary *Boundary
+	known    *Known
+	pred     *Predictor
+	samples  int
+	records  []Record
+}
+
+// InferBoundary runs the paper's core method: uniformly sample the
+// (site, bit) space, classify the samples, and aggregate the masked runs'
+// propagation data into a fault tolerance boundary (Algorithm 1).
+func (a *Analysis) InferBoundary(opts InferOptions) (*Result, error) {
+	k := opts.Samples
+	if opts.SampleFrac > 0 {
+		k = int(opts.SampleFrac * float64(a.SampleSpace()))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ftb: sample budget %d too small (space %d)", k, a.SampleSpace())
+	}
+	if k > a.SampleSpace() {
+		return nil, fmt.Errorf("ftb: sample budget %d exceeds sample space %d", k, a.SampleSpace())
+	}
+	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
+	known := boundary.NewKnown(a.Sites(), a.bits)
+	bld, recs, err := boundary.Build(a.campaignConfig(), pairs, boundary.BuildOptions{
+		Filter: opts.Filter,
+		Known:  known,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.newResult(bld, known, len(recs), recs)
+}
+
+// InferFromPairs runs the inference pipeline over an explicit experiment
+// selection (e.g. one produced by a Relyzer-style grouping heuristic)
+// instead of a uniform draw.
+func (a *Analysis) InferFromPairs(pairs []Pair, filter bool) (*Result, error) {
+	if len(pairs) == 0 {
+		return nil, errors.New("ftb: InferFromPairs requires at least one pair")
+	}
+	known := boundary.NewKnown(a.Sites(), a.bits)
+	bld, recs, err := boundary.Build(a.campaignConfig(), pairs, boundary.BuildOptions{
+		Filter: filter,
+		Known:  known,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.newResult(bld, known, len(recs), recs)
+}
+
+// GroupedPairs selects k experiments with the Relyzer-style grouping
+// heuristic (§6): sites are grouped by (phase, golden-value binade) and
+// the budget is spread round-robin across groups. phases may be nil, in
+// which case the whole program is one phase.
+func (a *Analysis) GroupedPairs(phases []Phase, k int, seed uint64) []Pair {
+	starts := []int{0}
+	for _, p := range phases {
+		if p.Start != 0 {
+			starts = append(starts, p.Start)
+		}
+	}
+	groups := sampling.GroupSites(a.golden.Trace, sampling.PhaseIndexer(starts))
+	return sampling.SpreadAcrossGroups(rng.New(seed), groups, a.bits, k)
+}
+
+// ProgressiveOptions configures the §3.4 adaptive progressive loop.
+type ProgressiveOptions = sampling.ProgressiveOptions
+
+// Progressive runs adaptive progressive sampling: rounds of biased
+// samples, each round shrinking the remaining space with the growing
+// boundary, until almost no new masked cases appear.
+func (a *Analysis) Progressive(opts ProgressiveOptions) (*Result, []sampling.RoundStat, error) {
+	if opts.Bits == 0 {
+		opts.Bits = a.bits
+	}
+	if opts.Width == 0 {
+		opts.Width = a.width
+	}
+	pres, err := sampling.RunProgressive(a.campaignConfig(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := a.newResult(pres.Builder, pres.Known, pres.TotalSamples, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pres.Rounds, nil
+}
+
+func (a *Analysis) newResult(bld *boundary.Builder, known *Known, samples int, recs []Record) (*Result, error) {
+	b := bld.Finalize()
+	pred, err := boundary.NewPredictor(b, a.golden, known)
+	if err != nil {
+		return nil, err
+	}
+	if err := pred.SetWidth(a.width); err != nil {
+		return nil, err
+	}
+	return &Result{
+		analysis: a,
+		builder:  bld,
+		boundary: b,
+		known:    known,
+		pred:     pred,
+		samples:  samples,
+		records:  recs,
+	}, nil
+}
+
+// Boundary returns the inferred fault tolerance boundary.
+func (r *Result) Boundary() *Boundary { return r.boundary }
+
+// Predictor returns the boundary-backed outcome predictor.
+func (r *Result) Predictor() *Predictor { return r.pred }
+
+// Known returns the sampled-outcome table.
+func (r *Result) Known() *Known { return r.known }
+
+// Records returns the classified samples (nil for progressive runs, which
+// stream their records into per-round statistics instead).
+func (r *Result) Records() []Record { return r.records }
+
+// Samples returns the number of injections spent.
+func (r *Result) Samples() int { return r.samples }
+
+// SampleFraction returns Samples as a fraction of the sample space.
+func (r *Result) SampleFraction() float64 {
+	return float64(r.samples) / float64(r.analysis.SampleSpace())
+}
+
+// Info returns per-site significant-error information counts (the
+// Figure 4 "potential impact" series).
+func (r *Result) Info() []int64 { return r.builder.Info() }
+
+// MeanReach returns, per injection site, the mean number of dynamic
+// instructions a masked injection at that site significantly perturbed —
+// the propagation fan-out of each site.
+func (r *Result) MeanReach() []float64 { return r.builder.MeanReach() }
+
+// PredictedSDCRatio returns the boundary's whole-program SDC-ratio
+// prediction (unknown cases assumed SDC).
+func (r *Result) PredictedSDCRatio() float64 {
+	return r.pred.OverallSDCRatio(r.analysis.bits)
+}
+
+// Uncertainty returns the self-verification metric (§3.6): the precision
+// of masked predictions over the sampled experiments, computable without
+// any ground truth.
+func (r *Result) Uncertainty() float64 {
+	return metrics.Uncertainty(r.pred, r.known)
+}
+
+// Evaluate scores the result against an exhaustive ground truth.
+func (r *Result) Evaluate(gt *GroundTruth) PR {
+	return metrics.Evaluate(r.pred, gt, r.known)
+}
+
+// Profile assembles the per-site true/predicted/impact series against a
+// ground truth.
+func (r *Result) Profile(gt *GroundTruth) SiteSeries {
+	return metrics.Profile(r.pred, gt, r.builder.Info())
+}
+
+// DeltaSDC returns per-site golden − predicted SDC ratios against a
+// ground truth.
+func (r *Result) DeltaSDC(gt *GroundTruth) []float64 {
+	return metrics.DeltaSDC(r.pred, gt)
+}

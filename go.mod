@@ -1,0 +1,3 @@
+module ftb
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package bits implements the single-bit-flip fault model on IEEE-754
+// floating point values.
+//
+// The model follows the paper's §2.1: a transient fault is simulated as a
+// single bit flip in one data element of a dynamic instruction. For a
+// 64-bit float there are exactly 64 possible faults per injection site;
+// for a 32-bit float there are 32. The package provides the flip itself,
+// enumeration of all flips at a site, the error magnitude a flip
+// introduces, and classification helpers (does the flip produce NaN/Inf,
+// which the runtime treats as a crash).
+package bits
+
+import "math"
+
+// Width64 and Width32 are the number of distinct single-bit faults for the
+// two IEEE-754 widths supported by the fault model.
+const (
+	Width64 = 64
+	Width32 = 32
+)
+
+// Flip64 returns v with bit i (0 = least significant mantissa bit,
+// 63 = sign bit) inverted.
+func Flip64(v float64, i uint) float64 {
+	if i >= Width64 {
+		panic("bits: Flip64 bit index out of range")
+	}
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << i))
+}
+
+// Flip32 returns v with bit i (0 = least significant mantissa bit,
+// 31 = sign bit) inverted.
+func Flip32(v float32, i uint) float32 {
+	if i >= Width32 {
+		panic("bits: Flip32 bit index out of range")
+	}
+	return math.Float32frombits(math.Float32bits(v) ^ (1 << i))
+}
+
+// Err32 returns the absolute error |Flip32(v,i) - v| introduced by flipping
+// bit i of v, as a float64. If the flipped value is NaN or ±Inf the
+// returned error is +Inf.
+func Err32(v float32, i uint) float64 {
+	f := Flip32(v, i)
+	if IsUnsafe32(f) {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(f) - float64(v))
+}
+
+// IsUnsafe32 reports whether v is NaN or ±Inf.
+func IsUnsafe32(v float32) bool {
+	return v != v || v > math.MaxFloat32 || v < -math.MaxFloat32
+}
+
+// FlipMakesUnsafe32 reports whether flipping bit i of v yields NaN or ±Inf.
+func FlipMakesUnsafe32(v float32, i uint) bool {
+	return IsUnsafe32(Flip32(v, i))
+}
+
+// Err64 returns the absolute error |Flip64(v,i) - v| introduced by flipping
+// bit i of v. If the flipped value is NaN or ±Inf the returned error is
+// +Inf (any comparison against a finite threshold fails, and the runtime
+// classifies such runs as crashes).
+func Err64(v float64, i uint) float64 {
+	f := Flip64(v, i)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(f - v)
+}
+
+// ErrsAll64 appends to dst the absolute error of each of the 64 possible
+// single-bit flips of v, indexed by bit position, and returns the extended
+// slice. dst may be nil.
+func ErrsAll64(dst []float64, v float64) []float64 {
+	for i := uint(0); i < Width64; i++ {
+		dst = append(dst, Err64(v, i))
+	}
+	return dst
+}
+
+// IsUnsafe reports whether v is NaN or ±Inf — a value that would trap in a
+// signalling-FP environment. The trace runtime aborts an injection run as a
+// crash when a tracked store produces an unsafe value.
+func IsUnsafe(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// FlipMakesUnsafe reports whether flipping bit i of v yields NaN or ±Inf.
+// Used during prediction: such a flip is predicted to crash rather than to
+// be masked or cause SDC.
+func FlipMakesUnsafe(v float64, i uint) bool {
+	return IsUnsafe(Flip64(v, i))
+}
+
+// ExponentBits64 returns the biased exponent field of v.
+func ExponentBits64(v float64) uint {
+	return uint(math.Float64bits(v) >> 52 & 0x7ff)
+}
+
+// SignBit64 reports whether the sign bit of v is set.
+func SignBit64(v float64) bool {
+	return math.Float64bits(v)>>63 == 1
+}
+
+// MaxErr64 returns the largest finite absolute error any single-bit flip of
+// v can introduce, and the bit position that causes it. Flips that produce
+// NaN/Inf are skipped (they crash rather than corrupt). If every flip is
+// unsafe, MaxErr64 returns (0, Width64).
+func MaxErr64(v float64) (err float64, bit uint) {
+	bit = Width64
+	for i := uint(0); i < Width64; i++ {
+		e := Err64(v, i)
+		if math.IsInf(e, 1) {
+			continue
+		}
+		if bit == Width64 || e > err {
+			err, bit = e, i
+		}
+	}
+	return err, bit
+}
+
+// MinErr64 returns the smallest nonzero absolute error any single-bit flip
+// of v can introduce, and the bit position that causes it. Flips producing
+// NaN/Inf are skipped. If every flip is unsafe, MinErr64 returns
+// (+Inf, Width64).
+func MinErr64(v float64) (err float64, bit uint) {
+	err, bit = math.Inf(1), Width64
+	for i := uint(0); i < Width64; i++ {
+		e := Err64(v, i)
+		if math.IsInf(e, 1) || e == 0 {
+			continue
+		}
+		if e < err {
+			err, bit = e, i
+		}
+	}
+	return err, bit
+}

@@ -1,0 +1,256 @@
+package bits
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlip64Involution(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.5, 3.14159, 1e300, 1e-300, math.MaxFloat64}
+	for _, v := range vals {
+		for i := uint(0); i < Width64; i++ {
+			if got := Flip64(Flip64(v, i), i); got != v {
+				t.Errorf("Flip64(Flip64(%g,%d),%d) = %g, want %g", v, i, i, got, v)
+			}
+		}
+	}
+}
+
+func TestFlip64SignBit(t *testing.T) {
+	if got := Flip64(1.0, 63); got != -1.0 {
+		t.Errorf("sign flip of 1.0 = %g, want -1", got)
+	}
+	if got := Flip64(-2.5, 63); got != 2.5 {
+		t.Errorf("sign flip of -2.5 = %g, want 2.5", got)
+	}
+}
+
+func TestFlip64ZeroHighExponent(t *testing.T) {
+	// Flipping the highest exponent bit (bit 62) of +0 gives 2^(1024-1023)...
+	// bits pattern 0x4000000000000000 == 2.0, the paper's "maximum
+	// perturbation of 2 occurs when there is a flip in the highest exponent
+	// bit" of a zero-valued 32-bit float; for float64 the same bit yields 2.
+	if got := Flip64(0, 62); got != 2.0 {
+		t.Errorf("Flip64(0,62) = %g, want 2", got)
+	}
+}
+
+func TestFlip64OutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Flip64 with bit 64 did not panic")
+		}
+	}()
+	Flip64(1, 64)
+}
+
+func TestFlip32Involution(t *testing.T) {
+	vals := []float32{0, 1, -1, 0.5, 3.14159, 1e30, 1e-30}
+	for _, v := range vals {
+		for i := uint(0); i < Width32; i++ {
+			if got := Flip32(Flip32(v, i), i); got != v {
+				t.Errorf("Flip32(Flip32(%g,%d),%d) = %g, want %g", v, i, i, got, v)
+			}
+		}
+	}
+}
+
+func TestErr64MantissaSmall(t *testing.T) {
+	// Flipping the lowest mantissa bit of 1.0 introduces one ulp.
+	e := Err64(1.0, 0)
+	if e <= 0 || e > 1e-15 {
+		t.Errorf("Err64(1,0) = %g, want one ulp of 1.0", e)
+	}
+}
+
+func TestErr64UnsafeIsInf(t *testing.T) {
+	// Flipping the last zero exponent bit of MaxFloat64 produces Inf/NaN.
+	v := math.MaxFloat64 // exponent 0x7fe; flipping bit 52 sets 0x7ff.
+	e := Err64(v, 52)
+	if !math.IsInf(e, 1) {
+		t.Errorf("Err64(MaxFloat64,52) = %g, want +Inf", e)
+	}
+}
+
+func TestErrsAll64(t *testing.T) {
+	errs := ErrsAll64(nil, 1.0)
+	if len(errs) != Width64 {
+		t.Fatalf("len = %d, want %d", len(errs), Width64)
+	}
+	for i, e := range errs {
+		if e < 0 {
+			t.Errorf("errs[%d] = %g, negative", i, e)
+		}
+		if want := Err64(1.0, uint(i)); e != want && !(math.IsInf(e, 1) && math.IsInf(want, 1)) {
+			t.Errorf("errs[%d] = %g, want %g", i, e, want)
+		}
+	}
+}
+
+func TestIsUnsafe(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{0, false}, {1, false}, {-1e308, false},
+		{math.NaN(), true}, {math.Inf(1), true}, {math.Inf(-1), true},
+	}
+	for _, c := range cases {
+		if got := IsUnsafe(c.v); got != c.want {
+			t.Errorf("IsUnsafe(%g) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFlipMakesUnsafe(t *testing.T) {
+	if !FlipMakesUnsafe(math.MaxFloat64, 52) {
+		t.Error("MaxFloat64 bit 52 should become unsafe")
+	}
+	if FlipMakesUnsafe(1.0, 0) {
+		t.Error("1.0 mantissa flip should stay safe")
+	}
+}
+
+func TestExponentAndSign(t *testing.T) {
+	if ExponentBits64(1.0) != 1023 {
+		t.Errorf("exponent of 1.0 = %d, want 1023", ExponentBits64(1.0))
+	}
+	if SignBit64(1.0) || !SignBit64(-1.0) {
+		t.Error("sign bit detection wrong")
+	}
+}
+
+func TestMaxMinErr64(t *testing.T) {
+	maxE, maxB := MaxErr64(1.0)
+	minE, minB := MinErr64(1.0)
+	if maxB >= Width64 || minB >= Width64 {
+		t.Fatalf("bit positions out of range: %d %d", maxB, minB)
+	}
+	if maxE < minE {
+		t.Errorf("max err %g < min err %g", maxE, minE)
+	}
+	if minE <= 0 {
+		t.Errorf("min err %g, want > 0", minE)
+	}
+	// For 1.0 flipping the top exponent bit (62) would set the exponent to
+	// 0x7ff (Inf) and is skipped as unsafe; the worst finite flip is the
+	// sign bit, error 2.0.
+	if maxB != 63 || maxE != 2.0 {
+		t.Errorf("max finite err for 1.0 = (%g, bit %d), want (2, 63)", maxE, maxB)
+	}
+}
+
+// Property: a flip always changes the bit pattern, and for finite results
+// the error is strictly positive unless the value is NaN-adjacent.
+func TestQuickFlipChangesValue(t *testing.T) {
+	f := func(v float64, bitRaw uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true // model only injects into valid data
+		}
+		bit := uint(bitRaw) % Width64
+		got := Flip64(v, bit)
+		return math.Float64bits(got) != math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: error of a mantissa-bit flip is bounded by the value's scale
+// (one ulp at bit 0 up to half the value's magnitude at bit 51) for normal
+// numbers.
+func TestQuickMantissaErrBounded(t *testing.T) {
+	f := func(v float64, bitRaw uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			return true
+		}
+		if ExponentBits64(v) == 0 || ExponentBits64(v) == 0x7ff {
+			return true // subnormals / specials out of scope
+		}
+		bit := uint(bitRaw) % 52 // mantissa bits only
+		e := Err64(v, bit)
+		return e <= math.Abs(v) // mantissa flip < one unit in the first place
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: involution holds for arbitrary values and bits.
+func TestQuickInvolution(t *testing.T) {
+	f := func(v float64, bitRaw uint8) bool {
+		if math.IsNaN(v) {
+			return true // NaN payload bit patterns may not round-trip via ==
+		}
+		bit := uint(bitRaw) % Width64
+		back := Flip64(Flip64(v, bit), bit)
+		return math.Float64bits(back) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFlip64(b *testing.B) {
+	v := 3.14159
+	for i := 0; i < b.N; i++ {
+		v = Flip64(v, uint(i)&63)
+	}
+	_ = v
+}
+
+func BenchmarkErrsAll64(b *testing.B) {
+	buf := make([]float64, 0, Width64)
+	for i := 0; i < b.N; i++ {
+		buf = ErrsAll64(buf[:0], 3.14159)
+	}
+}
+
+func TestPaperZeroValue32Claims(t *testing.T) {
+	// §4.2 of the paper: "In a 32-bit float-point variable with a value of
+	// zero, a maximum perturbation of 2 occurs when there is a flip in the
+	// highest exponent bit. Perturbation in the remaining 31 bits causes
+	// only small errors, with a maximum value of 1.08e-19."
+	if got := Err32(0, 30); got != 2 {
+		t.Errorf("highest exponent bit of zero: err %g, want 2", got)
+	}
+	var maxOther float64
+	for b := uint(0); b < Width32; b++ {
+		if b == 30 {
+			continue
+		}
+		if e := Err32(0, b); e > maxOther {
+			maxOther = e
+		}
+	}
+	// 2^-63 = 1.0842e-19.
+	if math.Abs(maxOther-math.Ldexp(1, -63)) > 1e-25 {
+		t.Errorf("max non-top-bit perturbation of zero = %g, want 2^-63 ≈ 1.08e-19", maxOther)
+	}
+}
+
+func TestErr32SignFlipOfZeroIsFree(t *testing.T) {
+	if got := Err32(0, 31); got != 0 {
+		t.Errorf("sign flip of +0 has error %g, want 0 (-0 == +0)", got)
+	}
+}
+
+func TestIsUnsafe32(t *testing.T) {
+	if IsUnsafe32(0) || IsUnsafe32(1.5) || IsUnsafe32(-math.MaxFloat32) {
+		t.Error("finite float32 flagged unsafe")
+	}
+	if !IsUnsafe32(float32(math.Inf(1))) || !IsUnsafe32(float32(math.NaN())) {
+		t.Error("Inf/NaN not flagged")
+	}
+}
+
+func TestFlipMakesUnsafe32(t *testing.T) {
+	// float32 1.0 exponent is 0x7f; flipping bit 30 -> 0xff -> Inf.
+	if !FlipMakesUnsafe32(1.0, 30) {
+		t.Error("1.0f bit 30 should become unsafe")
+	}
+	if FlipMakesUnsafe32(1.0, 0) {
+		t.Error("mantissa flip should stay safe")
+	}
+}

@@ -1,0 +1,274 @@
+package boundary
+
+import (
+	"errors"
+	"math"
+
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/trace"
+)
+
+// Builder infers a fault tolerance boundary from sampled fault-injection
+// experiments (Algorithm 1 plus the §3.5 filter operation).
+//
+// Usage follows the two passes of a sampled campaign:
+//
+//  1. Feed every classified sample to ObserveRecord. SDC records teach the
+//     filter (the smallest injected error known to cause SDC per site);
+//     all records teach the per-site information counts used by adaptive
+//     sampling.
+//  2. Run campaign.Propagate over the masked samples, handing each worker
+//     a sink from NewWorker, then call MergeWorkers. Each masked run's
+//     propagation deltas raise the per-site thresholds
+//     (Δe_j = max(Δe_j, s_i[j])); with the filter enabled, deltas above
+//     the site's known-SDC minimum are discarded.
+//
+// Finalize returns the boundary; the Builder can keep absorbing further
+// rounds (progressive sampling re-enters both passes).
+type Builder struct {
+	golden *trace.GoldenRun
+	filter bool
+
+	thresholds []float64
+	info       []int64   // significant-error observations per site
+	minSDC     []float64 // smallest known SDC injected error per site
+	reachSum   []int64   // total sites significantly perturbed, per injection site
+	reachRuns  []int64   // masked propagation runs observed, per injection site
+}
+
+// NewBuilder returns a Builder for the given golden run. filter enables
+// the §3.5 filter operation.
+func NewBuilder(golden *trace.GoldenRun, filter bool) *Builder {
+	n := golden.Sites()
+	minSDC := make([]float64, n)
+	for i := range minSDC {
+		minSDC[i] = math.Inf(1)
+	}
+	return &Builder{
+		golden:     golden,
+		filter:     filter,
+		thresholds: make([]float64, n),
+		info:       make([]int64, n),
+		minSDC:     minSDC,
+		reachSum:   make([]int64, n),
+		reachRuns:  make([]int64, n),
+	}
+}
+
+// Sites returns the number of dynamic instructions covered.
+func (b *Builder) Sites() int { return len(b.thresholds) }
+
+// ObserveRecord ingests one classified sample (pass 1). SDC records
+// update the filter floor; every record with a significant injected error
+// counts as information at its site.
+func (b *Builder) ObserveRecord(rec campaign.Record) {
+	if rec.Kind == outcome.SDC && rec.InjErr < b.minSDC[rec.Site] {
+		b.minSDC[rec.Site] = rec.InjErr
+	}
+	if significant(b.golden.Trace[rec.Site], rec.InjErr) {
+		b.info[rec.Site]++
+	}
+}
+
+// significant reports whether delta is a significant perturbation of the
+// golden value g: relative error above SignificanceRel, falling back to
+// the absolute delta when g is (near) zero.
+func significant(g, delta float64) bool {
+	if delta == 0 {
+		return false
+	}
+	ag := math.Abs(g)
+	if ag < math.SmallestNonzeroFloat64 {
+		return delta > SignificanceRel
+	}
+	return delta/ag > SignificanceRel
+}
+
+// Info returns the per-site significant-error observation counts (the
+// "potential impact" quantity of Figure 4 row 2). The returned slice is
+// live; callers must not modify it.
+func (b *Builder) Info() []int64 { return b.info }
+
+// MinSDC returns the per-site filter floors. The returned slice is live.
+func (b *Builder) MinSDC() []float64 { return b.minSDC }
+
+// MeanReach returns, per injection site, the mean number of dynamic
+// instructions an injected error significantly perturbed across the
+// site's observed masked propagation runs (0 where no run was observed).
+// Reach is the propagation fan-out the SpotSDC visualization work (the
+// paper's ref. [20]) studies: high-reach sites feed the boundary a lot of
+// evidence per experiment; zero-reach sites are the blind spots adaptive
+// sampling targets.
+func (b *Builder) MeanReach() []float64 {
+	out := make([]float64, len(b.reachSum))
+	for i, runs := range b.reachRuns {
+		if runs > 0 {
+			out[i] = float64(b.reachSum[i]) / float64(runs)
+		}
+	}
+	return out
+}
+
+// Finalize returns the current boundary. The thresholds slice is copied,
+// so later observations do not mutate the returned boundary.
+func (b *Builder) Finalize() *Boundary {
+	th := make([]float64, len(b.thresholds))
+	copy(th, b.thresholds)
+	return &Boundary{Thresholds: th}
+}
+
+// Worker is a per-goroutine propagation accumulator. It implements
+// campaign.PropagationSink: deltas observed during a run are buffered and
+// committed only if the run's final outcome is Masked, as Algorithm 1
+// requires. Worker state is private to one goroutine; MergeWorkers folds
+// it back into the Builder.
+type Worker struct {
+	parent *Builder
+
+	thresholds []float64
+	info       []int64
+	reachSum   []int64
+	reachRuns  []int64
+
+	buf  []float64 // per-run deltas, indexed by site
+	seen int       // sites observed in the current run
+}
+
+// NewWorker returns a sink for one campaign.Propagate worker. The parent
+// Builder's filter floors must be complete (pass 1 finished) before any
+// worker runs; workers read them concurrently and never write them.
+func (b *Builder) NewWorker() campaign.PropagationSink {
+	n := b.Sites()
+	return &Worker{
+		parent:     b,
+		thresholds: make([]float64, n),
+		info:       make([]int64, n),
+		reachSum:   make([]int64, n),
+		reachRuns:  make([]int64, n),
+		buf:        make([]float64, n),
+	}
+}
+
+// BeginRun implements campaign.PropagationSink.
+func (w *Worker) BeginRun(campaign.Pair) { w.seen = 0 }
+
+// Observe implements trace.DiffSink. Sites arrive in execution order
+// (0, 1, 2, ...), so the buffer prefix [0, seen) is the current run.
+func (w *Worker) Observe(site int, golden, delta float64) {
+	if site < len(w.buf) {
+		w.buf[site] = delta
+		if site >= w.seen {
+			w.seen = site + 1
+		}
+	}
+}
+
+// EndRun implements campaign.PropagationSink: commit the run's deltas if
+// it was masked.
+func (w *Worker) EndRun(rec campaign.Record) {
+	if rec.Kind != outcome.Masked {
+		return
+	}
+	g := w.parent.golden.Trace
+	minSDC := w.parent.minSDC
+	var reach int64
+	for j := 0; j < w.seen; j++ {
+		d := w.buf[j]
+		if d == 0 {
+			continue
+		}
+		if significant(g[j], d) {
+			w.info[j]++
+			if j != rec.Site {
+				reach++
+			}
+		}
+		if w.parent.filter && d > minSDC[j] {
+			continue
+		}
+		if d > w.thresholds[j] {
+			w.thresholds[j] = d
+		}
+	}
+	w.reachSum[rec.Site] += reach
+	w.reachRuns[rec.Site]++
+}
+
+// MergeWorkers folds propagation accumulators back into the Builder:
+// thresholds merge by max, information counts by sum.
+func (b *Builder) MergeWorkers(sinks []campaign.PropagationSink) error {
+	for _, s := range sinks {
+		w, ok := s.(*Worker)
+		if !ok {
+			return errors.New("boundary: MergeWorkers received a foreign sink")
+		}
+		if w.parent != b {
+			return errors.New("boundary: MergeWorkers received a worker of a different builder")
+		}
+		for i, t := range w.thresholds {
+			if t > b.thresholds[i] {
+				b.thresholds[i] = t
+			}
+		}
+		for i, n := range w.info {
+			b.info[i] += n
+		}
+		for i := range w.reachSum {
+			b.reachSum[i] += w.reachSum[i]
+			b.reachRuns[i] += w.reachRuns[i]
+		}
+	}
+	return nil
+}
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// Filter enables the §3.5 filter operation.
+	Filter bool
+	// Known, when non-nil, additionally receives every sample outcome
+	// (for the §4.4 fully-tested shortcut and the uncertainty metric).
+	Known *Known
+}
+
+// Build runs the complete two-pass inference over a fixed sample of
+// pairs: classify every sample (pass 1), then collect propagation data
+// from the masked subset (pass 2) and aggregate it into a boundary. It
+// returns the builder (so progressive sampling can continue) and the
+// classified records.
+func Build(cfg campaign.Config, pairs []campaign.Pair, opts BuildOptions) (*Builder, []campaign.Record, error) {
+	b := NewBuilder(cfg.Golden, opts.Filter)
+	recs, err := b.Absorb(cfg, pairs, opts.Known)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, recs, nil
+}
+
+// Absorb ingests one round of samples into an existing builder: pass 1
+// classification of all pairs, then pass 2 propagation over the masked
+// subset. known may be nil.
+func (b *Builder) Absorb(cfg campaign.Config, pairs []campaign.Pair, known *Known) ([]campaign.Record, error) {
+	recs, err := campaign.RunPairs(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	masked := make([]campaign.Pair, 0, len(recs))
+	for _, rec := range recs {
+		b.ObserveRecord(rec)
+		if known != nil {
+			known.Add(rec)
+		}
+		if rec.Kind == outcome.Masked {
+			masked = append(masked, rec.Pair)
+		}
+	}
+	sinks, err := campaign.Propagate(cfg, masked, b.NewWorker)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.MergeWorkers(sinks); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,216 @@
+// Package campaign executes fault-injection campaigns: the exhaustive
+// ground-truth campaign (every bit of every dynamic instruction), sampled
+// campaigns over chosen (site, bit) pairs, and propagation-collection runs
+// that feed the boundary-inference algorithm.
+//
+// Campaigns are embarrassingly parallel and run on a goroutine worker
+// pool. Each worker owns a private program instance (kernels keep mutable
+// work buffers) and a private trace context; results are merged in input
+// order, so campaign output is deterministic regardless of GOMAXPROCS.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftb/internal/outcome"
+	"ftb/internal/trace"
+)
+
+// Pair identifies one fault-injection experiment: flip bit Bit of the
+// value stored by dynamic instruction Site.
+type Pair struct {
+	Site int
+	Bit  uint8
+}
+
+// Record is the classified result of one experiment.
+type Record struct {
+	Pair
+	Kind   outcome.Kind
+	InjErr float64 // |flipped − original| at the injection site (+Inf if unsafe)
+	OutErr float64 // L∞ output deviation (+Inf for crashes)
+}
+
+// Config describes the campaign target.
+type Config struct {
+	// Factory creates an independent program instance; it is called once
+	// per worker. Instances must produce identical store sequences.
+	Factory func() trace.Program
+	// Golden is the fault-free run of the program.
+	Golden *trace.GoldenRun
+	// Tol is the acceptable L∞ output deviation T.
+	Tol float64
+	// Bits is the number of bit positions per site (default Width).
+	Bits int
+	// Width is the IEEE-754 width of the program's data elements: 64 for
+	// programs instrumented with Ctx.Store (the default) or 32 for
+	// programs instrumented with Ctx.Store32. Bits may not exceed Width.
+	Width int
+	// Workers caps the pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+func (c *Config) normalized() (Config, error) {
+	out := *c
+	if out.Factory == nil {
+		return out, errors.New("campaign: Config.Factory is required")
+	}
+	if out.Golden == nil {
+		return out, errors.New("campaign: Config.Golden is required")
+	}
+	if out.Tol <= 0 {
+		return out, fmt.Errorf("campaign: tolerance %g must be positive", out.Tol)
+	}
+	if out.Width == 0 {
+		out.Width = 64
+	}
+	if out.Width != 32 && out.Width != 64 {
+		return out, fmt.Errorf("campaign: width %d must be 32 or 64", out.Width)
+	}
+	if out.Bits == 0 {
+		out.Bits = out.Width
+	}
+	if out.Bits < 1 || out.Bits > out.Width {
+		return out, fmt.Errorf("campaign: bits %d outside [1, %d]", out.Bits, out.Width)
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out, nil
+}
+
+// RunPair executes a single experiment with an existing context and
+// program instance. It is the sequential building block the pool drives.
+func RunPair(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, tol float64, pair Pair) Record {
+	res := trace.RunInject(ctx, p, pair.Site, uint(pair.Bit))
+	return Record{
+		Pair:   pair,
+		Kind:   outcome.Classify(golden.Output, res.Output, tol, res.Crashed),
+		InjErr: res.InjErr,
+		OutErr: outcome.OutputError(golden.Output, res.Output, res.Crashed),
+	}
+}
+
+// RunPairs executes all experiments in parallel and returns their records
+// in input order.
+func RunPairs(cfg Config, pairs []Pair) ([]Record, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	records := make([]Record, len(pairs))
+	forEachChunk(cfg.Workers, len(pairs), func(worker, lo, hi int) error {
+		p := cfg.Factory()
+		var ctx trace.Ctx
+		for i := lo; i < hi; i++ {
+			records[i] = RunPair(&ctx, p, cfg.Golden, cfg.Tol, pairs[i])
+		}
+		return nil
+	})
+	return records, nil
+}
+
+// PropagationSink extends trace.DiffSink with a per-run boundary so
+// accumulators know which experiment the observations belong to.
+type PropagationSink interface {
+	trace.DiffSink
+	// BeginRun is called before each run with the experiment's pair.
+	BeginRun(pair Pair)
+	// EndRun is called after each run with the classified record. delta
+	// observations between BeginRun and EndRun belong to this experiment.
+	EndRun(rec Record)
+}
+
+// Propagate executes the given experiments in InjectDiff mode, streaming
+// per-site propagation deltas to per-worker sinks created by newSink. The
+// returned slice holds every sink that was actually used, so the caller
+// can merge their accumulated state. Experiments are distributed across
+// workers in contiguous chunks of the input.
+//
+// Propagate is typically applied to the masked subset of a sampled
+// campaign: Algorithm 1 consumes only masked runs' propagation data.
+func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]PropagationSink, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if newSink == nil {
+		return nil, errors.New("campaign: newSink is required")
+	}
+	sinks := make([]PropagationSink, cfg.Workers)
+	var firstErr atomic.Value
+	forEachChunk(cfg.Workers, len(pairs), func(worker, lo, hi int) error {
+		p := cfg.Factory()
+		sink := newSink()
+		sinks[worker] = sink
+		var ctx trace.Ctx
+		for i := lo; i < hi; i++ {
+			pair := pairs[i]
+			sink.BeginRun(pair)
+			res, err := trace.RunInjectDiff(&ctx, p, cfg.Golden, pair.Site, uint(pair.Bit), sink)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return err
+			}
+			sink.EndRun(Record{
+				Pair:   pair,
+				Kind:   outcome.Classify(cfg.Golden.Output, res.Output, cfg.Tol, res.Crashed),
+				InjErr: res.InjErr,
+				OutErr: outcome.OutputError(cfg.Golden.Output, res.Output, res.Crashed),
+			})
+		}
+		return nil
+	})
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	used := sinks[:0]
+	for _, s := range sinks {
+		if s != nil {
+			used = append(used, s)
+		}
+	}
+	return used, nil
+}
+
+// forEachChunk splits n items into contiguous chunks, one per worker, and
+// runs fn(worker, lo, hi) concurrently. Workers beyond n items get empty
+// ranges and are not started.
+func forEachChunk(workers, n int, fn func(worker, lo, hi int) error) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			_ = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// AllPairs enumerates the complete sample space: every bit of every site.
+func AllPairs(sites, bitsPerSite int) []Pair {
+	pairs := make([]Pair, 0, sites*bitsPerSite)
+	for s := 0; s < sites; s++ {
+		for b := 0; b < bitsPerSite; b++ {
+			pairs = append(pairs, Pair{Site: s, Bit: uint8(b)})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,177 @@
+package campaign
+
+import (
+	"fmt"
+
+	"ftb/internal/bits"
+	"ftb/internal/outcome"
+	"ftb/internal/trace"
+)
+
+// GroundTruth is the result of an exhaustive campaign: the classified
+// outcome of every single-bit flip at every dynamic instruction. It is
+// the oracle that the boundary method's predictions are evaluated against.
+type GroundTruth struct {
+	SitesN int
+	BitsN  int
+	WidthN int            // IEEE-754 width of the data elements (32 or 64)
+	Kinds  []outcome.Kind // len SitesN*BitsN, indexed site*BitsN + bit
+}
+
+// Width returns the campaign's data-element width, defaulting to 64 for
+// ground truths built before the field existed (e.g. loaded from old
+// files).
+func (g *GroundTruth) Width() int {
+	if g.WidthN == 0 {
+		return 64
+	}
+	return g.WidthN
+}
+
+// At returns the outcome of flipping bit at site.
+func (g *GroundTruth) At(site int, bit uint8) outcome.Kind {
+	return g.Kinds[site*g.BitsN+int(bit)]
+}
+
+// SiteCounts tallies site's outcomes over all bit positions.
+func (g *GroundTruth) SiteCounts(site int) outcome.Counts {
+	var c outcome.Counts
+	row := g.Kinds[site*g.BitsN : (site+1)*g.BitsN]
+	for _, k := range row {
+		c.Add(k)
+	}
+	return c
+}
+
+// SiteSDCRatio returns site's per-instruction SDC ratio (n_sdc over all
+// bit-flip experiments at the site).
+func (g *GroundTruth) SiteSDCRatio(site int) float64 {
+	c := g.SiteCounts(site)
+	return c.SDCRatio()
+}
+
+// Overall tallies every experiment in the campaign.
+func (g *GroundTruth) Overall() outcome.Counts {
+	var c outcome.Counts
+	for _, k := range g.Kinds {
+		c.Add(k)
+	}
+	return c
+}
+
+// Exhaustive runs the complete fault-injection campaign: cfg.Bits flips at
+// every one of the golden run's dynamic instructions. This is the paper's
+// "exhaustive fault injection campaign where every bit is flipped" (§4.1);
+// its cost is sites × bits program executions, which is why the inference
+// method exists.
+func Exhaustive(cfg Config) (*GroundTruth, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sites := cfg.Golden.Sites()
+	gt := &GroundTruth{
+		SitesN: sites,
+		BitsN:  cfg.Bits,
+		WidthN: cfg.Width,
+		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
+	}
+	forEachChunk(cfg.Workers, sites, func(worker, lo, hi int) error {
+		p := cfg.Factory()
+		var ctx trace.Ctx
+		for site := lo; site < hi; site++ {
+			row := gt.Kinds[site*cfg.Bits : (site+1)*cfg.Bits]
+			for b := 0; b < cfg.Bits; b++ {
+				rec := RunPair(&ctx, p, cfg.Golden, cfg.Tol, Pair{Site: site, Bit: uint8(b)})
+				row[b] = rec.Kind
+			}
+		}
+		return nil
+	})
+	return gt, nil
+}
+
+// ExhaustiveCheckpointed runs an exhaustive campaign in batches of sites,
+// invoking checkpoint(gt, doneSites) after each completed batch so callers
+// can persist partial progress (paper-scale campaigns run for minutes to
+// hours; a crash should not forfeit completed work). To resume, pass the
+// ground truth and completed-site count from the last checkpoint; sites
+// below prior are trusted and skipped. checkpoint may be nil (the batching
+// then only bounds scheduling granularity). A checkpoint error aborts the
+// campaign.
+func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch int, checkpoint func(*GroundTruth, int) error) (*GroundTruth, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sites := cfg.Golden.Sites()
+	if batch < 1 {
+		batch = 256
+	}
+	gt := &GroundTruth{
+		SitesN: sites,
+		BitsN:  cfg.Bits,
+		WidthN: cfg.Width,
+		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
+	}
+	if prior != nil {
+		if prior.SitesN != sites || prior.BitsN != cfg.Bits {
+			return nil, fmt.Errorf("campaign: checkpoint shape %dx%d does not match campaign %dx%d",
+				prior.SitesN, prior.BitsN, sites, cfg.Bits)
+		}
+		if priorSites < 0 || priorSites > sites {
+			return nil, fmt.Errorf("campaign: checkpoint site count %d outside [0, %d]", priorSites, sites)
+		}
+		copy(gt.Kinds[:priorSites*cfg.Bits], prior.Kinds[:priorSites*cfg.Bits])
+	} else if priorSites != 0 {
+		return nil, fmt.Errorf("campaign: prior site count %d without a prior ground truth", priorSites)
+	}
+	for start := priorSites; start < sites; start += batch {
+		end := min(start+batch, sites)
+		forEachChunk(cfg.Workers, end-start, func(worker, lo, hi int) error {
+			p := cfg.Factory()
+			var ctx trace.Ctx
+			for site := start + lo; site < start+hi; site++ {
+				row := gt.Kinds[site*cfg.Bits : (site+1)*cfg.Bits]
+				for b := 0; b < cfg.Bits; b++ {
+					rec := RunPair(&ctx, p, cfg.Golden, cfg.Tol, Pair{Site: site, Bit: uint8(b)})
+					row[b] = rec.Kind
+				}
+			}
+			return nil
+		})
+		if checkpoint != nil {
+			if err := checkpoint(gt, end); err != nil {
+				return nil, fmt.Errorf("campaign: checkpoint at site %d: %w", end, err)
+			}
+		}
+	}
+	return gt, nil
+}
+
+// InjErr returns the injected-error magnitude of (site, bit) for 64-bit
+// data elements, computed from the golden trace: the error is a pure
+// function of the stored value and the flipped bit, so the exhaustive
+// campaign does not store it.
+func InjErr(golden *trace.GoldenRun, site int, bit uint8) float64 {
+	return bits.Err64(golden.Trace[site], uint(bit))
+}
+
+// InjErrWidth is InjErr generalized over the data-element width.
+func InjErrWidth(golden *trace.GoldenRun, site int, bit uint8, width int) float64 {
+	if width == 32 {
+		return bits.Err32(float32(golden.Trace[site]), uint(bit))
+	}
+	return bits.Err64(golden.Trace[site], uint(bit))
+}
+
+// Validate sanity-checks a ground truth against a golden run.
+func (g *GroundTruth) Validate(golden *trace.GoldenRun) error {
+	if g.SitesN != golden.Sites() {
+		return fmt.Errorf("campaign: ground truth has %d sites, golden %d", g.SitesN, golden.Sites())
+	}
+	if len(g.Kinds) != g.SitesN*g.BitsN {
+		return fmt.Errorf("campaign: ground truth kinds length %d != %d*%d", len(g.Kinds), g.SitesN, g.BitsN)
+	}
+	return nil
+}

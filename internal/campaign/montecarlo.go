@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"ftb/internal/outcome"
+	"ftb/internal/rng"
+)
+
+// MCEstimate is the result of a traditional Monte Carlo fault-injection
+// campaign (the paper's baseline, §3.1): a whole-program SDC-ratio
+// estimate with a confidence interval, and nothing else — uniform
+// sampling "does not provide information on code regions with no
+// samples".
+type MCEstimate struct {
+	Samples       int
+	Counts        outcome.Counts
+	SDCRatio      float64
+	CILow, CIHigh float64 // 95% Wilson score interval for the SDC ratio
+	SitesCovered  int     // distinct sites that received ≥1 injection
+}
+
+// MonteCarlo runs the baseline campaign: k experiments drawn uniformly
+// without replacement from the (site × bit) space, classified, and
+// summarized as an overall SDC ratio with a 95% confidence interval.
+func MonteCarlo(cfg Config, r *rng.Rand, k int) (*MCEstimate, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	space := norm.Golden.Sites() * norm.Bits
+	if k < 1 || k > space {
+		return nil, fmt.Errorf("campaign: Monte Carlo budget %d outside [1, %d]", k, space)
+	}
+	idx := r.SampleK(space, k)
+	pairs := make([]Pair, k)
+	for i, v := range idx {
+		pairs[i] = Pair{Site: v / norm.Bits, Bit: uint8(v % norm.Bits)}
+	}
+	recs, err := RunPairs(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	est := &MCEstimate{Samples: k}
+	seen := make(map[int]struct{}, k)
+	for _, rec := range recs {
+		est.Counts.Add(rec.Kind)
+		seen[rec.Site] = struct{}{}
+	}
+	est.SitesCovered = len(seen)
+	est.SDCRatio = est.Counts.SDCRatio()
+	est.CILow, est.CIHigh = wilson(est.Counts[outcome.SDC], k)
+	return est, nil
+}
+
+// wilson returns the 95% Wilson score interval for successes/trials.
+func wilson(successes, trials int) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the standard normal
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MCSamplesForHalfWidth returns the approximate uniform-sampling budget a
+// Monte Carlo campaign needs so its 95% interval half-width is at most
+// halfWidth, given an anticipated SDC ratio p (use 0.5 for the worst
+// case). This is the classic n = z²p(1−p)/w² sizing rule the statistical
+// fault-injection literature uses.
+func MCSamplesForHalfWidth(p, halfWidth float64) int {
+	if halfWidth <= 0 {
+		panic("campaign: non-positive half width")
+	}
+	if p < 0 || p > 1 {
+		panic("campaign: SDC ratio outside [0,1]")
+	}
+	const z = 1.959963984540054
+	n := z * z * p * (1 - p) / (halfWidth * halfWidth)
+	return int(math.Ceil(n))
+}

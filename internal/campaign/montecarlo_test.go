@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+
+	"ftb/internal/rng"
+)
+
+func TestMonteCarloEstimateConverges(t *testing.T) {
+	cfg := chainConfig(16, 1e-9, 2)
+	gt, err := Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := gt.Overall()
+	truth := overall.SDCRatio()
+
+	est, err := MonteCarlo(cfg, rng.New(1), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 400 {
+		t.Fatalf("samples = %d", est.Samples)
+	}
+	if est.CILow > truth || est.CIHigh < truth {
+		t.Errorf("95%% CI [%.3f, %.3f] misses truth %.3f", est.CILow, est.CIHigh, truth)
+	}
+	if math.Abs(est.SDCRatio-truth) > 0.1 {
+		t.Errorf("estimate %.3f far from truth %.3f", est.SDCRatio, truth)
+	}
+	if est.SitesCovered < 1 || est.SitesCovered > 16 {
+		t.Errorf("sites covered = %d", est.SitesCovered)
+	}
+}
+
+func TestMonteCarloFullSpaceIsExact(t *testing.T) {
+	cfg := chainConfig(8, 1e-9, 1)
+	gt, err := Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := gt.Overall()
+	est, err := MonteCarlo(cfg, rng.New(2), 8*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SDCRatio != overall.SDCRatio() {
+		t.Errorf("full-space MC %.4f != exhaustive %.4f", est.SDCRatio, overall.SDCRatio())
+	}
+	if est.SitesCovered != 8 {
+		t.Errorf("full-space coverage %d sites, want 8", est.SitesCovered)
+	}
+}
+
+func TestMonteCarloBudgetValidation(t *testing.T) {
+	cfg := chainConfig(4, 1e-9, 1)
+	if _, err := MonteCarlo(cfg, rng.New(1), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := MonteCarlo(cfg, rng.New(1), 4*64+1); err == nil {
+		t.Error("overdraw accepted")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := wilson(0, 100)
+	if lo != 0 || hi < 0.01 || hi > 0.1 {
+		t.Errorf("wilson(0,100) = [%.4f, %.4f]", lo, hi)
+	}
+	lo, hi = wilson(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("wilson(50,100) = [%.4f, %.4f] misses 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide: %.4f", hi-lo)
+	}
+	lo, hi = wilson(100, 100)
+	if hi != 1 || lo > 1 || lo < 0.9 {
+		t.Errorf("wilson(100,100) = [%.4f, %.4f]", lo, hi)
+	}
+	if lo, hi := wilson(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("wilson(0,0) = [%.4f, %.4f]", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	_, hi1 := wilson(10, 100)
+	lo1, _ := wilson(10, 100)
+	lo2, hi2 := wilson(100, 1000)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Errorf("interval did not shrink: %.4f -> %.4f", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestMCSamplesForHalfWidth(t *testing.T) {
+	// Classic worst case: p=0.5, w=0.05 -> ~385 samples.
+	n := MCSamplesForHalfWidth(0.5, 0.05)
+	if n < 380 || n > 390 {
+		t.Errorf("n = %d, want ~385", n)
+	}
+	// Tighter width costs quadratically more.
+	n2 := MCSamplesForHalfWidth(0.5, 0.005)
+	if n2 < 90*n || n2 > 110*n {
+		t.Errorf("10x tighter width needs %d vs %d, want ~100x", n2, n)
+	}
+}
+
+func TestMCSamplesPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MCSamplesForHalfWidth(0.5, 0) },
+		func() { MCSamplesForHalfWidth(-0.1, 0.05) },
+		func() { MCSamplesForHalfWidth(1.1, 0.05) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

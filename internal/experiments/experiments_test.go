@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeHolds(t *testing.T) {
+	res, err := Table1(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's claim: boundary-approximated SDC is very close to golden.
+	if gap := res.MaxAbsGap(); gap > 0.05 {
+		t.Errorf("max |golden-approx| gap %.4f > 0.05", gap)
+	}
+	for _, row := range res.Rows {
+		if row.GoldenSDC <= 0 || row.GoldenSDC >= 1 {
+			t.Errorf("%s golden SDC %.3f implausible", row.Name, row.GoldenSDC)
+		}
+		if row.Size == 0 {
+			t.Errorf("%s zero size", row.Name)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Table 1", "cg", "lu", "fft", "Golden_SDC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure3ShapeHolds(t *testing.T) {
+	res, err := Figure3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) != 3 {
+		t.Fatalf("benches = %d", len(res.Benches))
+	}
+	for _, b := range res.Benches {
+		// The boundary is exact for the majority of sites.
+		if frac := float64(b.ExactSites) / float64(b.Sites); frac < 0.5 {
+			t.Errorf("%s: only %.1f%% sites exact", b.Name, 100*frac)
+		}
+		// ΔSDC from an exhaustive-search boundary can only be ≤ 0 plus
+		// crash-mispredictions; it must be bounded.
+		for _, d := range b.Delta {
+			if math.Abs(d) > 1 {
+				t.Errorf("%s: |ΔSDC| = %g > 1", b.Name, d)
+			}
+		}
+		if b.Hist.Total() != b.Sites {
+			t.Errorf("%s: histogram total %d != sites %d", b.Name, b.Hist.Total(), b.Sites)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	// At test scale use a generous sampling rate so the tiny kernels get
+	// enough propagation data for meaningful precision.
+	res, err := table2At(ScaleTest, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Precision.Mean < 0.85 {
+			t.Errorf("%s precision %.3f < 0.85", row.Name, row.Precision.Mean)
+		}
+		if row.Recall.Mean <= 0 {
+			t.Errorf("%s recall is zero", row.Name)
+		}
+		// Uncertainty tracks precision (the self-verification claim).
+		if d := math.Abs(row.Uncertainty.Mean - row.Precision.Mean); d > 0.2 {
+			t.Errorf("%s |uncertainty-precision| = %.3f", row.Name, d)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Uncertainty") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFigure4ShapeHolds(t *testing.T) {
+	res, err := Figure4(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) != 3 {
+		t.Fatalf("benches = %d", len(res.Benches))
+	}
+	for _, b := range res.Benches {
+		if len(b.Uniform.TrueSDC) == 0 || len(b.Uniform.TrueSDC) != len(b.Uniform.PredSDC) {
+			t.Fatalf("%s: bad group lengths", b.Name)
+		}
+		if len(b.Impact) != len(b.Uniform.TrueSDC) {
+			t.Fatalf("%s: impact length mismatch", b.Name)
+		}
+		// Predictions assume unknown=SDC, so grouped predictions must not
+		// systematically undershoot the truth by much.
+		for i := range b.Uniform.TrueSDC {
+			if b.Uniform.PredSDC[i] < b.Uniform.TrueSDC[i]-0.35 {
+				t.Errorf("%s group %d: pred %.3f far below true %.3f",
+					b.Name, i, b.Uniform.PredSDC[i], b.Uniform.TrueSDC[i])
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "row 2") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFigure5ShapeHolds(t *testing.T) {
+	// Shrunken sweep for test speed.
+	res, err := figure5At(ScaleTest, []float64{0.02, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Benches {
+		if len(b.WithFilter) != 2 || len(b.WithoutFilter) != 2 {
+			t.Fatalf("%s: point counts wrong", b.Name)
+		}
+		// Recall grows with sample size.
+		if b.WithoutFilter[1].Recall.Mean < b.WithoutFilter[0].Recall.Mean-0.05 {
+			t.Errorf("%s: recall decreased with more samples: %.3f -> %.3f",
+				b.Name, b.WithoutFilter[0].Recall.Mean, b.WithoutFilter[1].Recall.Mean)
+		}
+		// The filter keeps precision at least as high as without it.
+		for i := range b.WithFilter {
+			if b.WithFilter[i].Precision.Mean < b.WithoutFilter[i].Precision.Mean-0.02 {
+				t.Errorf("%s frac %.3f: filtered precision %.3f below unfiltered %.3f",
+					b.Name, b.WithFilter[i].Frac,
+					b.WithFilter[i].Precision.Mean, b.WithoutFilter[i].Precision.Mean)
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "precision") {
+		t.Error("render missing legend")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	res, err := Table3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SampleFrac.Mean <= 0 || row.SampleFrac.Mean >= 1 {
+			t.Errorf("%s sample fraction %.4f outside (0,1)", row.Name, row.SampleFrac.Mean)
+		}
+		// Unknown-is-SDC: predicted ratio must not undershoot golden much.
+		if row.PredSDC.Mean < row.GoldenSDC-0.1 {
+			t.Errorf("%s predicted %.3f well below golden %.3f",
+				row.Name, row.PredSDC.Mean, row.GoldenSDC)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4ShapeHolds(t *testing.T) {
+	res, err := Table4(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	small, large := res.Rows[0], res.Rows[1]
+	if large.Sites <= small.Sites {
+		t.Errorf("sizes not increasing: %d then %d", small.Sites, large.Sites)
+	}
+	for _, row := range res.Rows {
+		if row.Precision.Mean < 0.85 {
+			t.Errorf("%s precision %.3f", row.Input, row.Precision.Mean)
+		}
+		if row.Samples <= 0 || row.Samples > row.Space {
+			t.Errorf("%s budget %d out of range", row.Input, row.Samples)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Table 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestMonotonicityAblation(t *testing.T) {
+	res, err := Monotonicity(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]MonotonicRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	// §5: stencil, matvec, spmv and matmul have provably monotonic
+	// (linear) error responses.
+	for _, name := range []string{"stencil", "matvec", "spmv", "matmul"} {
+		if f := byName[name].Fraction(); f > 0.02 {
+			t.Errorf("%s non-monotonic fraction %.4f, want ~0", name, f)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Non-monotonic") {
+		t.Error("render missing header")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	res, err := Baseline(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Budget <= 0 || row.Budget > row.Space {
+			t.Errorf("%s: budget %d outside (0, %d]", row.Name, row.Budget, row.Space)
+		}
+		if row.Reduction < 1 {
+			t.Errorf("%s: reduction %.1fx < 1", row.Name, row.Reduction)
+		}
+		// Boundary covers every site by construction.
+		if row.BoundaryCoverage != 1 {
+			t.Errorf("%s: boundary coverage %.2f", row.Name, row.BoundaryCoverage)
+		}
+		// Monte Carlo at a sub-exhaustive budget covers at most all sites.
+		if row.MCSiteCoverage <= 0 || row.MCSiteCoverage > 1 {
+			t.Errorf("%s: MC coverage %.2f", row.Name, row.MCSiteCoverage)
+		}
+		// Both estimates should be in the truth's neighbourhood.
+		if row.MCSDC < 0 || row.MCSDC > 1 {
+			t.Errorf("%s: MC estimate %.3f", row.Name, row.MCSDC)
+		}
+		if row.BoundaryMAE < 0 || row.BoundaryMAE > 1 {
+			t.Errorf("%s: boundary MAE %.3f", row.Name, row.BoundaryMAE)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Monte Carlo") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationStrategies(t *testing.T) {
+	res, err := Ablation(Scale{Size: ScaleTest.Size, Trials: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 { // 3 benches x 4 strategies
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Budget <= 0 {
+			t.Errorf("%s/%s: budget %d", row.Name, row.Strategy, row.Budget)
+		}
+		if row.Precision.Mean < 0.5 || row.Precision.Mean > 1 {
+			t.Errorf("%s/%s: precision %.3f", row.Name, row.Strategy, row.Precision.Mean)
+		}
+		if row.Recall.Mean < 0 || row.Recall.Mean > 1 {
+			t.Errorf("%s/%s: recall %.3f", row.Name, row.Strategy, row.Recall.Mean)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "progressive-adaptive") {
+		t.Error("render missing strategy")
+	}
+}
+
+func TestSensitivityTradeoff(t *testing.T) {
+	res, err := Sensitivity(Scale{Size: ScaleTest.Size, Trials: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) != 3 {
+		t.Fatalf("benches = %d", len(res.Benches))
+	}
+	for _, b := range res.Benches {
+		if len(b.Points) != len(SensitivityFactors) {
+			t.Fatalf("%s: points = %d", b.Name, len(b.Points))
+		}
+		// Recall must be non-decreasing in the scaling factor (a larger
+		// boundary can only add masked predictions), and precision
+		// non-increasing, up to trial noise.
+		for i := 1; i < len(b.Points); i++ {
+			if b.Points[i].Recall.Mean < b.Points[i-1].Recall.Mean-1e-9 {
+				t.Errorf("%s: recall decreased with factor: %.4f -> %.4f",
+					b.Name, b.Points[i-1].Recall.Mean, b.Points[i].Recall.Mean)
+			}
+			// Precision generally trades downward as the boundary grows;
+			// it is not strictly monotone (newly admitted predictions can
+			// be better than the existing pool), so allow slack.
+			if b.Points[i].Precision.Mean > b.Points[i-1].Precision.Mean+0.05 {
+				t.Errorf("%s: precision jumped with factor: %.4f -> %.4f",
+					b.Name, b.Points[i-1].Precision.Mean, b.Points[i].Precision.Mean)
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "factor") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ftb/internal/boundary"
+	"ftb/internal/metrics"
+	"ftb/internal/stats"
+	"ftb/internal/textplot"
+)
+
+// Figure3Bench is one benchmark's ΔSDC distribution for the
+// exhaustive-search boundary (paper Figure 3).
+type Figure3Bench struct {
+	Name string
+	// Delta is per-site ΔSDC = golden − approx SDC ratio.
+	Delta []float64
+	// Hist bins Delta over [-1, 1].
+	Hist *stats.Histogram
+	// ExactSites counts sites with ΔSDC == 0.
+	ExactSites int
+	// NonMonotonic counts sites with non-monotonic error response — the
+	// cause of the non-zero ΔSDC tail (§4.1: 10.7% in LU, 9.3% in CG).
+	NonMonotonic int
+	Sites        int
+}
+
+// Figure3Result is the full figure.
+type Figure3Result struct {
+	Benches []Figure3Bench
+}
+
+// Figure3 runs the §4.1 ΔSDC analysis of the exhaustive-search boundary.
+func Figure3(s Scale) (*Figure3Result, error) {
+	s = s.normalized()
+	benches, err := setup(Benchmarks, s.Size)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{}
+	for _, b := range benches {
+		bd, err := b.an.ExhaustiveBoundary(b.gt)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := boundary.NewPredictor(bd, b.an.Golden(), nil)
+		if err != nil {
+			return nil, err
+		}
+		delta := metrics.DeltaSDC(pred, b.gt)
+		exact := 0
+		for _, d := range delta {
+			if d == 0 {
+				exact++
+			}
+		}
+		nm, err := b.an.NonMonotonicSites(b.gt)
+		if err != nil {
+			return nil, err
+		}
+		res.Benches = append(res.Benches, Figure3Bench{
+			Name:         b.name,
+			Delta:        delta,
+			Hist:         metrics.DeltaSDCHistogram(delta, 41),
+			ExactSites:   exact,
+			NonMonotonic: nm,
+			Sites:        len(delta),
+		})
+	}
+	return res, nil
+}
+
+// Render prints one histogram per benchmark.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: ΔSDC = golden − approx per-site SDC ratio (exhaustive boundary)\n\n")
+	for _, bench := range r.Benches {
+		fmt.Fprintf(&b, "%s: %d sites, %d exact (%.1f%%), %d non-monotonic (%.1f%%)\n",
+			bench.Name, bench.Sites, bench.ExactSites,
+			100*float64(bench.ExactSites)/float64(bench.Sites),
+			bench.NonMonotonic,
+			100*float64(bench.NonMonotonic)/float64(bench.Sites))
+		b.WriteString(textplot.Hist("", bench.Hist, 40))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+)
+
+// MonotonicRow is one kernel's non-monotonicity measurement (§5).
+type MonotonicRow struct {
+	Name         string
+	Sites        int
+	NonMonotonic int
+}
+
+// Fraction returns the non-monotonic site fraction.
+func (r MonotonicRow) Fraction() float64 {
+	if r.Sites == 0 {
+		return 0
+	}
+	return float64(r.NonMonotonic) / float64(r.Sites)
+}
+
+// MonotonicResult is the §5 ablation across all kernels.
+type MonotonicResult struct {
+	Rows []MonotonicRow
+}
+
+// Monotonicity runs the §5 ablation: exhaustively measure the fraction of
+// sites with a non-monotonic error response for every kernel. The paper
+// proves stencil and matvec have monotonic (linear) error functions;
+// CG/LU/FFT exhibit the ~10% non-monotonic tails of §4.1.
+func Monotonicity(s Scale) (*MonotonicResult, error) {
+	s = s.normalized()
+	names := append([]string{}, Benchmarks...)
+	names = append(names, "stencil", "stencil32", "matvec", "spmv", "matmul", "cholesky", "heat3d", "gmres", "multigrid")
+	benches, err := setup(names, s.Size)
+	if err != nil {
+		return nil, err
+	}
+	res := &MonotonicResult{}
+	for _, b := range benches {
+		nm, err := b.an.NonMonotonicSites(b.gt)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, MonotonicRow{
+			Name:         b.name,
+			Sites:        b.an.Sites(),
+			NonMonotonic: nm,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *MonotonicResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			strconv.Itoa(row.Sites),
+			strconv.Itoa(row.NonMonotonic),
+			pct(row.Fraction()),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("§5 ablation: non-monotonic error response by kernel\n")
+	b.WriteString(table([]string{"Kernel", "Sites", "Non-monotonic", "Fraction"}, rows))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftb/internal/boundary"
+)
+
+// Table1Row compares the known true SDC ratio with the SDC ratio
+// approximated from the fault tolerance boundary constructed by
+// exhaustive search (paper Table 1).
+type Table1Row struct {
+	Name      string
+	GoldenSDC float64 // true SDC ratio from the exhaustive campaign
+	ApproxSDC float64 // SDC ratio predicted from the searched boundary
+	Size      int     // sample-space size (sites × bits)
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs the §4.1 experiment: build the boundary from an exhaustive
+// campaign and check that predicting through it recovers the campaign's
+// overall SDC ratio.
+func Table1(s Scale) (*Table1Result, error) {
+	s = s.normalized()
+	benches, err := setup(Benchmarks, s.Size)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{}
+	for _, b := range benches {
+		bd, err := b.an.ExhaustiveBoundary(b.gt)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := boundary.NewPredictor(bd, b.an.Golden(), nil)
+		if err != nil {
+			return nil, err
+		}
+		overall := b.gt.Overall()
+		res.Rows = append(res.Rows, Table1Row{
+			Name:      b.name,
+			GoldenSDC: overall.SDCRatio(),
+			ApproxSDC: pred.OverallSDCRatio(b.gt.BitsN),
+			Size:      b.an.SampleSpace(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name, pct(row.GoldenSDC), pct(row.ApproxSDC), fmt.Sprint(row.Size),
+		})
+	}
+	return "Table 1: golden vs boundary-approximated SDC ratio (exhaustive campaign)\n" +
+		table([]string{"Name", "Golden_SDC", "Approx_SDC", "Size"}, rows)
+}
+
+// MaxAbsGap returns the largest |golden − approx| over the rows; the
+// paper's point is that this gap is small.
+func (r *Table1Result) MaxAbsGap() float64 {
+	var m float64
+	for _, row := range r.Rows {
+		d := row.GoldenSDC - row.ApproxSDC
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

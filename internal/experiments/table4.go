@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ftb"
+	"ftb/internal/kernels"
+	"ftb/internal/linalg"
+	"ftb/internal/stats"
+)
+
+// Table4Row is one CG input size in the §4.6 scaling study.
+type Table4Row struct {
+	Input       string
+	Sites       int
+	Space       int
+	Samples     int
+	GoldenSDC   float64
+	PredSDC     stats.Summary
+	Precision   stats.Summary
+	Uncertainty stats.Summary
+	Recall      stats.Summary
+}
+
+// Table4Result is the full table.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// table4Shapes maps a scale preset to the two CG grid shapes compared.
+func table4Shapes(size string) [2]struct{ n, iters int } {
+	switch size {
+	case ftb.SizeTest:
+		return [2]struct{ n, iters int }{{2, 3}, {3, 4}}
+	case ftb.SizeSmall:
+		return [2]struct{ n, iters int }{{3, 5}, {4, 6}}
+	case ftb.SizeLarge:
+		return [2]struct{ n, iters int }{{6, 10}, {10, 15}}
+	default: // paper
+		return [2]struct{ n, iters int }{{4, 8}, {6, 10}}
+	}
+}
+
+// Table4 runs the §4.6 scaling experiment: approximate the boundary of CG
+// at two input sizes with the same fixed sample budget (the paper uses
+// 1000 samples for a 20×20 and a 100×100 matrix) and verify that quality
+// holds as the dynamic-instruction count grows.
+func Table4(s Scale) (*Table4Result, error) {
+	s = s.normalized()
+	shapes := table4Shapes(s.Size)
+	res := &Table4Result{}
+	for _, shape := range shapes {
+		a := linalg.Poisson3D(shape.n, shape.n, shape.n)
+		rhs := linalg.NewVector(a.N)
+		for i := range rhs {
+			rhs[i] = 1.0 / float64(i+1)
+		}
+		n, iters := shape.n, shape.iters
+		factory := func() ftb.Program {
+			aa := linalg.Poisson3D(n, n, n)
+			b := linalg.NewVector(aa.N)
+			for i := range b {
+				b[i] = 1.0 / float64(i+1)
+			}
+			k, err := kernels.NewCG(kernels.CGConfig{A: aa, B: b, Iters: iters, Tolerance: 1e-4})
+			if err != nil {
+				panic(err)
+			}
+			return k
+		}
+		an, err := ftb.NewAnalysis(factory, 1e-4, ftb.Options{})
+		if err != nil {
+			return nil, err
+		}
+		gt, err := an.Exhaustive()
+		if err != nil {
+			return nil, err
+		}
+		budget := 1000
+		if max := an.SampleSpace() / 4; budget > max {
+			budget = max
+		}
+		var preds, precs, uncs, recs []float64
+		for trial := 0; trial < s.Trials; trial++ {
+			r, err := an.InferBoundary(ftb.InferOptions{
+				Samples: budget,
+				Filter:  false,
+				Seed:    trialSeed(s.Seed, trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pr := r.Evaluate(gt)
+			preds = append(preds, r.PredictedSDCRatio())
+			precs = append(precs, pr.Precision)
+			uncs = append(uncs, pr.Uncertainty)
+			recs = append(recs, pr.Recall)
+		}
+		overall := gt.Overall()
+		res.Rows = append(res.Rows, Table4Row{
+			Input:       fmt.Sprintf("%dx%dx%d grid, %d iters", shape.n, shape.n, shape.n, shape.iters),
+			Sites:       an.Sites(),
+			Space:       an.SampleSpace(),
+			Samples:     budget,
+			GoldenSDC:   overall.SDCRatio(),
+			PredSDC:     stats.Summarize(preds),
+			Precision:   stats.Summarize(precs),
+			Uncertainty: stats.Summarize(uncs),
+			Recall:      stats.Summarize(recs),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table4Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Input,
+			pct(row.GoldenSDC),
+			row.PredSDC.PctString(),
+			row.Precision.PctString(),
+			row.Uncertainty.PctString(),
+			row.Recall.PctString(),
+			fmt.Sprintf("%d (%.3g%% of %d)", row.Samples, 100*float64(row.Samples)/float64(row.Space), row.Space),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table 4: CG input-size scaling with a fixed sample budget\n")
+	b.WriteString(table([]string{"Input", "SDC ratio", "predict SDC", "precision", "uncertainty", "recall", "samples"}, rows))
+	return b.String()
+}

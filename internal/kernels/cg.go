@@ -1,0 +1,202 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// CG is the conjugate gradient kernel: a fixed-iteration CG solve of
+// A·x = b on a MiniFE-like sparse 7-point Poisson operator. The dynamic
+// instruction stream has the same three-region structure the paper
+// describes for the MiniFE CG benchmark (§4.2): an explicit zero-init of
+// the solution vector, a once-only initialization region (r = b − A·x,
+// p = r, ρ = r·r), and the iteration region.
+//
+// The iteration count is fixed rather than residual-driven so the store
+// sequence is identical between golden and fault-injected runs (the paper
+// tracks propagation only up to control-flow divergence; a fixed trip
+// count removes divergence entirely, which is standard fault-injection
+// practice for iterative solvers).
+type CG struct {
+	a     *linalg.CSR
+	b     linalg.Vector
+	iters int
+	tol   float64
+
+	// Work vectors, reset at the start of every Run.
+	x, r, p, q linalg.Vector
+
+	phases []Phase
+}
+
+// CGConfig parameterizes NewCG.
+type CGConfig struct {
+	// A is the SPD operator. Use linalg.Poisson3D / Poisson2D, or any
+	// symmetric positive definite CSR matrix.
+	A *linalg.CSR
+	// B is the right-hand side; must have length A.N.
+	B linalg.Vector
+	// Iters is the fixed CG iteration count; must be >= 1.
+	Iters int
+	// Tolerance is the acceptable L∞ deviation of the solution output.
+	Tolerance float64
+}
+
+// NewCG validates cfg and returns the kernel.
+func NewCG(cfg CGConfig) (*CG, error) {
+	if cfg.A == nil {
+		return nil, fmt.Errorf("kernels: CG requires a matrix")
+	}
+	if len(cfg.B) != cfg.A.N {
+		return nil, fmt.Errorf("kernels: CG rhs length %d != matrix dimension %d", len(cfg.B), cfg.A.N)
+	}
+	if cfg.Iters < 1 {
+		return nil, fmt.Errorf("kernels: CG iteration count %d < 1", cfg.Iters)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: CG tolerance %g <= 0", cfg.Tolerance)
+	}
+	n := cfg.A.N
+	k := &CG{
+		a:     cfg.A,
+		b:     cfg.B.Clone(),
+		iters: cfg.Iters,
+		tol:   cfg.Tolerance,
+		x:     linalg.NewVector(n),
+		r:     linalg.NewVector(n),
+		p:     linalg.NewVector(n),
+		q:     linalg.NewVector(n),
+	}
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+func (k *CG) layoutPhases() []Phase {
+	n := k.a.N
+	var b phaseBuilder
+	pos := 0
+	b.mark("zero-init", pos, pos+n)
+	pos += n
+	b.mark("init", pos, pos+2*n+1)
+	pos += 2*n + 1
+	perIter := 4*n + 4
+	for it := 0; it < k.iters; it++ {
+		b.mark(fmt.Sprintf("iter-%d", it), pos, pos+perIter)
+		pos += perIter
+	}
+	return b.phases
+}
+
+// Name implements trace.Program.
+func (k *CG) Name() string { return "cg" }
+
+// Tolerance implements Kernel.
+func (k *CG) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *CG) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *CG) Width() int { return 64 }
+
+// Run implements trace.Program. The output is the solution vector after
+// the fixed number of iterations.
+func (k *CG) Run(ctx *trace.Ctx) []float64 {
+	a, b := k.a, k.b
+	x, r, p, q := k.x, k.r, k.p, k.q
+	n := a.N
+
+	// Region 1: zero-initialize the solution vector. These stores are the
+	// paper's "first dynamic instructions initialize floating point
+	// variables to zero".
+	for i := 0; i < n; i++ {
+		x[i] = ctx.Store(0)
+	}
+
+	// Region 2: once-only initialization. r = b − A·x, p = r, ρ = r·r.
+	for i := 0; i < n; i++ {
+		lo, hi := a.RowRange(i)
+		s := 0.0
+		for kk := lo; kk < hi; kk++ {
+			s += a.Values[kk] * x[a.ColIdx[kk]]
+		}
+		r[i] = ctx.Store(b[i] - s)
+	}
+	for i := 0; i < n; i++ {
+		p[i] = ctx.Store(r[i])
+	}
+	rho := 0.0
+	for i := 0; i < n; i++ {
+		rho += r[i] * r[i]
+	}
+	rho = ctx.Store(rho)
+
+	// Region 3: fixed-count CG iterations.
+	for it := 0; it < k.iters; it++ {
+		// q = A·p
+		for i := 0; i < n; i++ {
+			lo, hi := a.RowRange(i)
+			s := 0.0
+			for kk := lo; kk < hi; kk++ {
+				s += a.Values[kk] * p[a.ColIdx[kk]]
+			}
+			q[i] = ctx.Store(s)
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			pq += p[i] * q[i]
+		}
+		pq = ctx.Store(pq)
+		alpha := ctx.Store(rho / pq)
+		for i := 0; i < n; i++ {
+			x[i] = ctx.Store(x[i] + alpha*p[i])
+		}
+		for i := 0; i < n; i++ {
+			r[i] = ctx.Store(r[i] - alpha*q[i])
+		}
+		rhoNew := 0.0
+		for i := 0; i < n; i++ {
+			rhoNew += r[i] * r[i]
+		}
+		rhoNew = ctx.Store(rhoNew)
+		beta := ctx.Store(rhoNew / rho)
+		for i := 0; i < n; i++ {
+			p[i] = ctx.Store(r[i] + beta*p[i])
+		}
+		rho = rhoNew
+	}
+
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+func init() {
+	Register("cg", func(size string) (Kernel, error) {
+		type shape struct {
+			nx, ny, nz, iters int
+		}
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{3, 3, 3, 3}
+		case SizeSmall:
+			s = shape{4, 4, 4, 6}
+		case SizePaper:
+			s = shape{6, 6, 6, 10}
+		case SizeLarge:
+			s = shape{10, 10, 10, 15}
+		default:
+			return nil, unknownSize("cg", size)
+		}
+		a := linalg.Poisson3D(s.nx, s.ny, s.nz)
+		b := linalg.NewVector(a.N)
+		fillRandom(b, 0xC6)
+		// Tolerance 1e-3 on O(1) solution values: calibrated so the
+		// whole-program SDC ratio lands near the paper's MiniFE CG band
+		// (≈8%; see EXPERIMENTS.md).
+		return NewCG(CGConfig{A: a, B: b, Iters: s.iters, Tolerance: 1e-3})
+	})
+}

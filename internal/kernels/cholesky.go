@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// Cholesky is the dense Cholesky factorization kernel A = L·Lᵀ for a
+// symmetric positive definite matrix, computed column by column
+// (Cholesky–Banachiewicz). It complements LU with a different failure
+// texture: every diagonal element passes through a square root, so a
+// corruption that drives a diagonal negative produces NaN immediately —
+// Cholesky is the crash-richest kernel in the suite, exercising the
+// Crash outcome class far more than LU/FFT do.
+type Cholesky struct {
+	n      int
+	tol    float64
+	orig   []float64 // pristine SPD input, row-major
+	work   *linalg.Dense
+	phases []Phase
+}
+
+// CholeskyConfig parameterizes NewCholesky.
+type CholeskyConfig struct {
+	// N is the matrix dimension.
+	N int
+	// Seed selects the deterministic SPD input (B·Bᵀ + N·I).
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the factor output.
+	Tolerance float64
+}
+
+// NewCholesky validates cfg and returns the kernel.
+func NewCholesky(cfg CholeskyConfig) (*Cholesky, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("kernels: cholesky dimension %d < 1", cfg.N)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: cholesky tolerance %g <= 0", cfg.Tolerance)
+	}
+	n := cfg.N
+	k := &Cholesky{
+		n:    n,
+		tol:  cfg.Tolerance,
+		orig: make([]float64, n*n),
+		work: linalg.NewDense(n, n),
+	}
+	// Build a well-conditioned SPD matrix: A = B·Bᵀ/n + I.
+	b := make([]float64, n*n)
+	fillRandom(b, cfg.Seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for kk := 0; kk < n; kk++ {
+				s += b[i*n+kk] * b[j*n+kk]
+			}
+			s /= float64(n)
+			if i == j {
+				s += 1
+			}
+			k.orig[i*n+j] = s
+			k.orig[j*n+i] = s
+		}
+	}
+	// One store per L element: n(n+1)/2 sites, one phase per column.
+	var pb phaseBuilder
+	pos := 0
+	for j := 0; j < n; j++ {
+		pb.mark(fmt.Sprintf("col-%d", j), pos, pos+(n-j))
+		pos += n - j
+	}
+	k.phases = pb.phases
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *Cholesky) Name() string { return "cholesky" }
+
+// Tolerance implements Kernel.
+func (k *Cholesky) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *Cholesky) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *Cholesky) Width() int { return 64 }
+
+// Run implements trace.Program. The output is the lower-triangular factor
+// L packed row-major into an n×n matrix (upper triangle zero).
+func (k *Cholesky) Run(ctx *trace.Ctx) []float64 {
+	n := k.n
+	a := k.work
+	copy(a.Data, k.orig)
+
+	// Column-oriented Cholesky: for each column j, the diagonal entry is
+	// sqrt(a_jj − Σ l_jk²); below-diagonal entries are
+	// (a_ij − Σ l_ik·l_jk) / l_jj. Stores overwrite the lower triangle.
+	for j := 0; j < n; j++ {
+		var diag float64
+		for kk := 0; kk < j; kk++ {
+			l := a.At(j, kk)
+			diag += l * l
+		}
+		// math.Sqrt of a corrupted negative yields NaN: the tracked store
+		// aborts the run as a crash, mirroring an FP-exception trap.
+		d := ctx.Store(math.Sqrt(a.At(j, j) - diag))
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for kk := 0; kk < j; kk++ {
+				s += a.At(i, kk) * a.At(j, kk)
+			}
+			a.Set(i, j, ctx.Store((a.At(i, j)-s)/d))
+		}
+	}
+
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			out[i*n+j] = a.At(i, j)
+		}
+	}
+	return out
+}
+
+func init() {
+	Register("cholesky", func(size string) (Kernel, error) {
+		var n int
+		switch size {
+		case SizeTest:
+			n = 10
+		case SizeSmall:
+			n = 20
+		case SizePaper:
+			n = 48
+		case SizeLarge:
+			n = 96
+		default:
+			return nil, unknownSize("cholesky", size)
+		}
+		return NewCholesky(CholeskyConfig{N: n, Seed: 0xC0, Tolerance: 1e-4})
+	})
+}

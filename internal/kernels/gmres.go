@@ -1,0 +1,254 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// GMRES is the restarted GMRES(m) solver kernel on a 2-D Poisson
+// operator. The paper's related work (Elliott et al., ref. [8]) studies
+// SDC impact on exactly this solver; it complements CG with a richer
+// numerical texture: Arnoldi orthogonalization (dot products and AXPYs),
+// norm computations through square roots (NaN on corrupted negatives,
+// like Cholesky), Givens rotations, and a triangular back-substitution
+// with divisions. Control flow is fixed (m inner iterations × a fixed
+// restart count), so the dynamic-instruction stream is identical across
+// golden and injected runs.
+type GMRES struct {
+	a        *linalg.CSR
+	b        linalg.Vector
+	m        int // Krylov dimension per restart
+	restarts int
+	tol      float64
+
+	// Work storage, reset each Run.
+	x, r, w linalg.Vector
+	v       []linalg.Vector // m+1 basis vectors
+	h       *linalg.Dense   // (m+1) × m Hessenberg
+	cs, sn  linalg.Vector   // Givens rotations
+	g       linalg.Vector   // rhs of the least-squares problem
+	y       linalg.Vector
+
+	phases []Phase
+}
+
+// GMRESConfig parameterizes NewGMRES.
+type GMRESConfig struct {
+	// NX, NY are the Poisson grid dimensions.
+	NX, NY int
+	// M is the Krylov dimension per restart cycle; must be ≥ 1.
+	M int
+	// Restarts is the number of restart cycles; must be ≥ 1.
+	Restarts int
+	// Seed selects the deterministic right-hand side.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the solution output.
+	Tolerance float64
+}
+
+// NewGMRES validates cfg and returns the kernel.
+func NewGMRES(cfg GMRESConfig) (*GMRES, error) {
+	if cfg.NX < 2 || cfg.NY < 2 {
+		return nil, fmt.Errorf("kernels: gmres grid %dx%d too small", cfg.NX, cfg.NY)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("kernels: gmres Krylov dimension %d < 1", cfg.M)
+	}
+	if cfg.Restarts < 1 {
+		return nil, fmt.Errorf("kernels: gmres restart count %d < 1", cfg.Restarts)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: gmres tolerance %g <= 0", cfg.Tolerance)
+	}
+	a := linalg.Poisson2D(cfg.NX, cfg.NY)
+	n := a.N
+	if cfg.M > n {
+		return nil, fmt.Errorf("kernels: gmres Krylov dimension %d exceeds problem size %d", cfg.M, n)
+	}
+	k := &GMRES{
+		a:        a,
+		b:        linalg.NewVector(n),
+		m:        cfg.M,
+		restarts: cfg.Restarts,
+		tol:      cfg.Tolerance,
+		x:        linalg.NewVector(n),
+		r:        linalg.NewVector(n),
+		w:        linalg.NewVector(n),
+		v:        make([]linalg.Vector, cfg.M+1),
+		h:        linalg.NewDense(cfg.M+1, cfg.M),
+		cs:       linalg.NewVector(cfg.M),
+		sn:       linalg.NewVector(cfg.M),
+		g:        linalg.NewVector(cfg.M + 1),
+		y:        linalg.NewVector(cfg.M),
+	}
+	for i := range k.v {
+		k.v[i] = linalg.NewVector(n)
+	}
+	fillRandom(k.b, cfg.Seed)
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+func (k *GMRES) layoutPhases() []Phase {
+	n := k.a.N
+	m := k.m
+	// Per restart: residual (n stores) + beta (1) + v0 (n)
+	//   per inner step j: w = A v_j (n) + j+1 h-updates (each 1 + n stores)
+	//     + h_{j+1,j} (1) + v_{j+1} (n) + rotation application (2 per prior
+	//     rotation... we store 2 per applied rotation + 2 new cs/sn + 2 g)
+	//   back-substitution: m y-stores; update: n x-stores.
+	var b phaseBuilder
+	pos := 0
+	for rs := 0; rs < k.restarts; rs++ {
+		start := pos
+		pos += n + 1 + n // residual, beta, v0
+		for j := 0; j < m; j++ {
+			pos += n                 // w = A v_j
+			pos += (j + 1) * (1 + n) // orthogonalization
+			pos++                    // h_{j+1,j}
+			pos += n                 // v_{j+1}
+			pos += 2 * j             // apply prior rotations
+			pos += 2                 // new cs, sn
+			pos += 2                 // rotate h_{j,j}, g updates: h_jj and g_{j+1}/g_j combined below
+			pos += 2                 // g_j, g_{j+1}
+		}
+		pos += m // back-substitution y
+		pos += n // x update
+		b.mark(fmt.Sprintf("restart-%d", rs), start, pos)
+	}
+	return b.phases
+}
+
+// Name implements trace.Program.
+func (k *GMRES) Name() string { return "gmres" }
+
+// Tolerance implements Kernel.
+func (k *GMRES) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *GMRES) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *GMRES) Width() int { return 64 }
+
+// Run implements trace.Program. The output is the solution vector after
+// the fixed number of restart cycles.
+func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
+	a, b := k.a, k.b
+	n := a.N
+	m := k.m
+	x := k.x
+	for i := range x {
+		x[i] = 0
+	}
+
+	for rs := 0; rs < k.restarts; rs++ {
+		// r = b − A·x.
+		for i := 0; i < n; i++ {
+			lo, hi := a.RowRange(i)
+			s := 0.0
+			for kk := lo; kk < hi; kk++ {
+				s += a.Values[kk] * x[a.ColIdx[kk]]
+			}
+			k.r[i] = ctx.Store(b[i] - s)
+		}
+		beta := ctx.Store(math.Sqrt(k.r.Dot(k.r)))
+		for i := 0; i < n; i++ {
+			k.v[0][i] = ctx.Store(k.r[i] / beta)
+		}
+		for i := range k.g {
+			k.g[i] = 0
+		}
+		k.g[0] = beta
+
+		// Arnoldi with modified Gram–Schmidt and on-the-fly Givens QR.
+		for j := 0; j < m; j++ {
+			w := k.w
+			for i := 0; i < n; i++ {
+				lo, hi := a.RowRange(i)
+				s := 0.0
+				for kk := lo; kk < hi; kk++ {
+					s += a.Values[kk] * k.v[j][a.ColIdx[kk]]
+				}
+				w[i] = ctx.Store(s)
+			}
+			for i := 0; i <= j; i++ {
+				hij := ctx.Store(w.Dot(k.v[i]))
+				k.h.Set(i, j, hij)
+				for t := 0; t < n; t++ {
+					w[t] = ctx.Store(w[t] - hij*k.v[i][t])
+				}
+			}
+			hj1 := ctx.Store(math.Sqrt(w.Dot(w)))
+			k.h.Set(j+1, j, hj1)
+			for t := 0; t < n; t++ {
+				k.v[j+1][t] = ctx.Store(w[t] / hj1)
+			}
+
+			// Apply accumulated rotations to column j of H.
+			for i := 0; i < j; i++ {
+				hi0 := k.h.At(i, j)
+				hi1 := k.h.At(i+1, j)
+				k.h.Set(i, j, ctx.Store(k.cs[i]*hi0+k.sn[i]*hi1))
+				k.h.Set(i+1, j, ctx.Store(-k.sn[i]*hi0+k.cs[i]*hi1))
+			}
+			// New rotation annihilating h_{j+1,j}.
+			hjj, hj1j := k.h.At(j, j), k.h.At(j+1, j)
+			den := math.Sqrt(hjj*hjj + hj1j*hj1j)
+			k.cs[j] = ctx.Store(hjj / den)
+			k.sn[j] = ctx.Store(hj1j / den)
+			k.h.Set(j, j, ctx.Store(k.cs[j]*hjj+k.sn[j]*hj1j))
+			k.h.Set(j+1, j, ctx.Store(0))
+			gj := k.g[j]
+			k.g[j] = ctx.Store(k.cs[j] * gj)
+			k.g[j+1] = ctx.Store(-k.sn[j] * gj)
+		}
+
+		// Back-substitution: solve the m×m triangular system H y = g.
+		for j := m - 1; j >= 0; j-- {
+			s := k.g[j]
+			for t := j + 1; t < m; t++ {
+				s -= k.h.At(j, t) * k.y[t]
+			}
+			k.y[j] = ctx.Store(s / k.h.At(j, j))
+		}
+		// x += V y.
+		for i := 0; i < n; i++ {
+			s := x[i]
+			for j := 0; j < m; j++ {
+				s += k.v[j][i] * k.y[j]
+			}
+			x[i] = ctx.Store(s)
+		}
+	}
+
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+func init() {
+	Register("gmres", func(size string) (Kernel, error) {
+		type shape struct{ nx, ny, m, restarts int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{4, 4, 4, 2}
+		case SizeSmall:
+			s = shape{6, 6, 6, 3}
+		case SizePaper:
+			s = shape{10, 10, 10, 4}
+		case SizeLarge:
+			s = shape{16, 16, 15, 5}
+		default:
+			return nil, unknownSize("gmres", size)
+		}
+		return NewGMRES(GMRESConfig{
+			NX: s.nx, NY: s.ny, M: s.m, Restarts: s.restarts,
+			Seed: 0x69E5, Tolerance: 1e-3,
+		})
+	})
+}

@@ -1,0 +1,151 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/trace"
+)
+
+// Heat3D is a miniature HPC simulation rather than a single kernel: an
+// explicit time-stepped 3-D heat diffusion solve (7-point stencil) whose
+// "science output" is what a domain user would actually inspect — the
+// final temperature field plus a per-step total-energy time series. It is
+// the kind of whole-application victim the paper's introduction motivates
+// (transient faults corrupting HPC simulation results), combining a
+// data-parallel update with a per-step global reduction, so injected
+// errors propagate both spatially (through the stencil neighbourhood) and
+// into every subsequent scalar diagnostic.
+type Heat3D struct {
+	nx, ny, nz int
+	steps      int
+	alpha      float64
+	tol        float64
+	init       []float64
+	cur, next  []float64
+	energy     []float64
+	phases     []Phase
+}
+
+// Heat3DConfig parameterizes NewHeat3D.
+type Heat3DConfig struct {
+	// NX, NY, NZ are the grid dimensions (≥ 3 each).
+	NX, NY, NZ int
+	// Steps is the number of explicit time steps; must be ≥ 1.
+	Steps int
+	// Alpha is the diffusion number (stability requires alpha ≤ 1/6 for
+	// the explicit 7-point scheme).
+	Alpha float64
+	// Seed selects the deterministic initial temperature field.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the combined output
+	// (field + energy series).
+	Tolerance float64
+}
+
+// NewHeat3D validates cfg and returns the simulation.
+func NewHeat3D(cfg Heat3DConfig) (*Heat3D, error) {
+	if cfg.NX < 3 || cfg.NY < 3 || cfg.NZ < 3 {
+		return nil, fmt.Errorf("kernels: heat3d grid %dx%dx%d too small (need ≥ 3)", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("kernels: heat3d step count %d < 1", cfg.Steps)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1.0/6 {
+		return nil, fmt.Errorf("kernels: heat3d alpha %g outside (0, 1/6]", cfg.Alpha)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: heat3d tolerance %g <= 0", cfg.Tolerance)
+	}
+	n := cfg.NX * cfg.NY * cfg.NZ
+	k := &Heat3D{
+		nx: cfg.NX, ny: cfg.NY, nz: cfg.NZ,
+		steps:  cfg.Steps,
+		alpha:  cfg.Alpha,
+		tol:    cfg.Tolerance,
+		init:   make([]float64, n),
+		cur:    make([]float64, n),
+		next:   make([]float64, n),
+		energy: make([]float64, cfg.Steps),
+	}
+	fillRandom(k.init, cfg.Seed)
+	interior := (cfg.NX - 2) * (cfg.NY - 2) * (cfg.NZ - 2)
+	var b phaseBuilder
+	pos := 0
+	for s := 0; s < cfg.Steps; s++ {
+		b.mark(fmt.Sprintf("step-%d", s), pos, pos+interior+1)
+		pos += interior + 1
+	}
+	k.phases = b.phases
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *Heat3D) Name() string { return "heat3d" }
+
+// Tolerance implements Kernel.
+func (k *Heat3D) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *Heat3D) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *Heat3D) Width() int { return 64 }
+
+// Run implements trace.Program. The output is the final temperature
+// field followed by the per-step total-energy series.
+func (k *Heat3D) Run(ctx *trace.Ctx) []float64 {
+	nx, ny, nz := k.nx, k.ny, k.nz
+	alpha := k.alpha
+	cur, next := k.cur, k.next
+	copy(cur, k.init)
+	copy(next, k.init) // boundaries held fixed
+
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for s := 0; s < k.steps; s++ {
+		var energy float64
+		for z := 1; z < nz-1; z++ {
+			for y := 1; y < ny-1; y++ {
+				for x := 1; x < nx-1; x++ {
+					i := id(x, y, z)
+					lap := cur[id(x-1, y, z)] + cur[id(x+1, y, z)] +
+						cur[id(x, y-1, z)] + cur[id(x, y+1, z)] +
+						cur[id(x, y, z-1)] + cur[id(x, y, z+1)] -
+						6*cur[i]
+					v := ctx.Store(cur[i] + alpha*lap)
+					next[i] = v
+					energy += v
+				}
+			}
+		}
+		k.energy[s] = ctx.Store(energy)
+		cur, next = next, cur
+	}
+
+	out := make([]float64, 0, len(cur)+k.steps)
+	out = append(out, cur...)
+	out = append(out, k.energy...)
+	return out
+}
+
+func init() {
+	Register("heat3d", func(size string) (Kernel, error) {
+		type shape struct{ n, steps int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{4, 3}
+		case SizeSmall:
+			s = shape{6, 6}
+		case SizePaper:
+			s = shape{10, 10}
+		case SizeLarge:
+			s = shape{16, 16}
+		default:
+			return nil, unknownSize("heat3d", size)
+		}
+		return NewHeat3D(Heat3DConfig{
+			NX: s.n, NY: s.n, NZ: s.n, Steps: s.steps,
+			Alpha: 1.0 / 8, Seed: 0x83, Tolerance: 1e-6,
+		})
+	})
+}

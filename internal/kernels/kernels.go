@@ -1,0 +1,117 @@
+// Package kernels implements the instrumented HPC benchmark programs that
+// the paper evaluates: conjugate gradient on a MiniFE-like sparse operator,
+// SPLASH-2-style blocked LU decomposition, and the SPLASH-2 six-step FFT.
+// It also provides the 2-D Jacobi stencil and dense matrix–vector kernels
+// the paper's §5 uses to discuss monotonic error behaviour.
+//
+// Every kernel is a trace.Program: its Run method performs an identical,
+// data-oblivious sequence of tracked floating-point stores on every
+// invocation, so a dynamic-instruction index addresses the same operation
+// in the golden and every fault-injected run.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"ftb/internal/rng"
+	"ftb/internal/trace"
+)
+
+// Kernel extends trace.Program with the metadata campaigns need: the
+// acceptable output deviation T (the paper's "maximum error a program can
+// tolerate in its output", §3.2) and the kernel's phase map used to label
+// per-region results in the figures.
+type Kernel interface {
+	trace.Program
+	// Tolerance returns the kernel's default acceptable L∞ output
+	// deviation T. A fault-injected run whose output differs from the
+	// golden output by at most T is Masked.
+	Tolerance() float64
+	// Phases returns the kernel's dynamic-instruction phase boundaries in
+	// ascending site order (e.g. CG's zero-init, init, per-iteration
+	// regions). Used only for reporting.
+	Phases() []Phase
+	// Width returns the IEEE-754 width of the kernel's data elements: 64
+	// for kernels instrumented with Ctx.Store, 32 for Ctx.Store32. The
+	// width sizes the per-site fault population (§2.1: "e.g., 32 or 64").
+	Width() int
+}
+
+// Phase labels a contiguous dynamic-instruction range.
+type Phase struct {
+	Name  string
+	Start int // first site of the phase
+	End   int // one past the last site
+}
+
+// phaseBuilder collects phases while a kernel counts its layout.
+type phaseBuilder struct {
+	phases []Phase
+}
+
+func (b *phaseBuilder) mark(name string, start, end int) {
+	b.phases = append(b.phases, Phase{Name: name, Start: start, End: end})
+}
+
+// fillRandom fills dst with deterministic pseudo-random values in
+// [-1, 1), derived from seed. All kernels generate their inputs this way
+// so campaigns are exactly reproducible.
+func fillRandom(dst []float64, seed uint64) {
+	r := rng.New(seed)
+	for i := range dst {
+		dst[i] = 2*r.Float64() - 1
+	}
+}
+
+// Builder constructs a kernel from a named default configuration.
+type Builder func(size string) (Kernel, error)
+
+var registry = map[string]Builder{}
+
+// Register adds a kernel builder under name. Kernels register themselves
+// from init functions; Register panics on duplicates.
+func Register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("kernels: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// Names returns the sorted names of all registered kernels.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sizes understood by every builder.
+const (
+	// SizeTest is a few hundred dynamic instructions: unit-test scale.
+	SizeTest = "test"
+	// SizeSmall is a few thousand dynamic instructions: exhaustive
+	// ground-truth campaigns finish in seconds.
+	SizeSmall = "small"
+	// SizePaper mirrors the paper's benchmark shapes (LU 32×32 with 16×16
+	// blocks, six-step FFT, multi-iteration CG): the default for
+	// experiments.
+	SizePaper = "paper"
+	// SizeLarge is for the §4.6 scaling study and benchmarks.
+	SizeLarge = "large"
+)
+
+// New builds the named kernel at the named size.
+func New(name, size string) (Kernel, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q (have %v)", name, Names())
+	}
+	return b(size)
+}
+
+func unknownSize(kernel, size string) error {
+	return fmt.Errorf("kernels: unknown size %q for kernel %q", size, kernel)
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// MatMul is the dense matrix multiplication kernel C = A·B, one tracked
+// store per output element (fused dot product). The paper's §5 proves
+// dense matrix multiplication has a monotonic (linear) output-error
+// response to an injected error: an error ε in an element of C appears in
+// the output verbatim, and errors in A or B would scale linearly — with
+// per-element stores the output error equals the injected error exactly,
+// making this the cleanest monotonicity reference.
+type MatMul struct {
+	n      int
+	tol    float64
+	a, b   *linalg.Dense
+	c      *linalg.Dense
+	phases []Phase
+}
+
+// MatMulConfig parameterizes NewMatMul.
+type MatMulConfig struct {
+	// N is the square matrix dimension.
+	N int
+	// Seed selects the deterministic input matrices.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the product.
+	Tolerance float64
+}
+
+// NewMatMul validates cfg and returns the kernel.
+func NewMatMul(cfg MatMulConfig) (*MatMul, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("kernels: matmul dimension %d < 1", cfg.N)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: matmul tolerance %g <= 0", cfg.Tolerance)
+	}
+	k := &MatMul{
+		n:   cfg.N,
+		tol: cfg.Tolerance,
+		a:   linalg.NewDense(cfg.N, cfg.N),
+		b:   linalg.NewDense(cfg.N, cfg.N),
+		c:   linalg.NewDense(cfg.N, cfg.N),
+	}
+	fillRandom(k.a.Data, cfg.Seed)
+	fillRandom(k.b.Data, cfg.Seed+1)
+	k.phases = []Phase{{Name: "gemm", Start: 0, End: cfg.N * cfg.N}}
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *MatMul) Name() string { return "matmul" }
+
+// Tolerance implements Kernel.
+func (k *MatMul) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *MatMul) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *MatMul) Width() int { return 64 }
+
+// Run implements trace.Program. The output is the product matrix.
+func (k *MatMul) Run(ctx *trace.Ctx) []float64 {
+	n := k.n
+	a, b, c := k.a, k.b, k.c
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			var acc float64
+			for kk := 0; kk < n; kk++ {
+				acc += arow[kk] * b.Data[kk*n+j]
+			}
+			c.Data[i*n+j] = ctx.Store(acc)
+		}
+	}
+	out := make([]float64, n*n)
+	copy(out, c.Data)
+	return out
+}
+
+func init() {
+	Register("matmul", func(size string) (Kernel, error) {
+		var n int
+		switch size {
+		case SizeTest:
+			n = 6
+		case SizeSmall:
+			n = 12
+		case SizePaper:
+			n = 24
+		case SizeLarge:
+			n = 48
+		default:
+			return nil, unknownSize("matmul", size)
+		}
+		return NewMatMul(MatMulConfig{N: n, Seed: 0x33, Tolerance: 1e-8})
+	})
+}

@@ -1,0 +1,143 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// MatVec is the repeated dense matrix–vector product kernel from the
+// paper's §5 monotonicity discussion: y ← A·x applied Steps times
+// (x ← y between steps). A single application has a provably linear —
+// hence monotonic — output-error response to an injected error; chaining
+// applications mirrors the "series of sparse matrix vector multiplication
+// computations" the paper cites from Shantharam et al.
+type MatVec struct {
+	n, steps int
+	tol      float64
+	a        *linalg.Dense
+	x0       linalg.Vector
+	x, y     linalg.Vector
+	phases   []Phase
+}
+
+// MatVecConfig parameterizes NewMatVec.
+type MatVecConfig struct {
+	// N is the matrix dimension.
+	N int
+	// Steps is the number of chained products; must be ≥ 1.
+	Steps int
+	// Seed selects the deterministic matrix and input vector.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the final vector.
+	Tolerance float64
+}
+
+// NewMatVec validates cfg and returns the kernel.
+func NewMatVec(cfg MatVecConfig) (*MatVec, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("kernels: matvec dimension %d < 1", cfg.N)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("kernels: matvec step count %d < 1", cfg.Steps)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: matvec tolerance %g <= 0", cfg.Tolerance)
+	}
+	k := &MatVec{
+		n: cfg.N, steps: cfg.Steps, tol: cfg.Tolerance,
+		a:  linalg.NewDense(cfg.N, cfg.N),
+		x0: linalg.NewVector(cfg.N),
+		x:  linalg.NewVector(cfg.N),
+		y:  linalg.NewVector(cfg.N),
+	}
+	fillRandom(k.a.Data, cfg.Seed)
+	fillRandom(k.x0, cfg.Seed+1)
+	// Scale rows to unit 1-norm so chained products neither explode nor
+	// vanish; keeps every step's values O(1).
+	for i := 0; i < cfg.N; i++ {
+		row := k.a.Data[i*cfg.N : (i+1)*cfg.N]
+		var s float64
+		for _, v := range row {
+			if v < 0 {
+				s -= v
+			} else {
+				s += v
+			}
+		}
+		if s == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] /= s
+		}
+	}
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *MatVec) Name() string { return "matvec" }
+
+// Tolerance implements Kernel.
+func (k *MatVec) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *MatVec) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *MatVec) Width() int { return 64 }
+
+func (k *MatVec) layoutPhases() []Phase {
+	var b phaseBuilder
+	pos := 0
+	for s := 0; s < k.steps; s++ {
+		b.mark(fmt.Sprintf("step-%d", s), pos, pos+k.n)
+		pos += k.n
+	}
+	return b.phases
+}
+
+// Run implements trace.Program. The output is the final product vector.
+func (k *MatVec) Run(ctx *trace.Ctx) []float64 {
+	n := k.n
+	x, y := k.x, k.y
+	copy(x, k.x0)
+
+	for s := 0; s < k.steps; s++ {
+		for i := 0; i < n; i++ {
+			row := k.a.Data[i*n : (i+1)*n]
+			var acc float64
+			for j, v := range row {
+				acc += v * x[j]
+			}
+			y[i] = ctx.Store(acc)
+		}
+		x, y = y, x
+	}
+
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+func init() {
+	Register("matvec", func(size string) (Kernel, error) {
+		type shape struct{ n, steps int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{8, 3}
+		case SizeSmall:
+			s = shape{16, 5}
+		case SizePaper:
+			s = shape{32, 8}
+		case SizeLarge:
+			s = shape{64, 12}
+		default:
+			return nil, unknownSize("matvec", size)
+		}
+		return NewMatVec(MatVecConfig{N: s.n, Steps: s.steps, Seed: 0x3A7, Tolerance: 1e-8})
+	})
+}

@@ -1,0 +1,220 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/trace"
+)
+
+// Multigrid is a geometric multigrid V-cycle solver for the 1-D Poisson
+// equation. The paper's related work (Casas et al., ref. [4]) studies the
+// fault resilience of algebraic multigrid; this kernel reproduces the
+// structural essence — weighted-Jacobi smoothing, residual restriction to
+// a coarser grid, a recursive coarse solve, and prolongation back — which
+// gives the dynamic-instruction stream a *hierarchical* phase structure
+// no other kernel in the suite has: errors injected on coarse grids fan
+// out to many fine-grid values through prolongation.
+//
+// Grids have 2^l−1 interior points; the V-cycle recurses until 1 point,
+// which is solved exactly. All arithmetic is data-oblivious.
+type Multigrid struct {
+	levels int
+	cycles int
+	nu     int // smoothing sweeps per leg
+	tol    float64
+	rhs    []float64
+	// Per-level storage (index 0 = finest).
+	u, f, res []([]float64)
+	phases    []Phase
+}
+
+// MultigridConfig parameterizes NewMultigrid.
+type MultigridConfig struct {
+	// Levels is the grid-hierarchy depth; the finest grid has 2^Levels − 1
+	// interior points. Must be ≥ 2.
+	Levels int
+	// Cycles is the number of V-cycles; must be ≥ 1.
+	Cycles int
+	// Smooth is the number of Jacobi sweeps before and after each
+	// coarse-grid correction; must be ≥ 1.
+	Smooth int
+	// Seed selects the deterministic right-hand side.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the solution output.
+	Tolerance float64
+}
+
+// NewMultigrid validates cfg and returns the kernel.
+func NewMultigrid(cfg MultigridConfig) (*Multigrid, error) {
+	if cfg.Levels < 2 {
+		return nil, fmt.Errorf("kernels: multigrid depth %d < 2", cfg.Levels)
+	}
+	if cfg.Cycles < 1 {
+		return nil, fmt.Errorf("kernels: multigrid cycle count %d < 1", cfg.Cycles)
+	}
+	if cfg.Smooth < 1 {
+		return nil, fmt.Errorf("kernels: multigrid smoothing count %d < 1", cfg.Smooth)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: multigrid tolerance %g <= 0", cfg.Tolerance)
+	}
+	k := &Multigrid{
+		levels: cfg.Levels,
+		cycles: cfg.Cycles,
+		nu:     cfg.Smooth,
+		tol:    cfg.Tolerance,
+	}
+	k.u = make([][]float64, cfg.Levels)
+	k.f = make([][]float64, cfg.Levels)
+	k.res = make([][]float64, cfg.Levels)
+	for l := 0; l < cfg.Levels; l++ {
+		n := (1 << (cfg.Levels - l)) - 1
+		k.u[l] = make([]float64, n+2) // with boundary ghosts
+		k.f[l] = make([]float64, n+2)
+		k.res[l] = make([]float64, n+2)
+	}
+	k.rhs = make([]float64, len(k.f[0]))
+	fillRandom(k.rhs, cfg.Seed)
+	k.rhs[0], k.rhs[len(k.rhs)-1] = 0, 0
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+// interior returns the interior point count of level l.
+func (k *Multigrid) interior(l int) int { return (1 << (k.levels - l)) - 1 }
+
+// vcycleSites counts the tracked stores of one V-cycle starting at level l.
+func (k *Multigrid) vcycleSites(l int) int {
+	n := k.interior(l)
+	if l == k.levels-1 {
+		return 1 // exact solve of the single coarsest point
+	}
+	sites := k.nu * n             // pre-smoothing
+	sites += n                    // residual
+	sites += k.interior(l + 1)    // restriction
+	sites += k.vcycleSites(l + 1) // coarse solve
+	sites += n                    // prolongation + correction
+	sites += k.nu * n             // post-smoothing
+	return sites
+}
+
+func (k *Multigrid) layoutPhases() []Phase {
+	var b phaseBuilder
+	pos := 0
+	per := k.vcycleSites(0)
+	for c := 0; c < k.cycles; c++ {
+		b.mark(fmt.Sprintf("vcycle-%d", c), pos, pos+per)
+		pos += per
+	}
+	return b.phases
+}
+
+// Name implements trace.Program.
+func (k *Multigrid) Name() string { return "multigrid" }
+
+// Tolerance implements Kernel.
+func (k *Multigrid) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *Multigrid) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *Multigrid) Width() int { return 64 }
+
+// smooth performs nu weighted-Jacobi sweeps (ω = 2/3) on level l:
+// u ← u + ω·(f − A u)/diag, with A the 1-D Laplacian [−1, 2, −1]/h².
+func (k *Multigrid) smooth(ctx *trace.Ctx, l int) {
+	n := k.interior(l)
+	h2 := 1.0 / float64((n+1)*(n+1))
+	u, f := k.u[l], k.f[l]
+	const omega = 2.0 / 3.0
+	for s := 0; s < k.nu; s++ {
+		for i := 1; i <= n; i++ {
+			au := (2*u[i] - u[i-1] - u[i+1]) / h2
+			u[i] = ctx.Store(u[i] + omega*(f[i]-au)*h2/2)
+		}
+	}
+}
+
+// vcycle runs one V-cycle at level l.
+func (k *Multigrid) vcycle(ctx *trace.Ctx, l int) {
+	n := k.interior(l)
+	h2 := 1.0 / float64((n+1)*(n+1))
+	u, f, res := k.u[l], k.f[l], k.res[l]
+
+	if l == k.levels-1 {
+		// One interior point: solve 2u/h² = f exactly.
+		u[1] = ctx.Store(f[1] * h2 / 2)
+		return
+	}
+
+	k.smooth(ctx, l)
+
+	// Residual r = f − A u.
+	for i := 1; i <= n; i++ {
+		res[i] = ctx.Store(f[i] - (2*u[i]-u[i-1]-u[i+1])/h2)
+	}
+
+	// Full-weighting restriction to the coarse grid.
+	nc := k.interior(l + 1)
+	fc, uc := k.f[l+1], k.u[l+1]
+	for i := 1; i <= nc; i++ {
+		fi := 2 * i
+		fc[i] = ctx.Store(0.25*res[fi-1] + 0.5*res[fi] + 0.25*res[fi+1])
+	}
+	for i := range uc {
+		uc[i] = 0
+	}
+
+	k.vcycle(ctx, l+1)
+
+	// Linear prolongation of the coarse correction and fine-grid update.
+	for i := 1; i <= n; i++ {
+		var corr float64
+		if i%2 == 0 {
+			corr = uc[i/2]
+		} else {
+			corr = 0.5 * (uc[i/2] + uc[i/2+1])
+		}
+		u[i] = ctx.Store(u[i] + corr)
+	}
+
+	k.smooth(ctx, l)
+}
+
+// Run implements trace.Program. The output is the fine-grid solution.
+func (k *Multigrid) Run(ctx *trace.Ctx) []float64 {
+	copy(k.f[0], k.rhs)
+	for i := range k.u[0] {
+		k.u[0][i] = 0
+	}
+	for c := 0; c < k.cycles; c++ {
+		k.vcycle(ctx, 0)
+	}
+	out := make([]float64, len(k.u[0]))
+	copy(out, k.u[0])
+	return out
+}
+
+func init() {
+	Register("multigrid", func(size string) (Kernel, error) {
+		type shape struct{ levels, cycles, smooth int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{4, 2, 2}
+		case SizeSmall:
+			s = shape{5, 4, 2}
+		case SizePaper:
+			s = shape{7, 6, 2}
+		case SizeLarge:
+			s = shape{9, 8, 3}
+		default:
+			return nil, unknownSize("multigrid", size)
+		}
+		return NewMultigrid(MultigridConfig{
+			Levels: s.levels, Cycles: s.cycles, Smooth: s.smooth,
+			Seed: 0x316, Tolerance: 1e-6,
+		})
+	})
+}

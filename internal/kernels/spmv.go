@@ -1,0 +1,142 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/linalg"
+	"ftb/internal/trace"
+)
+
+// SpMV is the chained sparse matrix–vector product kernel: x ← (A·x)/s
+// applied Steps times on a 2-D Poisson CSR operator, with s = ‖A‖∞ so
+// iterates stay O(1). The paper's §5 cites Shantharam et al.'s
+// observation that error in a series of sparse matrix–vector products
+// grows; this kernel reproduces that propagation structure (every output
+// element depends on a widening neighbourhood of earlier elements).
+type SpMV struct {
+	a      *linalg.CSR
+	scale  float64
+	steps  int
+	tol    float64
+	x0     linalg.Vector
+	x, y   linalg.Vector
+	phases []Phase
+}
+
+// SpMVConfig parameterizes NewSpMV.
+type SpMVConfig struct {
+	// NX, NY are the Poisson grid dimensions.
+	NX, NY int
+	// Steps is the number of chained products; must be ≥ 1.
+	Steps int
+	// Seed selects the deterministic input vector.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the final vector.
+	Tolerance float64
+}
+
+// NewSpMV validates cfg and returns the kernel.
+func NewSpMV(cfg SpMVConfig) (*SpMV, error) {
+	if cfg.NX < 1 || cfg.NY < 1 {
+		return nil, fmt.Errorf("kernels: spmv grid %dx%d invalid", cfg.NX, cfg.NY)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("kernels: spmv step count %d < 1", cfg.Steps)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: spmv tolerance %g <= 0", cfg.Tolerance)
+	}
+	a := linalg.Poisson2D(cfg.NX, cfg.NY)
+	var norm float64
+	for i := 0; i < a.N; i++ {
+		lo, hi := a.RowRange(i)
+		var row float64
+		for k := lo; k < hi; k++ {
+			v := a.Values[k]
+			if v < 0 {
+				v = -v
+			}
+			row += v
+		}
+		if row > norm {
+			norm = row
+		}
+	}
+	k := &SpMV{
+		a:     a,
+		scale: 1 / norm,
+		steps: cfg.Steps,
+		tol:   cfg.Tolerance,
+		x0:    linalg.NewVector(a.N),
+		x:     linalg.NewVector(a.N),
+		y:     linalg.NewVector(a.N),
+	}
+	fillRandom(k.x0, cfg.Seed)
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *SpMV) Name() string { return "spmv" }
+
+// Tolerance implements Kernel.
+func (k *SpMV) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *SpMV) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *SpMV) Width() int { return 64 }
+
+func (k *SpMV) layoutPhases() []Phase {
+	var b phaseBuilder
+	pos := 0
+	for s := 0; s < k.steps; s++ {
+		b.mark(fmt.Sprintf("step-%d", s), pos, pos+k.a.N)
+		pos += k.a.N
+	}
+	return b.phases
+}
+
+// Run implements trace.Program. The output is the final iterate.
+func (k *SpMV) Run(ctx *trace.Ctx) []float64 {
+	a := k.a
+	x, y := k.x, k.y
+	copy(x, k.x0)
+
+	for s := 0; s < k.steps; s++ {
+		for i := 0; i < a.N; i++ {
+			lo, hi := a.RowRange(i)
+			var acc float64
+			for kk := lo; kk < hi; kk++ {
+				acc += a.Values[kk] * x[a.ColIdx[kk]]
+			}
+			y[i] = ctx.Store(acc * k.scale)
+		}
+		x, y = y, x
+	}
+
+	out := make([]float64, a.N)
+	copy(out, x)
+	return out
+}
+
+func init() {
+	Register("spmv", func(size string) (Kernel, error) {
+		type shape struct{ nx, ny, steps int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{4, 4, 3}
+		case SizeSmall:
+			s = shape{8, 8, 6}
+		case SizePaper:
+			s = shape{16, 16, 10}
+		case SizeLarge:
+			s = shape{32, 32, 16}
+		default:
+			return nil, unknownSize("spmv", size)
+		}
+		return NewSpMV(SpMVConfig{NX: s.nx, NY: s.ny, Steps: s.steps, Seed: 0x59, Tolerance: 1e-8})
+	})
+}

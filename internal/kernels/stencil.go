@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/trace"
+)
+
+// Stencil is the 2-D five-point Jacobi stencil kernel from the paper's §5
+// monotonicity discussion: each sweep computes
+//
+//	s(x[i,j]) = 0.2 · (x[i,j] + x[i+1,j] + x[i,j+1] + x[i-1,j] + x[i,j-1])
+//
+// over the interior of an nx×ny grid with fixed boundary values. The
+// paper proves the output error of this kernel is a monotonic (linear)
+// function of an injected error; the MonotonicityScan experiment verifies
+// that property empirically.
+type Stencil struct {
+	nx, ny, sweeps int
+	tol            float64
+	init           []float64
+	cur, next      []float64
+	phases         []Phase
+}
+
+// StencilConfig parameterizes NewStencil.
+type StencilConfig struct {
+	// NX, NY are the grid dimensions (≥ 3, so an interior exists).
+	NX, NY int
+	// Sweeps is the number of Jacobi sweeps; must be ≥ 1.
+	Sweeps int
+	// Seed selects the deterministic initial grid.
+	Seed uint64
+	// Tolerance is the acceptable L∞ deviation of the final grid.
+	Tolerance float64
+}
+
+// NewStencil validates cfg and returns the kernel.
+func NewStencil(cfg StencilConfig) (*Stencil, error) {
+	if cfg.NX < 3 || cfg.NY < 3 {
+		return nil, fmt.Errorf("kernels: stencil grid %dx%d too small (need ≥ 3)", cfg.NX, cfg.NY)
+	}
+	if cfg.Sweeps < 1 {
+		return nil, fmt.Errorf("kernels: stencil sweep count %d < 1", cfg.Sweeps)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: stencil tolerance %g <= 0", cfg.Tolerance)
+	}
+	n := cfg.NX * cfg.NY
+	k := &Stencil{
+		nx: cfg.NX, ny: cfg.NY, sweeps: cfg.Sweeps,
+		tol:  cfg.Tolerance,
+		init: make([]float64, n),
+		cur:  make([]float64, n),
+		next: make([]float64, n),
+	}
+	fillRandom(k.init, cfg.Seed)
+	k.phases = k.layoutPhases()
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *Stencil) Name() string { return "stencil" }
+
+// Tolerance implements Kernel.
+func (k *Stencil) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *Stencil) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 64-bit data elements.
+func (k *Stencil) Width() int { return 64 }
+
+func (k *Stencil) layoutPhases() []Phase {
+	interior := (k.nx - 2) * (k.ny - 2)
+	var b phaseBuilder
+	pos := 0
+	for s := 0; s < k.sweeps; s++ {
+		b.mark(fmt.Sprintf("sweep-%d", s), pos, pos+interior)
+		pos += interior
+	}
+	return b.phases
+}
+
+// Run implements trace.Program. The output is the final grid.
+func (k *Stencil) Run(ctx *trace.Ctx) []float64 {
+	nx, ny := k.nx, k.ny
+	cur, next := k.cur, k.next
+	copy(cur, k.init)
+	copy(next, k.init) // boundaries stay fixed in next
+
+	for s := 0; s < k.sweeps; s++ {
+		for y := 1; y < ny-1; y++ {
+			for x := 1; x < nx-1; x++ {
+				i := y*nx + x
+				v := 0.2 * (cur[i] + cur[i+1] + cur[i-1] + cur[i+nx] + cur[i-nx])
+				next[i] = ctx.Store(v)
+			}
+		}
+		cur, next = next, cur
+	}
+
+	out := make([]float64, len(cur))
+	copy(out, cur)
+	return out
+}
+
+func init() {
+	Register("stencil", func(size string) (Kernel, error) {
+		type shape struct{ nx, ny, sweeps int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{5, 5, 3}
+		case SizeSmall:
+			s = shape{8, 8, 5}
+		case SizePaper:
+			s = shape{16, 16, 8}
+		case SizeLarge:
+			s = shape{32, 32, 12}
+		default:
+			return nil, unknownSize("stencil", size)
+		}
+		return NewStencil(StencilConfig{NX: s.nx, NY: s.ny, Sweeps: s.sweeps, Seed: 0x57, Tolerance: 1e-6})
+	})
+}

@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ftb/internal/trace"
+)
+
+// Stencil32 is the single-precision variant of the 2-D Jacobi stencil:
+// the same sweep structure computed in float32, instrumented through
+// Ctx.Store32, so every injection site has a 32-bit fault population
+// (the paper's §2.1 model sizes the per-site experiment count by the
+// data element's width: "e.g., 32 or 64").
+type Stencil32 struct {
+	nx, ny, sweeps int
+	tol            float64
+	init           []float32
+	cur, next      []float32
+	phases         []Phase
+}
+
+// NewStencil32 validates cfg and returns the kernel. The configuration
+// type is shared with the double-precision stencil.
+func NewStencil32(cfg StencilConfig) (*Stencil32, error) {
+	if cfg.NX < 3 || cfg.NY < 3 {
+		return nil, fmt.Errorf("kernels: stencil32 grid %dx%d too small (need ≥ 3)", cfg.NX, cfg.NY)
+	}
+	if cfg.Sweeps < 1 {
+		return nil, fmt.Errorf("kernels: stencil32 sweep count %d < 1", cfg.Sweeps)
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("kernels: stencil32 tolerance %g <= 0", cfg.Tolerance)
+	}
+	n := cfg.NX * cfg.NY
+	k := &Stencil32{
+		nx: cfg.NX, ny: cfg.NY, sweeps: cfg.Sweeps,
+		tol:  cfg.Tolerance,
+		init: make([]float32, n),
+		cur:  make([]float32, n),
+		next: make([]float32, n),
+	}
+	tmp := make([]float64, n)
+	fillRandom(tmp, cfg.Seed)
+	for i, v := range tmp {
+		k.init[i] = float32(v)
+	}
+	interior := (cfg.NX - 2) * (cfg.NY - 2)
+	var b phaseBuilder
+	pos := 0
+	for s := 0; s < cfg.Sweeps; s++ {
+		b.mark(fmt.Sprintf("sweep-%d", s), pos, pos+interior)
+		pos += interior
+	}
+	k.phases = b.phases
+	return k, nil
+}
+
+// Name implements trace.Program.
+func (k *Stencil32) Name() string { return "stencil32" }
+
+// Tolerance implements Kernel.
+func (k *Stencil32) Tolerance() float64 { return k.tol }
+
+// Phases implements Kernel.
+func (k *Stencil32) Phases() []Phase { return k.phases }
+
+// Width implements Kernel: 32-bit data elements.
+func (k *Stencil32) Width() int { return 32 }
+
+// Run implements trace.Program. The output is the final grid widened to
+// float64 (the values are exactly representable).
+func (k *Stencil32) Run(ctx *trace.Ctx) []float64 {
+	nx, ny := k.nx, k.ny
+	cur, next := k.cur, k.next
+	copy(cur, k.init)
+	copy(next, k.init)
+
+	for s := 0; s < k.sweeps; s++ {
+		for y := 1; y < ny-1; y++ {
+			for x := 1; x < nx-1; x++ {
+				i := y*nx + x
+				v := 0.2 * (cur[i] + cur[i+1] + cur[i-1] + cur[i+nx] + cur[i-nx])
+				next[i] = ctx.Store32(v)
+			}
+		}
+		cur, next = next, cur
+	}
+
+	out := make([]float64, len(cur))
+	for i, v := range cur {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func init() {
+	Register("stencil32", func(size string) (Kernel, error) {
+		type shape struct{ nx, ny, sweeps int }
+		var s shape
+		switch size {
+		case SizeTest:
+			s = shape{5, 5, 3}
+		case SizeSmall:
+			s = shape{8, 8, 5}
+		case SizePaper:
+			s = shape{16, 16, 8}
+		case SizeLarge:
+			s = shape{32, 32, 12}
+		default:
+			return nil, unknownSize("stencil32", size)
+		}
+		return NewStencil32(StencilConfig{NX: s.nx, NY: s.ny, Sweeps: s.sweeps, Seed: 0x57, Tolerance: 1e-4})
+	})
+}

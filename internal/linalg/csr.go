@@ -1,0 +1,212 @@
+package linalg
+
+// CSR is a sparse matrix in compressed sparse row format.
+type CSR struct {
+	N      int       // square dimension
+	RowPtr []int     // len N+1
+	ColIdx []int     // len nnz
+	Values []float64 // len nnz
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Values) }
+
+// MulVec computes dst = a * x. It panics on dimension mismatch.
+func (a *CSR) MulVec(dst, x Vector) {
+	if len(x) != a.N || len(dst) != a.N {
+		panic("linalg: CSR MulVec dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Values[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// RowRange returns the half-open [lo, hi) index range of row i's entries
+// in ColIdx/Values, so instrumented kernels can iterate rows without
+// re-deriving the CSR layout.
+func (a *CSR) RowRange(i int) (lo, hi int) {
+	return a.RowPtr[i], a.RowPtr[i+1]
+}
+
+// ToDense expands a into a dense matrix, for small-problem verification.
+func (a *CSR) ToDense() *Dense {
+	d := NewDense(a.N, a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d.Set(i, a.ColIdx[k], a.Values[k])
+		}
+	}
+	return d
+}
+
+// IsSymmetric reports whether a equals its transpose exactly. Poisson
+// assemblies must be symmetric; CG requires it.
+func (a *CSR) IsSymmetric() bool {
+	type key struct{ i, j int }
+	m := make(map[key]float64, a.NNZ())
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			m[key{i, a.ColIdx[k]}] = a.Values[k]
+		}
+	}
+	for k, v := range m {
+		if m[key{k.j, k.i}] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Poisson3D assembles the standard 7-point finite-difference/finite-element
+// Laplacian on an nx×ny×nz grid with homogeneous Dirichlet boundary
+// conditions: 6 on the diagonal, -1 for each of the up-to-six neighbours.
+// This is the MiniFE-like sparse operator the CG kernel solves against
+// (MiniFE assembles a 3-D hex-element stiffness matrix; the 7-point
+// Laplacian has the same sparsity family, symmetry and positive
+// definiteness, which is what the CG error-propagation behaviour depends
+// on).
+func Poisson3D(nx, ny, nz int) *CSR {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic("linalg: Poisson3D with non-positive dimension")
+	}
+	n := nx * ny * nz
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	rowPtr := make([]int, n+1)
+	// First pass: count entries per row.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				cnt := 1 // diagonal
+				if x > 0 {
+					cnt++
+				}
+				if x < nx-1 {
+					cnt++
+				}
+				if y > 0 {
+					cnt++
+				}
+				if y < ny-1 {
+					cnt++
+				}
+				if z > 0 {
+					cnt++
+				}
+				if z < nz-1 {
+					cnt++
+				}
+				rowPtr[id(x, y, z)+1] = cnt
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int, nnz)
+	values := make([]float64, nnz)
+	pos := make([]int, n)
+	copy(pos, rowPtr[:n])
+	put := func(i, j int, v float64) {
+		colIdx[pos[i]] = j
+		values[pos[i]] = v
+		pos[i]++
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := id(x, y, z)
+				// Emit in ascending column order: -z, -y, -x, diag, +x, +y, +z.
+				if z > 0 {
+					put(i, id(x, y, z-1), -1)
+				}
+				if y > 0 {
+					put(i, id(x, y-1, z), -1)
+				}
+				if x > 0 {
+					put(i, id(x-1, y, z), -1)
+				}
+				put(i, i, 6)
+				if x < nx-1 {
+					put(i, id(x+1, y, z), -1)
+				}
+				if y < ny-1 {
+					put(i, id(x, y+1, z), -1)
+				}
+				if z < nz-1 {
+					put(i, id(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return &CSR{N: n, RowPtr: rowPtr, ColIdx: colIdx, Values: values}
+}
+
+// Poisson2D assembles the 5-point Laplacian on an nx×ny grid (4 on the
+// diagonal, -1 for each neighbour), used by the stencil/CG scaling
+// experiments where 2-D inputs keep site counts small.
+func Poisson2D(nx, ny int) *CSR {
+	if nx <= 0 || ny <= 0 {
+		panic("linalg: Poisson2D with non-positive dimension")
+	}
+	return poisson2DOf(nx, ny)
+}
+
+func poisson2DOf(nx, ny int) *CSR {
+	n := nx * ny
+	id := func(x, y int) int { return y*nx + x }
+	rowPtr := make([]int, n+1)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			cnt := 1
+			if x > 0 {
+				cnt++
+			}
+			if x < nx-1 {
+				cnt++
+			}
+			if y > 0 {
+				cnt++
+			}
+			if y < ny-1 {
+				cnt++
+			}
+			rowPtr[id(x, y)+1] = cnt
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, rowPtr[n])
+	values := make([]float64, rowPtr[n])
+	pos := make([]int, n)
+	copy(pos, rowPtr[:n])
+	put := func(i, j int, v float64) {
+		colIdx[pos[i]] = j
+		values[pos[i]] = v
+		pos[i]++
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := id(x, y)
+			if y > 0 {
+				put(i, id(x, y-1), -1)
+			}
+			if x > 0 {
+				put(i, id(x-1, y), -1)
+			}
+			put(i, i, 4)
+			if x < nx-1 {
+				put(i, id(x+1, y), -1)
+			}
+			if y < ny-1 {
+				put(i, id(x, y+1), -1)
+			}
+		}
+	}
+	return &CSR{N: n, RowPtr: rowPtr, ColIdx: colIdx, Values: values}
+}

@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoisson3DShape(t *testing.T) {
+	a := Poisson3D(3, 3, 3)
+	if a.N != 27 {
+		t.Fatalf("N = %d, want 27", a.N)
+	}
+	// Interior node has 7 entries, corner has 4.
+	if got := a.RowPtr[1] - a.RowPtr[0]; got != 4 {
+		t.Errorf("corner row nnz = %d, want 4", got)
+	}
+	center := (1*3+1)*3 + 1 // (1,1,1)
+	if got := a.RowPtr[center+1] - a.RowPtr[center]; got != 7 {
+		t.Errorf("center row nnz = %d, want 7", got)
+	}
+}
+
+func TestPoisson3DSymmetric(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 4, 2}, {4, 4, 4}} {
+		a := Poisson3D(dims[0], dims[1], dims[2])
+		if !a.IsSymmetric() {
+			t.Errorf("Poisson3D(%v) not symmetric", dims)
+		}
+	}
+}
+
+func TestPoisson3DDiagonalDominant(t *testing.T) {
+	a := Poisson3D(4, 3, 2)
+	for i := 0; i < a.N; i++ {
+		var diag, off float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diag = a.Values[k]
+			} else {
+				off += math.Abs(a.Values[k])
+			}
+		}
+		if diag < off {
+			t.Fatalf("row %d not diagonally dominant: %g < %g", i, diag, off)
+		}
+		if diag != 6 {
+			t.Fatalf("row %d diagonal = %g, want 6", i, diag)
+		}
+	}
+}
+
+func TestPoisson3DPositiveDefinite(t *testing.T) {
+	// x^T A x > 0 for a handful of nonzero vectors.
+	a := Poisson3D(3, 3, 3)
+	y := NewVector(a.N)
+	for trial := 0; trial < 5; trial++ {
+		x := NewVector(a.N)
+		for i := range x {
+			x[i] = math.Sin(float64(i*(trial+1)) + 0.5)
+		}
+		a.MulVec(y, x)
+		if q := x.Dot(y); q <= 0 {
+			t.Fatalf("x^T A x = %g, want > 0", q)
+		}
+	}
+}
+
+func TestPoisson2DProperties(t *testing.T) {
+	a := Poisson2D(4, 5)
+	if a.N != 20 {
+		t.Fatalf("N = %d, want 20", a.N)
+	}
+	if !a.IsSymmetric() {
+		t.Error("Poisson2D not symmetric")
+	}
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i && a.Values[k] != 4 {
+				t.Fatalf("diagonal = %g, want 4", a.Values[k])
+			}
+		}
+	}
+}
+
+func TestCSRColumnsSorted(t *testing.T) {
+	for _, a := range []*CSR{Poisson3D(3, 2, 4), Poisson2D(5, 3)} {
+		for i := 0; i < a.N; i++ {
+			lo, hi := a.RowRange(i)
+			for k := lo + 1; k < hi; k++ {
+				if a.ColIdx[k-1] >= a.ColIdx[k] {
+					t.Fatalf("row %d columns not strictly ascending", i)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRMulVecAgainstDense(t *testing.T) {
+	a := Poisson3D(3, 3, 2)
+	d := a.ToDense()
+	f := func(seed uint8) bool {
+		x := NewVector(a.N)
+		for i := range x {
+			x[i] = math.Cos(float64(int(seed)+i) * 0.7)
+		}
+		y1, y2 := NewVector(a.N), NewVector(a.N)
+		a.MulVec(y1, x)
+		d.MulVec(y2, x)
+		return LInfDist(y1, y2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonPanicsOnBadDims(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Poisson3D(0, 1, 1) },
+		func() { Poisson2D(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad dims did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNNZMatchesRowPtr(t *testing.T) {
+	a := Poisson3D(4, 4, 4)
+	if a.NNZ() != a.RowPtr[a.N] {
+		t.Errorf("NNZ %d != RowPtr[N] %d", a.NNZ(), a.RowPtr[a.N])
+	}
+}

@@ -1,0 +1,109 @@
+package linalg
+
+import "fmt"
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense returns a zero Rows×Cols matrix backed by one allocation.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("linalg: NewDense with negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Idx returns the flat index of element (i, j); useful when the caller
+// tracks stores through the tracing layer and needs stable element ids.
+func (m *Dense) Idx(i, j int) int { return i*m.Cols + j }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes dst = m * x. It panics on dimension mismatch.
+func (m *Dense) MulVec(dst Vector, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Mul computes dst = a * b with a classic ikj loop order (cache friendly
+// for row-major storage). It panics on dimension mismatch or if dst
+// aliases a or b.
+func Mul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: Mul dimension mismatch")
+	}
+	if dst == a || dst == b {
+		panic("linalg: Mul dst must not alias an operand")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range bRow {
+				dRow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// LInfDistDense returns the L∞ distance between two equally-shaped
+// matrices. It panics on shape mismatch.
+func LInfDistDense(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: LInfDistDense shape mismatch %dx%d vs %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return LInfDist(a.Data, b.Data)
+}
+
+// ExtractLU splits an in-place LU factorization (unit lower-triangular L
+// with the diagonal implicit, U upper triangular) into explicit L and U
+// factors, for verification of the LU kernel.
+func (m *Dense) ExtractLU() (l, u *Dense) {
+	if m.Rows != m.Cols {
+		panic("linalg: ExtractLU on non-square matrix")
+	}
+	n := m.Rows
+	l, u = NewDense(n, n), NewDense(n, n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if j < i {
+				l.Set(i, j, m.At(i, j))
+			} else {
+				u.Set(i, j, m.At(i, j))
+			}
+		}
+	}
+	return l, u
+}

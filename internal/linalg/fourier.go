@@ -1,0 +1,79 @@
+package linalg
+
+import "math"
+
+// ComplexVec stores n complex values as interleaved (re, im) float64
+// pairs. The FFT kernel operates on this layout so every real component
+// is an individually corruptible data element, matching the paper's
+// data-element fault model.
+type ComplexVec []float64
+
+// NewComplexVec returns a zero complex vector of n elements (2n floats).
+func NewComplexVec(n int) ComplexVec { return make(ComplexVec, 2*n) }
+
+// Len returns the number of complex elements.
+func (c ComplexVec) Len() int { return len(c) / 2 }
+
+// At returns element i as (re, im).
+func (c ComplexVec) At(i int) (re, im float64) { return c[2*i], c[2*i+1] }
+
+// Set assigns element i.
+func (c ComplexVec) Set(i int, re, im float64) { c[2*i], c[2*i+1] = re, im }
+
+// Clone returns an independent copy.
+func (c ComplexVec) Clone() ComplexVec {
+	out := make(ComplexVec, len(c))
+	copy(out, c)
+	return out
+}
+
+// DFT computes the unnormalized forward discrete Fourier transform of x by
+// direct O(n²) summation. It is the oracle the six-step FFT kernel is
+// verified against.
+func DFT(x ComplexVec) ComplexVec {
+	n := x.Len()
+	out := NewComplexVec(n)
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		for j := 0; j < n; j++ {
+			re, im := x.At(j)
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			sr += re*c - im*s
+			si += re*s + im*c
+		}
+		out.Set(k, sr, si)
+	}
+	return out
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a positive power of two n; it panics otherwise.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic("linalg: Log2 of non power of two")
+	}
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// BitRev returns the b-bit reversal of i.
+func BitRev(i, b int) int {
+	r := 0
+	for k := 0; k < b; k++ {
+		r = r<<1 | (i>>k)&1
+	}
+	return r
+}
+
+// Twiddle returns e^{-2πi·k/n} as (re, im).
+func Twiddle(k, n int) (re, im float64) {
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	return math.Cos(ang), math.Sin(ang)
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComplexVecAccess(t *testing.T) {
+	c := NewComplexVec(3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	c.Set(1, 2.5, -1.5)
+	re, im := c.At(1)
+	if re != 2.5 || im != -1.5 {
+		t.Errorf("At(1) = (%g,%g)", re, im)
+	}
+}
+
+func TestDFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all-ones.
+	n := 8
+	x := NewComplexVec(n)
+	x.Set(0, 1, 0)
+	y := DFT(x)
+	for k := 0; k < n; k++ {
+		re, im := y.At(k)
+		if math.Abs(re-1) > 1e-12 || math.Abs(im) > 1e-12 {
+			t.Errorf("DFT[%d] = (%g,%g), want (1,0)", k, re, im)
+		}
+	}
+}
+
+func TestDFTConstant(t *testing.T) {
+	// DFT of all-ones is n at bin 0, zero elsewhere.
+	n := 8
+	x := NewComplexVec(n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 1, 0)
+	}
+	y := DFT(x)
+	re, im := y.At(0)
+	if math.Abs(re-float64(n)) > 1e-10 || math.Abs(im) > 1e-10 {
+		t.Errorf("DFT[0] = (%g,%g), want (%d,0)", re, im, n)
+	}
+	for k := 1; k < n; k++ {
+		re, im := y.At(k)
+		if math.Abs(re) > 1e-10 || math.Abs(im) > 1e-10 {
+			t.Errorf("DFT[%d] = (%g,%g), want 0", k, re, im)
+		}
+	}
+}
+
+func TestDFTParseval(t *testing.T) {
+	// sum |x|^2 * n == sum |X|^2 for the unnormalized DFT.
+	n := 16
+	x := NewComplexVec(n)
+	for i := 0; i < n; i++ {
+		x.Set(i, math.Sin(float64(i)), math.Cos(2*float64(i)))
+	}
+	y := DFT(x)
+	var ex, ey float64
+	for i := 0; i < n; i++ {
+		re, im := x.At(i)
+		ex += re*re + im*im
+		re, im = y.At(i)
+		ey += re*re + im*im
+	}
+	if math.Abs(ey-float64(n)*ex) > 1e-8*ey {
+		t.Errorf("Parseval violated: %g vs %g", ey, float64(n)*ex)
+	}
+}
+
+func TestIsPow2Log2(t *testing.T) {
+	cases := map[int]bool{1: true, 2: true, 3: false, 4: true, 0: false, -4: false, 1024: true, 1000: false}
+	for n, want := range cases {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 {
+		t.Error("Log2 wrong")
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(3) did not panic")
+		}
+	}()
+	Log2(3)
+}
+
+func TestBitRev(t *testing.T) {
+	if BitRev(1, 3) != 4 {
+		t.Errorf("BitRev(1,3) = %d, want 4", BitRev(1, 3))
+	}
+	if BitRev(6, 3) != 3 { // 110 -> 011
+		t.Errorf("BitRev(6,3) = %d, want 3", BitRev(6, 3))
+	}
+	// Involution.
+	for b := 1; b <= 8; b++ {
+		for i := 0; i < 1<<b; i++ {
+			if BitRev(BitRev(i, b), b) != i {
+				t.Fatalf("BitRev not an involution at i=%d b=%d", i, b)
+			}
+		}
+	}
+}
+
+func TestTwiddleUnitCircle(t *testing.T) {
+	for n := 2; n <= 64; n *= 2 {
+		for k := 0; k < n; k++ {
+			re, im := Twiddle(k, n)
+			if mag := re*re + im*im; math.Abs(mag-1) > 1e-12 {
+				t.Fatalf("Twiddle(%d,%d) magnitude %g", k, n, mag)
+			}
+		}
+	}
+	re, im := Twiddle(0, 8)
+	if re != 1 || im != 0 {
+		t.Errorf("Twiddle(0,8) = (%g,%g), want (1,0)", re, im)
+	}
+}

@@ -1,0 +1,125 @@
+// Package linalg provides the dense/sparse linear algebra substrate that
+// the instrumented benchmark kernels are built on: vectors, dense and CSR
+// matrices, norms, and problem generators (MiniFE-like 3-D Poisson
+// assembly). All of it is plain, allocation-conscious Go over []float64;
+// the tracing layer wraps element stores, so these routines stay oblivious
+// to fault injection.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AXPY computes v = v + alpha*w in place. It panics if lengths differ.
+func (v Vector) AXPY(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// NormInf returns the maximum-magnitude element of v. NaN elements
+// propagate: if any element is NaN the result is NaN.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		a := math.Abs(x)
+		if math.IsNaN(a) {
+			return a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// LInfDist returns the L∞ distance between two vectors, the paper's output
+// error metric (§2.1: "to quantify the error, we use the L∞ norm between
+// outputs"). NaN in either operand yields NaN. It panics if lengths differ.
+func LInfDist(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: LInfDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if math.IsNaN(d) {
+			return d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L2Dist returns the Euclidean distance between two vectors.
+func L2Dist(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic("linalg: L2Dist length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// HasUnsafe reports whether v contains NaN or ±Inf.
+func (v Vector) HasUnsafe() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

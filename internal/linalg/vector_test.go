@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAXPY(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.AXPY(2, Vector{10, 20, 30})
+	want := Vector{21, 42, 63}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Errorf("AXPY[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+}
+
+func TestVectorScaleFill(t *testing.T) {
+	v := Vector{1, 2}
+	v.Scale(3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Errorf("Scale: %v", v)
+	}
+	v.Fill(7)
+	if v[0] != 7 || v[1] != 7 {
+		t.Errorf("Fill: %v", v)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+}
+
+func TestNormInfNaN(t *testing.T) {
+	v := Vector{1, math.NaN(), 3}
+	if !math.IsNaN(v.NormInf()) {
+		t.Error("NormInf should propagate NaN")
+	}
+}
+
+func TestLInfDist(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{1, 5, 2}
+	if got := LInfDist(a, b); got != 3 {
+		t.Errorf("LInfDist = %g, want 3", got)
+	}
+	if got := LInfDist(a, a); got != 0 {
+		t.Errorf("LInfDist(a,a) = %g, want 0", got)
+	}
+}
+
+func TestLInfDistNaN(t *testing.T) {
+	a := Vector{1, math.NaN()}
+	b := Vector{1, 2}
+	if !math.IsNaN(LInfDist(a, b)) {
+		t.Error("LInfDist should propagate NaN")
+	}
+}
+
+func TestL2Dist(t *testing.T) {
+	a := Vector{0, 0}
+	b := Vector{3, 4}
+	if got := L2Dist(a, b); math.Abs(got-5) > 1e-15 {
+		t.Errorf("L2Dist = %g, want 5", got)
+	}
+}
+
+func TestHasUnsafe(t *testing.T) {
+	if (Vector{1, 2}).HasUnsafe() {
+		t.Error("finite vector flagged unsafe")
+	}
+	if !(Vector{1, math.Inf(-1)}).HasUnsafe() {
+		t.Error("Inf vector not flagged unsafe")
+	}
+	if !(Vector{math.NaN()}).HasUnsafe() {
+		t.Error("NaN vector not flagged unsafe")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+// Property: triangle inequality for LInfDist.
+func TestQuickLInfTriangle(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		va, vb, vc := Vector(a[:]), Vector(b[:]), Vector(c[:])
+		for _, x := range append(append(append([]float64{}, va...), vb...), vc...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		ab, bc, ac := LInfDist(va, vb), LInfDist(vb, vc), LInfDist(va, vc)
+		if math.IsInf(ab, 0) || math.IsInf(bc, 0) || math.IsInf(ac, 0) {
+			return true // overflow in the subtraction; inequality meaningless
+		}
+		return ac <= ab+bc+1e-9*(1+ab+bc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

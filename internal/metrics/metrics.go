@@ -1,0 +1,213 @@
+// Package metrics evaluates fault-tolerance-boundary predictions: the
+// paper's precision / recall / uncertainty triple (§3.6), the per-site
+// ΔSDC distribution of §4.1, and the grouped per-site profiles plotted in
+// Figure 4.
+package metrics
+
+import (
+	"fmt"
+
+	"ftb/internal/boundary"
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/stats"
+)
+
+// PR holds the §3.6 evaluation of a predictor against ground truth. The
+// positive class is Masked: the boundary's job is to identify the masked
+// portion of the sample space without running it.
+//
+//	Precision   = correctly-predicted-masked / predicted-masked (full space)
+//	Recall      = correctly-predicted-masked / actually-masked  (full space)
+//	Uncertainty = the same precision restricted to the sampled experiments,
+//	              computable without ground truth — the self-verification
+//	              signal the paper highlights.
+type PR struct {
+	Precision   float64
+	Recall      float64
+	Uncertainty float64
+
+	PredictedMasked int // full space: predicted masked
+	CorrectMasked   int // full space: predicted masked and actually masked
+	TotalMasked     int // full space: actually masked
+
+	SamplePredicted int // sampled subset: predicted masked
+	SampleCorrect   int // sampled subset: predicted masked and observed masked
+
+	// Crash-class accuracy: crash predictions come from the fault model
+	// alone (does the flip produce NaN/Inf?), so their quality is a check
+	// on the crash-emulation substrate rather than on the boundary.
+	CrashPredicted int // full space: predicted crash
+	CrashCorrect   int // full space: predicted crash and actually crash
+	TotalCrash     int // full space: actually crash
+}
+
+// CrashPrecision returns CrashCorrect/CrashPredicted (1 when nothing was
+// predicted to crash).
+func (r PR) CrashPrecision() float64 { return ratio(r.CrashCorrect, r.CrashPredicted) }
+
+// CrashRecall returns CrashCorrect/TotalCrash (1 when nothing crashed).
+func (r PR) CrashRecall() float64 { return ratio(r.CrashCorrect, r.TotalCrash) }
+
+// ratio returns num/den, or 1 when den is zero (no predictions means no
+// false positives).
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// Evaluate scores pred against the exhaustive ground truth. known may be
+// nil, in which case Uncertainty is reported over an empty sample (1.0).
+func Evaluate(pred *boundary.Predictor, gt *campaign.GroundTruth, known *boundary.Known) PR {
+	var r PR
+	for site := 0; site < gt.SitesN; site++ {
+		for bit := 0; bit < gt.BitsN; bit++ {
+			truth := gt.At(site, uint8(bit))
+			guess := pred.Predict(site, uint8(bit))
+			if truth == outcome.Masked {
+				r.TotalMasked++
+			}
+			if truth == outcome.Crash {
+				r.TotalCrash++
+			}
+			if guess == outcome.Masked {
+				r.PredictedMasked++
+				if truth == outcome.Masked {
+					r.CorrectMasked++
+				}
+			}
+			if guess == outcome.Crash {
+				r.CrashPredicted++
+				if truth == outcome.Crash {
+					r.CrashCorrect++
+				}
+			}
+			if known != nil {
+				if obs, ok := known.Get(site, uint8(bit)); ok && guess == outcome.Masked {
+					r.SamplePredicted++
+					if obs == outcome.Masked {
+						r.SampleCorrect++
+					}
+				}
+			}
+		}
+	}
+	r.Precision = ratio(r.CorrectMasked, r.PredictedMasked)
+	r.Recall = ratio(r.CorrectMasked, r.TotalMasked)
+	r.Uncertainty = ratio(r.SampleCorrect, r.SamplePredicted)
+	return r
+}
+
+// Uncertainty computes only the self-verification metric: the precision
+// of masked predictions over the sampled experiments. Unlike Evaluate it
+// needs no ground truth, so it is what a user of the method actually runs
+// (§3.6: "the application programmer does not need an exhaustive fault
+// injection campaign ... to verify the performance of the approximated
+// boundary").
+func Uncertainty(pred *boundary.Predictor, known *boundary.Known) float64 {
+	var predicted, correct int
+	for site := 0; site < known.Sites(); site++ {
+		if known.Tested(site) == 0 {
+			continue
+		}
+		for bit := 0; bit < known.BitsN(); bit++ {
+			obs, ok := known.Get(site, uint8(bit))
+			if !ok {
+				continue
+			}
+			if pred.Predict(site, uint8(bit)) == outcome.Masked {
+				predicted++
+				if obs == outcome.Masked {
+					correct++
+				}
+			}
+		}
+	}
+	return ratio(correct, predicted)
+}
+
+// String implements fmt.Stringer.
+func (r PR) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f uncertainty=%.4f", r.Precision, r.Recall, r.Uncertainty)
+}
+
+// DeltaSDC returns the per-site ΔSDC = golden ratio − predicted ratio
+// (§4.1's Figure 3 quantity). Positive values mean the boundary
+// underestimates vulnerability; negative values overestimate it.
+func DeltaSDC(pred *boundary.Predictor, gt *campaign.GroundTruth) []float64 {
+	out := make([]float64, gt.SitesN)
+	for site := 0; site < gt.SitesN; site++ {
+		out[site] = gt.SiteSDCRatio(site) - pred.SiteSDCRatio(site, gt.BitsN)
+	}
+	return out
+}
+
+// DeltaSDCHistogram bins a ΔSDC series for the Figure 3 histograms. The
+// range [-1, 1] covers every possible ΔSDC value.
+func DeltaSDCHistogram(delta []float64, bins int) *stats.Histogram {
+	return stats.NewHistogram(delta, bins, -1, 1)
+}
+
+// SiteSeries holds parallel per-site series for a Figure 4-style profile.
+type SiteSeries struct {
+	TrueSDC []float64 // ground-truth per-site SDC ratio
+	PredSDC []float64 // predicted per-site SDC ratio
+	Impact  []float64 // significant-error information count per site
+}
+
+// Profile assembles the per-site series. info may be nil (Impact left
+// zero-filled).
+func Profile(pred *boundary.Predictor, gt *campaign.GroundTruth, info []int64) SiteSeries {
+	s := SiteSeries{
+		TrueSDC: make([]float64, gt.SitesN),
+		PredSDC: make([]float64, gt.SitesN),
+		Impact:  make([]float64, gt.SitesN),
+	}
+	for site := 0; site < gt.SitesN; site++ {
+		s.TrueSDC[site] = gt.SiteSDCRatio(site)
+		s.PredSDC[site] = pred.SiteSDCRatio(site, gt.BitsN)
+		if info != nil {
+			s.Impact[site] = float64(info[site])
+		}
+	}
+	return s
+}
+
+// Grouped reduces a profile to groups of size consecutive sites: SDC
+// ratios by group mean, impact by group sum — exactly how Figure 4
+// renders millions of sites as a readable series.
+type Grouped struct {
+	Size    int
+	TrueSDC []float64
+	PredSDC []float64
+	Impact  []float64
+}
+
+// Group reduces s with the given group size.
+func (s SiteSeries) Group(size int) Grouped {
+	return Grouped{
+		Size:    size,
+		TrueSDC: stats.GroupMeans(s.TrueSDC, size),
+		PredSDC: stats.GroupMeans(s.PredSDC, size),
+		Impact:  stats.GroupSums(s.Impact, size),
+	}
+}
+
+// MeanAbsError returns the mean absolute difference between the true and
+// predicted grouped SDC series — a scalar summary of Figure 4 agreement.
+func (g Grouped) MeanAbsError() float64 {
+	if len(g.TrueSDC) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range g.TrueSDC {
+		d := g.TrueSDC[i] - g.PredSDC[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(g.TrueSDC))
+}

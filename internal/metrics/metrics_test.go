@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ftb/internal/boundary"
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/trace"
+)
+
+// chainProg: verbatim error propagation, fully monotonic.
+type chainProg struct{ n int }
+
+func (p *chainProg) Name() string { return "chain" }
+
+func (p *chainProg) Run(ctx *trace.Ctx) []float64 {
+	v := 1.0
+	for i := 0; i < p.n; i++ {
+		v = ctx.Store(v + 0.5)
+	}
+	return []float64{v}
+}
+
+func chainSetup(t *testing.T, n int, tol float64) (campaign.Config, *campaign.GroundTruth) {
+	t.Helper()
+	p := &chainProg{n: n}
+	g, err := trace.Golden(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Factory: func() trace.Program { return &chainProg{n: n} },
+		Golden:  g,
+		Tol:     tol,
+	}
+	gt, err := campaign.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, gt
+}
+
+func TestEvaluatePerfectPredictor(t *testing.T) {
+	cfg, gt := chainSetup(t, 8, 1e-6)
+	b, err := boundary.ExhaustiveSearch(gt, cfg.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(pred, gt, nil)
+	if r.Precision != 1 || r.Recall != 1 {
+		t.Errorf("perfect predictor scored %v", r)
+	}
+	if r.TotalMasked == 0 || r.PredictedMasked != r.CorrectMasked {
+		t.Errorf("counts inconsistent: %+v", r)
+	}
+}
+
+func TestEvaluateZeroBoundary(t *testing.T) {
+	// An all-zero boundary predicts masked only for zero-error flips, so
+	// precision stays 1 (those are genuinely masked) while recall drops
+	// far below 1.
+	cfg, gt := chainSetup(t, 8, 1e-6)
+	b := &boundary.Boundary{Thresholds: make([]float64, 8)}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(pred, gt, nil)
+	if r.Precision != 1 {
+		t.Errorf("precision = %g, want 1", r.Precision)
+	}
+	if r.Recall >= 0.5 {
+		t.Errorf("recall = %g, want far below 1", r.Recall)
+	}
+}
+
+func TestEvaluateUncertaintyMatchesSampleRestriction(t *testing.T) {
+	cfg, gt := chainSetup(t, 10, 1e-6)
+	all := campaign.AllPairs(10, 64)
+	sample := all[:200]
+	known := boundary.NewKnown(10, 64)
+	bld, _, err := boundary.Build(cfg, sample, boundary.BuildOptions{Filter: true, Known: known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(bld.Finalize(), cfg.Golden, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(pred, gt, known)
+	if got := Uncertainty(pred, known); got != r.Uncertainty {
+		t.Errorf("standalone uncertainty %g != evaluate's %g", got, r.Uncertainty)
+	}
+	// On a monotone program both precision and uncertainty are 1.
+	if r.Uncertainty != 1 || r.Precision != 1 {
+		t.Errorf("monotone chain scored %v", r)
+	}
+}
+
+func TestRatioConventions(t *testing.T) {
+	if ratio(0, 0) != 1 {
+		t.Error("0/0 should be 1 (no false positives)")
+	}
+	if ratio(1, 2) != 0.5 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestDeltaSDCPerfectIsZero(t *testing.T) {
+	cfg, gt := chainSetup(t, 6, 1e-6)
+	b, err := boundary.ExhaustiveSearch(gt, cfg.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site, d := range DeltaSDC(pred, gt) {
+		if d != 0 {
+			t.Errorf("ΔSDC[%d] = %g, want 0", site, d)
+		}
+	}
+}
+
+func TestDeltaSDCSignConvention(t *testing.T) {
+	// A zero boundary over-predicts SDC, so ΔSDC = golden − predicted < 0
+	// wherever the site has masked flips.
+	cfg, gt := chainSetup(t, 6, 1e-6)
+	b := &boundary.Boundary{Thresholds: make([]float64, 6)}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := DeltaSDC(pred, gt)
+	anyNeg := false
+	for _, d := range delta {
+		if d > 1e-12 {
+			t.Errorf("over-predicting boundary yielded positive ΔSDC %g", d)
+		}
+		if d < 0 {
+			anyNeg = true
+		}
+	}
+	if !anyNeg {
+		t.Error("expected negative ΔSDC somewhere")
+	}
+}
+
+func TestDeltaSDCHistogramRange(t *testing.T) {
+	h := DeltaSDCHistogram([]float64{0, 0, -0.5, 0.25}, 8)
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Min != -1 || h.Max != 1 {
+		t.Errorf("range [%g,%g]", h.Min, h.Max)
+	}
+}
+
+func TestProfileAndGroup(t *testing.T) {
+	cfg, gt := chainSetup(t, 9, 1e-6)
+	b, err := boundary.ExhaustiveSearch(gt, cfg.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := make([]int64, 9)
+	for i := range info {
+		info[i] = int64(i)
+	}
+	s := Profile(pred, gt, info)
+	if len(s.TrueSDC) != 9 || len(s.PredSDC) != 9 || len(s.Impact) != 9 {
+		t.Fatal("profile lengths wrong")
+	}
+	if s.Impact[4] != 4 {
+		t.Errorf("impact[4] = %g", s.Impact[4])
+	}
+	g := s.Group(4)
+	if len(g.TrueSDC) != 3 {
+		t.Fatalf("groups = %d, want 3", len(g.TrueSDC))
+	}
+	if g.Impact[0] != 0+1+2+3 {
+		t.Errorf("group impact sum = %g, want 6", g.Impact[0])
+	}
+	if mae := g.MeanAbsError(); mae != 0 {
+		t.Errorf("perfect predictor group MAE = %g", mae)
+	}
+}
+
+func TestGroupedMeanAbsError(t *testing.T) {
+	g := Grouped{
+		TrueSDC: []float64{0.5, 0.25},
+		PredSDC: []float64{0.75, 0.25},
+	}
+	if mae := g.MeanAbsError(); math.Abs(mae-0.125) > 1e-15 {
+		t.Errorf("MAE = %g, want 0.125", mae)
+	}
+	if (Grouped{}).MeanAbsError() != 0 {
+		t.Error("empty MAE should be 0")
+	}
+}
+
+func TestUncertaintyIsComputableWithoutGroundTruth(t *testing.T) {
+	// Uncertainty must depend only on sampled observations. Build a known
+	// table by hand: 2 sites, 4 bits, observe site 0 fully masked.
+	p := &chainProg{n: 2}
+	g, err := trace.Golden(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := boundary.NewKnown(2, 4)
+	for bit := uint8(0); bit < 4; bit++ {
+		known.Set(0, bit, outcome.Masked)
+	}
+	// Boundary claims huge tolerance everywhere: predicts masked for all.
+	b := &boundary.Boundary{Thresholds: []float64{math.MaxFloat64, math.MaxFloat64}}
+	pred, err := boundary.NewPredictor(b, g, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := Uncertainty(pred, known); u != 1 {
+		t.Errorf("uncertainty = %g, want 1 (all observed samples masked)", u)
+	}
+	// Flip one observation to SDC: a fully-tested site uses recorded
+	// outcomes, so predictions on site 0 now include one SDC; the three
+	// masked predictions are all correct -> uncertainty stays 1.
+	known.Set(0, 1, outcome.SDC)
+	if u := Uncertainty(pred, known); u != 1 {
+		t.Errorf("uncertainty = %g, want 1", u)
+	}
+	// On a partially tested site, predictions come from the boundary:
+	// observe site 1 bit 0 as SDC while the boundary predicts masked ->
+	// one wrong masked prediction out of 4 masked predictions on the
+	// sampled set (site0 has 3 masked predictions from records... they
+	// are recorded; site1 bit0 predicted masked but observed SDC).
+	known.Set(1, 0, outcome.SDC)
+	u := Uncertainty(pred, known)
+	if u >= 1 {
+		t.Errorf("uncertainty = %g, want < 1 after contradicting observation", u)
+	}
+}
+
+func TestCrashClassMetrics(t *testing.T) {
+	// The chain crashes deterministically on flips that push values to
+	// Inf/NaN; the predictor's crash calls come straight from the fault
+	// model, so crash precision and recall should be high (only
+	// downstream-crash cases, where corruption turns unsafe later, are
+	// missed).
+	cfg, gt := chainSetup(t, 10, 1e-6)
+	b, err := boundary.ExhaustiveSearch(gt, cfg.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(b, cfg.Golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(pred, gt, nil)
+	if r.TotalCrash == 0 {
+		t.Fatal("chain ground truth has no crashes; test premise broken")
+	}
+	if r.CrashPrecision() < 0.99 {
+		t.Errorf("crash precision %.3f", r.CrashPrecision())
+	}
+	if r.CrashRecall() < 0.9 {
+		t.Errorf("crash recall %.3f", r.CrashRecall())
+	}
+	if r.CrashPredicted == 0 || r.CrashCorrect > r.CrashPredicted {
+		t.Errorf("crash counts inconsistent: %+v", r)
+	}
+}
+
+func TestCrashRatiosDegenerate(t *testing.T) {
+	var r PR
+	if r.CrashPrecision() != 1 || r.CrashRecall() != 1 {
+		t.Error("empty crash classes should score 1")
+	}
+}

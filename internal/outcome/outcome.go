@@ -1,0 +1,144 @@
+// Package outcome classifies fault-injection run results into the paper's
+// three categories (§2.1): Masked, SDC, and Crash.
+package outcome
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind is the outcome of one fault-injection experiment.
+type Kind uint8
+
+const (
+	// Masked: the program produced an acceptable output — within the
+	// domain tolerance T of the golden output (not necessarily bitwise
+	// identical).
+	Masked Kind = iota
+	// SDC: the program terminated normally but its output deviates from
+	// the golden output by more than T.
+	SDC
+	// Crash: the program terminated abnormally (in this substrate, a
+	// tracked store produced NaN/±Inf).
+	Crash
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NumKinds is the number of outcome categories.
+const NumKinds = int(numKinds)
+
+// Classify determines the outcome of a run. crashed takes precedence; an
+// output containing NaN/±Inf also counts as a crash (the L∞ comparison
+// would be meaningless); otherwise the run is Masked iff the L∞ distance
+// between out and golden is at most tol.
+func Classify(golden, out []float64, tol float64, crashed bool) Kind {
+	if crashed {
+		return Crash
+	}
+	if len(out) != len(golden) {
+		return SDC // divergent output shape: observably wrong result
+	}
+	var maxd float64
+	for i := range out {
+		d := math.Abs(out[i] - golden[i])
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return Crash
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd <= tol {
+		return Masked
+	}
+	return SDC
+}
+
+// OutputError returns the L∞ distance between out and golden, or +Inf for
+// a crashed/NaN run. It mirrors Classify's comparison for callers that
+// want the raw magnitude.
+func OutputError(golden, out []float64, crashed bool) float64 {
+	if crashed || len(out) != len(golden) {
+		return math.Inf(1)
+	}
+	var maxd float64
+	for i := range out {
+		d := math.Abs(out[i] - golden[i])
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return math.Inf(1)
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Counts tallies outcomes by kind.
+type Counts [NumKinds]int
+
+// Add increments the tally for k.
+func (c *Counts) Add(k Kind) { c[k]++ }
+
+// Total returns the number of recorded experiments.
+func (c *Counts) Total() int {
+	t := 0
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// SDCRatio returns n_sdc / N, the paper's program-vulnerability metric.
+// It returns 0 when no experiments are recorded.
+func (c *Counts) SDCRatio() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c[SDC]) / float64(n)
+}
+
+// MaskedRatio returns n_masked / N (0 when empty).
+func (c *Counts) MaskedRatio() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c[Masked]) / float64(n)
+}
+
+// CrashRatio returns n_crash / N (0 when empty).
+func (c *Counts) CrashRatio() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c[Crash]) / float64(n)
+}
+
+// Merge adds other's tallies into c.
+func (c *Counts) Merge(other Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Counts) String() string {
+	return fmt.Sprintf("masked=%d sdc=%d crash=%d", c[Masked], c[SDC], c[Crash])
+}

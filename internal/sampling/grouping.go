@@ -1,0 +1,117 @@
+package sampling
+
+import (
+	"sort"
+
+	"ftb/internal/bits"
+	"ftb/internal/campaign"
+	"ftb/internal/rng"
+)
+
+// Relyzer-style site grouping (paper §6). Hari et al.'s Relyzer prunes
+// fault-injection campaigns by grouping dynamic instructions expected to
+// behave equivalently and testing one pilot per group. The paper notes
+// its boundary method "does not conflict with the previous heuristic
+// approach, and the two approaches can be combined to further reduce the
+// number of samples". This file provides that combination: group sites by
+// a cheap static/dynamic signature and spread the sampling budget across
+// groups instead of uniformly, so every behaviourally-distinct region
+// contributes propagation data even at tiny budgets.
+
+// GroupSites partitions sites into equivalence groups keyed by
+// (phaseOf(site), biased exponent of the site's golden value). Sites in
+// the same program phase whose values share a binade tend to respond to
+// bit flips alike — the same heuristic family Relyzer builds on. The
+// groups are returned in deterministic (sorted-key) order.
+func GroupSites(goldenTrace []float64, phaseOf func(site int) int) [][]int {
+	type key struct {
+		phase int
+		exp   uint
+	}
+	m := make(map[key][]int)
+	for site, v := range goldenTrace {
+		k := key{phase: phaseOf(site), exp: bits.ExponentBits64(v)}
+		m[k] = append(m[k], site)
+	}
+	keys := make([]key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].phase != keys[j].phase {
+			return keys[i].phase < keys[j].phase
+		}
+		return keys[i].exp < keys[j].exp
+	})
+	groups := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		groups = append(groups, m[k])
+	}
+	return groups
+}
+
+// PhaseIndexer converts a sorted phase table (start offsets) into a
+// site → phase lookup. starts must be ascending and begin at 0.
+func PhaseIndexer(starts []int) func(site int) int {
+	return func(site int) int {
+		lo, hi := 0, len(starts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if starts[mid] <= site {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo - 1
+	}
+}
+
+// SpreadAcrossGroups draws k distinct experiments by cycling over the
+// groups round-robin, drawing one uniformly random untested (site, bit)
+// pair from each group per pass. Compared with uniform sampling at the
+// same budget, every group — however small — receives early coverage.
+// It panics if k exceeds the total space.
+func SpreadAcrossGroups(r *rng.Rand, groups [][]int, bitsN, k int) []campaign.Pair {
+	total := 0
+	for _, g := range groups {
+		total += len(g) * bitsN
+	}
+	if k > total {
+		panic("sampling: k exceeds grouped sample space")
+	}
+	// Per-group shuffled experiment order; lazily materialized.
+	type groupState struct {
+		order []int // shuffled indices into the group's (site, bit) space
+		next  int
+	}
+	states := make([]groupState, len(groups))
+	out := make([]campaign.Pair, 0, k)
+	for len(out) < k {
+		progressed := false
+		for gi := range groups {
+			if len(out) == k {
+				break
+			}
+			st := &states[gi]
+			space := len(groups[gi]) * bitsN
+			if st.order == nil {
+				st.order = r.Perm(space)
+			}
+			if st.next >= space {
+				continue
+			}
+			idx := st.order[st.next]
+			st.next++
+			out = append(out, campaign.Pair{
+				Site: groups[gi][idx/bitsN],
+				Bit:  uint8(idx % bitsN),
+			})
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sampling
+
+import (
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/rng"
+)
+
+func TestGroupSitesPartition(t *testing.T) {
+	// Trace with two binades across two phases.
+	trace := []float64{1.0, 1.5, 2.0, 3.0, 1.2, 2.5}
+	phaseOf := func(site int) int {
+		if site < 3 {
+			return 0
+		}
+		return 1
+	}
+	groups := GroupSites(trace, phaseOf)
+	// Every site appears exactly once.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		for _, s := range g {
+			if seen[s] {
+				t.Fatalf("site %d in two groups", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != len(trace) {
+		t.Fatalf("covered %d sites, want %d", len(seen), len(trace))
+	}
+	// Phase 0 has binades [1,2) -> {0,1} and [2,4) -> {2}; phase 1 has
+	// [1,2) -> {4} and [2,4) -> {3,5}: 4 groups.
+	if len(groups) != 4 {
+		t.Errorf("groups = %d, want 4: %v", len(groups), groups)
+	}
+}
+
+func TestGroupSitesDeterministicOrder(t *testing.T) {
+	trace := []float64{4, 1, 2, 8, 1, 2}
+	phaseOf := func(int) int { return 0 }
+	a := GroupSites(trace, phaseOf)
+	b := GroupSites(trace, phaseOf)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) || a[i][0] != b[i][0] {
+			t.Fatal("nondeterministic group order")
+		}
+	}
+}
+
+func TestPhaseIndexer(t *testing.T) {
+	idx := PhaseIndexer([]int{0, 10, 25})
+	cases := map[int]int{0: 0, 9: 0, 10: 1, 24: 1, 25: 2, 100: 2}
+	for site, want := range cases {
+		if got := idx(site); got != want {
+			t.Errorf("phase(%d) = %d, want %d", site, got, want)
+		}
+	}
+}
+
+func TestSpreadAcrossGroupsCoverage(t *testing.T) {
+	groups := [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {8}, {9, 10}}
+	r := rng.New(1)
+	// A budget of 3 must touch every group once (round robin).
+	pairs := SpreadAcrossGroups(r, groups, 64, 3)
+	if len(pairs) != 3 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	inGroup := func(site int, g []int) bool {
+		for _, s := range g {
+			if s == site {
+				return true
+			}
+		}
+		return false
+	}
+	for gi, g := range groups {
+		found := false
+		for _, p := range pairs {
+			if inGroup(p.Site, g) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("group %d received no sample", gi)
+		}
+	}
+}
+
+func TestSpreadAcrossGroupsNoDuplicates(t *testing.T) {
+	groups := [][]int{{0, 1}, {2}}
+	r := rng.New(2)
+	pairs := SpreadAcrossGroups(r, groups, 4, 12) // entire space
+	if len(pairs) != 12 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	seen := map[campaign.Pair]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSpreadAcrossGroupsSmallGroupExhausts(t *testing.T) {
+	// Group {2} has 4 experiments; asking for 12 must still terminate and
+	// draw the remainder from the bigger group.
+	groups := [][]int{{0, 1, 2, 3}, {4}}
+	r := rng.New(3)
+	pairs := SpreadAcrossGroups(r, groups, 2, 10)
+	if len(pairs) != 10 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	fromSmall := 0
+	for _, p := range pairs {
+		if p.Site == 4 {
+			fromSmall++
+		}
+	}
+	if fromSmall != 2 {
+		t.Errorf("small group contributed %d, want its full 2", fromSmall)
+	}
+}
+
+func TestSpreadAcrossGroupsPanicsOnOverdraw(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpreadAcrossGroups(rng.New(1), [][]int{{0}}, 2, 3)
+}

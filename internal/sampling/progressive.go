@@ -1,0 +1,165 @@
+package sampling
+
+import (
+	"errors"
+	"fmt"
+
+	"ftb/internal/boundary"
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/rng"
+)
+
+// ProgressiveOptions configures the §3.4 progressive sampling loop.
+type ProgressiveOptions struct {
+	// RoundFrac is the fraction of the total sample space drawn per round
+	// (the paper uses 0.1%). Default 0.001.
+	RoundFrac float64
+	// StopNonMaskedFrac stops the loop once this fraction of a round's
+	// fresh samples is non-masked (the paper stops when 95% of new
+	// samples are SDC). Default 0.95.
+	StopNonMaskedFrac float64
+	// MaxRounds bounds the loop. Default 1000.
+	MaxRounds int
+	// Filter enables the §3.5 filter operation during inference.
+	Filter bool
+	// Adaptive biases each round's draw by 1/S_i; when false rounds are
+	// drawn uniformly from the remaining space.
+	Adaptive bool
+	// Bits is the per-site flip count (default 64).
+	Bits int
+	// Width is the IEEE-754 width of the program's data elements (32 or
+	// 64; default 64). It drives the flip-error model the per-round
+	// predictor uses when filtering the remaining sample space.
+	Width int
+	// Seed drives the sampler.
+	Seed uint64
+}
+
+func (o ProgressiveOptions) normalized() ProgressiveOptions {
+	if o.RoundFrac <= 0 {
+		o.RoundFrac = 0.001
+	}
+	if o.StopNonMaskedFrac <= 0 {
+		o.StopNonMaskedFrac = 0.95
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 1000
+	}
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	if o.Bits == 0 {
+		o.Bits = o.Width
+	}
+	return o
+}
+
+// RoundStat records one progressive round.
+type RoundStat struct {
+	Candidates int // remaining sample space before the draw
+	Samples    int // experiments run this round
+	Counts     outcome.Counts
+}
+
+// ProgressiveResult is the outcome of a progressive sampling run.
+type ProgressiveResult struct {
+	Builder      *boundary.Builder
+	Known        *boundary.Known
+	Rounds       []RoundStat
+	TotalSamples int
+}
+
+// SampleFraction returns the fraction of the sample space actually
+// injected.
+func (r *ProgressiveResult) SampleFraction(sites, bitsN int) float64 {
+	return float64(r.TotalSamples) / float64(sites*bitsN)
+}
+
+// RunProgressive executes the paper's progressive sampling method: draw a
+// small round of samples from the remaining space, absorb them into the
+// boundary, use the new boundary to discard every still-untested pair the
+// boundary already predicts masked, and repeat until a round yields
+// (almost) no new masked cases.
+func RunProgressive(cfg campaign.Config, opts ProgressiveOptions) (*ProgressiveResult, error) {
+	opts = opts.normalized()
+	if cfg.Golden == nil {
+		return nil, errors.New("sampling: campaign config has no golden run")
+	}
+	sites := cfg.Golden.Sites()
+	space := sites * opts.Bits
+	roundSize := int(opts.RoundFrac * float64(space))
+	if roundSize < 1 {
+		roundSize = 1
+	}
+
+	r := rng.New(opts.Seed)
+	bld := boundary.NewBuilder(cfg.Golden, opts.Filter)
+	known := boundary.NewKnown(sites, opts.Bits)
+	res := &ProgressiveResult{Builder: bld, Known: known}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		pred, err := boundary.NewPredictor(bld.Finalize(), cfg.Golden, known)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: %w", err)
+		}
+		if err := pred.SetWidth(opts.Width); err != nil {
+			return nil, fmt.Errorf("sampling: %w", err)
+		}
+		candidates := remainingCandidates(pred, known, sites, opts.Bits)
+		if len(candidates) == 0 {
+			break
+		}
+		k := roundSize
+		if k > len(candidates) {
+			k = len(candidates)
+		}
+		var pairs []campaign.Pair
+		if opts.Adaptive {
+			pairs = WeightedBySite(r.Split(), candidates, InfoWeights(bld.Info()), k)
+		} else {
+			pairs = UniformFrom(r.Split(), candidates, k)
+		}
+		recs, err := bld.Absorb(cfg, pairs, known)
+		if err != nil {
+			return nil, err
+		}
+		stat := RoundStat{Candidates: len(candidates), Samples: len(recs)}
+		for _, rec := range recs {
+			stat.Counts.Add(rec.Kind)
+		}
+		res.Rounds = append(res.Rounds, stat)
+		res.TotalSamples += len(recs)
+
+		nonMasked := stat.Counts.Total() - stat.Counts[outcome.Masked]
+		if stat.Counts.Total() > 0 &&
+			float64(nonMasked)/float64(stat.Counts.Total()) >= opts.StopNonMaskedFrac {
+			break
+		}
+	}
+	return res, nil
+}
+
+// remainingCandidates enumerates the untested pairs the current boundary
+// does not already predict masked — the shrunken sample space the next
+// round draws from. Predicted crashes stay in the pool (they are not
+// masked, so the boundary has nothing to say about them silently
+// corrupting output).
+func remainingCandidates(pred *boundary.Predictor, known *boundary.Known, sites, bitsN int) []campaign.Pair {
+	var out []campaign.Pair
+	for site := 0; site < sites; site++ {
+		if known.FullyTested(site) {
+			continue
+		}
+		for bit := 0; bit < bitsN; bit++ {
+			if _, tested := known.Get(site, uint8(bit)); tested {
+				continue
+			}
+			if pred.Predict(site, uint8(bit)) == outcome.Masked {
+				continue
+			}
+			out = append(out, campaign.Pair{Site: site, Bit: uint8(bit)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package sampling selects fault-injection experiments: uniform Monte
+// Carlo selection over the (site × bit) sample space, the paper's §3.4
+// information-biased selection (p_i ∝ 1/S_i), and the progressive
+// refinement loop that grows the boundary round by round until almost no
+// new masked cases appear.
+package sampling
+
+import (
+	"container/heap"
+	"math"
+
+	"ftb/internal/campaign"
+	"ftb/internal/rng"
+)
+
+// Uniform draws k distinct experiments uniformly from the full
+// sites × bitsN sample space. It panics if k exceeds the space.
+func Uniform(r *rng.Rand, sites, bitsN, k int) []campaign.Pair {
+	idx := r.SampleK(sites*bitsN, k)
+	pairs := make([]campaign.Pair, k)
+	for i, v := range idx {
+		pairs[i] = campaign.Pair{Site: v / bitsN, Bit: uint8(v % bitsN)}
+	}
+	return pairs
+}
+
+// UniformFrom draws k distinct experiments uniformly from an explicit
+// candidate list. It panics if k exceeds len(candidates).
+func UniformFrom(r *rng.Rand, candidates []campaign.Pair, k int) []campaign.Pair {
+	idx := r.SampleK(len(candidates), k)
+	pairs := make([]campaign.Pair, k)
+	for i, v := range idx {
+		pairs[i] = candidates[v]
+	}
+	return pairs
+}
+
+// InfoWeights converts per-site information counts into the §3.4 bias:
+// the weight of site i is 1/(1+S_i), so sites with little injection or
+// propagation information are preferred. (The paper's p_i = (1/Z)(1/S_i);
+// the +1 regularizes unobserved sites, and Z is implicit in the
+// without-replacement draw.)
+func InfoWeights(info []int64) func(site int) float64 {
+	return func(site int) float64 {
+		return 1.0 / float64(1+info[site])
+	}
+}
+
+// keyedPair is a candidate with its Efraimidis–Spirakis sampling key.
+type keyedPair struct {
+	pair campaign.Pair
+	key  float64
+}
+
+// keyHeap is a min-heap on key, used to keep the k largest keys.
+type keyHeap []keyedPair
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(keyedPair)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedBySite draws k distinct experiments from candidates, where each
+// candidate's weight is weight(site) (the bit dimension stays uniform
+// within a site). It implements weighted sampling without replacement via
+// Efraimidis–Spirakis keys (u^(1/w), keep the k largest). It panics if k
+// exceeds len(candidates); non-positive weights are treated as a minimal
+// positive weight.
+func WeightedBySite(r *rng.Rand, candidates []campaign.Pair, weight func(site int) float64, k int) []campaign.Pair {
+	if k > len(candidates) {
+		panic("sampling: k exceeds candidate count")
+	}
+	if k == 0 {
+		return nil
+	}
+	h := make(keyHeap, 0, k)
+	heap.Init(&h)
+	for _, c := range candidates {
+		w := weight(c.Site)
+		if w <= 0 || math.IsNaN(w) {
+			w = math.SmallestNonzeroFloat64
+		}
+		u := r.Float64()
+		// key = u^(1/w); log-space for numerical stability.
+		key := math.Log(u) / w
+		if len(h) < k {
+			heap.Push(&h, keyedPair{pair: c, key: key})
+		} else if key > h[0].key {
+			h[0] = keyedPair{pair: c, key: key}
+			heap.Fix(&h, 0)
+		}
+	}
+	pairs := make([]campaign.Pair, len(h))
+	for i, kp := range h {
+		pairs[i] = kp.pair
+	}
+	return pairs
+}

@@ -1,0 +1,244 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"ftb/internal/boundary"
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/rng"
+	"ftb/internal/trace"
+)
+
+func TestUniformDistinctAndInRange(t *testing.T) {
+	r := rng.New(1)
+	const sites, bitsN, k = 20, 64, 300
+	pairs := Uniform(r, sites, bitsN, k)
+	if len(pairs) != k {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	seen := map[campaign.Pair]bool{}
+	for _, p := range pairs {
+		if p.Site < 0 || p.Site >= sites || int(p.Bit) >= bitsN {
+			t.Fatalf("pair out of range: %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestUniformFromSubset(t *testing.T) {
+	r := rng.New(2)
+	candidates := []campaign.Pair{{Site: 1, Bit: 2}, {Site: 3, Bit: 4}, {Site: 5, Bit: 6}}
+	pairs := UniformFrom(r, candidates, 2)
+	if len(pairs) != 2 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	ok := map[campaign.Pair]bool{{Site: 1, Bit: 2}: true, {Site: 3, Bit: 4}: true, {Site: 5, Bit: 6}: true}
+	for _, p := range pairs {
+		if !ok[p] {
+			t.Fatalf("pair %v not in candidates", p)
+		}
+	}
+}
+
+func TestInfoWeightsInverse(t *testing.T) {
+	w := InfoWeights([]int64{0, 1, 9})
+	if w(0) != 1 || w(1) != 0.5 || w(2) != 0.1 {
+		t.Errorf("weights = %g %g %g", w(0), w(1), w(2))
+	}
+}
+
+func TestWeightedBySiteBias(t *testing.T) {
+	// Two sites; site 0 has enormous info (tiny weight), site 1 none.
+	// Drawing half the candidates must overwhelmingly pick site 1.
+	var candidates []campaign.Pair
+	for bit := 0; bit < 64; bit++ {
+		candidates = append(candidates, campaign.Pair{Site: 0, Bit: uint8(bit)})
+		candidates = append(candidates, campaign.Pair{Site: 1, Bit: uint8(bit)})
+	}
+	info := []int64{100000, 0}
+	r := rng.New(3)
+	picked := WeightedBySite(r, candidates, InfoWeights(info), 64)
+	site1 := 0
+	for _, p := range picked {
+		if p.Site == 1 {
+			site1++
+		}
+	}
+	if site1 < 60 {
+		t.Errorf("biased draw picked site 1 only %d/64 times", site1)
+	}
+}
+
+func TestWeightedBySiteWithoutReplacement(t *testing.T) {
+	candidates := make([]campaign.Pair, 0, 100)
+	for i := 0; i < 100; i++ {
+		candidates = append(candidates, campaign.Pair{Site: i, Bit: 0})
+	}
+	r := rng.New(4)
+	picked := WeightedBySite(r, candidates, func(int) float64 { return 1 }, 100)
+	if len(picked) != 100 {
+		t.Fatalf("len = %d", len(picked))
+	}
+	seen := map[int]bool{}
+	for _, p := range picked {
+		if seen[p.Site] {
+			t.Fatalf("duplicate site %d", p.Site)
+		}
+		seen[p.Site] = true
+	}
+}
+
+func TestWeightedBySitePanicsOnOverdraw(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedBySite(rng.New(1), []campaign.Pair{{Site: 0, Bit: 0}}, func(int) float64 { return 1 }, 2)
+}
+
+func TestWeightedBySiteZeroK(t *testing.T) {
+	if got := WeightedBySite(rng.New(1), []campaign.Pair{{Site: 0, Bit: 0}}, func(int) float64 { return 1 }, 0); len(got) != 0 {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestWeightedBySiteHandlesBadWeights(t *testing.T) {
+	candidates := []campaign.Pair{{Site: 0, Bit: 0}, {Site: 1, Bit: 0}, {Site: 2, Bit: 0}}
+	weights := []float64{0, math.NaN(), -1}
+	picked := WeightedBySite(rng.New(5), candidates, func(s int) float64 { return weights[s] }, 3)
+	if len(picked) != 3 {
+		t.Errorf("len = %d, want 3", len(picked))
+	}
+}
+
+// chainProg for progressive tests: verbatim propagation, monotonic.
+type chainProg struct{ n int }
+
+func (p *chainProg) Name() string { return "chain" }
+
+func (p *chainProg) Run(ctx *trace.Ctx) []float64 {
+	v := 1.0
+	for i := 0; i < p.n; i++ {
+		v = ctx.Store(v + 0.5)
+	}
+	return []float64{v}
+}
+
+func chainCfg(n int, tol float64) campaign.Config {
+	p := &chainProg{n: n}
+	g, err := trace.Golden(p)
+	if err != nil {
+		panic(err)
+	}
+	return campaign.Config{
+		Factory: func() trace.Program { return &chainProg{n: n} },
+		Golden:  g,
+		Tol:     tol,
+	}
+}
+
+func TestRunProgressiveConverges(t *testing.T) {
+	cfg := chainCfg(32, 1e-6)
+	res, err := RunProgressive(cfg, ProgressiveOptions{
+		RoundFrac: 0.02,
+		Filter:    true,
+		Adaptive:  true,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if res.TotalSamples == 0 {
+		t.Fatal("no samples")
+	}
+	// The chain is highly maskable: progressive sampling must stop well
+	// short of the full space.
+	space := 32 * 64
+	if res.TotalSamples >= space/2 {
+		t.Errorf("progressive used %d/%d samples; expected large savings", res.TotalSamples, space)
+	}
+	// The resulting boundary must predict with perfect precision on this
+	// monotone program.
+	gt, err := campaign.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := boundary.NewPredictor(res.Builder.Finalize(), cfg.Golden, res.Known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var predicted, correct int
+	for site := 0; site < 32; site++ {
+		for bit := 0; bit < 64; bit++ {
+			if pred.Predict(site, uint8(bit)) == outcome.Masked {
+				predicted++
+				if gt.At(site, uint8(bit)) == outcome.Masked {
+					correct++
+				}
+			}
+		}
+	}
+	if predicted == 0 || correct != predicted {
+		t.Errorf("precision %d/%d after progressive sampling", correct, predicted)
+	}
+}
+
+func TestRunProgressiveDeterministicForSeed(t *testing.T) {
+	cfg := chainCfg(16, 1e-6)
+	opts := ProgressiveOptions{RoundFrac: 0.05, Seed: 11, Adaptive: true, Filter: true}
+	a, err := RunProgressive(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProgressive(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSamples != b.TotalSamples || len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d samples/rounds",
+			a.TotalSamples, len(a.Rounds), b.TotalSamples, len(b.Rounds))
+	}
+	ba, bb := a.Builder.Finalize(), b.Builder.Finalize()
+	for i := range ba.Thresholds {
+		if ba.Thresholds[i] != bb.Thresholds[i] {
+			t.Fatalf("thresholds differ at %d", i)
+		}
+	}
+}
+
+func TestRunProgressiveShrinksSampleSpace(t *testing.T) {
+	cfg := chainCfg(24, 1e-6)
+	res, err := RunProgressive(cfg, ProgressiveOptions{RoundFrac: 0.05, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Skip("converged in one round")
+	}
+	first, last := res.Rounds[0], res.Rounds[len(res.Rounds)-1]
+	if last.Candidates >= first.Candidates {
+		t.Errorf("candidate space did not shrink: %d -> %d", first.Candidates, last.Candidates)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	res := &ProgressiveResult{TotalSamples: 64}
+	if f := res.SampleFraction(10, 64); f != 0.1 {
+		t.Errorf("fraction = %g, want 0.1", f)
+	}
+}
+
+func TestRunProgressiveRequiresGolden(t *testing.T) {
+	if _, err := RunProgressive(campaign.Config{}, ProgressiveOptions{}); err == nil {
+		t.Error("missing golden accepted")
+	}
+}

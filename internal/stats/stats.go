@@ -1,0 +1,177 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses use: mean/std summaries over repeated trials, histograms for
+// the ΔSDC figures, and grouping of per-site series for plotting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for fewer than two
+// values).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Summary is a mean ± std pair over repeated trials.
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), Std: Std(xs), N: len(xs)}
+}
+
+// String renders the summary as "mean ± std" with percent-style
+// precision.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.Std)
+}
+
+// PctString renders the summary as a percentage, e.g. "98.64% ± 0.2%".
+func (s Summary) PctString() string {
+	return fmt.Sprintf("%.2f%% ± %.2f%%", 100*s.Mean, 100*s.Std)
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max]. Values
+// outside the range are clamped into the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins
+// over [min, max]. It panics if bins < 1 or max <= min.
+func NewHistogram(xs []float64, bins int, min, max float64) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if max <= min {
+		panic("stats: histogram needs max > min")
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	pos := (x - h.Min) / (h.Max - h.Min) * float64(bins)
+	i := int(pos)
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation. It panics on an empty slice or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile fraction out of [0,1]")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// GroupMeans partitions xs into ceil(len/size) groups of consecutive
+// elements and returns each group's mean. The paper groups consecutive
+// dynamic instructions this way to plot millions of per-site values
+// (Figure 4 groups 8 CG, 147 LU and 208 FFT instructions per point).
+func GroupMeans(xs []float64, size int) []float64 {
+	if size < 1 {
+		panic("stats: group size must be positive")
+	}
+	out := make([]float64, 0, (len(xs)+size-1)/size)
+	for lo := 0; lo < len(xs); lo += size {
+		hi := lo + size
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out = append(out, Mean(xs[lo:hi]))
+	}
+	return out
+}
+
+// GroupSums partitions like GroupMeans but returns group sums (used for
+// the potential-impact profile, which sums information counts).
+func GroupSums(xs []float64, size int) []float64 {
+	if size < 1 {
+		panic("stats: group size must be positive")
+	}
+	out := make([]float64, 0, (len(xs)+size-1)/size)
+	for lo := 0; lo < len(xs); lo += size {
+		hi := lo + size
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		s := 0.0
+		for _, x := range xs[lo:hi] {
+			s += x
+		}
+		out = append(out, s)
+	}
+	return out
+}

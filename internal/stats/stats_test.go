@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if s := Std(xs); math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s, math.Sqrt(32.0/7))
+	}
+}
+
+func TestMeanStdDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{3}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 || s.Std != 1 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.PctString() != "200.00% ± 100.00%" {
+		t.Errorf("PctString = %q", s.PctString())
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.1, 0.9, 0.5}, 10, 0, 1)
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin 1 count = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram([]float64{-5, 5}, 4, 0, 1)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("clamped counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(nil, 4, 0, 1)
+	if c := h.BinCenter(0); c != 0.125 {
+		t.Errorf("BinCenter(0) = %g, want 0.125", c)
+	}
+	if c := h.BinCenter(3); c != 0.875 {
+		t.Errorf("BinCenter(3) = %g, want 0.875", c)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(nil, 0, 0, 1) },
+		func() { NewHistogram(nil, 4, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %g", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %g", q)
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := GroupMeans(xs, 2)
+	want := []float64{1.5, 3.5, 5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("group %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupSums(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := GroupSums(xs, 3)
+	want := []float64{6, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("group %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: histogram total always equals input length; group means stay
+// within [min, max] of their inputs.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		h := NewHistogram(xs, 7, -10, 10)
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			xs = append(xs, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		const eps = 1e-9
+		return m >= lo-eps*(1+math.Abs(lo)) && m <= hi+eps*(1+math.Abs(hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package textplot renders simple ASCII charts so the experiment CLI can
+// display the paper's figures in a terminal: multi-series line charts
+// (Figures 4 and 5) and histograms (Figure 3).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ftb/internal/stats"
+)
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	Marker byte
+	Ys     []float64
+}
+
+// Chart renders the series on a width×height character canvas with a
+// shared y-range and an x-axis indexed by sample position. Series may
+// have different lengths; each is stretched over the full width.
+func Chart(title string, width, height int, series ...Series) string {
+	if width < 8 || height < 3 {
+		panic("textplot: canvas too small")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) { // no data
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		n := len(s.Ys)
+		if n == 0 {
+			continue
+		}
+		for x := 0; x < width; x++ {
+			idx := x * (n - 1) / maxInt(width-1, 1)
+			if n == 1 {
+				idx = 0
+			}
+			y := s.Ys[idx]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			row := int((hi - y) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = s.Marker
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Hist renders a histogram as horizontal bars, one row per non-empty bin
+// plus explicit zero-count context rows around them, scaled to barWidth.
+func Hist(title string, h *stats.Histogram, barWidth int) string {
+	if barWidth < 1 {
+		panic("textplot: bar width must be positive")
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if maxC == 0 {
+		b.WriteString("  (empty)\n")
+		return b.String()
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", maxInt(1, c*barWidth/maxC))
+		fmt.Fprintf(&b, "%10.4f | %-*s %d\n", h.BinCenter(i), barWidth, bar, c)
+	}
+	fmt.Fprintf(&b, "%10s + total %d\n", "", h.Total())
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"ftb/internal/stats"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart("demo", 20, 5,
+		Series{Name: "up", Marker: '*', Ys: []float64{0, 1, 2, 3}},
+		Series{Name: "flat", Marker: 'o', Ys: []float64{1.5, 1.5}},
+	)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=flat") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + legend
+	if len(lines) != 8 {
+		t.Errorf("line count = %d, want 8", len(lines))
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	out := Chart("", 10, 3, Series{Name: "none", Marker: 'x', Ys: nil})
+	if out == "" {
+		t.Error("empty chart output")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// hi == lo must not divide by zero.
+	out := Chart("", 10, 3, Series{Name: "c", Marker: 'c', Ys: []float64{2, 2, 2}})
+	if !strings.Contains(out, "c") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestChartPanicsOnTinyCanvas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Chart("", 2, 1)
+}
+
+func TestChartYRangeLabels(t *testing.T) {
+	out := Chart("", 12, 4, Series{Name: "s", Marker: '*', Ys: []float64{-3, 7}})
+	if !strings.Contains(out, "7") || !strings.Contains(out, "-3") {
+		t.Errorf("missing y labels:\n%s", out)
+	}
+}
+
+func TestHistBasic(t *testing.T) {
+	h := stats.NewHistogram([]float64{0.1, 0.1, 0.1, 0.9}, 4, 0, 1)
+	out := Hist("hist", h, 20)
+	if !strings.Contains(out, "hist") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("missing bars")
+	}
+	if !strings.Contains(out, "total 4") {
+		t.Error("missing total")
+	}
+	// Zero bins are skipped: bin centers 0.375 and 0.625 absent.
+	if strings.Contains(out, "0.3750") || strings.Contains(out, "0.6250") {
+		t.Errorf("zero bins rendered:\n%s", out)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := stats.NewHistogram(nil, 4, 0, 1)
+	out := Hist("", h, 10)
+	if !strings.Contains(out, "(empty)") {
+		t.Error("empty histogram not flagged")
+	}
+}
+
+func TestHistPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Hist("", stats.NewHistogram(nil, 2, 0, 1), 0)
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+
+	"ftb/internal/bits"
+)
+
+// This file implements the paper's §5 "Overhead" future-work idea:
+// tracking error propagation by computation duplication instead of by
+// storing the whole golden dynamic state. RunInjectDiffDual executes a
+// fault-free instance and a fault-injected instance of the program in
+// lockstep — the golden instance runs in its own goroutine and streams
+// each stored value through a bounded channel — so memory is O(buffer)
+// instead of O(dynamic instructions). The trade is wall-clock: per-store
+// channel synchronization costs roughly an order of magnitude more than
+// an array lookup, the compute-for-memory trade the paper anticipates.
+
+// RunInjectDiffDual behaves like RunInjectDiff — classifying one
+// injection and streaming per-site |golden − corrupted| deltas to sink —
+// but obtains golden values by running a second, fault-free program
+// instance concurrently instead of reading a recorded golden trace.
+// goldenProg must be an independent instance of the same program (never
+// the same object as p, since kernels keep mutable work buffers). The
+// fault-free output is returned as well, so callers need no prior Golden
+// run. bufSites bounds the in-flight window (default 1024 when ≤ 0).
+func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink DiffSink, bufSites int) (res InjectResult, goldenOutput []float64, err error) {
+	if p == goldenProg {
+		return res, nil, fmt.Errorf("trace: dual run requires two independent program instances")
+	}
+	if bufSites <= 0 {
+		bufSites = 1024
+	}
+	stream := make(chan float64, bufSites)
+	outCh := make(chan []float64, 1)
+	go func() {
+		var gctx Ctx
+		gctx.armStreamSource(stream)
+		out := goldenProg.Run(&gctx)
+		close(stream)
+		outCh <- out
+	}()
+
+	ctx.armStreamDiff(site, bit, stream, sink)
+	res = func() (res InjectResult) {
+		defer func() {
+			res.InjErr = ctx.InjectedError()
+			res.Injected = ctx.Injected()
+			if r := recover(); r != nil {
+				cs, ok := r.(crashSignal)
+				if !ok {
+					panic(r)
+				}
+				res.Crashed = true
+				res.CrashAt = cs.site
+				res.Output = nil
+			}
+		}()
+		res.Output = p.Run(ctx)
+		return res
+	}()
+
+	// Drain remaining golden stores (the injected run may have crashed
+	// early) so the golden goroutine can finish.
+	for range stream {
+	}
+	goldenOutput = <-outCh
+	for _, v := range goldenOutput {
+		if bits.IsUnsafe(v) {
+			return res, goldenOutput, fmt.Errorf("%w (program %q output)", ErrGoldenUnsafe, goldenProg.Name())
+		}
+	}
+	if !res.Crashed && ctx.streamShort {
+		return res, goldenOutput, fmt.Errorf("%w: golden stream ended early (program %q)", ErrTraceMismatch, p.Name())
+	}
+	return res, goldenOutput, nil
+}

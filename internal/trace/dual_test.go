@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestDualRunMatchesRecordedDiff(t *testing.T) {
+	// The dual (computation-duplication) runner must observe exactly the
+	// same deltas as the recorded-golden runner.
+	mk := func() *sumProg { return &sumProg{inputs: []float64{1, 2, 3, 4}} }
+	g, err := Golden(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		site int
+		bit  uint
+	}{{2, 63}, {0, 10}, {7, 0}} {
+		recSink := &recordingSink{}
+		var ctx1 Ctx
+		recRes, err := RunInjectDiff(&ctx1, mk(), g, pair.site, pair.bit, recSink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dualSink := &recordingSink{}
+		var ctx2 Ctx
+		dualRes, gOut, err := RunInjectDiffDual(&ctx2, mk(), mk(), pair.site, pair.bit, dualSink, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dualRes.Crashed != recRes.Crashed || dualRes.InjErr != recRes.InjErr {
+			t.Fatalf("site %d bit %d: dual %+v vs recorded %+v", pair.site, pair.bit, dualRes, recRes)
+		}
+		if len(gOut) != len(g.Output) || gOut[0] != g.Output[0] {
+			t.Fatalf("dual golden output %v, want %v", gOut, g.Output)
+		}
+		if len(dualSink.deltas) != len(recSink.deltas) {
+			t.Fatalf("dual observed %d deltas, recorded %d", len(dualSink.deltas), len(recSink.deltas))
+		}
+		for i := range recSink.deltas {
+			if dualSink.deltas[i] != recSink.deltas[i] {
+				t.Fatalf("delta[%d]: dual %g, recorded %g", i, dualSink.deltas[i], recSink.deltas[i])
+			}
+			if dualSink.golden[i] != recSink.golden[i] {
+				t.Fatalf("golden[%d]: dual %g, recorded %g", i, dualSink.golden[i], recSink.golden[i])
+			}
+		}
+	}
+}
+
+func TestDualRunCrashDrainsGolden(t *testing.T) {
+	mk := func() *sumProg { return &sumProg{inputs: []float64{1, 2, 3}} }
+	var ctx Ctx
+	sink := &recordingSink{}
+	// Bit 62 on site 0 (value 1.0) -> +Inf -> crash at injection site.
+	res, gOut, err := RunInjectDiffDual(&ctx, mk(), mk(), 0, 62, sink, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed || res.CrashAt != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(gOut) != 1 || gOut[0] != 6 {
+		t.Fatalf("golden output %v", gOut)
+	}
+	if len(sink.deltas) != 0 {
+		t.Errorf("crash at injection observed %d deltas", len(sink.deltas))
+	}
+}
+
+func TestDualRunRejectsSharedInstance(t *testing.T) {
+	p := &sumProg{inputs: []float64{1}}
+	var ctx Ctx
+	if _, _, err := RunInjectDiffDual(&ctx, p, p, 0, 0, &recordingSink{}, 0); err == nil {
+		t.Error("shared program instance accepted")
+	}
+}
+
+func TestDualRunTinyBuffer(t *testing.T) {
+	// A buffer of 1 forces full lockstep; results must be unaffected.
+	mk := func() *sumProg { return &sumProg{inputs: []float64{1, 2, 3, 4, 5, 6, 7, 8}} }
+	sink := &recordingSink{}
+	var ctx Ctx
+	res, _, err := RunInjectDiffDual(&ctx, mk(), mk(), 5, 63, sink, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatal("unexpected crash")
+	}
+	if len(sink.deltas) != 16 {
+		t.Fatalf("observed %d deltas, want 16", len(sink.deltas))
+	}
+}
+
+func BenchmarkDualRunVsRecorded(b *testing.B) {
+	mk := func() *sumProg {
+		p := &sumProg{inputs: make([]float64, 256)}
+		for i := range p.inputs {
+			p.inputs[i] = float64(i) * 0.5
+		}
+		return p
+	}
+	g, err := Golden(mk())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("recorded", func(b *testing.B) {
+		var ctx Ctx
+		p := mk()
+		sink := discardDiff{}
+		for i := 0; i < b.N; i++ {
+			if _, err := RunInjectDiff(&ctx, p, g, 10, 3, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dual", func(b *testing.B) {
+		var ctx Ctx
+		p, gp := mk(), mk()
+		sink := discardDiff{}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RunInjectDiffDual(&ctx, p, gp, 10, 3, sink, 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type discardDiff struct{}
+
+func (discardDiff) Observe(int, float64, float64) {}

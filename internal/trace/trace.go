@@ -1,0 +1,391 @@
+// Package trace implements the instrumented-execution substrate that stands
+// in for the paper's LLVM-level load/store instrumentation.
+//
+// A benchmark kernel is a Program whose Run method funnels every tracked
+// floating-point data-element write through Ctx.Store. Store assigns each
+// write its dynamic-instruction index — the paper's "dynamic instruction
+// [is] a single injection site where the result is corruptible" (§2.1) —
+// and, depending on the context mode, counts it, records the golden value,
+// injects a single bit flip, or streams the |golden − corrupted| difference
+// to a sink (the error-propagation data that feeds Algorithm 1).
+//
+// Injection runs emulate a trap-on-NaN environment: the first tracked store
+// of a NaN or ±Inf aborts the run, and the runner classifies it as a crash
+// ("a variable value could be corrupted such that it causes a NaN
+// exception", §2.1).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftb/internal/bits"
+)
+
+// Mode selects what a Ctx does on each Store.
+type Mode uint8
+
+const (
+	// ModeCount only counts dynamic instructions.
+	ModeCount Mode = iota
+	// ModeRecord appends every stored value to the golden trace.
+	ModeRecord
+	// ModeInject flips one bit at one site and otherwise runs untouched.
+	ModeInject
+	// ModeInjectDiff injects like ModeInject and additionally reports
+	// |golden − corrupted| for every site to a DiffSink.
+	ModeInjectDiff
+	// modeStreamSource is the golden half of a dual run: every store is
+	// forwarded into a channel (see RunInjectDiffDual).
+	modeStreamSource
+	// modeStreamDiff is the injected half of a dual run: golden reference
+	// values are read from the channel instead of a recorded trace.
+	modeStreamDiff
+)
+
+// DiffSink consumes per-site propagation errors during a ModeInjectDiff
+// run. Observe is called once per dynamic instruction, in execution order,
+// with the golden value of the site and the absolute difference between
+// golden and fault-injected runs at that site.
+type DiffSink interface {
+	Observe(site int, golden, delta float64)
+}
+
+// Program is an instrumented benchmark kernel. Run must perform the exact
+// same sequence of Store calls on every invocation (fixed control flow
+// with respect to the data), and return the program output that the
+// outcome classifier compares against the golden output.
+type Program interface {
+	// Name identifies the kernel (e.g. "cg", "lu", "fft").
+	Name() string
+	// Run executes the kernel against ctx and returns its output.
+	Run(ctx *Ctx) []float64
+}
+
+// crashSignal is the sentinel panic value used to abort a run when a
+// tracked store produces NaN/±Inf. It never escapes this package.
+type crashSignal struct{ site int }
+
+// ErrGoldenUnsafe is returned by Golden when the fault-free execution
+// itself stores NaN/±Inf, which indicates a broken kernel or input.
+var ErrGoldenUnsafe = errors.New("trace: golden run stored a NaN/Inf value")
+
+// ErrTraceMismatch is returned when an injected run performs a different
+// number of tracked stores than the golden run. The kernels in this
+// repository are data-oblivious, so this indicates a kernel bug.
+var ErrTraceMismatch = errors.New("trace: dynamic instruction count differs from golden run")
+
+// Ctx is a single-run execution context. A Ctx is not safe for concurrent
+// use; campaigns give each worker its own. The zero value is a ModeCount
+// context; use the Count/Record/Inject/InjectDiff methods to (re)arm it
+// before each run.
+type Ctx struct {
+	mode Mode
+	n    int // next dynamic-instruction index
+
+	// Record mode.
+	golden []float64
+
+	// Inject modes.
+	site     int
+	bit      uint
+	injected bool
+	injErr   float64 // |flipped − original| at the injection site
+
+	// InjectDiff mode.
+	ref  []float64
+	sink DiffSink
+
+	// Dual-run (stream) modes.
+	streamOut   chan<- float64
+	streamIn    <-chan float64
+	streamShort bool // golden stream ended before this run did
+}
+
+// Count arms c to count dynamic instructions.
+func (c *Ctx) Count() {
+	*c = Ctx{mode: ModeCount}
+}
+
+// Record arms c to record the golden trace into buf (reused if capacity
+// allows).
+func (c *Ctx) Record(buf []float64) {
+	*c = Ctx{mode: ModeRecord, golden: buf[:0]}
+}
+
+// Inject arms c to flip bit of the value stored at dynamic instruction
+// site.
+func (c *Ctx) Inject(site int, bit uint) {
+	*c = Ctx{mode: ModeInject, site: site, bit: bit}
+}
+
+// InjectDiff arms c to inject like Inject and stream per-site propagation
+// errors against the golden trace to sink.
+func (c *Ctx) InjectDiff(site int, bit uint, golden []float64, sink DiffSink) {
+	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink}
+}
+
+// armStreamSource arms c as the golden half of a dual run.
+func (c *Ctx) armStreamSource(out chan<- float64) {
+	*c = Ctx{mode: modeStreamSource, streamOut: out}
+}
+
+// armStreamDiff arms c as the injected half of a dual run.
+func (c *Ctx) armStreamDiff(site int, bit uint, in <-chan float64, sink DiffSink) {
+	*c = Ctx{mode: modeStreamDiff, site: site, bit: bit, streamIn: in, sink: sink}
+}
+
+// Sites returns the number of Store calls observed so far.
+func (c *Ctx) Sites() int { return c.n }
+
+// GoldenTrace returns the recorded golden trace (ModeRecord only).
+func (c *Ctx) GoldenTrace() []float64 { return c.golden }
+
+// Injected reports whether the armed injection actually fired (the run
+// reached the target site).
+func (c *Ctx) Injected() bool { return c.injected }
+
+// InjectedError returns |flipped − original| at the injection site, valid
+// once Injected() is true. +Inf means the flip itself produced NaN/Inf.
+func (c *Ctx) InjectedError() float64 { return c.injErr }
+
+// Store is the instrumentation point: every tracked floating-point
+// data-element write in a kernel is written as v = ctx.Store(v). It
+// assigns the next dynamic-instruction index and applies the mode
+// behaviour, returning the (possibly corrupted) value the kernel must
+// continue with.
+func (c *Ctx) Store(v float64) float64 {
+	i := c.n
+	c.n = i + 1
+	switch c.mode {
+	case ModeCount:
+		return v
+	case ModeRecord:
+		c.golden = append(c.golden, v)
+		return v
+	case ModeInject:
+		if i == c.site {
+			orig := v
+			v = bits.Flip64(v, c.bit)
+			c.injected = true
+			c.injErr = injectionError(orig, v)
+		}
+		if bits.IsUnsafe(v) {
+			panic(crashSignal{site: i})
+		}
+		return v
+	case ModeInjectDiff:
+		if i == c.site {
+			orig := v
+			v = bits.Flip64(v, c.bit)
+			c.injected = true
+			c.injErr = injectionError(orig, v)
+		}
+		if bits.IsUnsafe(v) {
+			panic(crashSignal{site: i})
+		}
+		if i < len(c.ref) {
+			g := c.ref[i]
+			d := v - g
+			if d < 0 {
+				d = -d
+			}
+			c.sink.Observe(i, g, d)
+		}
+		return v
+	case modeStreamSource:
+		c.streamOut <- v
+		return v
+	case modeStreamDiff:
+		if i == c.site {
+			orig := v
+			v = bits.Flip64(v, c.bit)
+			c.injected = true
+			c.injErr = injectionError(orig, v)
+		}
+		if bits.IsUnsafe(v) {
+			panic(crashSignal{site: i})
+		}
+		g, ok := <-c.streamIn
+		if !ok {
+			c.streamShort = true
+			return v
+		}
+		d := v - g
+		if d < 0 {
+			d = -d
+		}
+		c.sink.Observe(i, g, d)
+		return v
+	default:
+		panic(fmt.Sprintf("trace: invalid mode %d", c.mode))
+	}
+}
+
+// Store32 is the instrumentation point for single-precision data
+// elements: v = ctx.Store32(v). The site occupies one dynamic-instruction
+// index like Store, but its fault population is the 32 bits of the IEEE-754
+// single representation; campaigns over 32-bit programs must therefore be
+// configured with 32 flips per site. Arming a bit ≥ 32 against a 32-bit
+// site is a campaign-configuration bug and panics.
+func (c *Ctx) Store32(v float32) float32 {
+	i := c.n
+	c.n = i + 1
+	switch c.mode {
+	case ModeCount:
+		return v
+	case ModeRecord:
+		c.golden = append(c.golden, float64(v))
+		return v
+	case ModeInject, ModeInjectDiff:
+		if i == c.site {
+			if c.bit >= bits.Width32 {
+				panic(fmt.Sprintf("trace: bit %d armed against 32-bit site %d", c.bit, i))
+			}
+			orig := v
+			v = bits.Flip32(v, c.bit)
+			c.injected = true
+			c.injErr = injectionError32(orig, v)
+		}
+		if bits.IsUnsafe32(v) {
+			panic(crashSignal{site: i})
+		}
+		if c.mode == ModeInjectDiff && i < len(c.ref) {
+			g := c.ref[i]
+			d := float64(v) - g
+			if d < 0 {
+				d = -d
+			}
+			c.sink.Observe(i, g, d)
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("trace: invalid mode %d", c.mode))
+	}
+}
+
+func injectionError32(orig, flipped float32) float64 {
+	if bits.IsUnsafe32(flipped) {
+		return math.Inf(1)
+	}
+	d := float64(flipped) - float64(orig)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func injectionError(orig, flipped float64) float64 {
+	if bits.IsUnsafe(flipped) {
+		return math.Inf(1)
+	}
+	d := flipped - orig
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// CountSites runs p in counting mode and returns its dynamic-instruction
+// count (the size of the per-site sample space).
+func CountSites(p Program) int {
+	var c Ctx
+	c.Count()
+	p.Run(&c)
+	return c.Sites()
+}
+
+// GoldenRun holds the fault-free execution of a program: the value of
+// every dynamic instruction and the program output.
+type GoldenRun struct {
+	Trace  []float64 // golden value of each dynamic instruction
+	Output []float64 // golden program output
+}
+
+// Sites returns the number of dynamic instructions.
+func (g *GoldenRun) Sites() int { return len(g.Trace) }
+
+// Golden executes p fault-free, recording the full golden trace and
+// output. It fails if the fault-free run itself produces NaN/±Inf.
+func Golden(p Program) (*GoldenRun, error) {
+	var c Ctx
+	c.Record(nil)
+	out := p.Run(&c)
+	g := &GoldenRun{Trace: c.GoldenTrace(), Output: out}
+	for _, v := range g.Trace {
+		if bits.IsUnsafe(v) {
+			return nil, fmt.Errorf("%w (program %q)", ErrGoldenUnsafe, p.Name())
+		}
+	}
+	for _, v := range g.Output {
+		if bits.IsUnsafe(v) {
+			return nil, fmt.Errorf("%w (program %q output)", ErrGoldenUnsafe, p.Name())
+		}
+	}
+	return g, nil
+}
+
+// InjectResult is the outcome of a single fault-injection run.
+type InjectResult struct {
+	Output   []float64 // program output; nil if the run crashed
+	InjErr   float64   // |flipped − original| at the injection site
+	Crashed  bool      // a tracked store produced NaN/±Inf
+	CrashAt  int       // site of the unsafe store when Crashed
+	Injected bool      // the run reached the target site
+}
+
+// RunInject executes p with a single bit flip at (site, bit) using ctx
+// (re-armed internally). The returned output aliases kernel-owned memory
+// only until the next run on the same Program instance; callers that keep
+// it must copy.
+func RunInject(ctx *Ctx, p Program, site int, bit uint) (res InjectResult) {
+	ctx.Inject(site, bit)
+	defer func() {
+		res.InjErr = ctx.InjectedError()
+		res.Injected = ctx.Injected()
+		if r := recover(); r != nil {
+			cs, ok := r.(crashSignal)
+			if !ok {
+				panic(r)
+			}
+			res.Crashed = true
+			res.CrashAt = cs.site
+			res.Output = nil
+		}
+	}()
+	res.Output = p.Run(ctx)
+	return res
+}
+
+// RunInjectDiff executes p with a single bit flip at (site, bit), streaming
+// per-site propagation errors against golden to sink. The sink observes
+// sites in execution order; on a crash it has observed every site up to
+// (but not including) the crashing store. An ErrTraceMismatch error is
+// returned if the run's dynamic-instruction count differs from golden's
+// (only possible for a buggy, non-data-oblivious kernel).
+func RunInjectDiff(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink) (InjectResult, error) {
+	ctx.InjectDiff(site, bit, golden.Trace, sink)
+	res := func() (res InjectResult) {
+		defer func() {
+			res.InjErr = ctx.InjectedError()
+			res.Injected = ctx.Injected()
+			if r := recover(); r != nil {
+				cs, ok := r.(crashSignal)
+				if !ok {
+					panic(r)
+				}
+				res.Crashed = true
+				res.CrashAt = cs.site
+				res.Output = nil
+			}
+		}()
+		res.Output = p.Run(ctx)
+		return res
+	}()
+	if !res.Crashed && ctx.Sites() != golden.Sites() {
+		return res, fmt.Errorf("%w: got %d, golden %d (program %q)",
+			ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+	}
+	return res, nil
+}

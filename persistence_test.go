@@ -1,0 +1,128 @@
+package ftb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestPersistenceFacadeRoundTrips(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.InferBoundary(InferOptions{SampleFrac: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream round trips.
+	var buf bytes.Buffer
+	if err := SaveGoldenRun(&buf, an.Golden()); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGoldenRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Sites() != an.Sites() {
+		t.Error("golden round trip lost sites")
+	}
+
+	buf.Reset()
+	if err := SaveGroundTruth(&buf, gt); err != nil {
+		t.Fatal(err)
+	}
+	gt2, err := LoadGroundTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := gt.Overall(), gt2.Overall()
+	if o1 != o2 {
+		t.Errorf("ground truth round trip changed counts: %v vs %v", o1, o2)
+	}
+
+	buf.Reset()
+	if err := SaveKnown(&buf, res.Known()); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadKnown(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Total() != res.Known().Total() {
+		t.Error("known table round trip changed totals")
+	}
+
+	// File round trip for the boundary, then reuse it via a new predictor.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.ftb")
+	if err := SaveBoundaryFile(path, res.Boundary()); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBoundaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := an.NewPredictor(b2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions from the reloaded boundary match the original for
+	// non-fully-tested sites (the reloaded path has no Known table).
+	orig, err := an.NewPredictor(res.Boundary(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < an.Sites(); site++ {
+		for bit := 0; bit < an.Bits(); bit += 7 {
+			if pred.Predict(site, uint8(bit)) != orig.Predict(site, uint8(bit)) {
+				t.Fatalf("reloaded boundary predicts differently at (%d,%d)", site, bit)
+			}
+		}
+	}
+}
+
+func TestPersistenceFacadeFileVariants(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	gPath := filepath.Join(dir, "g.ftb")
+	if err := SaveGoldenRunFile(gPath, an.Golden()); err != nil {
+		t.Fatal(err)
+	}
+	if g, err := LoadGoldenRunFile(gPath); err != nil || g.Sites() != an.Sites() {
+		t.Fatalf("golden file round trip: %v", err)
+	}
+
+	gt, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtPath := filepath.Join(dir, "gt.ftb")
+	if err := SaveGroundTruthFile(gtPath, gt); err != nil {
+		t.Fatal(err)
+	}
+	if gt2, err := LoadGroundTruthFile(gtPath); err != nil || gt2.SitesN != gt.SitesN {
+		t.Fatalf("ground truth file round trip: %v", err)
+	}
+
+	res, err := an.InferBoundary(InferOptions{Samples: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPath := filepath.Join(dir, "k.ftb")
+	if err := SaveKnownFile(kPath, res.Known()); err != nil {
+		t.Fatal(err)
+	}
+	if k, err := LoadKnownFile(kPath); err != nil || k.Total() != res.Known().Total() {
+		t.Fatalf("known file round trip: %v", err)
+	}
+}
