@@ -2,22 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench examples repro clean
+.PHONY: all check build test vet race cover bench examples repro clean
 
-all: build vet test
+all: check
+
+# check is the default gate: compile, vet + format, unit tests, and the
+# race detector over the concurrent packages (the campaign engine and the
+# trace runner it drives).
+check: build vet test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
-	gofmt -l .
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/campaign/... ./internal/trace/...
 
 cover:
 	$(GO) test -cover ./...

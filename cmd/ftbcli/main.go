@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"ftb"
@@ -40,6 +45,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels running campaigns instead of killing the process:
+	// workers drain within one batch, partial results (e.g. exhaustive
+	// checkpoints) are flushed, and the command reports what was kept. A
+	// second Ctrl-C kills the process the usual way (stop restores the
+	// default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "kernels":
@@ -47,19 +59,19 @@ func main() {
 	case "golden":
 		err = cmdGolden(os.Args[2:])
 	case "exhaustive":
-		err = cmdExhaustive(os.Args[2:])
+		err = cmdExhaustive(ctx, os.Args[2:])
 	case "infer":
-		err = cmdInfer(os.Args[2:])
+		err = cmdInfer(ctx, os.Args[2:])
 	case "progressive":
-		err = cmdProgressive(os.Args[2:])
+		err = cmdProgressive(ctx, os.Args[2:])
 	case "exp":
-		err = cmdExp(os.Args[2:])
+		err = cmdExp(ctx, os.Args[2:])
 	case "show":
 		err = cmdShow(os.Args[2:])
 	case "propagate":
 		err = cmdPropagate(os.Args[2:])
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(ctx, os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -70,8 +82,68 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "ftbcli: interrupted: %v\n", err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "ftbcli: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// progressPrinter renders campaign progress as a single live line on
+// stderr. Observer callbacks arrive synchronously from campaign workers,
+// so rendering is throttled; the final event of each phase always prints.
+type progressPrinter struct {
+	mu      sync.Mutex
+	last    time.Time
+	lastLen int
+	dirty   bool
+}
+
+// OnProgress implements ftb.Observer.
+func (p *progressPrinter) OnProgress(e ftb.ProgressEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if e.Done != e.Total && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	line := fmt.Sprintf("%s %d/%d (%.1f%%)  %.0f/s  masked %d  sdc %d  crash %d",
+		e.Phase, e.Done, e.Total, 100*float64(e.Done)/float64(e.Total), e.PerSec,
+		e.Counts[ftb.Masked], e.Counts[ftb.SDC], e.Counts[ftb.Crash])
+	pad := p.lastLen - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(os.Stderr, "\r%s%s", line, strings.Repeat(" ", pad))
+	p.lastLen = len(line)
+	p.dirty = true
+}
+
+// Finish terminates the live line so subsequent output starts clean.
+func (p *progressPrinter) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dirty {
+		fmt.Fprintln(os.Stderr)
+		p.dirty = false
+	}
+}
+
+// progressFlag registers -progress on fs and returns a setup function
+// that attaches ctx (always) and a live progress line (when requested) to
+// the analysis, plus a finish function to call before printing results.
+func progressFlag(fs *flag.FlagSet) func(ctx context.Context, an *ftb.Analysis) (*ftb.Analysis, func()) {
+	show := fs.Bool("progress", false, "render a live progress line on stderr")
+	return func(ctx context.Context, an *ftb.Analysis) (*ftb.Analysis, func()) {
+		an = an.WithContext(ctx)
+		if !*show {
+			return an, func() {}
+		}
+		pp := &progressPrinter{}
+		return an.WithObserver(pp), pp.Finish
 	}
 }
 
@@ -103,6 +175,15 @@ persistence:
   exhaustive  -checkpoint FILE     batch-checkpoint long campaigns; resumes
               [-batch N]           automatically if the file exists
   infer       -save FILE           save the inferred boundary
+
+execution:
+  -progress                        exhaustive/infer/progressive/report/exp:
+                                   render a live campaign progress line on
+                                   stderr (phase, done/total, rate, outcomes)
+  Ctrl-C                           cancels the running campaign promptly; the
+                                   command exits 130 with partial results kept
+                                   (exhaustive -checkpoint flushes a final
+                                   checkpoint, so rerunning resumes)
 `)
 }
 
@@ -148,12 +229,13 @@ func cmdGolden(args []string) error {
 	return nil
 }
 
-func cmdExhaustive(args []string) error {
+func cmdExhaustive(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("exhaustive", flag.ExitOnError)
 	kernel, size := kernelFlags(fs)
 	save := fs.String("save", "", "write the ground truth to this file")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
 	batch := fs.Int("batch", 256, "sites per checkpoint batch")
+	plumb := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +243,8 @@ func cmdExhaustive(args []string) error {
 	if err != nil {
 		return err
 	}
+	an, finish := plumb(ctx, an)
+	defer finish()
 	start := time.Now()
 	var gt *ftb.GroundTruth
 	if *checkpoint != "" {
@@ -171,6 +255,7 @@ func cmdExhaustive(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish()
 	elapsed := time.Since(start)
 	overall := gt.Overall()
 	fmt.Printf("exhaustive campaign: %d experiments in %v\n", overall.Total(), elapsed.Round(time.Millisecond))
@@ -190,7 +275,7 @@ func cmdExhaustive(args []string) error {
 	return nil
 }
 
-func cmdInfer(args []string) error {
+func cmdInfer(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	kernel, size := kernelFlags(fs)
 	frac := fs.Float64("frac", 0.01, "sample fraction of the (site × bit) space")
@@ -199,6 +284,7 @@ func cmdInfer(args []string) error {
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
 	save := fs.String("save", "", "write the inferred boundary to this file")
+	plumb := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,6 +292,8 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
+	an, finish := plumb(ctx, an)
+	defer finish()
 	opts := ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed}
 	if *samples > 0 {
 		opts.SampleFrac, opts.Samples = 0, *samples
@@ -215,6 +303,7 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish()
 	fmt.Printf("inferred boundary from %d samples (%.3f%% of %d) in %v\n",
 		res.Samples(), 100*res.SampleFraction(), an.SampleSpace(),
 		time.Since(start).Round(time.Millisecond))
@@ -444,7 +533,7 @@ func cmdCompare(args []string) error {
 }
 
 // cmdReport infers a boundary and writes the markdown resiliency report.
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	kernel, size := kernelFlags(fs)
 	frac := fs.Float64("frac", 0.01, "sample fraction for the inference")
@@ -453,6 +542,7 @@ func cmdReport(args []string) error {
 	evaluate := fs.Bool("evaluate", false, "run the exhaustive campaign and include the evaluation section")
 	out := fs.String("o", "", "output file (default stdout)")
 	topN := fs.Int("top", 10, "number of most-vulnerable sites to list")
+	plumb := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -464,6 +554,8 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
+	an, finish := plumb(ctx, an)
+	defer finish()
 	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed})
 	if err != nil {
 		return err
@@ -474,6 +566,7 @@ func cmdReport(args []string) error {
 			return err
 		}
 	}
+	finish()
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -492,7 +585,7 @@ func cmdReport(args []string) error {
 	return nil
 }
 
-func cmdProgressive(args []string) error {
+func cmdProgressive(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("progressive", flag.ExitOnError)
 	kernel, size := kernelFlags(fs)
 	round := fs.Float64("round", 0.001, "per-round sample fraction")
@@ -501,6 +594,7 @@ func cmdProgressive(args []string) error {
 	filter := fs.Bool("filter", false, "enable the §3.5 filter operation")
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
+	plumb := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -508,6 +602,8 @@ func cmdProgressive(args []string) error {
 	if err != nil {
 		return err
 	}
+	an, finish := plumb(ctx, an)
+	defer finish()
 	start := time.Now()
 	res, rounds, err := an.Progressive(ftb.ProgressiveOptions{
 		RoundFrac:         *round,
@@ -519,6 +615,7 @@ func cmdProgressive(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish()
 	fmt.Printf("progressive sampling: %d rounds, %d samples (%.3f%%) in %v\n",
 		len(rounds), res.Samples(), 100*res.SampleFraction(),
 		time.Since(start).Round(time.Millisecond))
@@ -540,7 +637,7 @@ func cmdProgressive(args []string) error {
 	return nil
 }
 
-func cmdExp(args []string) error {
+func cmdExp(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("exp requires an experiment name")
 	}
@@ -549,10 +646,16 @@ func cmdExp(args []string) error {
 	size := fs.String("size", ftb.SizePaper, "kernel size preset")
 	trials := fs.Int("trials", 10, "randomized trials per measurement")
 	seed := fs.Uint64("seed", 1, "base seed")
+	progress := fs.Bool("progress", false, "render a live campaign progress line on stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	scale := experiments.Scale{Size: *size, Trials: *trials, Seed: *seed}
+	scale := experiments.Scale{Size: *size, Trials: *trials, Seed: *seed, Context: ctx}
+	var pp *progressPrinter
+	if *progress {
+		pp = &progressPrinter{}
+		scale.Observer = pp
+	}
 
 	type runner struct {
 		name string
@@ -579,6 +682,9 @@ func cmdExp(args []string) error {
 		ran = true
 		start := time.Now()
 		res, err := r.run()
+		if pp != nil {
+			pp.Finish()
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}

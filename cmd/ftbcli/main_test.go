@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,7 +65,7 @@ func TestCmdExhaustiveAndShow(t *testing.T) {
 	dir := t.TempDir()
 	gtPath := filepath.Join(dir, "gt.ftb")
 	out := capture(t, func() error {
-		return cmdExhaustive([]string{"-kernel", "stencil", "-size", "test", "-save", gtPath})
+		return cmdExhaustive(context.Background(), []string{"-kernel", "stencil", "-size", "test", "-save", gtPath})
 	})
 	if !strings.Contains(out, "exhaustive campaign") || !strings.Contains(out, "saved ground truth") {
 		t.Errorf("output:\n%s", out)
@@ -78,7 +80,7 @@ func TestCmdInferWithEvaluateAndSave(t *testing.T) {
 	dir := t.TempDir()
 	bdPath := filepath.Join(dir, "bd.ftb")
 	out := capture(t, func() error {
-		return cmdInfer([]string{"-kernel", "stencil", "-size", "test",
+		return cmdInfer(context.Background(), []string{"-kernel", "stencil", "-size", "test",
 			"-frac", "0.1", "-filter", "-evaluate", "-save", bdPath})
 	})
 	for _, want := range []string{"inferred boundary", "predicted SDC", "uncertainty", "precision"} {
@@ -94,7 +96,7 @@ func TestCmdInferWithEvaluateAndSave(t *testing.T) {
 
 func TestCmdProgressive(t *testing.T) {
 	out := capture(t, func() error {
-		return cmdProgressive([]string{"-kernel", "stencil", "-size", "test",
+		return cmdProgressive(context.Background(), []string{"-kernel", "stencil", "-size", "test",
 			"-round", "0.02", "-adaptive"})
 	})
 	for _, want := range []string{"progressive sampling", "round", "predicted SDC"} {
@@ -106,7 +108,7 @@ func TestCmdProgressive(t *testing.T) {
 
 func TestCmdExpSingle(t *testing.T) {
 	out := capture(t, func() error {
-		return cmdExp([]string{"table1", "-size", "test", "-trials", "2"})
+		return cmdExp(context.Background(), []string{"table1", "-size", "test", "-trials", "2"})
 	})
 	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "completed in") {
 		t.Errorf("output:\n%s", out)
@@ -114,11 +116,30 @@ func TestCmdExpSingle(t *testing.T) {
 }
 
 func TestCmdExpUnknown(t *testing.T) {
-	if err := cmdExp([]string{"tableX"}); err == nil {
+	if err := cmdExp(context.Background(), []string{"tableX"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := cmdExp(nil); err == nil {
+	if err := cmdExp(context.Background(), nil); err == nil {
 		t.Error("missing experiment name accepted")
+	}
+}
+
+func TestCmdExhaustiveCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := cmdExhaustive(ctx, []string{"-kernel", "stencil", "-size", "test"})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled exhaustive returned %v, want context.Canceled", err)
+	}
+}
+
+func TestCmdInferProgressFlag(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdInfer(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+			"-frac", "0.1", "-progress"})
+	})
+	if !strings.Contains(out, "inferred boundary") {
+		t.Errorf("output:\n%s", out)
 	}
 }
 
@@ -160,7 +181,7 @@ func TestCmdReport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "report.md")
 	out := capture(t, func() error {
-		return cmdReport([]string{"-kernel", "stencil", "-size", "test",
+		return cmdReport(context.Background(), []string{"-kernel", "stencil", "-size", "test",
 			"-frac", "0.1", "-evaluate", "-o", path})
 	})
 	if !strings.Contains(out, "wrote report") {
@@ -180,10 +201,10 @@ func TestCmdReport(t *testing.T) {
 func TestCmdCompare(t *testing.T) {
 	dir := t.TempDir()
 	a, b := filepath.Join(dir, "a.ftb"), filepath.Join(dir, "b.ftb")
-	if err := cmdInfer([]string{"-kernel", "stencil", "-size", "test", "-frac", "0.05", "-seed", "1", "-save", a}); err != nil {
+	if err := cmdInfer(context.Background(), []string{"-kernel", "stencil", "-size", "test", "-frac", "0.05", "-seed", "1", "-save", a}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdInfer([]string{"-kernel", "stencil", "-size", "test", "-frac", "0.20", "-seed", "2", "-save", b}); err != nil {
+	if err := cmdInfer(context.Background(), []string{"-kernel", "stencil", "-size", "test", "-frac", "0.20", "-seed", "2", "-save", b}); err != nil {
 		t.Fatal(err)
 	}
 	out := capture(t, func() error { return cmdCompare([]string{a, b}) })

@@ -2,6 +2,8 @@ package ftb
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -205,6 +207,56 @@ func TestExhaustiveCheckpointedResumeFacade(t *testing.T) {
 	for i := range want.Kinds {
 		if got.Kinds[i] != want.Kinds[i] {
 			t.Fatalf("resumed kind[%d] differs", i)
+		}
+	}
+}
+
+// TestContextAndObserverFacade exercises the engine plumbing end to end
+// through the public API: WithContext cancellation, WithObserver progress
+// events, and the per-call InferOptions overrides.
+func TestContextAndObserverFacade(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := an.WithContext(ctx).Exhaustive(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Exhaustive = %v, want context.Canceled", err)
+	}
+	if _, err := an.InferBoundary(InferOptions{SampleFrac: 0.05, Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled InferBoundary = %v, want context.Canceled", err)
+	}
+	if _, _, err := an.WithContext(ctx).Progressive(ProgressiveOptions{RoundFrac: 0.02}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Progressive = %v, want context.Canceled", err)
+	}
+
+	var events int
+	var phases = map[string]bool{}
+	obs := ObserverFunc(func(e ProgressEvent) {
+		events++
+		phases[e.Phase] = true
+	})
+	if _, err := an.WithObserver(obs).InferBoundary(InferOptions{SampleFrac: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || !phases["classify"] || !phases["propagate"] {
+		t.Errorf("observer saw %d events, phases %v; want classify+propagate", events, phases)
+	}
+
+	// Both scheduling modes agree through the facade too.
+	gtDyn, err := an.WithSched(SchedDynamic).Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtStat, err := an.WithSched(SchedStatic).Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gtDyn.Kinds {
+		if gtDyn.Kinds[i] != gtStat.Kinds[i] {
+			t.Fatalf("kind[%d] differs across scheduling modes", i)
 		}
 	}
 }

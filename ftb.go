@@ -29,6 +29,7 @@
 package ftb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -80,6 +81,25 @@ type (
 	SiteSeries = metrics.SiteSeries
 	// Grouped is a SiteSeries reduced over groups of consecutive sites.
 	Grouped = metrics.Grouped
+	// ProgressEvent is a progress snapshot emitted by a running campaign.
+	ProgressEvent = campaign.Event
+	// Observer receives ProgressEvents from running campaigns. Callbacks
+	// are invoked synchronously from campaign workers and must be cheap
+	// and non-blocking.
+	Observer = campaign.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = campaign.ObserverFunc
+	// Sched selects the campaign scheduling mode.
+	Sched = campaign.Sched
+)
+
+// Campaign scheduling modes.
+const (
+	// SchedDynamic feeds workers from a shared queue in small batches
+	// (the default; crash-heavy regions cannot stall the pool).
+	SchedDynamic = campaign.SchedDynamic
+	// SchedStatic pre-partitions experiments into contiguous chunks.
+	SchedStatic = campaign.SchedStatic
 )
 
 // Outcome kinds.
@@ -149,12 +169,16 @@ func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink
 // the paper's workflows: exhaustive campaigns, boundary inference with
 // uniform sampling, and adaptive progressive sampling.
 type Analysis struct {
-	factory func() trace.Program
-	golden  *trace.GoldenRun
-	tol     float64
-	bits    int
-	width   int
-	workers int
+	factory  func() trace.Program
+	golden   *trace.GoldenRun
+	tol      float64
+	bits     int
+	width    int
+	workers  int
+	sched    Sched
+	batch    int
+	ctx      context.Context
+	observer Observer
 }
 
 // Options tweaks an Analysis.
@@ -168,8 +192,24 @@ type Options struct {
 	// programs instrumented with Ctx.Store (the default), 32 for programs
 	// instrumented with Ctx.Store32.
 	Width int
-	// Workers caps campaign parallelism (default GOMAXPROCS).
+	// Workers caps campaign parallelism (default GOMAXPROCS, at most
+	// campaign.MaxWorkers).
 	Workers int
+	// Sched selects the campaign scheduling mode (default SchedDynamic).
+	Sched Sched
+	// Batch is the campaign scheduling granularity in experiments
+	// (default 32): the size of a dynamic queue claim, and the
+	// cancellation-check and progress-event interval.
+	Batch int
+	// Context, when non-nil, cancels campaigns started through the
+	// Analysis: they return the context's error promptly without leaking
+	// goroutines. WithContext attaches one after construction.
+	Context context.Context
+	// Observer, when non-nil, receives progress events from running
+	// campaigns. Callbacks must be cheap and non-blocking (they are
+	// invoked synchronously from campaign workers). WithObserver
+	// attaches one after construction.
+	Observer Observer
 }
 
 // NewAnalysis builds an Analysis for a program. factory must return
@@ -201,13 +241,45 @@ func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, 
 		return nil, fmt.Errorf("ftb: bits %d outside [1, %d]", bits, width)
 	}
 	return &Analysis{
-		factory: factory,
-		golden:  g,
-		tol:     tol,
-		bits:    bits,
-		width:   width,
-		workers: opts.Workers,
+		factory:  factory,
+		golden:   g,
+		tol:      tol,
+		bits:     bits,
+		width:    width,
+		workers:  opts.Workers,
+		sched:    opts.Sched,
+		batch:    opts.Batch,
+		ctx:      opts.Context,
+		observer: opts.Observer,
 	}, nil
+}
+
+// WithContext returns a copy of the Analysis whose campaigns are
+// cancelled when ctx is: they return ctx's error promptly (within one
+// in-flight experiment per worker) without leaking goroutines. The
+// original Analysis is unchanged.
+func (a *Analysis) WithContext(ctx context.Context) *Analysis {
+	b := *a
+	b.ctx = ctx
+	return &b
+}
+
+// WithObserver returns a copy of the Analysis whose campaigns report
+// progress to obs. Observer callbacks must be cheap and non-blocking.
+// The original Analysis is unchanged.
+func (a *Analysis) WithObserver(obs Observer) *Analysis {
+	b := *a
+	b.observer = obs
+	return &b
+}
+
+// WithSched returns a copy of the Analysis using the given campaign
+// scheduling mode. The original Analysis is unchanged. Identical configs
+// produce identical results under either mode; only wall-clock differs.
+func (a *Analysis) WithSched(s Sched) *Analysis {
+	b := *a
+	b.sched = s
+	return &b
 }
 
 // NewKernelAnalysis builds an Analysis for a built-in kernel at one of
@@ -247,12 +319,16 @@ func (a *Analysis) Tolerance() float64 { return a.tol }
 
 func (a *Analysis) campaignConfig() campaign.Config {
 	return campaign.Config{
-		Factory: a.factory,
-		Golden:  a.golden,
-		Tol:     a.tol,
-		Bits:    a.bits,
-		Width:   a.width,
-		Workers: a.workers,
+		Factory:  a.factory,
+		Golden:   a.golden,
+		Tol:      a.tol,
+		Bits:     a.bits,
+		Width:    a.width,
+		Workers:  a.workers,
+		Sched:    a.sched,
+		Batch:    a.batch,
+		Context:  a.ctx,
+		Observer: a.observer,
 	}
 }
 
@@ -334,6 +410,26 @@ type InferOptions struct {
 	Filter bool
 	// Seed drives sample selection.
 	Seed uint64
+	// Context, when non-nil, cancels this inference's campaigns,
+	// overriding the analysis-level context for the call.
+	Context context.Context
+	// Observer, when non-nil, receives this inference's progress events,
+	// overriding the analysis-level observer for the call. Callbacks
+	// must be cheap and non-blocking.
+	Observer Observer
+}
+
+// inferConfig is the analysis campaign config with per-call overrides
+// applied.
+func (a *Analysis) inferConfig(opts InferOptions) campaign.Config {
+	cfg := a.campaignConfig()
+	if opts.Context != nil {
+		cfg.Context = opts.Context
+	}
+	if opts.Observer != nil {
+		cfg.Observer = opts.Observer
+	}
+	return cfg
 }
 
 // Result is an inferred boundary plus everything needed to use and judge
@@ -364,7 +460,7 @@ func (a *Analysis) InferBoundary(opts InferOptions) (*Result, error) {
 	}
 	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
 	known := boundary.NewKnown(a.Sites(), a.bits)
-	bld, recs, err := boundary.Build(a.campaignConfig(), pairs, boundary.BuildOptions{
+	bld, recs, err := boundary.Build(a.inferConfig(opts), pairs, boundary.BuildOptions{
 		Filter: opts.Filter,
 		Known:  known,
 	})

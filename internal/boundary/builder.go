@@ -247,7 +247,10 @@ func Build(cfg campaign.Config, pairs []campaign.Pair, opts BuildOptions) (*Buil
 
 // Absorb ingests one round of samples into an existing builder: pass 1
 // classification of all pairs, then pass 2 propagation over the masked
-// subset. known may be nil.
+// subset. known may be nil. Both passes run on the campaign engine, so a
+// cfg.Observer sees two event phases per round ("classify" over all
+// pairs, then "propagate" over the masked subset) and a cancelled
+// cfg.Context aborts either pass promptly with the context's error.
 func (b *Builder) Absorb(cfg campaign.Config, pairs []campaign.Pair, known *Known) ([]campaign.Record, error) {
 	recs, err := campaign.RunPairs(cfg, pairs)
 	if err != nil {

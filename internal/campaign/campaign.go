@@ -3,18 +3,23 @@
 // campaigns over chosen (site, bit) pairs, and propagation-collection runs
 // that feed the boundary-inference algorithm.
 //
-// Campaigns are embarrassingly parallel and run on a goroutine worker
-// pool. Each worker owns a private program instance (kernels keep mutable
-// work buffers) and a private trace context; results are merged in input
-// order, so campaign output is deterministic regardless of GOMAXPROCS.
+// Campaigns are embarrassingly parallel and run on the package's
+// execution engine (engine.go): a context-aware dispatcher that feeds a
+// goroutine worker pool from a shared work queue in small batches
+// (dynamic scheduling; see Sched). Each worker owns a private program
+// instance (kernels keep mutable work buffers) and a private trace
+// context; results are merged in input order, so campaign output is
+// byte-identical regardless of GOMAXPROCS, worker count, or scheduling
+// mode. Campaigns are cancellable through Config.Context, observable
+// through Config.Observer, and propagate the first worker error
+// uniformly from every entry point.
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"ftb/internal/outcome"
 	"ftb/internal/trace"
@@ -35,6 +40,20 @@ type Record struct {
 	OutErr float64 // L∞ output deviation (+Inf for crashes)
 }
 
+// Campaign sizing limits.
+const (
+	// MaxWorkers is the largest accepted Config.Workers. Campaign
+	// workers each run a full program instance; pools beyond this bound
+	// indicate a configuration bug (e.g. sites passed as workers), not a
+	// bigger machine.
+	MaxWorkers = 1024
+	// DefaultBatch is the number of experiments a worker claims from the
+	// queue at a time when Config.Batch is zero. Small enough that
+	// cancellation and progress stay responsive, large enough that queue
+	// contention is negligible next to a program execution.
+	DefaultBatch = 32
+)
+
 // Config describes the campaign target.
 type Config struct {
 	// Factory creates an independent program instance; it is called once
@@ -50,8 +69,27 @@ type Config struct {
 	// programs instrumented with Ctx.Store (the default) or 32 for
 	// programs instrumented with Ctx.Store32. Bits may not exceed Width.
 	Width int
-	// Workers caps the pool size (default runtime.GOMAXPROCS(0)).
+	// Workers caps the pool size (default runtime.GOMAXPROCS(0), at most
+	// MaxWorkers).
 	Workers int
+	// Sched selects the work-distribution strategy (default
+	// SchedDynamic). Identical configs produce identical results under
+	// either mode; only wall-clock time differs.
+	Sched Sched
+	// Batch is the scheduling granularity in experiments (default
+	// DefaultBatch): the size of a dynamic queue claim, and the
+	// cancellation-check and progress-event interval in both modes.
+	Batch int
+	// Context, when non-nil, cancels the campaign: entry points return
+	// the context's error promptly (within one in-flight experiment per
+	// worker) without leaking goroutines. Items completed before the
+	// cancellation are still valid.
+	Context context.Context
+	// Observer, when non-nil, receives structured progress events after
+	// every completed batch. Callbacks run synchronously on worker
+	// goroutines under an internal lock: they MUST be cheap and
+	// non-blocking, or they will serialize the pool.
+	Observer Observer
 }
 
 func (c *Config) normalized() (Config, error) {
@@ -80,13 +118,42 @@ func (c *Config) normalized() (Config, error) {
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
+	if out.Workers > MaxWorkers {
+		return out, fmt.Errorf("campaign: workers %d above limit %d", out.Workers, MaxWorkers)
+	}
+	if out.Sched != SchedDynamic && out.Sched != SchedStatic {
+		return out, fmt.Errorf("campaign: unknown scheduling mode %d", out.Sched)
+	}
+	if out.Batch == 0 {
+		out.Batch = DefaultBatch
+	}
+	if out.Batch < 1 {
+		return out, fmt.Errorf("campaign: batch %d must be positive", out.Batch)
+	}
+	if out.Context == nil {
+		out.Context = context.Background()
+	}
 	return out, nil
 }
 
-// RunPair executes a single experiment with an existing context and
-// program instance. It is the sequential building block the pool drives.
-func RunPair(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, tol float64, pair Pair) Record {
-	res := trace.RunInject(ctx, p, pair.Site, uint(pair.Bit))
+// validatePairs rejects experiments outside the program's (site × width)
+// space up front, so a bad selection fails loudly instead of panicking in
+// a worker or silently probing the wrong site.
+func validatePairs(cfg Config, pairs []Pair) error {
+	sites := cfg.Golden.Sites()
+	for _, p := range pairs {
+		if p.Site < 0 || p.Site >= sites {
+			return fmt.Errorf("campaign: pair site %d outside [0, %d)", p.Site, sites)
+		}
+		if int(p.Bit) >= cfg.Width {
+			return fmt.Errorf("campaign: pair bit %d outside the %d-bit fault population", p.Bit, cfg.Width)
+		}
+	}
+	return nil
+}
+
+// classify builds the Record for one completed injection run.
+func classify(golden *trace.GoldenRun, tol float64, pair Pair, res trace.InjectResult) Record {
 	return Record{
 		Pair:   pair,
 		Kind:   outcome.Classify(golden.Output, res.Output, tol, res.Crashed),
@@ -95,22 +162,58 @@ func RunPair(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, tol float
 	}
 }
 
-// RunPairs executes all experiments in parallel and returns their records
-// in input order.
+// RunPair executes a single experiment with an existing context and
+// program instance. It is the sequential building block the engine
+// drives.
+func RunPair(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, tol float64, pair Pair) Record {
+	return classify(golden, tol, pair, trace.RunInject(ctx, p, pair.Site, uint(pair.Bit)))
+}
+
+// runPairChecked is RunPair plus the trace-mismatch check engine workers
+// apply: a non-crashed run must execute exactly the golden number of
+// stores, otherwise the factory built a different (or non-data-oblivious)
+// program and the campaign must fail rather than classify garbage.
+func runPairChecked(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, tol float64, pair Pair) (Record, error) {
+	res := trace.RunInject(ctx, p, pair.Site, uint(pair.Bit))
+	if !res.Crashed && ctx.Sites() != golden.Sites() {
+		return Record{}, fmt.Errorf("%w: got %d, golden %d (program %q)",
+			trace.ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+	}
+	return classify(golden, tol, pair, res), nil
+}
+
+// pairWorker is the per-goroutine state of a classification campaign.
+type pairWorker struct {
+	p   trace.Program
+	ctx trace.Ctx
+}
+
+// RunPairs executes all experiments on the engine and returns their
+// records in input order. The first worker error (e.g. a trace mismatch)
+// cancels the remaining work and is returned; a cancelled Config.Context
+// surfaces as its context error.
 func RunPairs(cfg Config, pairs []Pair) ([]Record, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
 	}
+	if err := validatePairs(cfg, pairs); err != nil {
+		return nil, err
+	}
 	records := make([]Record, len(pairs))
-	forEachChunk(cfg.Workers, len(pairs), func(worker, lo, hi int) error {
-		p := cfg.Factory()
-		var ctx trace.Ctx
-		for i := lo; i < hi; i++ {
-			records[i] = RunPair(&ctx, p, cfg.Golden, cfg.Tol, pairs[i])
-		}
-		return nil
-	})
+	_, err = runEngine(cfg, "classify", len(pairs),
+		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w *pairWorker, i int) (outcome.Kind, error) {
+			rec, err := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pairs[i])
+			if err != nil {
+				return 0, err
+			}
+			records[i] = rec
+			return rec.Kind, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
 	return records, nil
 }
 
@@ -125,11 +228,20 @@ type PropagationSink interface {
 	EndRun(rec Record)
 }
 
+// propWorker is the per-goroutine state of a propagation campaign.
+type propWorker struct {
+	p    trace.Program
+	ctx  trace.Ctx
+	sink PropagationSink
+}
+
 // Propagate executes the given experiments in InjectDiff mode, streaming
 // per-site propagation deltas to per-worker sinks created by newSink. The
 // returned slice holds every sink that was actually used, so the caller
-// can merge their accumulated state. Experiments are distributed across
-// workers in contiguous chunks of the input.
+// can merge their accumulated state. Which worker (and therefore which
+// sink) handles a given experiment depends on scheduling, but sink merges
+// are max/sum folds over the same run set, so merged results stay
+// deterministic.
 //
 // Propagate is typically applied to the masked subset of a sampled
 // campaign: Algorithm 1 consumes only masked runs' propagation data.
@@ -141,31 +253,28 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 	if newSink == nil {
 		return nil, errors.New("campaign: newSink is required")
 	}
+	if err := validatePairs(cfg, pairs); err != nil {
+		return nil, err
+	}
 	sinks := make([]PropagationSink, cfg.Workers)
-	var firstErr atomic.Value
-	forEachChunk(cfg.Workers, len(pairs), func(worker, lo, hi int) error {
-		p := cfg.Factory()
-		sink := newSink()
-		sinks[worker] = sink
-		var ctx trace.Ctx
-		for i := lo; i < hi; i++ {
+	_, err = runEngine(cfg, "propagate", len(pairs),
+		func(w int) *propWorker {
+			sink := newSink()
+			sinks[w] = sink
+			return &propWorker{p: cfg.Factory(), sink: sink}
+		},
+		func(w *propWorker, i int) (outcome.Kind, error) {
 			pair := pairs[i]
-			sink.BeginRun(pair)
-			res, err := trace.RunInjectDiff(&ctx, p, cfg.Golden, pair.Site, uint(pair.Bit), sink)
+			w.sink.BeginRun(pair)
+			res, err := trace.RunInjectDiff(&w.ctx, w.p, cfg.Golden, pair.Site, uint(pair.Bit), w.sink)
 			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return err
+				return 0, err
 			}
-			sink.EndRun(Record{
-				Pair:   pair,
-				Kind:   outcome.Classify(cfg.Golden.Output, res.Output, cfg.Tol, res.Crashed),
-				InjErr: res.InjErr,
-				OutErr: outcome.OutputError(cfg.Golden.Output, res.Output, res.Crashed),
-			})
-		}
-		return nil
-	})
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+			rec := classify(cfg.Golden, cfg.Tol, pair, res)
+			w.sink.EndRun(rec)
+			return rec.Kind, nil
+		}, nil)
+	if err != nil {
 		return nil, err
 	}
 	used := sinks[:0]
@@ -175,33 +284,6 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 		}
 	}
 	return used, nil
-}
-
-// forEachChunk splits n items into contiguous chunks, one per worker, and
-// runs fn(worker, lo, hi) concurrently. Workers beyond n items get empty
-// ranges and are not started.
-func forEachChunk(workers, n int, fn func(worker, lo, hi int) error) {
-	if n == 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			_ = fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
 }
 
 // AllPairs enumerates the complete sample space: every bit of every site.

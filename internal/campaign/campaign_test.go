@@ -309,8 +309,16 @@ func TestExhaustiveCheckpointedMatchesPlain(t *testing.T) {
 		t.Fatal(err)
 	}
 	var checkpoints []int
-	got, err := ExhaustiveCheckpointed(cfg, nil, 0, 7, func(gt *GroundTruth, done int) error {
+	got, err := ExhaustiveCheckpointed(cfg, nil, 0, 7, func(snap *GroundTruth, done int) error {
 		checkpoints = append(checkpoints, done)
+		// The snapshot must agree with the plain campaign on every
+		// completed site and be private (not the live array).
+		for i := 0; i < done*want.BitsN; i++ {
+			if snap.Kinds[i] != want.Kinds[i] {
+				t.Errorf("checkpoint %d: kind[%d] differs from plain campaign", done, i)
+			}
+		}
+		snap.Kinds[0] = outcome.Crash // must not corrupt the campaign
 		return nil
 	})
 	if err != nil {
@@ -321,24 +329,33 @@ func TestExhaustiveCheckpointedMatchesPlain(t *testing.T) {
 			t.Fatalf("kind[%d] differs from plain campaign", i)
 		}
 	}
-	if len(checkpoints) != 3 || checkpoints[len(checkpoints)-1] != 20 {
-		t.Errorf("checkpoints = %v, want [7 14 20]", checkpoints)
+	// Checkpoints fire whenever the frontier crosses a 7-site stride
+	// (exact values depend on batch completion order) and once at the
+	// end; they must be strictly increasing and cover the campaign.
+	if len(checkpoints) < 2 || checkpoints[len(checkpoints)-1] != 20 {
+		t.Errorf("checkpoints = %v, want >= 2 strictly increasing ending at 20", checkpoints)
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			t.Errorf("checkpoints not strictly increasing: %v", checkpoints)
+		}
 	}
 }
 
 func TestExhaustiveCheckpointedResume(t *testing.T) {
-	cfg := chainConfig(20, 1e-9, 2)
+	// One worker makes the frontier advance deterministically, so the
+	// early-stop checkpoint below fires on every run.
+	cfg := chainConfig(20, 1e-9, 1)
 	want, err := Exhaustive(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Run the first half, capture the checkpoint, then resume.
+	// Run the first stretch, capture the checkpoint, then resume.
 	var saved *GroundTruth
 	var savedSites int
 	_, err = ExhaustiveCheckpointed(cfg, nil, 0, 10, func(gt *GroundTruth, done int) error {
-		if done == 10 {
-			saved = &GroundTruth{SitesN: gt.SitesN, BitsN: gt.BitsN, WidthN: gt.WidthN,
-				Kinds: append([]outcome.Kind{}, gt.Kinds...)}
+		if done >= 10 && done < 20 {
+			saved = gt // checkpoints are private snapshots: safe to keep
 			savedSites = done
 			return errStopEarly
 		}
@@ -347,7 +364,7 @@ func TestExhaustiveCheckpointedResume(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected early-stop error")
 	}
-	if saved == nil || savedSites != 10 {
+	if saved == nil || savedSites < 10 {
 		t.Fatal("no checkpoint captured")
 	}
 	// Corrupt the unfinished half of the checkpoint to prove resume does

@@ -1,0 +1,273 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftb/internal/outcome"
+)
+
+// Sched selects how a campaign's experiments are distributed across the
+// worker pool.
+type Sched uint8
+
+const (
+	// SchedDynamic (the default) feeds workers from a shared queue in
+	// Batch-sized claims. Injected runs vary wildly in cost — a crash
+	// aborts a run at the faulting store, so crash-heavy regions finish
+	// orders of magnitude faster than full masked runs — and dynamic
+	// claims keep every worker busy until the queue drains.
+	SchedDynamic Sched = iota
+	// SchedStatic partitions the experiments into one contiguous chunk
+	// per worker up front (the pre-engine behaviour). It needs no
+	// cross-worker coordination but load-imbalances badly when
+	// per-experiment cost varies; it is kept for benchmarking the
+	// difference and as a degenerate fallback.
+	SchedStatic
+)
+
+// String implements fmt.Stringer.
+func (s Sched) String() string {
+	switch s {
+	case SchedDynamic:
+		return "dynamic"
+	case SchedStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("Sched(%d)", uint8(s))
+	}
+}
+
+// Event is a progress snapshot of a running campaign. Events are emitted
+// after every completed scheduling batch, sequentially (never two at
+// once), with monotonically non-decreasing Done and Frontier.
+type Event struct {
+	// Phase names the campaign stage emitting the event: "classify"
+	// (RunPairs), "propagate" (Propagate), or "exhaustive".
+	Phase string
+	// Done counts completed experiments; Total is the campaign size.
+	Done, Total int
+	// Frontier is the contiguous-completion watermark: every experiment
+	// with index < Frontier has finished. Done can exceed Frontier when
+	// later batches complete out of order. Checkpointing trusts only the
+	// frontier.
+	Frontier int
+	// Counts tallies the outcomes classified so far.
+	Counts outcome.Counts
+	// Elapsed is the wall-clock time since the campaign started.
+	Elapsed time.Duration
+	// PerSec is the observed throughput in experiments per second.
+	PerSec float64
+}
+
+// Observer receives progress events from a running campaign. Callbacks
+// are invoked synchronously from worker goroutines while an internal lock
+// is held, so they must be cheap and non-blocking: record the event and
+// return. Rendering or I/O should be throttled or deferred by the
+// observer itself.
+type Observer interface {
+	OnProgress(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnProgress implements Observer.
+func (f ObserverFunc) OnProgress(e Event) { f(e) }
+
+// progress is the engine's shared accounting: completion counts, the
+// contiguous frontier, outcome tallies, and observer/checkpoint
+// notification. All mutation happens under mu, which also serializes
+// observer callbacks and frontier hooks.
+type progress struct {
+	mu         sync.Mutex
+	phase      string
+	total      int
+	done       int
+	frontier   int
+	pending    map[int]int // completed ranges [lo, hi) detached from the frontier
+	counts     outcome.Counts
+	start      time.Time
+	observer   Observer
+	onFrontier func(frontier int) error
+}
+
+// rangeDone records the completion of items [lo, hi), advances the
+// frontier when possible, fires the frontier hook on advancement, and
+// emits a progress event. A hook error aborts the campaign.
+func (p *progress) rangeDone(lo, hi int, c outcome.Counts) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += hi - lo
+	p.counts.Merge(c)
+	advanced := false
+	if lo == p.frontier {
+		p.frontier = hi
+		advanced = true
+		for {
+			h, ok := p.pending[p.frontier]
+			if !ok {
+				break
+			}
+			delete(p.pending, p.frontier)
+			p.frontier = h
+		}
+	} else {
+		p.pending[lo] = hi
+	}
+	var hookErr error
+	if advanced && p.onFrontier != nil {
+		hookErr = p.onFrontier(p.frontier)
+	}
+	if p.observer != nil {
+		e := Event{
+			Phase:    p.phase,
+			Done:     p.done,
+			Total:    p.total,
+			Frontier: p.frontier,
+			Counts:   p.counts,
+			Elapsed:  time.Since(p.start),
+		}
+		if secs := e.Elapsed.Seconds(); secs > 0 {
+			e.PerSec = float64(p.done) / secs
+		}
+		p.observer.OnProgress(e)
+	}
+	return hookErr
+}
+
+// currentFrontier returns the frontier with the lock held briefly.
+func (p *progress) currentFrontier() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.frontier
+}
+
+// runEngine executes n independent experiments on cfg.Workers goroutines
+// and blocks until every started worker has exited (it never leaks
+// goroutines, cancelled or not).
+//
+// setup is called once per started worker to build its private state
+// (program instance, trace context, sinks); item executes experiment i
+// against that state and returns the outcome kind for progress
+// accounting. Results must be written by index into caller-owned storage,
+// which keeps campaign output in input order — and therefore byte-
+// identical — regardless of worker count or scheduling mode.
+//
+// onFrontier (optional) is called whenever the contiguous-completion
+// frontier advances; an error from it, like an error from item, cancels
+// the remaining work and is returned as the campaign's first error.
+// Cancellation of cfg.Context stops workers within one item and returns
+// the context's error. The returned int is the final frontier: items
+// [0, frontier) are guaranteed complete even on error.
+func runEngine[S any](cfg Config, phase string, n int,
+	setup func(worker int) S,
+	item func(s S, i int) (outcome.Kind, error),
+	onFrontier func(frontier int) error,
+) (int, error) {
+	if n == 0 {
+		return 0, cfg.Context.Err()
+	}
+	batch := cfg.Batch
+	nBatches := (n + batch - 1) / batch
+	workers := cfg.Workers
+	if workers > nBatches {
+		workers = nBatches
+	}
+
+	ctx, cancel := context.WithCancel(cfg.Context)
+	defer cancel()
+
+	prog := &progress{
+		phase:      phase,
+		total:      n,
+		pending:    make(map[int]int),
+		start:      time.Now(),
+		observer:   cfg.Observer,
+		onFrontier: onFrontier,
+	}
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// next is the dynamic-scheduling queue head, in batches.
+	var next atomic.Int64
+	chunk := (n + workers - 1) / workers // static chunk size
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := setup(w)
+			// Static mode walks the worker's own contiguous chunk in
+			// batch-sized steps; dynamic mode claims batches off the
+			// shared queue head. The steps bound cancellation latency
+			// and progress granularity in both modes.
+			cursor := w * chunk
+			limit := min(cursor+chunk, n)
+			claim := func() (lo, hi int, ok bool) {
+				if cfg.Sched == SchedStatic {
+					if cursor >= limit {
+						return 0, 0, false
+					}
+					lo, hi = cursor, min(cursor+batch, limit)
+					cursor = hi
+					return lo, hi, true
+				}
+				b := int(next.Add(1)) - 1
+				if b >= nBatches {
+					return 0, 0, false
+				}
+				lo = b * batch
+				return lo, min(lo+batch, n), true
+			}
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				lo, hi, ok := claim()
+				if !ok {
+					return
+				}
+				var c outcome.Counts
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					k, err := item(s, i)
+					if err != nil {
+						fail(err)
+						return
+					}
+					c.Add(k)
+				}
+				if err := prog.rangeDone(lo, hi, c); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	frontier := prog.currentFrontier()
+	if firstErr != nil {
+		return frontier, firstErr
+	}
+	if err := cfg.Context.Err(); err != nil {
+		return frontier, err
+	}
+	return frontier, nil
+}

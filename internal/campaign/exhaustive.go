@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ftb/internal/bits"
@@ -63,7 +65,8 @@ func (g *GroundTruth) Overall() outcome.Counts {
 // every one of the golden run's dynamic instructions. This is the paper's
 // "exhaustive fault injection campaign where every bit is flipped" (§4.1);
 // its cost is sites × bits program executions, which is why the inference
-// method exists.
+// method exists. The campaign runs on the engine: cancellable through
+// cfg.Context and observable through cfg.Observer.
 func Exhaustive(cfg Config) (*GroundTruth, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
@@ -76,29 +79,36 @@ func Exhaustive(cfg Config) (*GroundTruth, error) {
 		WidthN: cfg.Width,
 		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
 	}
-	forEachChunk(cfg.Workers, sites, func(worker, lo, hi int) error {
-		p := cfg.Factory()
-		var ctx trace.Ctx
-		for site := lo; site < hi; site++ {
-			row := gt.Kinds[site*cfg.Bits : (site+1)*cfg.Bits]
-			for b := 0; b < cfg.Bits; b++ {
-				rec := RunPair(&ctx, p, cfg.Golden, cfg.Tol, Pair{Site: site, Bit: uint8(b)})
-				row[b] = rec.Kind
+	_, err = runEngine(cfg, "exhaustive", sites*cfg.Bits,
+		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w *pairWorker, i int) (outcome.Kind, error) {
+			pair := Pair{Site: i / cfg.Bits, Bit: uint8(i % cfg.Bits)}
+			rec, err := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+			if err != nil {
+				return 0, err
 			}
-		}
-		return nil
-	})
+			gt.Kinds[i] = rec.Kind
+			return rec.Kind, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
 	return gt, nil
 }
 
-// ExhaustiveCheckpointed runs an exhaustive campaign in batches of sites,
-// invoking checkpoint(gt, doneSites) after each completed batch so callers
-// can persist partial progress (paper-scale campaigns run for minutes to
-// hours; a crash should not forfeit completed work). To resume, pass the
-// ground truth and completed-site count from the last checkpoint; sites
-// below prior are trusted and skipped. checkpoint may be nil (the batching
-// then only bounds scheduling granularity). A checkpoint error aborts the
-// campaign.
+// ExhaustiveCheckpointed runs an exhaustive campaign with engine-level
+// checkpointing: whenever the contiguous-completion frontier crosses a
+// multiple of batch sites (and once more at completion), checkpoint is
+// invoked with a private snapshot whose kinds are valid for the first
+// doneSites sites, so callers can persist partial progress (paper-scale
+// campaigns run for minutes to hours; a crash should not forfeit
+// completed work). To resume, pass the ground truth and completed-site
+// count from the last checkpoint; sites below prior are trusted and
+// skipped. checkpoint may be nil. A checkpoint error aborts the campaign.
+//
+// Cancellation through cfg.Context is partial-results-safe: a final
+// checkpoint is flushed at the frontier before the context error is
+// returned, so an interrupted campaign resumes where it stopped.
 func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch int, checkpoint func(*GroundTruth, int) error) (*GroundTruth, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
@@ -126,25 +136,64 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 	} else if priorSites != 0 {
 		return nil, fmt.Errorf("campaign: prior site count %d without a prior ground truth", priorSites)
 	}
-	for start := priorSites; start < sites; start += batch {
-		end := min(start+batch, sites)
-		forEachChunk(cfg.Workers, end-start, func(worker, lo, hi int) error {
-			p := cfg.Factory()
-			var ctx trace.Ctx
-			for site := start + lo; site < start+hi; site++ {
-				row := gt.Kinds[site*cfg.Bits : (site+1)*cfg.Bits]
-				for b := 0; b < cfg.Bits; b++ {
-					rec := RunPair(&ctx, p, cfg.Golden, cfg.Tol, Pair{Site: site, Bit: uint8(b)})
-					row[b] = rec.Kind
-				}
+
+	n := (sites - priorSites) * cfg.Bits
+	// snapshot copies the completed prefix of the campaign. Only
+	// [0, doneSites) is copied: the suffix may be under concurrent
+	// mutation by workers beyond the frontier, and resume recomputes it
+	// anyway.
+	snapshot := func(doneSites int) *GroundTruth {
+		snap := &GroundTruth{
+			SitesN: sites,
+			BitsN:  cfg.Bits,
+			WidthN: cfg.Width,
+			Kinds:  make([]outcome.Kind, sites*cfg.Bits),
+		}
+		copy(snap.Kinds[:doneSites*cfg.Bits], gt.Kinds[:doneSites*cfg.Bits])
+		return snap
+	}
+	lastCp := priorSites
+	save := func(doneSites int) error {
+		if err := checkpoint(snapshot(doneSites), doneSites); err != nil {
+			return fmt.Errorf("campaign: checkpoint at site %d: %w", doneSites, err)
+		}
+		lastCp = doneSites
+		return nil
+	}
+	var onFrontier func(int) error
+	if checkpoint != nil {
+		onFrontier = func(frontier int) error {
+			doneSites := priorSites + frontier/cfg.Bits
+			if doneSites >= lastCp+batch || (frontier == n && doneSites > lastCp) {
+				return save(doneSites)
 			}
 			return nil
-		})
-		if checkpoint != nil {
-			if err := checkpoint(gt, end); err != nil {
-				return nil, fmt.Errorf("campaign: checkpoint at site %d: %w", end, err)
-			}
 		}
+	}
+	frontier, err := runEngine(cfg, "exhaustive", n,
+		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w *pairWorker, i int) (outcome.Kind, error) {
+			abs := priorSites*cfg.Bits + i
+			pair := Pair{Site: abs / cfg.Bits, Bit: uint8(abs % cfg.Bits)}
+			rec, rerr := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+			if rerr != nil {
+				return 0, rerr
+			}
+			gt.Kinds[abs] = rec.Kind
+			return rec.Kind, nil
+		}, onFrontier)
+	if err != nil {
+		if checkpoint != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			doneSites := priorSites + frontier/cfg.Bits
+			if doneSites > lastCp {
+				if cpErr := save(doneSites); cpErr != nil {
+					return nil, errors.Join(err, cpErr)
+				}
+			}
+			return nil, fmt.Errorf("campaign: interrupted at %d/%d sites (progress checkpointed): %w",
+				doneSites, sites, err)
+		}
+		return nil, err
 	}
 	return gt, nil
 }

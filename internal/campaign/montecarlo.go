@@ -24,6 +24,9 @@ type MCEstimate struct {
 // MonteCarlo runs the baseline campaign: k experiments drawn uniformly
 // without replacement from the (site × bit) space, classified, and
 // summarized as an overall SDC ratio with a 95% confidence interval.
+// The injections run on the engine (through RunPairs), so the sampler
+// inherits its cancellation (cfg.Context), progress observation
+// (cfg.Observer), and scheduling behaviour.
 func MonteCarlo(cfg Config, r *rng.Rand, k int) (*MCEstimate, error) {
 	norm, err := cfg.normalized()
 	if err != nil {

@@ -32,7 +32,7 @@ type AblationResult struct {
 // against the exhaustive ground truth.
 func Ablation(s Scale) (*AblationResult, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}

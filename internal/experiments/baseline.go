@@ -45,7 +45,7 @@ type BaselineResult struct {
 // judged against the exhaustive ground truth.
 func Baseline(s Scale) (*BaselineResult, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}
@@ -63,10 +63,12 @@ func Baseline(s Scale) (*BaselineResult, error) {
 		budget := prog.Samples()
 
 		mcCfg := campaign.Config{
-			Factory: factoryFor(b.name, s.Size),
-			Golden:  b.an.Golden(),
-			Tol:     b.an.Tolerance(),
-			Bits:    b.an.Bits(),
+			Factory:  factoryFor(b.name, s.Size),
+			Golden:   b.an.Golden(),
+			Tol:      b.an.Tolerance(),
+			Bits:     b.an.Bits(),
+			Context:  s.Context,
+			Observer: s.Observer,
 		}
 		mc, err := campaign.MonteCarlo(mcCfg, rng.New(trialSeed(s.Seed, 1)), budget)
 		if err != nil {

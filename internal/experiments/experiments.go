@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -28,7 +29,7 @@ import (
 // Benchmarks is the paper's evaluation set, in presentation order.
 var Benchmarks = []string{"cg", "lu", "fft"}
 
-// Scale selects experiment sizing.
+// Scale selects experiment sizing and execution plumbing.
 type Scale struct {
 	// Size is the kernel size preset (ftb.SizeTest … ftb.SizeLarge).
 	Size string
@@ -37,6 +38,14 @@ type Scale struct {
 	Trials int
 	// Seed drives all sampling.
 	Seed uint64
+	// Context, when non-nil, cancels the experiment's campaigns: the
+	// experiment returns the context's error instead of running to
+	// completion.
+	Context context.Context
+	// Observer, when non-nil, receives progress events from every
+	// campaign the experiment runs. Callbacks must be cheap and
+	// non-blocking.
+	Observer ftb.Observer
 }
 
 // ScaleTest is the unit-test scale: tiny kernels, few trials.
@@ -76,20 +85,22 @@ var gtCache = struct {
 }{m: make(map[string]bench)}
 
 // setup builds analyses and ground truths for the given kernels, reusing
-// cached exhaustive campaigns.
-func setup(names []string, size string) ([]bench, error) {
+// cached exhaustive campaigns. The returned analyses carry the scale's
+// context and observer; the cache stores the plumbing-free originals so a
+// cancelled context from one caller never leaks into another.
+func setup(names []string, s Scale) ([]bench, error) {
 	out := make([]bench, 0, len(names))
 	for _, name := range names {
-		key := name + "/" + size
+		key := name + "/" + s.Size
 		gtCache.Lock()
 		b, ok := gtCache.m[key]
 		gtCache.Unlock()
 		if !ok {
-			an, err := ftb.NewKernelAnalysis(name, size)
+			an, err := ftb.NewKernelAnalysis(name, s.Size)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", name, err)
 			}
-			gt, err := an.Exhaustive()
+			gt, err := withScale(an, s).Exhaustive()
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s exhaustive: %w", name, err)
 			}
@@ -98,9 +109,22 @@ func setup(names []string, size string) ([]bench, error) {
 			gtCache.m[key] = b
 			gtCache.Unlock()
 		}
+		b.an = withScale(b.an, s)
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// withScale attaches the scale's cancellation context and progress
+// observer to an analysis (returning a derived copy).
+func withScale(an *ftb.Analysis, s Scale) *ftb.Analysis {
+	if s.Context != nil {
+		an = an.WithContext(s.Context)
+	}
+	if s.Observer != nil {
+		an = an.WithObserver(s.Observer)
+	}
+	return an
 }
 
 // trialSeed derives a per-trial seed from the scale seed.

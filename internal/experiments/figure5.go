@@ -42,7 +42,7 @@ func Figure5(s Scale) (*Figure5Result, error) {
 
 func figure5At(s Scale, fracs []float64) (*Figure5Result, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}

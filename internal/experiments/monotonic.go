@@ -33,7 +33,7 @@ func Monotonicity(s Scale) (*MonotonicResult, error) {
 	s = s.normalized()
 	names := append([]string{}, Benchmarks...)
 	names = append(names, "stencil", "stencil32", "matvec", "spmv", "matmul", "cholesky", "heat3d", "gmres", "multigrid")
-	benches, err := setup(names, s.Size)
+	benches, err := setup(names, s)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,7 @@ type Table1Result struct {
 // overall SDC ratio.
 func Table1(s Scale) (*Table1Result, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}

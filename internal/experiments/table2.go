@@ -32,7 +32,7 @@ func Table2(s Scale) (*Table2Result, error) {
 
 func table2At(s Scale, frac float64) (*Table2Result, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}

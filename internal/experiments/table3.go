@@ -28,7 +28,7 @@ type Table3Result struct {
 // Scale.Trials times.
 func Table3(s Scale) (*Table3Result, error) {
 	s = s.normalized()
-	benches, err := setup(Benchmarks, s.Size)
+	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err
 	}

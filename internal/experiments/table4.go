@@ -73,6 +73,7 @@ func Table4(s Scale) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		an = withScale(an, s)
 		gt, err := an.Exhaustive()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -98,7 +99,17 @@ func RunProgressive(cfg campaign.Config, opts ProgressiveOptions) (*ProgressiveR
 	known := boundary.NewKnown(sites, opts.Bits)
 	res := &ProgressiveResult{Builder: bld, Known: known}
 
+	// Each round's campaign aborts on its own through the engine; the
+	// explicit check also stops the between-round work (prediction and
+	// candidate enumeration, which scale with the sample space).
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for round := 0; round < opts.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pred, err := boundary.NewPredictor(bld.Finalize(), cfg.Golden, known)
 		if err != nil {
 			return nil, fmt.Errorf("sampling: %w", err)
