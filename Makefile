@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race cover bench examples repro clean
+.PHONY: all check build test vet race cover bench bench-all examples repro clean
 
 all: check
 
@@ -22,12 +22,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/trace/...
+	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/...
 
 cover:
 	$(GO) test -cover ./...
 
+# bench runs the campaign-engine benchmarks (scheduling modes plus the
+# telemetry collector on/off comparison) and records them as
+# machine-readable JSON alongside the raw text.
 bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=50x ./internal/campaign/ | tee BENCH_campaign.txt | $(GO) run ./cmd/benchjson > BENCH_campaign.json
+	@echo "wrote BENCH_campaign.txt and BENCH_campaign.json"
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 examples:

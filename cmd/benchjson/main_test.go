@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ftb/internal/campaign
+cpu: Example CPU @ 2.00GHz
+BenchmarkEngineCollector/off-8         	     100	  11926961 ns/op	      4096 experiments/op	    2064 B/op	      12 allocs/op
+BenchmarkEngineCollector/on-8          	      98	  12103421 ns/op	      4096 experiments/op	    2464 B/op	      13 allocs/op
+BenchmarkScheduling/dynamic-8          	      50	  20000000 ns/op
+PASS
+ok  	ftb/internal/campaign	3.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "ftb/internal/campaign" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
+	}
+	off := rep.Benchmarks[0]
+	if off.Name != "BenchmarkEngineCollector/off-8" || off.Iterations != 100 || off.NsPerOp != 11926961 {
+		t.Errorf("off = %+v", off)
+	}
+	if off.BytesPerOp == nil || *off.BytesPerOp != 2064 || off.AllocsPerOp == nil || *off.AllocsPerOp != 12 {
+		t.Errorf("off memstats = %+v", off)
+	}
+	if off.Metrics["experiments/op"] != 4096 {
+		t.Errorf("off metrics = %v", off.Metrics)
+	}
+	bare := rep.Benchmarks[2]
+	if bare.BytesPerOp != nil || bare.Metrics != nil {
+		t.Errorf("bare benchmark picked up phantom columns: %+v", bare)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	ftb/internal/campaign	3.2s",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"--- BENCH: BenchmarkX",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

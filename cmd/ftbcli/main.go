@@ -22,9 +22,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -132,19 +135,139 @@ func (p *progressPrinter) Finish() {
 	}
 }
 
-// progressFlag registers -progress on fs and returns a setup function
-// that attaches ctx (always) and a live progress line (when requested) to
-// the analysis, plus a finish function to call before printing results.
-func progressFlag(fs *flag.FlagSet) func(ctx context.Context, an *ftb.Analysis) (*ftb.Analysis, func()) {
-	show := fs.Bool("progress", false, "render a live progress line on stderr")
-	return func(ctx context.Context, an *ftb.Analysis) (*ftb.Analysis, func()) {
-		an = an.WithContext(ctx)
-		if !*show {
-			return an, func() {}
-		}
-		pp := &progressPrinter{}
-		return an.WithObserver(pp), pp.Finish
+// execFlags bundles the execution plumbing shared by every
+// campaign-running subcommand: the live progress line, the worker cap,
+// campaign metrics export, and pprof profiles.
+type execFlags struct {
+	progress      *bool
+	workers       *int
+	metrics       *string
+	metricsFormat *string
+	cpuProfile    *string
+	memProfile    *string
+
+	pp      *progressPrinter
+	col     *ftb.Collector
+	cpuFile *os.File
+}
+
+// newExecFlags registers the shared execution flags on fs.
+func newExecFlags(fs *flag.FlagSet) *execFlags {
+	return &execFlags{
+		progress:      fs.Bool("progress", false, "render a live progress line on stderr"),
+		workers:       fs.Int("workers", 0, "cap campaign parallelism (default GOMAXPROCS)"),
+		metrics:       fs.String("metrics", "", `write a campaign metrics snapshot to this file ("-" for stdout)`),
+		metricsFormat: fs.String("metrics-format", "json", "metrics snapshot format: json or prom"),
+		cpuProfile:    fs.String("cpuprofile", "", "write a pprof CPU profile of the command to this file"),
+		memProfile:    fs.String("memprofile", "", "write a pprof heap profile at command end to this file"),
 	}
+}
+
+// begin validates the flags and starts the CPU profile. Pair a
+// successful begin with `defer e.end()`.
+func (e *execFlags) begin() error {
+	if *e.metricsFormat != "json" && *e.metricsFormat != "prom" {
+		return fmt.Errorf("unknown -metrics-format %q (want json or prom)", *e.metricsFormat)
+	}
+	if *e.progress {
+		e.pp = &progressPrinter{}
+	}
+	if *e.metrics != "" {
+		e.col = ftb.NewCollector()
+	}
+	if *e.cpuProfile != "" {
+		f, err := os.Create(*e.cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		e.cpuFile = f
+	}
+	return nil
+}
+
+// options returns the RunOptions implementing the requested plumbing.
+func (e *execFlags) options(ctx context.Context) []ftb.RunOption {
+	opts := []ftb.RunOption{ftb.WithContext(ctx)}
+	if e.pp != nil {
+		opts = append(opts, ftb.WithObserver(e.pp))
+	}
+	if *e.workers > 0 {
+		opts = append(opts, ftb.WithWorkers(*e.workers))
+	}
+	if e.col != nil {
+		opts = append(opts, ftb.WithCollector(e.col))
+	}
+	return opts
+}
+
+// apply attaches the plumbing to an analysis.
+func (e *execFlags) apply(ctx context.Context, an *ftb.Analysis) *ftb.Analysis {
+	return an.With(e.options(ctx)...)
+}
+
+// finish terminates the live progress line (idempotent, safe to defer
+// and also call before printing results).
+func (e *execFlags) finish() {
+	if e.pp != nil {
+		e.pp.Finish()
+	}
+}
+
+// end stops the CPU profile.
+func (e *execFlags) end() {
+	if e.cpuFile != nil {
+		pprof.StopCPUProfile()
+		e.cpuFile.Close()
+		e.cpuFile = nil
+	}
+}
+
+// flush writes the post-run artifacts — the metrics snapshot and the
+// heap profile. Call once after the command's normal output.
+func (e *execFlags) flush() error {
+	if e.col != nil {
+		snap := e.col.Snapshot()
+		write := func(w io.Writer) error {
+			if *e.metricsFormat == "prom" {
+				return snap.WritePrometheus(w)
+			}
+			return snap.WriteJSON(w)
+		}
+		if *e.metrics == "-" {
+			if err := write(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(*e.metrics)
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote metrics to %s\n", *e.metrics)
+		}
+	}
+	if *e.memProfile != "" {
+		f, err := os.Create(*e.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func usage() {
@@ -176,10 +299,17 @@ persistence:
               [-batch N]           automatically if the file exists
   infer       -save FILE           save the inferred boundary
 
-execution:
-  -progress                        exhaustive/infer/progressive/report/exp:
-                                   render a live campaign progress line on
+execution (exhaustive/infer/progressive/report/exp):
+  -progress                        render a live campaign progress line on
                                    stderr (phase, done/total, rate, outcomes)
+  -workers N                       cap campaign parallelism (default GOMAXPROCS)
+  -metrics FILE                    write a campaign metrics snapshot ("-" for
+                                   stdout): outcome counters, latency and
+                                   queue-wait histograms, per-worker tallies
+  -metrics-format json|prom        snapshot format (default json; prom is
+                                   Prometheus text exposition)
+  -cpuprofile FILE                 write a pprof CPU profile of the command
+  -memprofile FILE                 write a pprof heap profile at command end
   Ctrl-C                           cancels the running campaign promptly; the
                                    command exits 130 with partial results kept
                                    (exhaustive -checkpoint flushes a final
@@ -235,7 +365,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	save := fs.String("save", "", "write the ground truth to this file")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
 	batch := fs.Int("batch", 256, "sites per checkpoint batch")
-	plumb := progressFlag(fs)
+	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -243,8 +373,12 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	an, finish := plumb(ctx, an)
-	defer finish()
+	if err := exec.begin(); err != nil {
+		return err
+	}
+	defer exec.end()
+	an = exec.apply(ctx, an)
+	defer exec.finish()
 	start := time.Now()
 	var gt *ftb.GroundTruth
 	if *checkpoint != "" {
@@ -255,7 +389,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	finish()
+	exec.finish()
 	elapsed := time.Since(start)
 	overall := gt.Overall()
 	fmt.Printf("exhaustive campaign: %d experiments in %v\n", overall.Total(), elapsed.Round(time.Millisecond))
@@ -272,7 +406,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("  saved ground truth to %s\n", *save)
 	}
-	return nil
+	return exec.flush()
 }
 
 func cmdInfer(ctx context.Context, args []string) error {
@@ -284,7 +418,7 @@ func cmdInfer(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
 	save := fs.String("save", "", "write the inferred boundary to this file")
-	plumb := progressFlag(fs)
+	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -292,8 +426,12 @@ func cmdInfer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	an, finish := plumb(ctx, an)
-	defer finish()
+	if err := exec.begin(); err != nil {
+		return err
+	}
+	defer exec.end()
+	an = exec.apply(ctx, an)
+	defer exec.finish()
 	opts := ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed}
 	if *samples > 0 {
 		opts.SampleFrac, opts.Samples = 0, *samples
@@ -303,7 +441,7 @@ func cmdInfer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	finish()
+	exec.finish()
 	fmt.Printf("inferred boundary from %d samples (%.3f%% of %d) in %v\n",
 		res.Samples(), 100*res.SampleFraction(), an.SampleSpace(),
 		time.Since(start).Round(time.Millisecond))
@@ -325,7 +463,7 @@ func cmdInfer(ctx context.Context, args []string) error {
 		fmt.Printf("  against ground truth: precision %.2f%%  recall %.2f%%  golden SDC %.2f%%\n",
 			100*pr.Precision, 100*pr.Recall, 100*overall.SDCRatio())
 	}
-	return nil
+	return exec.flush()
 }
 
 // cmdShow loads a saved artifact and prints a type-appropriate summary.
@@ -542,7 +680,7 @@ func cmdReport(ctx context.Context, args []string) error {
 	evaluate := fs.Bool("evaluate", false, "run the exhaustive campaign and include the evaluation section")
 	out := fs.String("o", "", "output file (default stdout)")
 	topN := fs.Int("top", 10, "number of most-vulnerable sites to list")
-	plumb := progressFlag(fs)
+	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -554,8 +692,12 @@ func cmdReport(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	an, finish := plumb(ctx, an)
-	defer finish()
+	if err := exec.begin(); err != nil {
+		return err
+	}
+	defer exec.end()
+	an = exec.apply(ctx, an)
+	defer exec.finish()
 	res, err := an.InferBoundary(ftb.InferOptions{SampleFrac: *frac, Filter: *filter, Seed: *seed})
 	if err != nil {
 		return err
@@ -566,7 +708,7 @@ func cmdReport(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	finish()
+	exec.finish()
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -582,7 +724,7 @@ func cmdReport(ctx context.Context, args []string) error {
 	if *out != "" {
 		fmt.Printf("wrote report to %s\n", *out)
 	}
-	return nil
+	return exec.flush()
 }
 
 func cmdProgressive(ctx context.Context, args []string) error {
@@ -594,7 +736,7 @@ func cmdProgressive(ctx context.Context, args []string) error {
 	filter := fs.Bool("filter", false, "enable the §3.5 filter operation")
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	evaluate := fs.Bool("evaluate", false, "also run the exhaustive campaign and score the boundary")
-	plumb := progressFlag(fs)
+	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -602,8 +744,12 @@ func cmdProgressive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	an, finish := plumb(ctx, an)
-	defer finish()
+	if err := exec.begin(); err != nil {
+		return err
+	}
+	defer exec.end()
+	an = exec.apply(ctx, an)
+	defer exec.finish()
 	start := time.Now()
 	res, rounds, err := an.Progressive(ftb.ProgressiveOptions{
 		RoundFrac:         *round,
@@ -615,7 +761,7 @@ func cmdProgressive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	finish()
+	exec.finish()
 	fmt.Printf("progressive sampling: %d rounds, %d samples (%.3f%%) in %v\n",
 		len(rounds), res.Samples(), 100*res.SampleFraction(),
 		time.Since(start).Round(time.Millisecond))
@@ -634,7 +780,7 @@ func cmdProgressive(ctx context.Context, args []string) error {
 		fmt.Printf("  against ground truth: precision %.2f%%  recall %.2f%%  golden SDC %.2f%%\n",
 			100*pr.Precision, 100*pr.Recall, 100*overall.SDCRatio())
 	}
-	return nil
+	return exec.flush()
 }
 
 func cmdExp(ctx context.Context, args []string) error {
@@ -646,15 +792,21 @@ func cmdExp(ctx context.Context, args []string) error {
 	size := fs.String("size", ftb.SizePaper, "kernel size preset")
 	trials := fs.Int("trials", 10, "randomized trials per measurement")
 	seed := fs.Uint64("seed", 1, "base seed")
-	progress := fs.Bool("progress", false, "render a live campaign progress line on stderr")
+	exec := newExecFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if err := exec.begin(); err != nil {
+		return err
+	}
+	defer exec.end()
 	scale := experiments.Scale{Size: *size, Trials: *trials, Seed: *seed, Context: ctx}
-	var pp *progressPrinter
-	if *progress {
-		pp = &progressPrinter{}
-		scale.Observer = pp
+	if exec.pp != nil {
+		scale.Observer = exec.pp
+	}
+	scale.Collector = exec.col
+	if *exec.workers > 0 {
+		scale.RunOptions = append(scale.RunOptions, ftb.WithWorkers(*exec.workers))
 	}
 
 	type runner struct {
@@ -682,9 +834,7 @@ func cmdExp(ctx context.Context, args []string) error {
 		ran = true
 		start := time.Now()
 		res, err := r.run()
-		if pp != nil {
-			pp.Finish()
-		}
+		exec.finish()
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -694,5 +844,5 @@ func cmdExp(ctx context.Context, args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
-	return nil
+	return exec.flush()
 }

@@ -26,6 +26,24 @@
 // as v = ctx.Store(v) against a trace.Ctx (see the Program interface);
 // the built-in HPC kernels (KernelNames lists them: cg, lu, fft, cholesky,
 // heat3d, stencil, stencil32, matvec, spmv, matmul) show the pattern.
+//
+// # Campaign execution options
+//
+// Every campaign-running method accepts trailing RunOptions controlling
+// how its campaigns execute — cancellation (WithContext), progress
+// streaming (WithObserver), scheduling (WithSched), parallelism
+// (WithWorkers), and metrics collection (WithCollector):
+//
+//	col := ftb.NewCollector()
+//	gt, err := an.Exhaustive(ftb.WithCollector(col), ftb.WithWorkers(8))
+//	col.Snapshot().WriteJSON(os.Stdout)
+//
+// Analysis.With applies RunOptions persistently to a copy of the
+// Analysis. The older per-knob plumbing — the Analysis.WithContext,
+// WithObserver, and WithSched clone methods, and the Context and
+// Observer fields of InferOptions — is deprecated in favour of
+// RunOptions; it keeps working, but call-level RunOptions win when both
+// are used.
 package ftb
 
 import (
@@ -42,6 +60,7 @@ import (
 	"ftb/internal/persist"
 	"ftb/internal/rng"
 	"ftb/internal/sampling"
+	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
 
@@ -91,7 +110,21 @@ type (
 	ObserverFunc = campaign.ObserverFunc
 	// Sched selects the campaign scheduling mode.
 	Sched = campaign.Sched
+	// Collector is the lock-cheap campaign metrics collector: attach one
+	// with WithCollector and the engine feeds it per-run latency, outcome
+	// counters, queue wait, and per-worker experiment counts as the
+	// campaign executes. Construct with NewCollector.
+	Collector = telemetry.Collector
+	// MetricsSnapshot is a point-in-time aggregate of a Collector,
+	// exportable as JSON (WriteJSON) or Prometheus-style text exposition
+	// (WritePrometheus).
+	MetricsSnapshot = telemetry.Snapshot
 )
+
+// NewCollector builds an empty campaign metrics collector. One collector
+// may serve many campaigns — and many Analyses — concurrently; snapshot
+// it at any time with its Snapshot method.
+func NewCollector() *Collector { return telemetry.New() }
 
 // Campaign scheduling modes.
 const (
@@ -165,20 +198,71 @@ func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink
 	return trace.RunInjectDiffDual(ctx, p, goldenProg, site, bit, sink, bufSites)
 }
 
+// runConfig is the per-campaign execution plumbing a RunOption can
+// adjust: everything that changes how a campaign runs without changing
+// what it computes.
+type runConfig struct {
+	ctx       context.Context
+	observer  Observer
+	sched     Sched
+	workers   int
+	collector *telemetry.Collector
+}
+
+// RunOption adjusts the execution of the campaigns behind one call —
+// cancellation, progress observation, scheduling, parallelism, and
+// telemetry. Every campaign-running method (Exhaustive,
+// ExhaustiveCheckpointed, InferBoundary, InferFromPairs, Progressive,
+// RunPairs) accepts a trailing list of them; Analysis.With applies them
+// persistently to a copy of the Analysis. Identical campaigns produce
+// identical results under any combination of RunOptions — only
+// wall-clock, observability, and cancellation behaviour differ.
+type RunOption func(*runConfig)
+
+// WithContext cancels the call's campaigns when ctx is cancelled: they
+// return ctx's error promptly (within one in-flight experiment per
+// worker) without leaking goroutines.
+func WithContext(ctx context.Context) RunOption {
+	return func(rc *runConfig) { rc.ctx = ctx }
+}
+
+// WithObserver streams progress events from the call's campaigns to obs.
+// Callbacks must be cheap and non-blocking (they are invoked
+// synchronously from campaign workers).
+func WithObserver(obs Observer) RunOption {
+	return func(rc *runConfig) { rc.observer = obs }
+}
+
+// WithSched selects the campaign scheduling mode (default SchedDynamic).
+func WithSched(s Sched) RunOption {
+	return func(rc *runConfig) { rc.sched = s }
+}
+
+// WithWorkers caps campaign parallelism (default GOMAXPROCS, at most
+// campaign.MaxWorkers).
+func WithWorkers(n int) RunOption {
+	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithCollector attaches a metrics collector: the engine feeds it
+// per-run latency, outcome counts, batch queue wait, and per-worker
+// experiment tallies as the call's campaigns execute. The hot path is
+// atomics-only, so the overhead is a few clock reads per experiment.
+func WithCollector(c *Collector) RunOption {
+	return func(rc *runConfig) { rc.collector = c }
+}
+
 // Analysis binds a program to its golden run and fault model and exposes
 // the paper's workflows: exhaustive campaigns, boundary inference with
 // uniform sampling, and adaptive progressive sampling.
 type Analysis struct {
-	factory  func() trace.Program
-	golden   *trace.GoldenRun
-	tol      float64
-	bits     int
-	width    int
-	workers  int
-	sched    Sched
-	batch    int
-	ctx      context.Context
-	observer Observer
+	factory func() trace.Program
+	golden  *trace.GoldenRun
+	tol     float64
+	bits    int
+	width   int
+	batch   int
+	run     runConfig
 }
 
 // Options tweaks an Analysis.
@@ -203,12 +287,12 @@ type Options struct {
 	Batch int
 	// Context, when non-nil, cancels campaigns started through the
 	// Analysis: they return the context's error promptly without leaking
-	// goroutines. WithContext attaches one after construction.
+	// goroutines. Equivalent to the WithContext RunOption.
 	Context context.Context
 	// Observer, when non-nil, receives progress events from running
 	// campaigns. Callbacks must be cheap and non-blocking (they are
-	// invoked synchronously from campaign workers). WithObserver
-	// attaches one after construction.
+	// invoked synchronously from campaign workers). Equivalent to the
+	// WithObserver RunOption.
 	Observer Observer
 }
 
@@ -241,45 +325,58 @@ func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, 
 		return nil, fmt.Errorf("ftb: bits %d outside [1, %d]", bits, width)
 	}
 	return &Analysis{
-		factory:  factory,
-		golden:   g,
-		tol:      tol,
-		bits:     bits,
-		width:    width,
-		workers:  opts.Workers,
-		sched:    opts.Sched,
-		batch:    opts.Batch,
-		ctx:      opts.Context,
-		observer: opts.Observer,
+		factory: factory,
+		golden:  g,
+		tol:     tol,
+		bits:    bits,
+		width:   width,
+		batch:   opts.Batch,
+		run: runConfig{
+			ctx:      opts.Context,
+			observer: opts.Observer,
+			sched:    opts.Sched,
+			workers:  opts.Workers,
+		},
 	}, nil
 }
 
-// WithContext returns a copy of the Analysis whose campaigns are
-// cancelled when ctx is: they return ctx's error promptly (within one
-// in-flight experiment per worker) without leaking goroutines. The
-// original Analysis is unchanged.
-func (a *Analysis) WithContext(ctx context.Context) *Analysis {
+// With returns a copy of the Analysis with the RunOptions applied
+// persistently: every campaign started through the copy inherits them
+// (call-level RunOptions still override per call). The original Analysis
+// is unchanged.
+func (a *Analysis) With(opts ...RunOption) *Analysis {
 	b := *a
-	b.ctx = ctx
+	for _, o := range opts {
+		o(&b.run)
+	}
 	return &b
+}
+
+// WithContext returns a copy of the Analysis whose campaigns are
+// cancelled when ctx is.
+//
+// Deprecated: use With(WithContext(ctx)), or pass WithContext(ctx)
+// directly to the campaign-running method.
+func (a *Analysis) WithContext(ctx context.Context) *Analysis {
+	return a.With(WithContext(ctx))
 }
 
 // WithObserver returns a copy of the Analysis whose campaigns report
-// progress to obs. Observer callbacks must be cheap and non-blocking.
-// The original Analysis is unchanged.
+// progress to obs.
+//
+// Deprecated: use With(WithObserver(obs)), or pass WithObserver(obs)
+// directly to the campaign-running method.
 func (a *Analysis) WithObserver(obs Observer) *Analysis {
-	b := *a
-	b.observer = obs
-	return &b
+	return a.With(WithObserver(obs))
 }
 
 // WithSched returns a copy of the Analysis using the given campaign
-// scheduling mode. The original Analysis is unchanged. Identical configs
-// produce identical results under either mode; only wall-clock differs.
+// scheduling mode.
+//
+// Deprecated: use With(WithSched(s)), or pass WithSched(s) directly to
+// the campaign-running method.
 func (a *Analysis) WithSched(s Sched) *Analysis {
-	b := *a
-	b.sched = s
-	return &b
+	return a.With(WithSched(s))
 }
 
 // NewKernelAnalysis builds an Analysis for a built-in kernel at one of
@@ -317,32 +414,41 @@ func (a *Analysis) SampleSpace() int { return a.Sites() * a.bits }
 // Tolerance returns the acceptable output deviation T.
 func (a *Analysis) Tolerance() float64 { return a.tol }
 
-func (a *Analysis) campaignConfig() campaign.Config {
+// campaignConfig materializes the engine configuration for one call:
+// the analysis-level run plumbing with call-level RunOptions applied on
+// top.
+func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
+	rc := a.run
+	for _, o := range opts {
+		o(&rc)
+	}
 	return campaign.Config{
-		Factory:  a.factory,
-		Golden:   a.golden,
-		Tol:      a.tol,
-		Bits:     a.bits,
-		Width:    a.width,
-		Workers:  a.workers,
-		Sched:    a.sched,
-		Batch:    a.batch,
-		Context:  a.ctx,
-		Observer: a.observer,
+		Factory:   a.factory,
+		Golden:    a.golden,
+		Tol:       a.tol,
+		Bits:      a.bits,
+		Width:     a.width,
+		Workers:   rc.workers,
+		Sched:     rc.sched,
+		Batch:     a.batch,
+		Context:   rc.ctx,
+		Observer:  rc.observer,
+		Collector: rc.collector,
 	}
 }
 
 // Exhaustive runs the full fault-injection campaign: every bit of every
 // dynamic instruction. Cost: SampleSpace() program executions.
-func (a *Analysis) Exhaustive() (*GroundTruth, error) {
-	return campaign.Exhaustive(a.campaignConfig())
+func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
+	return campaign.Exhaustive(a.campaignConfig(opts...))
 }
 
 // ExhaustiveCheckpointed runs the full campaign with progress persisted
 // to checkpointPath every batch sites, resuming automatically if the file
 // already holds a matching partial campaign. The checkpoint file is
-// removed on successful completion.
-func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int) (*GroundTruth, error) {
+// removed on successful completion; if only that cleanup fails, the
+// completed ground truth is returned alongside the error.
+func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts ...RunOption) (*GroundTruth, error) {
 	var prior *GroundTruth
 	priorSites := 0
 	if cp, err := persist.LoadFile(checkpointPath, persist.LoadCheckpoint); err == nil {
@@ -354,7 +460,7 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int) (*Gr
 			return nil, fmt.Errorf("ftb: unreadable checkpoint %s: %w", checkpointPath, err)
 		}
 	}
-	gt, err := campaign.ExhaustiveCheckpointed(a.campaignConfig(), prior, priorSites, batch,
+	gt, err := campaign.ExhaustiveCheckpointed(a.campaignConfig(opts...), prior, priorSites, batch,
 		func(partial *GroundTruth, done int) error {
 			return persist.SaveFile(checkpointPath, persist.Checkpoint{GT: partial, DoneSites: done}, persist.SaveCheckpoint)
 		})
@@ -362,7 +468,9 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int) (*Gr
 		return nil, err
 	}
 	if err := os.Remove(checkpointPath); err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("ftb: campaign done but checkpoint cleanup failed: %w", err)
+		// The campaign itself succeeded: hand the completed ground truth
+		// back with the cleanup error instead of forfeiting it.
+		return gt, fmt.Errorf("ftb: campaign done but checkpoint cleanup failed: %w", err)
 	}
 	return gt, nil
 }
@@ -380,8 +488,8 @@ func (a *Analysis) NonMonotonicSites(gt *GroundTruth) (int, error) {
 }
 
 // RunPairs classifies an explicit set of experiments.
-func (a *Analysis) RunPairs(pairs []Pair) ([]Record, error) {
-	return campaign.RunPairs(a.campaignConfig(), pairs)
+func (a *Analysis) RunPairs(pairs []Pair, opts ...RunOption) ([]Record, error) {
+	return campaign.RunPairs(a.campaignConfig(opts...), pairs)
 }
 
 // NewPredictor builds a predictor for an arbitrary boundary (e.g. one
@@ -410,26 +518,30 @@ type InferOptions struct {
 	Filter bool
 	// Seed drives sample selection.
 	Seed uint64
-	// Context, when non-nil, cancels this inference's campaigns,
-	// overriding the analysis-level context for the call.
+	// Context cancels this inference's campaigns.
+	//
+	// Deprecated: pass the WithContext RunOption to InferBoundary
+	// instead. When both are set, the RunOption wins.
 	Context context.Context
-	// Observer, when non-nil, receives this inference's progress events,
-	// overriding the analysis-level observer for the call. Callbacks
-	// must be cheap and non-blocking.
+	// Observer receives this inference's progress events.
+	//
+	// Deprecated: pass the WithObserver RunOption to InferBoundary
+	// instead. When both are set, the RunOption wins.
 	Observer Observer
 }
 
-// inferConfig is the analysis campaign config with per-call overrides
-// applied.
-func (a *Analysis) inferConfig(opts InferOptions) campaign.Config {
-	cfg := a.campaignConfig()
+// inferConfig is the analysis campaign config with the deprecated
+// InferOptions overrides applied first, then the call's RunOptions (so
+// the new API wins when both are used).
+func (a *Analysis) inferConfig(opts InferOptions, runOpts []RunOption) campaign.Config {
+	var legacy []RunOption
 	if opts.Context != nil {
-		cfg.Context = opts.Context
+		legacy = append(legacy, WithContext(opts.Context))
 	}
 	if opts.Observer != nil {
-		cfg.Observer = opts.Observer
+		legacy = append(legacy, WithObserver(opts.Observer))
 	}
-	return cfg
+	return a.campaignConfig(append(legacy, runOpts...)...)
 }
 
 // Result is an inferred boundary plus everything needed to use and judge
@@ -447,7 +559,7 @@ type Result struct {
 // InferBoundary runs the paper's core method: uniformly sample the
 // (site, bit) space, classify the samples, and aggregate the masked runs'
 // propagation data into a fault tolerance boundary (Algorithm 1).
-func (a *Analysis) InferBoundary(opts InferOptions) (*Result, error) {
+func (a *Analysis) InferBoundary(opts InferOptions, runOpts ...RunOption) (*Result, error) {
 	k := opts.Samples
 	if opts.SampleFrac > 0 {
 		k = int(opts.SampleFrac * float64(a.SampleSpace()))
@@ -460,7 +572,7 @@ func (a *Analysis) InferBoundary(opts InferOptions) (*Result, error) {
 	}
 	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
 	known := boundary.NewKnown(a.Sites(), a.bits)
-	bld, recs, err := boundary.Build(a.inferConfig(opts), pairs, boundary.BuildOptions{
+	bld, recs, err := boundary.Build(a.inferConfig(opts, runOpts), pairs, boundary.BuildOptions{
 		Filter: opts.Filter,
 		Known:  known,
 	})
@@ -473,12 +585,12 @@ func (a *Analysis) InferBoundary(opts InferOptions) (*Result, error) {
 // InferFromPairs runs the inference pipeline over an explicit experiment
 // selection (e.g. one produced by a Relyzer-style grouping heuristic)
 // instead of a uniform draw.
-func (a *Analysis) InferFromPairs(pairs []Pair, filter bool) (*Result, error) {
+func (a *Analysis) InferFromPairs(pairs []Pair, filter bool, opts ...RunOption) (*Result, error) {
 	if len(pairs) == 0 {
 		return nil, errors.New("ftb: InferFromPairs requires at least one pair")
 	}
 	known := boundary.NewKnown(a.Sites(), a.bits)
-	bld, recs, err := boundary.Build(a.campaignConfig(), pairs, boundary.BuildOptions{
+	bld, recs, err := boundary.Build(a.campaignConfig(opts...), pairs, boundary.BuildOptions{
 		Filter: filter,
 		Known:  known,
 	})
@@ -509,14 +621,14 @@ type ProgressiveOptions = sampling.ProgressiveOptions
 // Progressive runs adaptive progressive sampling: rounds of biased
 // samples, each round shrinking the remaining space with the growing
 // boundary, until almost no new masked cases appear.
-func (a *Analysis) Progressive(opts ProgressiveOptions) (*Result, []sampling.RoundStat, error) {
+func (a *Analysis) Progressive(opts ProgressiveOptions, runOpts ...RunOption) (*Result, []sampling.RoundStat, error) {
 	if opts.Bits == 0 {
 		opts.Bits = a.bits
 	}
 	if opts.Width == 0 {
 		opts.Width = a.width
 	}
-	pres, err := sampling.RunProgressive(a.campaignConfig(), opts)
+	pres, err := sampling.RunProgressive(a.campaignConfig(runOpts...), opts)
 	if err != nil {
 		return nil, nil, err
 	}

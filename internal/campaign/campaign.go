@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"ftb/internal/outcome"
+	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
 
@@ -30,6 +31,15 @@ import (
 type Pair struct {
 	Site int
 	Bit  uint8
+}
+
+// PairAt maps a flat sample-space index to its experiment under the
+// canonical row-major (site-major, bit-minor) layout. Every enumeration
+// of the (site × bit) space — exhaustive campaigns, uniform sampling,
+// Monte Carlo draws — must go through this mapping so fault-model
+// indexing can never drift between them.
+func PairAt(index, bitsN int) Pair {
+	return Pair{Site: index / bitsN, Bit: uint8(index % bitsN)}
 }
 
 // Record is the classified result of one experiment.
@@ -90,6 +100,13 @@ type Config struct {
 	// goroutines under an internal lock: they MUST be cheap and
 	// non-blocking, or they will serialize the pool.
 	Observer Observer
+	// Collector, when non-nil, receives the engine's telemetry: per-run
+	// latency, outcome counts, batch queue wait, per-worker experiment
+	// counts, and per-campaign wall-clock, keyed by campaign phase. Unlike
+	// the Observer path it is fed from the experiment hot path, which is
+	// why it is the concrete lock-cheap collector rather than an
+	// interface. One collector may serve many campaigns concurrently.
+	Collector *telemetry.Collector
 }
 
 func (c *Config) normalized() (Config, error) {

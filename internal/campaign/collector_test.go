@@ -1,0 +1,174 @@
+// Engine↔collector integration tests, written as an external test
+// package so they exercise exactly the public surface the facade uses
+// (Config.Collector plus the campaign entry points). The Makefile race
+// target runs this package, so these tests double as the "collector under
+// -race with 8 workers" proof at engine level.
+package campaign_test
+
+import (
+	"errors"
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/telemetry"
+	"ftb/internal/trace"
+)
+
+// chain is the minimal instrumented program: n dependent stores.
+type chain struct{ n int }
+
+func (p *chain) Name() string { return "chain" }
+
+func (p *chain) Run(ctx *trace.Ctx) []float64 {
+	v := 1.0
+	for i := 0; i < p.n; i++ {
+		v = ctx.Store(v + 0.5)
+	}
+	return []float64{v}
+}
+
+func collectorConfig(n, workers int) campaign.Config {
+	g, err := trace.Golden(&chain{n: n})
+	if err != nil {
+		panic(err)
+	}
+	return campaign.Config{
+		Factory: func() trace.Program { return &chain{n: n} },
+		Golden:  g,
+		Tol:     1e-9,
+		Workers: workers,
+		Batch:   4, // small batches: all 8 workers participate
+	}
+}
+
+// TestEngineFeedsCollector runs a full campaign on 8 workers with a
+// collector attached and checks that every aggregate agrees exactly with
+// the engine's own results.
+func TestEngineFeedsCollector(t *testing.T) {
+	cfg := collectorConfig(32, 8)
+	col := telemetry.New()
+	cfg.Collector = col
+
+	pairs := campaign.AllPairs(cfg.Golden.Sites(), 64)
+	recs, err := campaign.RunPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want outcome.Counts
+	for _, r := range recs {
+		want.Add(r.Kind)
+	}
+	s := col.Snapshot()
+	if s.Campaigns != 1 {
+		t.Errorf("campaigns = %d, want 1", s.Campaigns)
+	}
+	if s.Experiments != int64(len(pairs)) {
+		t.Errorf("experiments = %d, want %d", s.Experiments, len(pairs))
+	}
+	got := telemetry.OutcomeCounts{
+		Masked: int64(want[outcome.Masked]),
+		SDC:    int64(want[outcome.SDC]),
+		Crash:  int64(want[outcome.Crash]),
+	}
+	if s.Outcomes != got {
+		t.Errorf("collector outcomes %+v != campaign records %+v", s.Outcomes, got)
+	}
+	if s.RunLatency.Count != int64(len(pairs)) {
+		t.Errorf("latency observations = %d, want %d", s.RunLatency.Count, len(pairs))
+	}
+	var perWorker int64
+	for _, w := range s.Workers {
+		perWorker += w.Experiments
+	}
+	if perWorker != int64(len(pairs)) {
+		t.Errorf("per-worker sum = %d, want %d", perWorker, len(pairs))
+	}
+	// How many workers run experiments is timing-dependent (a fast worker
+	// can drain a short queue alone), so only the conservation law above is
+	// asserted; telemetry's own concurrency test pins per-worker counting.
+	if len(s.Workers) == 0 {
+		t.Error("no per-worker experiment counts recorded")
+	}
+	if s.QueueWait.Count == 0 {
+		t.Error("no queue-wait observations recorded")
+	}
+	ph, ok := s.Phases["classify"]
+	if !ok {
+		t.Fatalf("phases = %v, want classify", s.Phases)
+	}
+	if ph.Experiments != int64(len(pairs)) || ph.Campaigns != 1 {
+		t.Errorf("classify phase = %+v", ph)
+	}
+	if s.WallSeconds <= 0 {
+		t.Errorf("wall-clock = %g, want > 0", s.WallSeconds)
+	}
+	if s.Gauges["active_campaigns"] != 0 || s.Gauges["active_workers"] != 0 {
+		t.Errorf("gauges nonzero after completion: %v", s.Gauges)
+	}
+}
+
+// TestCollectorMatchesExhaustive pins the acceptance identity: the
+// collector's outcome counters equal the exhaustive campaign's ground
+// truth tallies exactly.
+func TestCollectorMatchesExhaustive(t *testing.T) {
+	cfg := collectorConfig(16, 8)
+	col := telemetry.New()
+	cfg.Collector = col
+	gt, err := campaign.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := gt.Overall()
+	s := col.Snapshot()
+	if s.Outcomes.Masked != int64(overall[outcome.Masked]) ||
+		s.Outcomes.SDC != int64(overall[outcome.SDC]) ||
+		s.Outcomes.Crash != int64(overall[outcome.Crash]) {
+		t.Errorf("collector %+v != ground truth %v", s.Outcomes, overall)
+	}
+	if s.Experiments != int64(overall.Total()) {
+		t.Errorf("experiments = %d, want %d", s.Experiments, overall.Total())
+	}
+	if s.Phases["exhaustive"].Experiments != s.Experiments {
+		t.Errorf("exhaustive phase = %+v", s.Phases["exhaustive"])
+	}
+}
+
+// mismatchProg stores one extra site when the injection perturbs its
+// first value, tripping the engine's trace-mismatch check.
+type mismatchProg struct{ base *chain }
+
+func (p *mismatchProg) Name() string { return "mismatch" }
+
+func (p *mismatchProg) Run(ctx *trace.Ctx) []float64 {
+	out := p.base.Run(ctx)
+	if out[0] != 1.0+0.5*float64(p.base.n) {
+		ctx.Store(out[0]) // diverged: execute a non-golden store count
+	}
+	return out
+}
+
+func TestCollectorCountsMismatch(t *testing.T) {
+	g, err := trace.Golden(&mismatchProg{base: &chain{n: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.New()
+	cfg := campaign.Config{
+		Factory:   func() trace.Program { return &mismatchProg{base: &chain{n: 8}} },
+		Golden:    g,
+		Tol:       1e-9,
+		Workers:   2,
+		Collector: col,
+	}
+	// A mantissa flip on site 0 changes the output without crashing, so
+	// the extra store executes and the trace length diverges from golden.
+	_, err = campaign.RunPairs(cfg, []campaign.Pair{{Site: 0, Bit: 51}})
+	if !errors.Is(err, trace.ErrTraceMismatch) {
+		t.Fatalf("err = %v, want trace mismatch", err)
+	}
+	if s := col.Snapshot(); s.Outcomes.Mismatch != 1 {
+		t.Errorf("mismatch counter = %d, want 1", s.Outcomes.Mismatch)
+	}
+}

@@ -2,12 +2,15 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ftb/internal/outcome"
+	"ftb/internal/telemetry"
+	"ftb/internal/trace"
 )
 
 // Sched selects how a campaign's experiments are distributed across the
@@ -181,6 +184,17 @@ func runEngine[S any](cfg Config, phase string, n int,
 	ctx, cancel := context.WithCancel(cfg.Context)
 	defer cancel()
 
+	// The telemetry recorder rides alongside the Observer path: the
+	// Observer streams coarse per-batch progress events, the recorder
+	// accumulates per-run latency, outcome, queue-wait, and per-worker
+	// counters. rec == nil (no collector) keeps the hot path free of
+	// clock reads.
+	var rec *telemetry.CampaignRecorder
+	if cfg.Collector != nil {
+		rec = cfg.Collector.StartCampaign(phase, n, workers)
+		defer rec.End()
+	}
+
 	prog := &progress{
 		phase:      phase,
 		total:      n,
@@ -210,6 +224,10 @@ func runEngine[S any](cfg Config, phase string, n int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if rec != nil {
+				rec.WorkerStart()
+				defer rec.WorkerStop()
+			}
 			s := setup(w)
 			// Static mode walks the worker's own contiguous chunk in
 			// batch-sized steps; dynamic mode claims batches off the
@@ -233,11 +251,29 @@ func runEngine[S any](cfg Config, phase string, n int,
 				lo = b * batch
 				return lo, min(lo+batch, n), true
 			}
+			// clock chains the instrumentation timestamps: each
+			// measured interval ends where the next begins, so a batch
+			// costs one time.Now() per experiment plus one per
+			// claim/merge — half the clock reads of separate
+			// start/stop pairs, which matters when an experiment runs
+			// in well under a microsecond.
+			var clock time.Time
+			if rec != nil {
+				clock = time.Now()
+			}
 			for {
 				if ctx.Err() != nil {
 					return
 				}
 				lo, hi, ok := claim()
+				if rec != nil {
+					// Charge the claim (queue-head contention) now;
+					// the progress merge below joins the same batch's
+					// wait once it has happened.
+					now := time.Now()
+					rec.Wait(w, now.Sub(clock))
+					clock = now
+				}
 				if !ok {
 					return
 				}
@@ -248,12 +284,26 @@ func runEngine[S any](cfg Config, phase string, n int,
 					}
 					k, err := item(s, i)
 					if err != nil {
+						if rec != nil && errors.Is(err, trace.ErrTraceMismatch) {
+							rec.Mismatch()
+						}
 						fail(err)
 						return
 					}
+					if rec != nil {
+						now := time.Now()
+						rec.Run(w, k, now.Sub(clock))
+						clock = now
+					}
 					c.Add(k)
 				}
-				if err := prog.rangeDone(lo, hi, c); err != nil {
+				err := prog.rangeDone(lo, hi, c)
+				if rec != nil {
+					now := time.Now()
+					rec.Wait(w, now.Sub(clock))
+					clock = now
+				}
+				if err != nil {
 					fail(err)
 					return
 				}

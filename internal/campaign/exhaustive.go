@@ -82,7 +82,7 @@ func Exhaustive(cfg Config) (*GroundTruth, error) {
 	_, err = runEngine(cfg, "exhaustive", sites*cfg.Bits,
 		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
-			pair := Pair{Site: i / cfg.Bits, Bit: uint8(i % cfg.Bits)}
+			pair := PairAt(i, cfg.Bits)
 			rec, err := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
 			if err != nil {
 				return 0, err
@@ -174,7 +174,7 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			abs := priorSites*cfg.Bits + i
-			pair := Pair{Site: abs / cfg.Bits, Bit: uint8(abs % cfg.Bits)}
+			pair := PairAt(abs, cfg.Bits)
 			rec, rerr := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
 			if rerr != nil {
 				return 0, rerr

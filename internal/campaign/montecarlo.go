@@ -39,7 +39,7 @@ func MonteCarlo(cfg Config, r *rng.Rand, k int) (*MCEstimate, error) {
 	idx := r.SampleK(space, k)
 	pairs := make([]Pair, k)
 	for i, v := range idx {
-		pairs[i] = Pair{Site: v / norm.Bits, Bit: uint8(v % norm.Bits)}
+		pairs[i] = PairAt(v, norm.Bits)
 	}
 	recs, err := RunPairs(cfg, pairs)
 	if err != nil {

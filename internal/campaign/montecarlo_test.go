@@ -122,3 +122,43 @@ func TestMCSamplesPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestWilsonIntervalEdges pins the closed forms at the boundary success
+// counts: with 0 successes the interval is [0, z²/(n+z²)]; with all n
+// successes it mirrors to [n/(n+z²), 1]. These are the cases a naive
+// normal-approximation interval gets wrong (it collapses to [0,0] and
+// [1,1]).
+func TestWilsonIntervalEdges(t *testing.T) {
+	const z = 1.959963984540054
+	for _, n := range []int{1, 10, 100, 10000} {
+		fn := float64(n)
+		lo, hi := wilson(0, n)
+		if lo != 0 {
+			t.Errorf("wilson(0,%d) lo = %g, want exactly 0", n, lo)
+		}
+		wantHi := z * z / (fn + z*z)
+		if math.Abs(hi-wantHi) > 1e-12 {
+			t.Errorf("wilson(0,%d) hi = %g, want %g", n, hi, wantHi)
+		}
+		if hi <= 0 || hi >= 1 {
+			t.Errorf("wilson(0,%d) hi = %g outside (0,1)", n, hi)
+		}
+
+		lo, hi = wilson(n, n)
+		if hi != 1 {
+			t.Errorf("wilson(%d,%d) hi = %g, want exactly 1", n, n, hi)
+		}
+		wantLo := fn / (fn + z*z)
+		if math.Abs(lo-wantLo) > 1e-12 {
+			t.Errorf("wilson(%d,%d) lo = %g, want %g", n, n, lo, wantLo)
+		}
+
+		// The interval is symmetric under k -> n-k reflection.
+		lo0, hi0 := wilson(1, n)
+		lo1, hi1 := wilson(n-1, n)
+		if math.Abs(lo0-(1-hi1)) > 1e-12 || math.Abs(hi0-(1-lo1)) > 1e-12 {
+			t.Errorf("wilson(1,%d)=[%g,%g] not the mirror of wilson(%d,%d)=[%g,%g]",
+				n, lo0, hi0, n-1, n, lo1, hi1)
+		}
+	}
+}

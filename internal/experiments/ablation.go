@@ -32,6 +32,7 @@ type AblationResult struct {
 // against the exhaustive ground truth.
 func Ablation(s Scale) (*AblationResult, error) {
 	s = s.normalized()
+	defer s.section("ablation")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

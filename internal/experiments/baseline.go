@@ -45,6 +45,7 @@ type BaselineResult struct {
 // judged against the exhaustive ground truth.
 func Baseline(s Scale) (*BaselineResult, error) {
 	s = s.normalized()
+	defer s.section("baseline")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

@@ -46,6 +46,15 @@ type Scale struct {
 	// campaign the experiment runs. Callbacks must be cheap and
 	// non-blocking.
 	Observer ftb.Observer
+	// RunOptions are applied to every campaign the experiment runs, after
+	// Context and Observer (so an explicit option wins over the fields).
+	RunOptions []ftb.RunOption
+	// Collector, when non-nil, receives campaign metrics from every
+	// campaign the experiment runs, and each experiment's work is
+	// attributed to a telemetry section named after it ("table1",
+	// "figure3", ...), so a snapshot breaks the harness down per
+	// table/figure.
+	Collector *ftb.Collector
 }
 
 // ScaleTest is the unit-test scale: tiny kernels, few trials.
@@ -115,16 +124,37 @@ func setup(names []string, s Scale) ([]bench, error) {
 	return out, nil
 }
 
-// withScale attaches the scale's cancellation context and progress
-// observer to an analysis (returning a derived copy).
+// withScale attaches the scale's execution plumbing — cancellation
+// context, progress observer, extra RunOptions, and metrics collector —
+// to an analysis (returning a derived copy).
 func withScale(an *ftb.Analysis, s Scale) *ftb.Analysis {
+	var opts []ftb.RunOption
 	if s.Context != nil {
-		an = an.WithContext(s.Context)
+		opts = append(opts, ftb.WithContext(s.Context))
 	}
 	if s.Observer != nil {
-		an = an.WithObserver(s.Observer)
+		opts = append(opts, ftb.WithObserver(s.Observer))
 	}
-	return an
+	opts = append(opts, s.RunOptions...)
+	if s.Collector != nil {
+		opts = append(opts, ftb.WithCollector(s.Collector))
+	}
+	if len(opts) == 0 {
+		return an
+	}
+	return an.With(opts...)
+}
+
+// section opens the named telemetry section when the scale carries a
+// collector and returns its closer (a no-op closer otherwise). Each
+// experiment defers it around its whole run, so a snapshot attributes
+// wall-clock, campaigns, and experiments to the table or figure that
+// spent them.
+func (s Scale) section(name string) func() {
+	if s.Collector == nil {
+		return func() {}
+	}
+	return s.Collector.StartSection(name)
 }
 
 // trialSeed derives a per-trial seed from the scale seed.

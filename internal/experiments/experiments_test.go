@@ -3,7 +3,10 @@ package experiments
 import (
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"ftb"
 )
 
 func TestTable1ShapeHolds(t *testing.T) {
@@ -311,5 +314,48 @@ func TestSensitivityTradeoff(t *testing.T) {
 	}
 	if out := res.Render(); !strings.Contains(out, "factor") {
 		t.Error("render missing header")
+	}
+}
+
+func TestScaleCollectorSections(t *testing.T) {
+	col := ftb.NewCollector()
+	s := ScaleTest
+	s.Collector = col
+	if _, err := Table1(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table3(s); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	var names []string
+	for _, sec := range snap.Sections {
+		names = append(names, sec.Name)
+		if sec.WallSeconds <= 0 {
+			t.Errorf("section %s wall-clock = %g, want > 0", sec.Name, sec.WallSeconds)
+		}
+	}
+	if len(names) != 2 || names[0] != "table1" || names[1] != "table3" {
+		t.Errorf("sections = %v, want [table1 table3] in run order", names)
+	}
+	// Table 3's progressive campaigns always run fresh (only exhaustive
+	// ground truths are cached), so experiments must have accrued.
+	if snap.Experiments == 0 {
+		t.Error("no experiments attributed to the collector")
+	}
+}
+
+func TestScaleRunOptions(t *testing.T) {
+	var events atomic.Int64
+	s := ScaleTest
+	s.RunOptions = []ftb.RunOption{ftb.WithObserver(ftb.ObserverFunc(func(ftb.ProgressEvent) { events.Add(1) }))}
+	// Table 3 always runs its progressive campaigns (only exhaustive
+	// ground truths are memoized in gtCache), so the observer must see
+	// events no matter which tests ran before this one.
+	if _, err := Table3(s); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Error("Scale.RunOptions observer received no events")
 	}
 }

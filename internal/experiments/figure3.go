@@ -34,6 +34,7 @@ type Figure3Result struct {
 // Figure3 runs the §4.1 ΔSDC analysis of the exhaustive-search boundary.
 func Figure3(s Scale) (*Figure3Result, error) {
 	s = s.normalized()
+	defer s.section("figure3")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

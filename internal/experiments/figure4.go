@@ -37,6 +37,7 @@ type Figure4Result struct {
 // row 3 repairs them with progressive adaptive sampling.
 func Figure4(s Scale) (*Figure4Result, error) {
 	s = s.normalized()
+	defer s.section("figure4")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

@@ -37,6 +37,7 @@ type Figure5Result struct {
 // of the uniform sampling rate, with the top row lacking and the bottom
 // row using the §3.5 filter operation.
 func Figure5(s Scale) (*Figure5Result, error) {
+	defer s.section("figure5")()
 	return figure5At(s, Figure5Fracs)
 }
 

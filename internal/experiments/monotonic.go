@@ -31,6 +31,7 @@ type MonotonicResult struct {
 // CG/LU/FFT exhibit the ~10% non-monotonic tails of §4.1.
 func Monotonicity(s Scale) (*MonotonicResult, error) {
 	s = s.normalized()
+	defer s.section("monotonicity")()
 	names := append([]string{}, Benchmarks...)
 	names = append(names, "stencil", "stencil32", "matvec", "spmv", "matmul", "cholesky", "heat3d", "gmres", "multigrid")
 	benches, err := setup(names, s)

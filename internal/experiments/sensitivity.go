@@ -40,6 +40,7 @@ type SensitivityResult struct {
 // scores it at each scaling factor against the exhaustive ground truth.
 func Sensitivity(s Scale) (*SensitivityResult, error) {
 	s = s.normalized()
+	defer s.section("sensitivity")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ type Table1Result struct {
 // overall SDC ratio.
 func Table1(s Scale) (*Table1Result, error) {
 	s = s.normalized()
+	defer s.section("table1")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ type Table2Result struct {
 // is off, matching the paper's base inference method (the filter is
 // studied separately in Figure 5).
 func Table2(s Scale) (*Table2Result, error) {
+	defer s.section("table2")()
 	return table2At(s, 0.01)
 }
 

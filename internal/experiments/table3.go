@@ -28,6 +28,7 @@ type Table3Result struct {
 // Scale.Trials times.
 func Table3(s Scale) (*Table3Result, error) {
 	s = s.normalized()
+	defer s.section("table3")()
 	benches, err := setup(Benchmarks, s)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,7 @@ func table4Shapes(size string) [2]struct{ n, iters int } {
 // holds as the dynamic-instruction count grows.
 func Table4(s Scale) (*Table4Result, error) {
 	s = s.normalized()
+	defer s.section("table4")()
 	shapes := table4Shapes(s.Size)
 	res := &Table4Result{}
 	for _, shape := range shapes {

@@ -19,7 +19,10 @@ func Uniform(r *rng.Rand, sites, bitsN, k int) []campaign.Pair {
 	idx := r.SampleK(sites*bitsN, k)
 	pairs := make([]campaign.Pair, k)
 	for i, v := range idx {
-		pairs[i] = campaign.Pair{Site: v / bitsN, Bit: uint8(v % bitsN)}
+		// campaign.PairAt is the canonical index→experiment mapping,
+		// shared with MonteCarlo and the exhaustive campaign so the fault
+		// model can never drift between samplers.
+		pairs[i] = campaign.PairAt(v, bitsN)
 	}
 	return pairs
 }

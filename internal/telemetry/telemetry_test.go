@@ -1,0 +1,284 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftb/internal/outcome"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1e-6, 1e-3, 1)
+	h.Observe(500 * time.Nanosecond)  // <= 1µs
+	h.Observe(time.Microsecond)       // boundary: le includes the bound
+	h.Observe(50 * time.Microsecond)  // <= 1ms
+	h.Observe(100 * time.Millisecond) // <= 1s
+	h.Observe(2 * time.Second)        // overflow
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCum := []int64{2, 3, 4, 5}
+	wantLE := []string{"1e-06", "0.001", "1", "+Inf"}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] || b.LE != wantLE[i] {
+			t.Errorf("bucket %d = {%s, %d}, want {%s, %d}", i, b.LE, b.Count, wantLE[i], wantCum[i])
+		}
+	}
+	wantSum := (500*time.Nanosecond + time.Microsecond + 50*time.Microsecond +
+		100*time.Millisecond + 2*time.Second).Seconds()
+	if s.SumSeconds != wantSum {
+		t.Errorf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	if len(h.bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("default bounds %d, want %d", len(h.bounds), len(DefaultLatencyBuckets))
+	}
+	h.Observe(time.Minute) // beyond the 10s top bound
+	s := h.snapshot()
+	if got := s.Buckets[len(s.Buckets)-1]; got.LE != "+Inf" || got.Count != 1 {
+		t.Errorf("overflow bucket = %+v", got)
+	}
+	if s.Buckets[0].Count != 0 {
+		t.Errorf("first bucket nonempty: %+v", s.Buckets[0])
+	}
+}
+
+// TestCollectorConcurrent hammers one campaign recorder from 8 worker
+// goroutines (mirroring an 8-worker engine pool) and checks every
+// aggregate. Run under -race (the Makefile race target includes this
+// package) this is the collector's thread-safety proof.
+func TestCollectorConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+	c := New()
+	rec := c.StartCampaign("classify", workers*perWorker, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec.WorkerStart()
+			defer rec.WorkerStop()
+			for i := 0; i < perWorker; i++ {
+				kind := outcome.Kind(i % outcome.NumKinds)
+				rec.Run(w, kind, time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					rec.Wait(w, time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rec.End()
+	rec.End() // idempotent
+
+	s := c.Snapshot()
+	total := int64(workers * perWorker)
+	if s.Experiments != total {
+		t.Errorf("experiments = %d, want %d", s.Experiments, total)
+	}
+	if s.Campaigns != 1 {
+		t.Errorf("campaigns = %d, want 1", s.Campaigns)
+	}
+	if got := s.Outcomes.Masked + s.Outcomes.SDC + s.Outcomes.Crash; got != total {
+		t.Errorf("outcome sum = %d, want %d", got, total)
+	}
+	// Each worker contributed the same outcome mix: 1000 iterations mod 3
+	// kinds gives 334 masked and 333 each of sdc/crash per worker.
+	wantPerKind := int64(workers * (perWorker / outcome.NumKinds))
+	if s.Outcomes.SDC != wantPerKind || s.Outcomes.Crash != wantPerKind {
+		t.Errorf("outcomes = %+v, want %d sdc and crash", s.Outcomes, wantPerKind)
+	}
+	if len(s.Workers) != workers {
+		t.Fatalf("worker rows = %d, want %d", len(s.Workers), workers)
+	}
+	for _, ws := range s.Workers {
+		if ws.Experiments != perWorker {
+			t.Errorf("worker %d executed %d, want %d", ws.Worker, ws.Experiments, perWorker)
+		}
+	}
+	if s.RunLatency.Count != total {
+		t.Errorf("latency count = %d, want %d", s.RunLatency.Count, total)
+	}
+	if s.QueueWait.Count != int64(workers*perWorker/100) {
+		t.Errorf("queue wait count = %d, want %d", s.QueueWait.Count, workers*perWorker/100)
+	}
+	last := s.RunLatency.Buckets[len(s.RunLatency.Buckets)-1]
+	if last.Count != total {
+		t.Errorf("cumulative +Inf bucket = %d, want %d", last.Count, total)
+	}
+	if s.Gauges["active_campaigns"] != 0 || s.Gauges["active_workers"] != 0 {
+		t.Errorf("gauges did not return to zero: %v", s.Gauges)
+	}
+	ph, ok := s.Phases["classify"]
+	if !ok {
+		t.Fatal("classify phase missing")
+	}
+	if ph.Experiments != total || ph.Campaigns != 1 {
+		t.Errorf("phase = %+v", ph)
+	}
+	if ph.Outcomes != s.Outcomes {
+		t.Errorf("phase outcomes %+v != overall %+v", ph.Outcomes, s.Outcomes)
+	}
+	if s.WallSeconds <= 0 {
+		t.Errorf("wall = %g, want > 0", s.WallSeconds)
+	}
+}
+
+func TestCollectorPhasesSeparate(t *testing.T) {
+	c := New()
+	r1 := c.StartCampaign("classify", 1, 1)
+	r1.Run(0, outcome.Masked, time.Microsecond)
+	r1.End()
+	r2 := c.StartCampaign("propagate", 2, 1)
+	r2.Run(0, outcome.SDC, time.Microsecond)
+	r2.Run(0, outcome.SDC, time.Microsecond)
+	r2.Mismatch()
+	r2.End()
+	s := c.Snapshot()
+	if s.Campaigns != 2 || s.Experiments != 3 {
+		t.Fatalf("campaigns=%d experiments=%d", s.Campaigns, s.Experiments)
+	}
+	if s.Phases["classify"].Outcomes.Masked != 1 || s.Phases["classify"].Experiments != 1 {
+		t.Errorf("classify phase = %+v", s.Phases["classify"])
+	}
+	if p := s.Phases["propagate"]; p.Outcomes.SDC != 2 || p.Outcomes.Mismatch != 1 {
+		t.Errorf("propagate phase = %+v", p)
+	}
+	if s.Outcomes.Mismatch != 1 {
+		t.Errorf("mismatch = %d, want 1", s.Outcomes.Mismatch)
+	}
+}
+
+func TestSections(t *testing.T) {
+	c := New()
+	end := c.StartSection("table1")
+	rec := c.StartCampaign("exhaustive", 2, 1)
+	rec.Run(0, outcome.Masked, time.Microsecond)
+	rec.Run(0, outcome.Crash, time.Microsecond)
+	rec.End()
+	end()
+	end() // double-close is a no-op
+
+	// Same name merges; campaign counts are attributed per span.
+	end2 := c.StartSection("table1")
+	end2()
+
+	s := c.Snapshot()
+	if len(s.Sections) != 1 {
+		t.Fatalf("sections = %d, want 1 (merged)", len(s.Sections))
+	}
+	sec := s.Sections[0]
+	if sec.Name != "table1" || sec.Spans != 2 || sec.Campaigns != 1 || sec.Experiments != 2 {
+		t.Errorf("section = %+v", sec)
+	}
+	if sec.WallSeconds <= 0 {
+		t.Errorf("section wall = %g", sec.WallSeconds)
+	}
+}
+
+func TestSectionOrderStable(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		c.StartSection(name)()
+	}
+	s := c.Snapshot()
+	var got []string
+	for _, sec := range s.Sections {
+		got = append(got, sec.Name)
+	}
+	want := []string{"zeta", "alpha", "mid"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("section order = %v, want %v (first-opened order)", got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := New()
+	rec := c.StartCampaign("exhaustive", 1, 1)
+	rec.Run(0, outcome.SDC, 3*time.Millisecond)
+	rec.End()
+	var buf strings.Builder
+	if err := c.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.Experiments != 1 || back.Outcomes.SDC != 1 {
+		t.Errorf("round-tripped snapshot = %+v", back)
+	}
+	if back.Phases["exhaustive"].Experiments != 1 {
+		t.Errorf("phases lost in round trip: %+v", back.Phases)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := New()
+	rec := c.StartCampaign("exhaustive", 2, 2)
+	rec.Run(0, outcome.Masked, time.Microsecond)
+	rec.Run(1, outcome.Crash, time.Second)
+	rec.End()
+	c.StartSection("table1")()
+	var buf strings.Builder
+	if err := c.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ftb_experiments_total counter",
+		"ftb_experiments_total 2",
+		`ftb_outcomes_total{outcome="masked"} 1`,
+		`ftb_outcomes_total{outcome="crash"} 1`,
+		`ftb_outcomes_total{outcome="mismatch"} 0`,
+		"# TYPE ftb_run_latency_seconds histogram",
+		`ftb_run_latency_seconds_bucket{le="+Inf"} 2`,
+		"ftb_run_latency_seconds_count 2",
+		`ftb_worker_experiments_total{worker="0"} 1`,
+		`ftb_worker_experiments_total{worker="1"} 1`,
+		`ftb_phase_experiments_total{phase="exhaustive"} 2`,
+		`ftb_section_wall_seconds_total{section="table1"}`,
+		"# TYPE ftb_active_campaigns gauge",
+		"ftb_active_campaigns 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Exposition must end with a newline and contain no tabs.
+	if !strings.HasSuffix(out, "\n") || strings.Contains(out, "\t") {
+		t.Error("malformed exposition body")
+	}
+}
+
+func TestWorkerIndexClamped(t *testing.T) {
+	c := New()
+	rec := c.StartCampaign("classify", 2, 1)
+	rec.Run(-5, outcome.Masked, time.Microsecond)
+	rec.Run(maxWorkers+10, outcome.Masked, time.Microsecond)
+	rec.End()
+	s := c.Snapshot()
+	if s.Experiments != 2 {
+		t.Fatalf("experiments = %d", s.Experiments)
+	}
+	var sum int64
+	for _, w := range s.Workers {
+		sum += w.Experiments
+	}
+	if sum != 2 {
+		t.Errorf("clamped runs lost: per-worker sum = %d, want 2", sum)
+	}
+}
