@@ -11,6 +11,7 @@
 //	ftbcli infer       -kernel fft -size small -frac 0.01 -filter
 //	ftbcli progressive -kernel cg  -size small -adaptive
 //	ftbcli propagate   -kernel cg  -size small -site 100 -bit 40
+//	ftbcli trace       -kernel cg  -size small -sites 100,200 -bits 40,62
 //	ftbcli report      -kernel lu  -size small -o report.md
 //	ftbcli exp         table1|figure3|figure4|table2|figure5|table3|table4|
 //	                   monotonic|baseline|ablation|sensitivity|all
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
@@ -73,6 +75,8 @@ func main() {
 		err = cmdShow(os.Args[2:])
 	case "propagate":
 		err = cmdPropagate(os.Args[2:])
+	case "trace":
+		err = cmdTrace(ctx, os.Args[2:])
 	case "report":
 		err = cmdReport(ctx, os.Args[2:])
 	case "compare":
@@ -145,10 +149,14 @@ type execFlags struct {
 	metricsFormat *string
 	cpuProfile    *string
 	memProfile    *string
+	verbose       *bool
+	serve         *string
 
 	pp      *progressPrinter
 	col     *ftb.Collector
 	cpuFile *os.File
+	logger  *slog.Logger
+	srv     *obsServer
 }
 
 // newExecFlags registers the shared execution flags on fs.
@@ -160,20 +168,32 @@ func newExecFlags(fs *flag.FlagSet) *execFlags {
 		metricsFormat: fs.String("metrics-format", "json", "metrics snapshot format: json or prom"),
 		cpuProfile:    fs.String("cpuprofile", "", "write a pprof CPU profile of the command to this file"),
 		memProfile:    fs.String("memprofile", "", "write a pprof heap profile at command end to this file"),
+		verbose:       fs.Bool("v", false, "log campaign lifecycle events on stderr (slog debug level)"),
+		serve:         fs.String("serve", "", "serve live observability endpoints on this address (e.g. :8080): /metrics, /progress, /debug/pprof"),
 	}
 }
 
-// begin validates the flags and starts the CPU profile. Pair a
-// successful begin with `defer e.end()`.
-func (e *execFlags) begin() error {
+// begin validates the flags, sets up the event log, starts the
+// observability server and the CPU profile. Pair a successful begin
+// with `defer e.end()`.
+func (e *execFlags) begin(ctx context.Context) error {
 	if *e.metricsFormat != "json" && *e.metricsFormat != "prom" {
 		return fmt.Errorf("unknown -metrics-format %q (want json or prom)", *e.metricsFormat)
 	}
+	e.logger = setupLogger(*e.verbose)
 	if *e.progress {
 		e.pp = &progressPrinter{}
 	}
-	if *e.metrics != "" {
+	if *e.metrics != "" || *e.serve != "" {
 		e.col = ftb.NewCollector()
+	}
+	if *e.serve != "" {
+		srv, err := startServer(ctx, *e.serve, e.col)
+		if err != nil {
+			return err
+		}
+		e.srv = srv
+		fmt.Fprintf(os.Stderr, "ftbcli: serving observability endpoints on http://%s (/metrics /progress /debug/pprof)\n", srv.addr())
 	}
 	if *e.cpuProfile != "" {
 		f, err := os.Create(*e.cpuProfile)
@@ -189,11 +209,30 @@ func (e *execFlags) begin() error {
 	return nil
 }
 
+// observer returns the combined progress observer (the live line, the
+// /progress endpoint, both, or nil).
+func (e *execFlags) observer() ftb.Observer {
+	var obs multiObserver
+	if e.pp != nil {
+		obs = append(obs, e.pp)
+	}
+	if e.srv != nil {
+		obs = append(obs, e.srv)
+	}
+	switch len(obs) {
+	case 0:
+		return nil
+	case 1:
+		return obs[0]
+	}
+	return obs
+}
+
 // options returns the RunOptions implementing the requested plumbing.
 func (e *execFlags) options(ctx context.Context) []ftb.RunOption {
-	opts := []ftb.RunOption{ftb.WithContext(ctx)}
-	if e.pp != nil {
-		opts = append(opts, ftb.WithObserver(e.pp))
+	opts := []ftb.RunOption{ftb.WithContext(ctx), ftb.WithLogger(e.logger)}
+	if o := e.observer(); o != nil {
+		opts = append(opts, ftb.WithObserver(o))
 	}
 	if *e.workers > 0 {
 		opts = append(opts, ftb.WithWorkers(*e.workers))
@@ -217,19 +256,23 @@ func (e *execFlags) finish() {
 	}
 }
 
-// end stops the CPU profile.
+// end stops the CPU profile and shuts the observability server down
+// (bounded: Shutdown waits at most 3 seconds for in-flight scrapes).
 func (e *execFlags) end() {
 	if e.cpuFile != nil {
 		pprof.StopCPUProfile()
 		e.cpuFile.Close()
 		e.cpuFile = nil
 	}
+	if e.srv != nil {
+		e.srv.shutdown()
+	}
 }
 
 // flush writes the post-run artifacts — the metrics snapshot and the
 // heap profile. Call once after the command's normal output.
 func (e *execFlags) flush() error {
-	if e.col != nil {
+	if *e.metrics != "" {
 		snap := e.col.Snapshot()
 		write := func(w io.Writer) error {
 			if *e.metricsFormat == "prom" {
@@ -289,6 +332,12 @@ commands:
   show        FILE                 summarize a saved artifact (.ftb file)
   propagate   -kernel K -size S    chart one injection's error propagation
               [-site N] [-bit B]   (the paper's Figure 2)
+  trace       -kernel K -size S    record full propagation trajectories for
+              [-sites A,B] [-bits X,Y]  chosen injections; prints a per-run
+              [-jsonl FILE]        summary and the error-decay heatmap, and
+              [-chrome FILE]       exports JSONL / Chrome trace-event files
+              [-max-samples N]     (open the latter in Perfetto)
+              [-cols C] [-rows R]
   report      -kernel K -size S    write a markdown resiliency report
               [-frac F] [-evaluate] [-o FILE]
   compare     FILE1 FILE2          compare two saved boundaries
@@ -299,7 +348,7 @@ persistence:
               [-batch N]           automatically if the file exists
   infer       -save FILE           save the inferred boundary
 
-execution (exhaustive/infer/progressive/report/exp):
+execution (exhaustive/infer/progressive/report/exp/trace):
   -progress                        render a live campaign progress line on
                                    stderr (phase, done/total, rate, outcomes)
   -workers N                       cap campaign parallelism (default GOMAXPROCS)
@@ -310,6 +359,14 @@ execution (exhaustive/infer/progressive/report/exp):
                                    Prometheus text exposition)
   -cpuprofile FILE                 write a pprof CPU profile of the command
   -memprofile FILE                 write a pprof heap profile at command end
+  -serve ADDR                      serve live observability endpoints while the
+                                   command runs: /metrics (Prometheus),
+                                   /progress (JSON frontier), /debug/pprof;
+                                   shuts down cleanly (3s bound) on Ctrl-C
+  -v                               log campaign lifecycle events (start, stop,
+                                   checkpoints, trace mismatches) on stderr;
+                                   FTB_LOG=debug|info|warn|error sets the
+                                   level without the flag
   Ctrl-C                           cancels the running campaign promptly; the
                                    command exits 130 with partial results kept
                                    (exhaustive -checkpoint flushes a final
@@ -373,7 +430,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := exec.begin(); err != nil {
+	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
@@ -426,7 +483,7 @@ func cmdInfer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := exec.begin(); err != nil {
+	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
@@ -692,7 +749,7 @@ func cmdReport(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := exec.begin(); err != nil {
+	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
@@ -744,7 +801,7 @@ func cmdProgressive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := exec.begin(); err != nil {
+	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
@@ -796,15 +853,14 @@ func cmdExp(ctx context.Context, args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	if err := exec.begin(); err != nil {
+	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
 	scale := experiments.Scale{Size: *size, Trials: *trials, Seed: *seed, Context: ctx}
-	if exec.pp != nil {
-		scale.Observer = exec.pp
-	}
+	scale.Observer = exec.observer()
 	scale.Collector = exec.col
+	scale.RunOptions = append(scale.RunOptions, ftb.WithLogger(exec.logger))
 	if *exec.workers > 0 {
 		scale.RunOptions = append(scale.RunOptions, ftb.WithWorkers(*exec.workers))
 	}

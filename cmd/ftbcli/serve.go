@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"ftb"
+)
+
+// setupLogger builds the CLI's structured event logger. Campaign
+// lifecycle events record at Debug, anomalies (trace mismatches,
+// interruptions) at Warn; the default level is Warn so normal runs stay
+// quiet. -v forces Debug; the FTB_LOG environment variable selects any
+// slog level ("debug", "info", "warn", "error").
+func setupLogger(verbose bool) *slog.Logger {
+	level := slog.LevelWarn
+	if env := os.Getenv("FTB_LOG"); env != "" {
+		var l slog.Level
+		if err := l.UnmarshalText([]byte(env)); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbcli: ignoring FTB_LOG=%q: %v\n", env, err)
+		} else {
+			level = l
+		}
+	}
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+}
+
+// multiObserver fans progress events out to several observers.
+type multiObserver []ftb.Observer
+
+func (m multiObserver) OnProgress(e ftb.ProgressEvent) {
+	for _, o := range m {
+		o.OnProgress(e)
+	}
+}
+
+// obsServer is the -serve observability endpoint: a plain HTTP server
+// exposing the running campaign's metrics (/metrics, Prometheus text
+// exposition), its progress frontier (/progress, JSON), and the
+// standard pprof handlers (/debug/pprof/). It doubles as a progress
+// observer so /progress reflects the live campaign, not a poll cycle.
+type obsServer struct {
+	col    *ftb.Collector
+	srv    *http.Server
+	ln     net.Listener
+	start  time.Time
+	served chan struct{} // closed when Serve returns
+
+	mu     sync.Mutex
+	phases map[string]ftb.ProgressEvent
+	order  []string
+
+	stop sync.Once
+}
+
+// startServer binds addr and serves until the context is cancelled or
+// shutdown is called, whichever comes first.
+func startServer(ctx context.Context, addr string, col *ftb.Collector) (*obsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve %s: %w", addr, err)
+	}
+	s := &obsServer{
+		col:    col,
+		ln:     ln,
+		start:  time.Now(),
+		served: make(chan struct{}),
+		phases: make(map[string]ftb.ProgressEvent),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	// The pprof handlers are registered explicitly on this private mux;
+	// importing net/http/pprof only for its DefaultServeMux side effect
+	// would leak the endpoints onto any other default-mux server.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		s.srv.Serve(ln)
+		close(s.served)
+	}()
+	go func() {
+		<-ctx.Done()
+		s.shutdown()
+	}()
+	return s, nil
+}
+
+// addr is the bound address (resolves ":0" to the chosen port).
+func (s *obsServer) addr() string { return s.ln.Addr().String() }
+
+// shutdown stops the server, waiting at most 3 seconds for in-flight
+// requests — bounded so Ctrl-C never hangs the process on a stuck
+// scrape. Idempotent.
+func (s *obsServer) shutdown() {
+	s.stop.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		s.srv.Shutdown(ctx)
+		<-s.served
+	})
+}
+
+// OnProgress implements ftb.Observer: retain the latest event per phase.
+func (s *obsServer) OnProgress(e ftb.ProgressEvent) {
+	s.mu.Lock()
+	if _, ok := s.phases[e.Phase]; !ok {
+		s.order = append(s.order, e.Phase)
+	}
+	s.phases[e.Phase] = e
+	s.mu.Unlock()
+}
+
+func (s *obsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.col.Snapshot().WritePrometheus(w)
+}
+
+// phaseProgress is one phase's row in the /progress document.
+type phaseProgress struct {
+	Phase    string  `json:"phase"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Frontier int     `json:"frontier"`
+	PerSec   float64 `json:"per_sec"`
+	Masked   int     `json:"masked"`
+	SDC      int     `json:"sdc"`
+	Crash    int     `json:"crash"`
+}
+
+func (s *obsServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := struct {
+		ElapsedSeconds float64         `json:"elapsed_seconds"`
+		Phases         []phaseProgress `json:"phases"`
+	}{ElapsedSeconds: time.Since(s.start).Seconds()}
+	for _, name := range s.order {
+		e := s.phases[name]
+		doc.Phases = append(doc.Phases, phaseProgress{
+			Phase:    e.Phase,
+			Done:     e.Done,
+			Total:    e.Total,
+			Frontier: e.Frontier,
+			PerSec:   e.PerSec,
+			Masked:   e.Counts[ftb.Masked],
+			SDC:      e.Counts[ftb.SDC],
+			Crash:    e.Counts[ftb.Crash],
+		})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

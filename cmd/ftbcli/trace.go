@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftb"
+)
+
+// parseIntList parses a comma-separated list of non-negative integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-%s: bad value %q (want comma-separated non-negative integers)", flagName, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// cmdTrace records full propagation trajectories for chosen injection
+// coordinates: the cross product of -sites and -bits runs as one traced
+// campaign, each experiment yielding a trajectory (downsampled per-site
+// error samples plus exact landmarks). The command prints a per-run
+// summary and the folded error-decay heatmap, and optionally exports
+// the trajectories as JSONL and/or a Chrome trace-event file that loads
+// in Perfetto or chrome://tracing.
+func cmdTrace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	sitesF := fs.String("sites", "", "comma-separated injection sites (default: run quartiles)")
+	bitsF := fs.String("bits", "1,40,62", "comma-separated bit positions to flip")
+	maxSamples := fs.Int("max-samples", 0, "retained samples per trajectory (0 = recorder default)")
+	jsonl := fs.String("jsonl", "", "write the trajectories as JSONL to this file")
+	chrome := fs.String("chrome", "", "write a Chrome trace-event file (open in Perfetto / chrome://tracing)")
+	cols := fs.Int("cols", 64, "error-decay heatmap width (columns)")
+	rows := fs.Int("rows", 16, "error-decay heatmap height (rows)")
+	exec := newExecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	sites, err := parseIntList("sites", *sitesF)
+	if err != nil {
+		return err
+	}
+	if len(sites) == 0 {
+		n := an.Sites()
+		sites = []int{n / 4, n / 2, 3 * n / 4}
+	}
+	for _, s := range sites {
+		if s >= an.Sites() {
+			return fmt.Errorf("site %d outside [0, %d)", s, an.Sites())
+		}
+	}
+	bits, err := parseIntList("bits", *bitsF)
+	if err != nil {
+		return err
+	}
+	if len(bits) == 0 {
+		return fmt.Errorf("-bits: no bit positions given")
+	}
+	for _, b := range bits {
+		if b >= an.Width() {
+			return fmt.Errorf("bit %d outside the kernel's %d-bit fault population", b, an.Width())
+		}
+	}
+	var pairs []ftb.Pair
+	for _, s := range sites {
+		for _, b := range bits {
+			pairs = append(pairs, ftb.Pair{Site: s, Bit: uint8(b)})
+		}
+	}
+
+	if err := exec.begin(ctx); err != nil {
+		return err
+	}
+	defer exec.end()
+	an = exec.apply(ctx, an)
+	defer exec.finish()
+	buf := ftb.NewTrajectoryBuffer()
+	_, err = an.RunPairs(pairs, ftb.WithPropTraceOptions(buf, ftb.TrajectoryOptions{MaxSamples: *maxSamples}))
+	if err != nil {
+		return err
+	}
+	exec.finish()
+
+	ts := buf.Trajectories()
+	fmt.Printf("traced %d injections of %s (%s): %d trajectories\n", len(pairs), *kernel, *size, len(ts))
+	fmt.Printf("  %6s %4s  %-7s %10s %10s %8s %7s %10s %10s\n",
+		"site", "bit", "outcome", "injErr", "outErr", "samples", "stride", "firstZero", "blowupAt")
+	for _, tr := range ts {
+		fz, bu := "-", "-"
+		if tr.FirstZero >= 0 {
+			fz = strconv.Itoa(tr.FirstZero)
+		}
+		if tr.FirstBlowup >= 0 {
+			bu = strconv.Itoa(tr.FirstBlowup)
+		}
+		outcome := tr.Outcome
+		if tr.CrashSite >= 0 {
+			outcome = fmt.Sprintf("%s@%d", tr.Outcome, tr.CrashSite)
+		}
+		fmt.Printf("  %6d %4d  %-7s %10.3g %10.3g %8d %7d %10s %10s\n",
+			tr.Site, tr.Bit, outcome, float64(tr.InjErr), float64(tr.OutErr),
+			len(tr.Samples), tr.Stride, fz, bu)
+	}
+	fmt.Println()
+	fmt.Print(ftb.AggregateTrajectories(ts, an.Sites(), *cols, *rows).Render(""))
+
+	if *jsonl != "" {
+		if err := writeTrajectoryFile(*jsonl, func(f *os.File) error {
+			return ftb.WriteTrajectoriesJSONL(f, ts)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trajectories to %s\n", len(ts), *jsonl)
+	}
+	if *chrome != "" {
+		if err := writeTrajectoryFile(*chrome, func(f *os.File) error {
+			return ftb.WriteTrajectoriesChromeTrace(f, *kernel, ts)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *chrome)
+	}
+	return exec.flush()
+}
+
+func writeTrajectoryFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftb"
+)
+
+func TestCmdTraceSummaryAndHeatmap(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdTrace(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+			"-bits", "1,40,62"})
+	})
+	for _, want := range []string{
+		"traced 9 injections", // 3 default quartile sites × 3 bits
+		"outcome",
+		"error decay: log10|delta| per dynamic instruction",
+		"dynamic instruction 0 ..",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The heatmap must actually contain dense plotted cells (the upper
+	// ramp characters), not just an empty frame.
+	if !strings.ContainsAny(out, "=+*#%@") {
+		t.Errorf("decay heatmap is empty:\n%s", out)
+	}
+}
+
+// TestCmdTraceGoldenFiles pins the JSONL and Chrome trace exports for a
+// deterministic single-worker cg campaign against golden files, and
+// checks both round-trip: the JSONL reloads into equal trajectories,
+// the Chrome file is a valid trace-event document (the format Perfetto
+// and chrome://tracing load).
+func TestCmdTraceGoldenFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "traj.jsonl")
+	chromePath := filepath.Join(dir, "traj.trace.json")
+	capture(t, func() error {
+		return cmdTrace(context.Background(), []string{"-kernel", "cg", "-size", "test",
+			"-sites", "10,40", "-bits", "40,62", "-max-samples", "32", "-workers", "1",
+			"-jsonl", jsonlPath, "-chrome", chromePath})
+	})
+
+	for name, path := range map[string]string{
+		"trace_cg_test.golden.jsonl":      jsonlPath,
+		"trace_cg_test.golden.trace.json": chromePath,
+	} {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", name)
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (regenerate with: go test ./cmd/ftbcli -run TraceGolden -args -update)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged from golden file\ngot:\n%s\nwant:\n%s", path, got, want)
+		}
+	}
+
+	// JSONL round-trip.
+	raw, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ftb.ReadTrajectoriesJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("%d trajectories, want 4", len(ts))
+	}
+	var rewritten bytes.Buffer
+	if err := ftb.WriteTrajectoriesJSONL(&rewritten, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten.Bytes(), raw) {
+		t.Error("JSONL round-trip is not byte-identical")
+	}
+
+	// Chrome trace-event structure.
+	chromeRaw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(chromeRaw, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no trace events")
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Phase]++
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if phases[ph] == 0 {
+			t.Errorf("chrome export has no %q events (got %v)", ph, phases)
+		}
+	}
+}
+
+func TestCmdTraceValidation(t *testing.T) {
+	if err := cmdTrace(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+		"-sites", "999999"}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := cmdTrace(context.Background(), []string{"-kernel", "stencil32", "-size", "test",
+		"-bits", "40"}); err == nil {
+		t.Error("bit 40 against 32-bit kernel accepted")
+	}
+	if err := cmdTrace(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+		"-sites", "1,x"}); err == nil {
+		t.Error("malformed -sites accepted")
+	}
+	if err := cmdTrace(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+		"-bits", ","}); err == nil {
+		t.Error("empty -bits accepted")
+	}
+}

@@ -50,6 +50,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"ftb/internal/boundary"
@@ -58,6 +60,7 @@ import (
 	"ftb/internal/metrics"
 	"ftb/internal/outcome"
 	"ftb/internal/persist"
+	"ftb/internal/proptrace"
 	"ftb/internal/rng"
 	"ftb/internal/sampling"
 	"ftb/internal/telemetry"
@@ -119,7 +122,64 @@ type (
 	// exportable as JSON (WriteJSON) or Prometheus-style text exposition
 	// (WritePrometheus).
 	MetricsSnapshot = telemetry.Snapshot
+	// Trajectory is one recorded error-propagation trajectory: the
+	// per-site |golden − corrupted| deviations of a single injection,
+	// downsampled under a bounded budget with its extrema and crossings
+	// kept exact. Record them with WithPropTrace.
+	Trajectory = proptrace.Trajectory
+	// TrajectorySample is one retained (site, deviation) point of a
+	// trajectory.
+	TrajectorySample = proptrace.Sample
+	// TrajectorySink consumes trajectories as campaign runs complete.
+	// Implementations must be safe for concurrent use (one recorder per
+	// campaign worker feeds the same sink); a Trajectory's Samples are
+	// valid only during Consume — retaining sinks must copy them.
+	TrajectorySink = proptrace.Sink
+	// TrajectoryBuffer is an in-memory TrajectorySink that copies and
+	// sorts trajectories; construct with NewTrajectoryBuffer.
+	TrajectoryBuffer = proptrace.Buffer
+	// TrajectoryOptions tunes trajectory recording (sample budget, blowup
+	// threshold); the zero value uses the package defaults.
+	TrajectoryOptions = proptrace.Options
+	// DecayProfile is a (dynamic instruction × log-error) histogram folded
+	// from many trajectories; build with AggregateTrajectories and render
+	// with its Render method.
+	DecayProfile = proptrace.DecayProfile
 )
+
+// NewTrajectoryBuffer builds an empty in-memory trajectory sink.
+func NewTrajectoryBuffer() *TrajectoryBuffer { return proptrace.NewBuffer() }
+
+// AggregateTrajectories folds trajectories into a per-dynamic-instruction
+// error-decay profile over a cols × rows grid (0 for the defaults).
+// sites is the program's dynamic-instruction count (0 to infer it from
+// the trajectories).
+func AggregateTrajectories(ts []Trajectory, sites, cols, rows int) *DecayProfile {
+	return proptrace.Aggregate(ts, sites, cols, rows)
+}
+
+// WriteTrajectoriesJSONL writes trajectories as JSON Lines (one
+// trajectory per line; non-finite floats encoded as "+Inf"/"-Inf"/"NaN"
+// strings).
+func WriteTrajectoriesJSONL(w io.Writer, ts []Trajectory) error {
+	return proptrace.WriteJSONL(w, ts)
+}
+
+// ReadTrajectoriesJSONL reads trajectories written by
+// WriteTrajectoriesJSONL (or streamed by a JSONL sink).
+func ReadTrajectoriesJSONL(r io.Reader) ([]Trajectory, error) {
+	return proptrace.ReadJSONL(r)
+}
+
+// WriteTrajectoriesChromeTrace writes trajectories in Chrome trace-event
+// format, loadable in Perfetto or chrome://tracing: each trajectory is a
+// named thread whose counter track plots log10 of the deviation per
+// dynamic instruction (1µs of trace time = 1 dynamic instruction), with
+// instant events marking the max deviation, first-zero, first-blowup,
+// and crash sites.
+func WriteTrajectoriesChromeTrace(w io.Writer, program string, ts []Trajectory) error {
+	return proptrace.WriteChromeTrace(w, program, ts)
+}
 
 // NewCollector builds an empty campaign metrics collector. One collector
 // may serve many campaigns — and many Analyses — concurrently; snapshot
@@ -207,6 +267,9 @@ type runConfig struct {
 	sched     Sched
 	workers   int
 	collector *telemetry.Collector
+	traceSink proptrace.Sink
+	traceOpts proptrace.Options
+	logger    *slog.Logger
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -252,11 +315,44 @@ func WithCollector(c *Collector) RunOption {
 	return func(rc *runConfig) { rc.collector = c }
 }
 
+// WithPropTrace records one error-propagation trajectory per experiment
+// of the call's classification campaigns into sink: campaigns switch to
+// diff-mode execution, each worker gets a private recorder, and every
+// completed run delivers a Trajectory tagged with its campaign run index
+// and worker. sink must be safe for concurrent use (NewTrajectoryBuffer,
+// or a streaming JSONL sink); classification results are unchanged.
+// Recording is bounded — per-run sample budgets with stride-doubling
+// downsampling — so long campaigns stay O(runs × budget), not O(runs ×
+// sites).
+func WithPropTrace(sink TrajectorySink) RunOption {
+	return WithPropTraceOptions(sink, TrajectoryOptions{})
+}
+
+// WithPropTraceOptions is WithPropTrace with explicit recording options.
+// Zero-valued fields default from the analysis (program name, expected
+// site count) and the package defaults (sample budget, blowup
+// threshold).
+func WithPropTraceOptions(sink TrajectorySink, o TrajectoryOptions) RunOption {
+	return func(rc *runConfig) {
+		rc.traceSink = sink
+		rc.traceOpts = o
+	}
+}
+
+// WithLogger attaches a structured event log to the call's campaigns:
+// campaign start/stop, checkpoint saves and resumes, and trace-mismatch
+// aborts are emitted as slog records (Debug for lifecycle, Warn for
+// aborts). The engine never logs from the per-experiment hot path.
+func WithLogger(l *slog.Logger) RunOption {
+	return func(rc *runConfig) { rc.logger = l }
+}
+
 // Analysis binds a program to its golden run and fault model and exposes
 // the paper's workflows: exhaustive campaigns, boundary inference with
 // uniform sampling, and adaptive progressive sampling.
 type Analysis struct {
 	factory func() trace.Program
+	name    string // program name, used to label recorded trajectories
 	golden  *trace.GoldenRun
 	tol     float64
 	bits    int
@@ -306,7 +402,8 @@ func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, 
 	if tol <= 0 {
 		return nil, fmt.Errorf("ftb: tolerance %g must be positive", tol)
 	}
-	g, err := trace.Golden(factory())
+	p := factory()
+	g, err := trace.Golden(p)
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +423,7 @@ func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, 
 	}
 	return &Analysis{
 		factory: factory,
+		name:    p.Name(),
 		golden:  g,
 		tol:     tol,
 		bits:    bits,
@@ -422,7 +520,7 @@ func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
 	for _, o := range opts {
 		o(&rc)
 	}
-	return campaign.Config{
+	cfg := campaign.Config{
 		Factory:   a.factory,
 		Golden:    a.golden,
 		Tol:       a.tol,
@@ -434,7 +532,19 @@ func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
 		Context:   rc.ctx,
 		Observer:  rc.observer,
 		Collector: rc.collector,
+		Logger:    rc.logger,
 	}
+	if rc.traceSink != nil {
+		sink, o := rc.traceSink, rc.traceOpts
+		if o.Program == "" {
+			o.Program = a.name
+		}
+		if o.ExpectedSites == 0 {
+			o.ExpectedSites = a.golden.Sites()
+		}
+		cfg.Tracer = func(int) campaign.Tracer { return proptrace.NewRecorder(sink, o) }
+	}
+	return cfg
 }
 
 // Exhaustive runs the full fault-injection campaign: every bit of every

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 
 	"ftb/internal/outcome"
@@ -107,6 +108,39 @@ type Config struct {
 	// why it is the concrete lock-cheap collector rather than an
 	// interface. One collector may serve many campaigns concurrently.
 	Collector *telemetry.Collector
+	// Tracer, when non-nil, is called once per engine worker to build
+	// that worker's propagation tracer, and switches classification
+	// campaigns (RunPairs, Exhaustive, ExhaustiveCheckpointed) into diff
+	// mode: every experiment streams its per-site |golden − corrupted|
+	// deltas to the worker's tracer between a BeginRun/EndRun pair, so
+	// trajectories can be recorded without a second campaign. Records and
+	// outcome counts are identical to the untraced path; only execution
+	// cost changes. A factory returning nil leaves that worker untraced.
+	// Propagate ignores Tracer — its PropagationSink already owns the
+	// diff stream.
+	Tracer func(worker int) Tracer
+	// Logger, when non-nil, receives the engine's structured event log:
+	// campaign start/stop, checkpoint saves and resumes, and trace-
+	// mismatch aborts, at conventional slog levels (Debug for lifecycle,
+	// Warn for aborts). Nil discards events; the engine never logs from
+	// the per-experiment hot path.
+	Logger *slog.Logger
+}
+
+// Tracer consumes one worker's propagation trajectories. It extends
+// trace.DiffSink with per-run boundaries carrying campaign coordinates:
+// the engine calls BeginRun before each traced experiment (run is the
+// campaign-wide experiment index, worker the engine worker executing
+// it), streams the per-site deltas through Observe, and closes the run
+// with its classified outcome via EndRun (crashSite is -1 when the run
+// did not crash). A Tracer is owned by a single worker and is never
+// called concurrently; *proptrace.Recorder implements the interface.
+// On a campaign abort (error or cancellation) an opened run may never
+// see its EndRun — implementations must tolerate dropping it.
+type Tracer interface {
+	trace.DiffSink
+	BeginRun(run, worker int, site int, bit uint8)
+	EndRun(outcome string, injErr, outErr float64, crashSite int)
 }
 
 func (c *Config) normalized() (Config, error) {
@@ -149,6 +183,9 @@ func (c *Config) normalized() (Config, error) {
 	}
 	if out.Context == nil {
 		out.Context = context.Background()
+	}
+	if out.Logger == nil {
+		out.Logger = slog.New(slog.DiscardHandler)
 	}
 	return out, nil
 }
@@ -201,8 +238,45 @@ func runPairChecked(ctx *trace.Ctx, p trace.Program, golden *trace.GoldenRun, to
 
 // pairWorker is the per-goroutine state of a classification campaign.
 type pairWorker struct {
-	p   trace.Program
-	ctx trace.Ctx
+	p      trace.Program
+	ctx    trace.Ctx
+	worker int
+	tracer Tracer // nil when the campaign is untraced
+}
+
+// newPairWorker builds one worker's state, attaching its tracer when the
+// campaign records trajectories.
+func newPairWorker(cfg Config, w int) *pairWorker {
+	pw := &pairWorker{p: cfg.Factory(), worker: w}
+	if cfg.Tracer != nil {
+		pw.tracer = cfg.Tracer(w)
+	}
+	return pw
+}
+
+// runChecked executes one experiment on this worker: the plain inject
+// path when untraced, or the diff-mode path bracketed by the tracer's
+// BeginRun/EndRun when a tracer is attached. Both paths apply the
+// trace-mismatch check (diff mode performs it inside RunInjectDiff), so
+// traced and untraced campaigns produce identical records and identical
+// failures. run is the campaign-wide experiment index tagged onto the
+// trajectory.
+func (w *pairWorker) runChecked(cfg Config, run int, pair Pair) (Record, error) {
+	if w.tracer == nil {
+		return runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+	}
+	w.tracer.BeginRun(run, w.worker, pair.Site, pair.Bit)
+	res, err := trace.RunInjectDiff(&w.ctx, w.p, cfg.Golden, pair.Site, uint(pair.Bit), w.tracer)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := classify(cfg.Golden, cfg.Tol, pair, res)
+	crashAt := -1
+	if res.Crashed {
+		crashAt = res.CrashAt
+	}
+	w.tracer.EndRun(rec.Kind.String(), rec.InjErr, rec.OutErr, crashAt)
+	return rec, nil
 }
 
 // RunPairs executes all experiments on the engine and returns their
@@ -219,9 +293,9 @@ func RunPairs(cfg Config, pairs []Pair) ([]Record, error) {
 	}
 	records := make([]Record, len(pairs))
 	_, err = runEngine(cfg, "classify", len(pairs),
-		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w int) *pairWorker { return newPairWorker(cfg, w) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
-			rec, err := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pairs[i])
+			rec, err := w.runChecked(cfg, i, pairs[i])
 			if err != nil {
 				return 0, err
 			}
@@ -273,6 +347,9 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 	if err := validatePairs(cfg, pairs); err != nil {
 		return nil, err
 	}
+	// Propagation campaigns own their diff stream through newSink; drop
+	// any Tracer so the engine does not count these runs as trajectories.
+	cfg.Tracer = nil
 	sinks := make([]PropagationSink, cfg.Workers)
 	_, err = runEngine(cfg, "propagate", len(pairs),
 		func(w int) *propWorker {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,6 +185,19 @@ func runEngine[S any](cfg Config, phase string, n int,
 	ctx, cancel := context.WithCancel(cfg.Context)
 	defer cancel()
 
+	// The event log is lifecycle-only: one record when the campaign
+	// starts and one when it stops, never from the per-experiment hot
+	// path. Entry points normalize Logger, but runEngine tolerates a nil
+	// one so the zero Config stays usable in tests.
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	traced := cfg.Tracer != nil
+	logger.Debug("campaign start",
+		"phase", phase, "experiments", n, "workers", workers,
+		"sched", cfg.Sched.String(), "batch", batch, "traced", traced)
+
 	// The telemetry recorder rides alongside the Observer path: the
 	// Observer streams coarse per-batch progress events, the recorder
 	// accumulates per-run latency, outcome, queue-wait, and per-worker
@@ -284,8 +298,12 @@ func runEngine[S any](cfg Config, phase string, n int,
 					}
 					k, err := item(s, i)
 					if err != nil {
-						if rec != nil && errors.Is(err, trace.ErrTraceMismatch) {
-							rec.Mismatch()
+						if errors.Is(err, trace.ErrTraceMismatch) {
+							if rec != nil {
+								rec.Mismatch()
+							}
+							logger.Warn("trace mismatch",
+								"phase", phase, "experiment", i, "worker", w, "err", err)
 						}
 						fail(err)
 						return
@@ -294,6 +312,9 @@ func runEngine[S any](cfg Config, phase string, n int,
 						now := time.Now()
 						rec.Run(w, k, now.Sub(clock))
 						clock = now
+						if traced {
+							rec.Traced(w)
+						}
 					}
 					c.Add(k)
 				}
@@ -313,11 +334,12 @@ func runEngine[S any](cfg Config, phase string, n int,
 	wg.Wait()
 
 	frontier := prog.currentFrontier()
-	if firstErr != nil {
-		return frontier, firstErr
+	err := firstErr
+	if err == nil {
+		err = cfg.Context.Err()
 	}
-	if err := cfg.Context.Err(); err != nil {
-		return frontier, err
-	}
-	return frontier, nil
+	logger.Debug("campaign stop",
+		"phase", phase, "experiments", n, "frontier", frontier,
+		"elapsed", time.Since(prog.start), "err", err)
+	return frontier, err
 }

@@ -80,10 +80,10 @@ func Exhaustive(cfg Config) (*GroundTruth, error) {
 		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
 	}
 	_, err = runEngine(cfg, "exhaustive", sites*cfg.Bits,
-		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w int) *pairWorker { return newPairWorker(cfg, w) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			pair := PairAt(i, cfg.Bits)
-			rec, err := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+			rec, err := w.runChecked(cfg, i, pair)
 			if err != nil {
 				return 0, err
 			}
@@ -152,11 +152,17 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 		copy(snap.Kinds[:doneSites*cfg.Bits], gt.Kinds[:doneSites*cfg.Bits])
 		return snap
 	}
+	if priorSites > 0 {
+		cfg.Logger.Debug("campaign resume",
+			"phase", "exhaustive", "sites_done", priorSites, "sites_total", sites)
+	}
 	lastCp := priorSites
 	save := func(doneSites int) error {
 		if err := checkpoint(snapshot(doneSites), doneSites); err != nil {
 			return fmt.Errorf("campaign: checkpoint at site %d: %w", doneSites, err)
 		}
+		cfg.Logger.Debug("checkpoint saved",
+			"phase", "exhaustive", "sites_done", doneSites, "sites_total", sites)
 		lastCp = doneSites
 		return nil
 	}
@@ -171,11 +177,11 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 		}
 	}
 	frontier, err := runEngine(cfg, "exhaustive", n,
-		func(int) *pairWorker { return &pairWorker{p: cfg.Factory()} },
+		func(w int) *pairWorker { return newPairWorker(cfg, w) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			abs := priorSites*cfg.Bits + i
 			pair := PairAt(abs, cfg.Bits)
-			rec, rerr := runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+			rec, rerr := w.runChecked(cfg, abs, pair)
 			if rerr != nil {
 				return 0, rerr
 			}
@@ -190,6 +196,8 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 					return nil, errors.Join(err, cpErr)
 				}
 			}
+			cfg.Logger.Warn("campaign interrupted",
+				"phase", "exhaustive", "sites_done", doneSites, "sites_total", sites, "err", err)
 			return nil, fmt.Errorf("campaign: interrupted at %d/%d sites (progress checkpointed): %w",
 				doneSites, sites, err)
 		}

@@ -49,6 +49,11 @@ type Scale struct {
 	// RunOptions are applied to every campaign the experiment runs, after
 	// Context and Observer (so an explicit option wins over the fields).
 	RunOptions []ftb.RunOption
+	// PropTrace, when non-nil, records a propagation trajectory for every
+	// classification experiment (sampling and exhaustive alike) into the
+	// sink. Tracing switches campaigns to diff mode, roughly doubling the
+	// per-experiment cost.
+	PropTrace ftb.TrajectorySink
 	// Collector, when non-nil, receives campaign metrics from every
 	// campaign the experiment runs, and each experiment's work is
 	// attributed to a telemetry section named after it ("table1",
@@ -134,6 +139,9 @@ func withScale(an *ftb.Analysis, s Scale) *ftb.Analysis {
 	}
 	if s.Observer != nil {
 		opts = append(opts, ftb.WithObserver(s.Observer))
+	}
+	if s.PropTrace != nil {
+		opts = append(opts, ftb.WithPropTrace(s.PropTrace))
 	}
 	opts = append(opts, s.RunOptions...)
 	if s.Collector != nil {

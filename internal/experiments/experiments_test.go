@@ -359,3 +359,24 @@ func TestScaleRunOptions(t *testing.T) {
 		t.Error("Scale.RunOptions observer received no events")
 	}
 }
+
+func TestScalePropTrace(t *testing.T) {
+	buf := ftb.NewTrajectoryBuffer()
+	s := ScaleTest
+	s.PropTrace = buf
+	// Table 3's progressive campaigns always run fresh (only exhaustive
+	// ground truths are memoized in gtCache), so trajectories must accrue
+	// regardless of test ordering.
+	if _, err := Table3(s); err != nil {
+		t.Fatal(err)
+	}
+	ts := buf.Trajectories()
+	if len(ts) == 0 {
+		t.Fatal("Scale.PropTrace recorded no trajectories")
+	}
+	for _, tr := range ts {
+		if tr.Program == "" || tr.Outcome == "" {
+			t.Fatalf("untagged trajectory: %+v", tr)
+		}
+	}
+}

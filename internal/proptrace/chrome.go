@@ -1,0 +1,151 @@
+package proptrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Chrome trace-event export: trajectories rendered as a trace-event
+// JSON object loadable in Perfetto or chrome://tracing. The mapping
+// treats the dynamic instruction stream as the timeline — one
+// microsecond per dynamic instruction — so the propagation structure
+// scrubs like a profile:
+//
+//   - each trajectory is one "thread" (tid = campaign run index), named
+//     by its injection coordinates;
+//   - a complete ("X") slice spans injection site → last observed site,
+//     carrying outcome/injErr/outErr args;
+//   - a counter ("C") track plots log10 of the retained deltas, so the
+//     decay curve is visible directly in the counter graph;
+//   - instant ("i") events mark the exact landmarks: max deviation,
+//     first-zero, first-blowup, and the crash site.
+//
+// Counters must be finite; non-finite log values clamp to ±logClamp.
+const logClamp = 350
+
+// chromeEvent is one trace event. Fields follow the Trace Event Format
+// spec (ph/ts/dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// log10OrClamp maps a delta to a finite log10 value for counter tracks.
+func log10OrClamp(d float64) float64 {
+	if math.IsNaN(d) {
+		return logClamp // NaN is an unsafe value, plot with blowups
+	}
+	if d <= 0 {
+		return -logClamp
+	}
+	l := math.Log10(d)
+	switch {
+	case math.IsInf(l, 1) || l > logClamp:
+		return logClamp
+	case l < -logClamp:
+		return -logClamp
+	}
+	return l
+}
+
+// WriteChromeTrace writes trajectories in Chrome trace-event format.
+// program labels the process track; trajectories keep their own
+// per-thread labels.
+func WriteChromeTrace(w io.Writer, program string, ts []Trajectory) error {
+	const pid = 1
+	if program == "" {
+		program = "ftb"
+	}
+	trace := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"generator": "ftb proptrace",
+			"timeline":  "1us = 1 dynamic instruction",
+		},
+	}
+	ev := func(e chromeEvent) { trace.TraceEvents = append(trace.TraceEvents, e) }
+	ev(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": "ftb error propagation: " + program},
+	})
+	for i, t := range ts {
+		tid := t.Run
+		if tid < 0 {
+			tid = i
+		}
+		ev(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("inject %s (%s)", label(t.Site, t.Bit), t.Outcome)},
+		})
+		end := t.Sites
+		if end <= t.Site {
+			end = t.Site + 1
+		}
+		ev(chromeEvent{
+			Name: "trajectory " + label(t.Site, t.Bit), Ph: "X", Pid: pid, Tid: tid,
+			Ts: float64(t.Site), Dur: float64(end - t.Site),
+			Args: map[string]any{
+				"outcome":    t.Outcome,
+				"inj_err":    formatFloat(t.InjErr),
+				"out_err":    formatFloat(t.OutErr),
+				"worker":     t.Worker,
+				"stride":     t.Stride,
+				"sites":      t.Sites,
+				"crash_site": t.CrashSite,
+			},
+		})
+		counter := "log10|delta| " + label(t.Site, t.Bit)
+		for _, s := range t.Samples {
+			ev(chromeEvent{
+				Name: counter, Ph: "C", Pid: pid, Tid: tid,
+				Ts:   float64(s.Site),
+				Args: map[string]any{"log10delta": log10OrClamp(float64(s.Delta))},
+			})
+		}
+		mark := func(name string, site int, extra map[string]any) {
+			if site < 0 {
+				return
+			}
+			e := chromeEvent{Name: name, Ph: "i", Pid: pid, Tid: tid, Ts: float64(site), S: "t"}
+			e.Args = extra
+			ev(e)
+		}
+		if t.Max.Site >= 0 {
+			mark("max delta", t.Max.Site, map[string]any{"delta": formatFloat(t.Max.Delta)})
+		}
+		mark("first zero", t.FirstZero, nil)
+		mark("first blowup", t.FirstBlowup, nil)
+		mark("crash", t.CrashSite, nil)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// formatFloat renders a Float for event args: finite values stay
+// numeric, non-finite become strings (trace-event args are free-form,
+// but the envelope must remain valid JSON).
+func formatFloat(f Float) any {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		b, _ := f.MarshalJSON()
+		var s string
+		_ = json.Unmarshal(b, &s)
+		return s
+	}
+	return v
+}

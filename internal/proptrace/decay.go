@@ -1,0 +1,136 @@
+package proptrace
+
+import (
+	"fmt"
+	"math"
+
+	"ftb/internal/textplot"
+)
+
+// DecayProfile folds many trajectories into a per-dynamic-instruction
+// error-decay raster: columns bucket the dynamic instruction stream,
+// rows bucket log10 of the propagation error, and each cell counts
+// retained samples landing there. Rendered as a heatmap it shows, at a
+// glance, where in the program injected errors persist, decay, or blow
+// up — the aggregate form of the paper's Figure 2.
+type DecayProfile struct {
+	// Sites is the x-extent (dynamic instructions covered).
+	Sites int
+	// Cols and Rows are the raster dimensions.
+	Cols, Rows int
+	// MinLog and MaxLog bound the y-axis (log10 delta). Zero deltas
+	// land in the bottom row (an exact zero is "fully decayed", below
+	// any finite log).
+	MinLog, MaxLog float64
+	// Counts is the raster, row-major, row 0 = MaxLog (top).
+	Counts [][]int64
+	// Trajectories and Samples tally what was folded in.
+	Trajectories, Samples int
+}
+
+// Aggregate builds a decay profile over the trajectories. sites is the
+// program's dynamic-instruction count (the x-extent; trajectories know
+// only how far they ran). cols and rows size the raster; values ≤ 0
+// get terminal-friendly defaults (96×16).
+func Aggregate(ts []Trajectory, sites, cols, rows int) *DecayProfile {
+	if cols <= 0 {
+		cols = 96
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	if sites <= 0 {
+		for _, t := range ts {
+			if t.Sites > sites {
+				sites = t.Sites
+			}
+		}
+		if sites == 0 {
+			sites = 1
+		}
+	}
+	// Pass 1: the finite log range actually observed.
+	minLog, maxLog := math.Inf(1), math.Inf(-1)
+	for _, t := range ts {
+		for _, s := range t.Samples {
+			d := float64(s.Delta)
+			if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+				continue
+			}
+			l := math.Log10(d)
+			minLog = math.Min(minLog, l)
+			maxLog = math.Max(maxLog, l)
+		}
+	}
+	if math.IsInf(minLog, 1) { // no non-zero finite samples
+		minLog, maxLog = -1, 0
+	}
+	if maxLog == minLog {
+		maxLog = minLog + 1
+	}
+	p := &DecayProfile{
+		Sites:  sites,
+		Cols:   cols,
+		Rows:   rows,
+		MinLog: minLog,
+		MaxLog: maxLog,
+		Counts: make([][]int64, rows),
+	}
+	for i := range p.Counts {
+		p.Counts[i] = make([]int64, cols)
+	}
+	for _, t := range ts {
+		p.Trajectories++
+		for _, s := range t.Samples {
+			p.add(s)
+		}
+	}
+	return p
+}
+
+// add buckets one sample into the raster.
+func (p *DecayProfile) add(s Sample) {
+	col := s.Site * p.Cols / p.Sites
+	if col < 0 {
+		col = 0
+	}
+	if col >= p.Cols {
+		col = p.Cols - 1
+	}
+	d := float64(s.Delta)
+	var row int
+	switch {
+	case d <= 0: // exact zero: fully decayed, bottom row
+		row = p.Rows - 1
+	case math.IsInf(d, 1) || math.IsNaN(d):
+		row = 0
+	default:
+		l := math.Log10(d)
+		// Row 0 is MaxLog; rows descend toward MinLog.
+		frac := (p.MaxLog - l) / (p.MaxLog - p.MinLog)
+		row = int(frac * float64(p.Rows-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= p.Rows {
+			row = p.Rows - 1
+		}
+	}
+	p.Counts[row][col]++
+	p.Samples++
+}
+
+// Render draws the profile as a textplot heatmap.
+func (p *DecayProfile) Render(title string) string {
+	if title == "" {
+		title = fmt.Sprintf("error decay: log10|delta| per dynamic instruction (%d trajectories, %d samples)",
+			p.Trajectories, p.Samples)
+	}
+	return textplot.Heatmap(
+		title,
+		p.Counts,
+		fmt.Sprintf("%8.3g", p.MaxLog),
+		fmt.Sprintf("%8.3g", p.MinLog),
+		fmt.Sprintf("dynamic instruction 0 .. %d (bottom row = exactly zero / masked)", p.Sites-1),
+	)
+}

@@ -1,0 +1,108 @@
+package proptrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLWriter is a Sink that streams each trajectory as one JSON line.
+// It is safe for concurrent use; write errors latch (inspect with Err)
+// so campaign workers never have to handle I/O failures mid-run.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewJSONLWriter wraps w as a line-delimited trajectory sink. Call
+// Flush when recording is done.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Consume implements Sink.
+func (jw *JSONLWriter) Consume(t Trajectory) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	data, err := json.Marshal(t)
+	if err != nil {
+		jw.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := jw.w.Write(data); err != nil {
+		jw.err = err
+		return
+	}
+	jw.n++
+}
+
+// Count returns the number of trajectories written so far.
+func (jw *JSONLWriter) Count() int {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.n
+}
+
+// Flush drains the buffer and returns the first error encountered, if
+// any.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return jw.err
+	}
+	jw.err = jw.w.Flush()
+	return jw.err
+}
+
+// Err returns the latched error, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+// WriteJSONL writes trajectories as line-delimited JSON.
+func WriteJSONL(w io.Writer, ts []Trajectory) error {
+	jw := NewJSONLWriter(w)
+	for _, t := range ts {
+		jw.Consume(t)
+	}
+	return jw.Flush()
+}
+
+// ReadJSONL decodes a line-delimited trajectory stream (the inverse of
+// WriteJSONL / JSONLWriter). Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Trajectory
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var t Trajectory
+		// Zero values that json omits when absent still need their
+		// sentinel defaults to survive the round-trip of a trajectory
+		// written by other tooling; our own writer always emits them.
+		if err := json.Unmarshal(raw, &t); err != nil {
+			return nil, fmt.Errorf("proptrace: line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package proptrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTrajectories exercises every serialization edge: non-finite
+// floats, absent landmarks, empty sample lists, and crash metadata.
+func sampleTrajectories() []Trajectory {
+	return []Trajectory{
+		{
+			Program: "cg", Run: 0, Worker: 1, Site: 10, Bit: 40,
+			Outcome: "masked", InjErr: 0.5, OutErr: 0,
+			CrashSite: -1, Sites: 100, Stride: 1,
+			Samples: []Sample{
+				{Site: 10, Delta: 0.5, Golden: 1},
+				{Site: 11, Delta: 0.25, Golden: 2},
+				{Site: 12, Delta: 0, Golden: 3},
+			},
+			Max: Sample{Site: 10, Delta: 0.5, Golden: 1}, FirstZero: 12, FirstBlowup: -1,
+		},
+		{
+			Program: "cg", Run: 1, Worker: 0, Site: 20, Bit: 62,
+			Outcome: "crash", InjErr: Float(math.Inf(1)), OutErr: Float(math.Inf(1)),
+			CrashSite: 25, Sites: 26, Stride: 2,
+			Samples: []Sample{
+				{Site: 20, Delta: Float(math.Inf(1)), Golden: 1},
+				{Site: 22, Delta: Float(math.NaN()), Golden: Float(math.Inf(-1))},
+			},
+			Max: Sample{Site: 20, Delta: Float(math.Inf(1)), Golden: 1}, FirstZero: -1, FirstBlowup: 20,
+		},
+		{
+			Run: 2, Worker: -1, Site: 0, Bit: 0,
+			Outcome: "sdc", InjErr: 1e-300, OutErr: 1e12,
+			CrashSite: -1, Sites: 1, Stride: 1,
+			Samples: []Sample{},
+			Max:     Sample{Site: 0, Delta: 1e-300, Golden: 0}, FirstZero: -1, FirstBlowup: 0,
+		},
+	}
+}
+
+// trajectoriesEqual compares with NaN-aware float semantics
+// (reflect.DeepEqual treats NaN != NaN).
+func trajectoriesEqual(a, b Trajectory) bool {
+	sa, sb := a.Samples, b.Samples
+	a.Samples, b.Samples = nil, nil
+	na := func(f Float) bool { return math.IsNaN(float64(f)) }
+	scrub := func(t *Trajectory) {
+		if na(t.InjErr) {
+			t.InjErr = 0
+		}
+		if na(t.OutErr) {
+			t.OutErr = 0
+		}
+	}
+	nanA, nanB := na(a.InjErr) || na(a.OutErr), na(b.InjErr) || na(b.OutErr)
+	if na(a.InjErr) != na(b.InjErr) || na(a.OutErr) != na(b.OutErr) {
+		return false
+	}
+	if nanA || nanB {
+		scrub(&a)
+		scrub(&b)
+	}
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		x, y := sa[i], sb[i]
+		if x.Site != y.Site {
+			return false
+		}
+		for _, p := range [][2]Float{{x.Delta, y.Delta}, {x.Golden, y.Golden}} {
+			if na(p[0]) != na(p[1]) {
+				return false
+			}
+			if !na(p[0]) && p[0] != p[1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := sampleTrajectories()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Fatalf("%d lines for %d trajectories", lines, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip count: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		// ReadJSONL decodes empty sample arrays as empty (possibly nil)
+		// slices; normalize before comparing.
+		if len(got[i].Samples) == 0 {
+			got[i].Samples = []Sample{}
+		}
+		if len(want[i].Samples) == 0 {
+			want[i].Samples = []Sample{}
+		}
+		if !trajectoriesEqual(got[i], want[i]) {
+			t.Errorf("trajectory %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 25; i++ {
+				jw.Consume(Trajectory{Run: w*25 + i, CrashSite: -1, FirstZero: -1, FirstBlowup: -1})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if jw.Count() != 100 {
+		t.Errorf("count = %d", jw.Count())
+	}
+	ts, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(ts) != 100 {
+		t.Errorf("read %d trajectories", len(ts))
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"run\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFloatMarshal(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want string
+	}{
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+		{math.NaN(), `"NaN"`},
+		{1.5, `1.5`},
+		{0, `0`},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(Float(c.f))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.f, err)
+		}
+		if string(b) != c.want {
+			t.Errorf("marshal %v = %s, want %s", c.f, b, c.want)
+		}
+		var back Float
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.IsNaN(c.f) {
+			if !math.IsNaN(float64(back)) {
+				t.Errorf("NaN round-trip = %v", back)
+			}
+		} else if float64(back) != c.f {
+			t.Errorf("round-trip %v = %v", c.f, back)
+		}
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "cg", sampleTrajectories()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event missing pid: %v", ev)
+		}
+	}
+	// Metadata, slices, counters, and instant landmarks must all appear.
+	for _, ph := range []string{"M", "X", "C", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events: %v", ph, phases)
+		}
+	}
+	if !strings.Contains(buf.String(), "ftb error propagation: cg") {
+		t.Error("process name missing")
+	}
+}

@@ -1,0 +1,16 @@
+package proptrace
+
+import "testing"
+
+// BenchmarkObserve measures the recorder's marginal per-site cost: the
+// body of Observe on a steady-state (post-doubling) stream. This is the
+// price one diff-mode dynamic instruction pays for trajectory recording
+// on top of the diff itself.
+func BenchmarkObserve(b *testing.B) {
+	r := NewRecorder(Discard{}, Options{})
+	r.BeginRun(0, 0, 0, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(i, 1.5, 0.25)
+	}
+}

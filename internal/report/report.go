@@ -22,6 +22,12 @@ type Config struct {
 	Title string
 	// TopN is the number of most-vulnerable sites listed (default 10).
 	TopN int
+	// Decay, when non-empty, adds an error-decay section rendering the
+	// trajectories (recorded with ftb.WithPropTrace) as a per-dynamic-
+	// instruction heatmap.
+	Decay []ftb.Trajectory
+	// DecayCols and DecayRows size the decay heatmap (defaults 64×16).
+	DecayCols, DecayRows int
 }
 
 // Markdown writes the report. kernel supplies phase labels and may be nil
@@ -118,6 +124,22 @@ func Markdown(w io.Writer, an *ftb.Analysis, kernel ftb.Kernel, res *ftb.Result,
 			h.site, phaseName(phases, h.site), 100*h.sdc, res.Boundary().Thresholds[h.site])
 	}
 	fmt.Fprintf(bw, "\n")
+
+	// Error-decay profile from recorded propagation trajectories.
+	if len(cfg.Decay) > 0 {
+		cols, rows := cfg.DecayCols, cfg.DecayRows
+		if cols <= 0 {
+			cols = 64
+		}
+		if rows <= 0 {
+			rows = 16
+		}
+		prof := ftb.AggregateTrajectories(cfg.Decay, an.Sites(), cols, rows)
+		fmt.Fprintf(bw, "## Error-decay profile\n\n")
+		fmt.Fprintf(bw, "How injected errors evolve across the dynamic instruction "+
+			"stream, folded from %d recorded trajectories:\n\n", prof.Trajectories)
+		fmt.Fprintf(bw, "```\n%s```\n\n", prof.Render(""))
+	}
 
 	// Honest evaluation if ground truth is available.
 	if gt != nil {

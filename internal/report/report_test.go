@@ -2,6 +2,7 @@ package report
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -103,5 +104,39 @@ func TestMarkdownPropagatesWriteError(t *testing.T) {
 	err := Markdown(&failWriter{after: 50}, an, k, res, nil, Config{})
 	if err == nil {
 		t.Error("write error swallowed")
+	}
+}
+
+// TestMarkdownDecaySection checks the error-decay section: absent
+// without trajectories, present (with a non-empty heatmap) when the
+// config carries recorded ones.
+func TestMarkdownDecaySection(t *testing.T) {
+	an, k, res, gt := setup(t)
+	plain, err := Strings(an, k, res, gt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "Error-decay profile") {
+		t.Error("decay section rendered without trajectories")
+	}
+
+	buf := ftb.NewTrajectoryBuffer()
+	if _, err := an.Exhaustive(ftb.WithPropTrace(buf)); err != nil {
+		t.Fatal(err)
+	}
+	ts := buf.Trajectories()
+	out, err := Strings(an, k, res, gt, Config{Decay: ts, DecayCols: 32, DecayRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "## Error-decay profile") {
+		t.Fatalf("decay section missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dynamic instruction 0 ..") {
+		t.Errorf("decay heatmap footer missing:\n%s", out)
+	}
+	want := "folded from " + strconv.Itoa(len(ts)) + " recorded trajectories"
+	if !strings.Contains(out, want) {
+		t.Errorf("report missing %q", want)
 	}
 }

@@ -20,16 +20,19 @@ import (
 // e.g. Experiments may be one ahead of the outcome total. Snapshot after
 // the campaign entry point returns for exact accounting.
 type Snapshot struct {
-	Campaigns   int64                    `json:"campaigns"`
-	Experiments int64                    `json:"experiments"`
-	Outcomes    OutcomeCounts            `json:"outcomes"`
-	WallSeconds float64                  `json:"wall_seconds"`
-	RunLatency  HistogramSnapshot        `json:"run_latency"`
-	QueueWait   HistogramSnapshot        `json:"queue_wait"`
-	Workers     []WorkerSnapshot         `json:"workers"`
-	Gauges      map[string]int64         `json:"gauges"`
-	Phases      map[string]PhaseSnapshot `json:"phases"`
-	Sections    []SectionSnapshot        `json:"sections,omitempty"`
+	Campaigns   int64 `json:"campaigns"`
+	Experiments int64 `json:"experiments"`
+	// Trajectories counts experiments that also recorded a propagation
+	// trajectory (campaigns run with a tracer attached).
+	Trajectories int64                    `json:"trajectories"`
+	Outcomes     OutcomeCounts            `json:"outcomes"`
+	WallSeconds  float64                  `json:"wall_seconds"`
+	RunLatency   HistogramSnapshot        `json:"run_latency"`
+	QueueWait    HistogramSnapshot        `json:"queue_wait"`
+	Workers      []WorkerSnapshot         `json:"workers"`
+	Gauges       map[string]int64         `json:"gauges"`
+	Phases       map[string]PhaseSnapshot `json:"phases"`
+	Sections     []SectionSnapshot        `json:"sections,omitempty"`
 }
 
 // OutcomeCounts is the classified-outcome tally, plus trace-mismatch
@@ -67,10 +70,11 @@ type WorkerSnapshot struct {
 
 // PhaseSnapshot is one campaign phase's aggregate.
 type PhaseSnapshot struct {
-	Campaigns   int64         `json:"campaigns"`
-	Experiments int64         `json:"experiments"`
-	Outcomes    OutcomeCounts `json:"outcomes"`
-	WallSeconds float64       `json:"wall_seconds"`
+	Campaigns    int64         `json:"campaigns"`
+	Experiments  int64         `json:"experiments"`
+	Trajectories int64         `json:"trajectories"`
+	Outcomes     OutcomeCounts `json:"outcomes"`
+	WallSeconds  float64       `json:"wall_seconds"`
 }
 
 // SectionSnapshot is one named harness span, in first-opened order.
@@ -144,12 +148,15 @@ func (c *Collector) Snapshot() Snapshot {
 		s.Outcomes.SDC += pc.SDC
 		s.Outcomes.Crash += pc.Crash
 		s.Outcomes.Mismatch += pc.Mismatch
-		s.Phases[name] = PhaseSnapshot{
-			Campaigns:   ph.campaigns.Value(),
-			Experiments: ph.experiments.Value(),
-			Outcomes:    pc,
-			WallSeconds: nanosToSeconds(ph.wallNanos.Value()),
+		ps := PhaseSnapshot{
+			Campaigns:    ph.campaigns.Value(),
+			Experiments:  ph.experiments.Value(),
+			Trajectories: ph.traced.Value(),
+			Outcomes:     pc,
+			WallSeconds:  nanosToSeconds(ph.wallNanos.Value()),
 		}
+		s.Trajectories += ps.Trajectories
+		s.Phases[name] = ps
 	}
 	for _, name := range c.sectionOrder {
 		sec := c.sections[name]
@@ -205,6 +212,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := counter("ftb_experiments_total", "Fault-injection experiments executed.", s.Experiments); err != nil {
+		return err
+	}
+	if err := counter("ftb_trajectories_total", "Propagation trajectories recorded by traced experiments.", s.Trajectories); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprint(w, "# HELP ftb_outcomes_total Experiment outcomes by classification.\n# TYPE ftb_outcomes_total counter\n"); err != nil {

@@ -194,6 +194,7 @@ type phaseStats struct {
 	campaigns   Counter
 	experiments stripedCounter
 	outcomes    [outcome.NumKinds]stripedCounter
+	traced      stripedCounter
 	mismatches  Counter
 	wallNanos   Counter
 }
@@ -311,6 +312,13 @@ func (r *CampaignRecorder) Run(worker int, kind outcome.Kind, d time.Duration) {
 	if int(kind) < outcome.NumKinds {
 		r.ph.outcomes[kind].add(stripe, 1)
 	}
+}
+
+// Traced records that the given worker's last completed experiment also
+// recorded a propagation trajectory (the campaign ran with a tracer
+// attached). Like Run, it is a single striped atomic add.
+func (r *CampaignRecorder) Traced(worker int) {
+	r.ph.traced.add(worker&stripeMask, 1)
 }
 
 // Wait records scheduling overhead — time the given worker spent

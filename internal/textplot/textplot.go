@@ -125,6 +125,70 @@ func Hist(title string, h *stats.Histogram, barWidth int) string {
 	return b.String()
 }
 
+// heatShades orders the cell characters of a heatmap from empty to
+// densest. Non-zero cells never render as a space: the first shade above
+// blank is reserved for "present but sparse".
+const heatShades = " .:-=+*#%@"
+
+// Heatmap renders a rows×cols count grid as a shaded character raster,
+// row 0 on top. Cell density is scaled against the grid maximum over the
+// shade ramp; any non-zero cell renders at least the lightest non-blank
+// shade, so sparse structure stays visible next to dense hot spots.
+// topLabel and bottomLabel annotate the y-extremes (left margin);
+// xLabel annotates the x-axis below the frame.
+func Heatmap(title string, grid [][]int64, topLabel, bottomLabel, xLabel string) string {
+	if len(grid) == 0 {
+		panic("textplot: heatmap needs at least one row")
+	}
+	cols := len(grid[0])
+	if cols < 1 {
+		panic("textplot: heatmap needs at least one column")
+	}
+	var max int64
+	for _, row := range grid {
+		if len(row) != cols {
+			panic("textplot: ragged heatmap grid")
+		}
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	margin := maxInt(len(topLabel), len(bottomLabel))
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	shades := len(heatShades) - 1
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = topLabel
+		case len(grid) - 1:
+			label = bottomLabel
+		}
+		fmt.Fprintf(&b, "%*s |", margin, label)
+		for _, c := range row {
+			shade := 0
+			if c > 0 && max > 0 {
+				shade = 1 + int((c-1)*int64(shades-1)/max)
+				if shade > shades {
+					shade = shades
+				}
+			}
+			b.WriteByte(heatShades[shade])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%*s +%s+\n", margin, "", strings.Repeat("-", cols))
+	if xLabel != "" {
+		fmt.Fprintf(&b, "%*s  %s\n", margin, "", xLabel)
+	}
+	return b.String()
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

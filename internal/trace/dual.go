@@ -32,13 +32,43 @@ func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink
 		bufSites = 1024
 	}
 	stream := make(chan float64, bufSites)
-	outCh := make(chan []float64, 1)
+	type goldenResult struct {
+		out      []float64
+		panicked any
+	}
+	outCh := make(chan goldenResult, 1)
 	go func() {
+		var g goldenResult
+		defer func() {
+			// Run has stopped storing (returned or panicked), so the
+			// stream can close: that unblocks the consumer's drain, and
+			// the buffered outCh send can never block. A panic is
+			// captured and re-raised on the caller's goroutine rather
+			// than crashing the process from here.
+			g.panicked = recover()
+			close(stream)
+			outCh <- g
+		}()
 		var gctx Ctx
 		gctx.armStreamSource(stream)
-		out := goldenProg.Run(&gctx)
-		close(stream)
-		outCh <- out
+		g.out = goldenProg.Run(&gctx)
+	}()
+
+	// Join the golden goroutine on every exit path. The injected run (or
+	// the caller's sink) can panic with a non-crash panic, which unwinds
+	// straight through this frame — without the deferred drain the golden
+	// instance would block forever on the full stream channel and leak.
+	joined := false
+	join := func() goldenResult {
+		joined = true
+		for range stream {
+		}
+		return <-outCh
+	}
+	defer func() {
+		if !joined {
+			join()
+		}
 	}()
 
 	ctx.armStreamDiff(site, bit, stream, sink)
@@ -61,10 +91,14 @@ func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink
 	}()
 
 	// Drain remaining golden stores (the injected run may have crashed
-	// early) so the golden goroutine can finish.
-	for range stream {
+	// early) and collect the fault-free output.
+	g := join()
+	if g.panicked != nil {
+		// The supposedly fault-free instance panicked: a program bug,
+		// not a classification. Surface it where the caller can see it.
+		panic(g.panicked)
 	}
-	goldenOutput = <-outCh
+	goldenOutput = g.out
 	for _, v := range goldenOutput {
 		if bits.IsUnsafe(v) {
 			return res, goldenOutput, fmt.Errorf("%w (program %q output)", ErrGoldenUnsafe, goldenProg.Name())

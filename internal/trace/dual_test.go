@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"runtime"
 	"testing"
+	"time"
 )
 
 func TestDualRunMatchesRecordedDiff(t *testing.T) {
@@ -130,3 +132,126 @@ func BenchmarkDualRunVsRecorded(b *testing.B) {
 type discardDiff struct{}
 
 func (discardDiff) Observe(int, float64, float64) {}
+
+// dualPanicProg stores a few values, then panics with a foreign (non-crash)
+// panic — a stand-in for a buggy kernel or instrumentation.
+type dualPanicProg struct{ stores int }
+
+func (p *dualPanicProg) Name() string { return "panic" }
+
+func (p *dualPanicProg) Run(ctx *Ctx) []float64 {
+	for i := 0; i < p.stores; i++ {
+		ctx.Store(float64(i + 1))
+	}
+	panic("dualPanicProg boom")
+}
+
+// panicSink panics after observing `after` deltas, modeling a buggy
+// caller-supplied DiffSink.
+type panicSink struct{ after, seen int }
+
+func (s *panicSink) Observe(int, float64, float64) {
+	s.seen++
+	if s.seen > s.after {
+		panic("panicSink boom")
+	}
+}
+
+// leakCheck snapshots the goroutine count and returns a verifier that
+// waits (with retries — exiting goroutines are reaped asynchronously)
+// for the count to return to the baseline.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// mustPanic runs f expecting a foreign panic containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic %q, got none", want)
+		}
+		if s, ok := r.(string); !ok || s != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestDualRunForeignPanicJoinsGolden is the regression test for the
+// dual-run goroutine leak: a foreign panic from the injected program
+// used to propagate out of RunInjectDiffDual before the stream drain,
+// leaving the golden goroutine blocked forever on the full channel. The
+// panic must still reach the caller, and the golden instance must exit.
+func TestDualRunForeignPanicJoinsGolden(t *testing.T) {
+	check := leakCheck(t)
+	golden := &sumProg{inputs: make([]float64, 1000)}
+	for i := range golden.inputs {
+		golden.inputs[i] = 1
+	}
+	mustPanic(t, "dualPanicProg boom", func() {
+		var ctx Ctx
+		// bufSites 1: the golden instance is guaranteed to be blocked
+		// mid-stream when the injected run dies.
+		_, _, _ = RunInjectDiffDual(&ctx, &dualPanicProg{stores: 2}, golden, 500, 0, &recordingSink{}, 1)
+	})
+	check()
+}
+
+// TestDualRunPanickingSinkJoinsGolden covers the same leak through the
+// other entry: a caller-supplied sink that panics mid-run.
+func TestDualRunPanickingSinkJoinsGolden(t *testing.T) {
+	check := leakCheck(t)
+	mk := func() *sumProg {
+		p := &sumProg{inputs: make([]float64, 500)}
+		for i := range p.inputs {
+			p.inputs[i] = 1
+		}
+		return p
+	}
+	mustPanic(t, "panicSink boom", func() {
+		var ctx Ctx
+		_, _, _ = RunInjectDiffDual(&ctx, mk(), mk(), 900, 0, &panicSink{after: 3}, 1)
+	})
+	check()
+}
+
+// TestDualRunGoldenPanicSurfaces: a panic in the fault-free instance
+// used to deadlock the caller (the stream never closed); now it joins
+// and re-raises the panic on the caller's goroutine.
+func TestDualRunGoldenPanicSurfaces(t *testing.T) {
+	check := leakCheck(t)
+	p := &sumProg{inputs: []float64{1, 2, 3, 4}}
+	mustPanic(t, "dualPanicProg boom", func() {
+		var ctx Ctx
+		_, _, _ = RunInjectDiffDual(&ctx, p, &dualPanicProg{stores: 2}, 2, 0, &recordingSink{}, 4)
+	})
+	check()
+}
+
+// TestDualRunCrashLeavesNoGoroutine re-checks the ordinary crash path
+// under the leak detector.
+func TestDualRunCrashLeavesNoGoroutine(t *testing.T) {
+	check := leakCheck(t)
+	mk := func() *sumProg { return &sumProg{inputs: []float64{1, 2, 3}} }
+	var ctx Ctx
+	if _, _, err := RunInjectDiffDual(&ctx, mk(), mk(), 0, 62, &recordingSink{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}

@@ -1,0 +1,99 @@
+package ftb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWithPropTraceRecordsTrajectories checks the facade wiring: an
+// exhaustive campaign with WithPropTrace records one trajectory per
+// experiment, labelled with the kernel's name and the run's outcome.
+func TestWithPropTraceRecordsTrajectories(t *testing.T) {
+	a := runOptionAnalysis(t)
+	buf := NewTrajectoryBuffer()
+	gt, err := a.Exhaustive(WithPropTrace(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := buf.Trajectories()
+	if len(ts) != a.SampleSpace() {
+		t.Fatalf("%d trajectories, want %d", len(ts), a.SampleSpace())
+	}
+	for i, tr := range ts {
+		if tr.Run != i {
+			t.Fatalf("trajectory %d has run %d", i, tr.Run)
+		}
+		if tr.Program != "testchain" {
+			t.Fatalf("trajectory %d program %q, want kernel name", i, tr.Program)
+		}
+		if tr.Outcome != gt.Kinds[i].String() {
+			t.Errorf("trajectory %d outcome %q, want %q", i, tr.Outcome, gt.Kinds[i])
+		}
+	}
+}
+
+// TestWithPropTraceOptionsOverride checks that explicit trajectory
+// options win over the analysis defaults.
+func TestWithPropTraceOptionsOverride(t *testing.T) {
+	a := runOptionAnalysis(t)
+	buf := NewTrajectoryBuffer()
+	_, err := a.RunPairs([]Pair{{Site: 0, Bit: 1}, {Site: 2, Bit: 62}},
+		WithPropTraceOptions(buf, TrajectoryOptions{Program: "renamed", MaxSamples: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := buf.Trajectories()
+	if len(ts) != 2 {
+		t.Fatalf("%d trajectories, want 2", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Program != "renamed" {
+			t.Errorf("program %q, want explicit override", tr.Program)
+		}
+		if len(tr.Samples) > 2 {
+			t.Errorf("%d samples, want MaxSamples cap of 2", len(tr.Samples))
+		}
+	}
+}
+
+// TestTrajectoryRoundTripThroughFacade exercises the exported
+// serialization helpers end to end: record, write JSONL, read back,
+// aggregate, export Chrome trace events.
+func TestTrajectoryRoundTripThroughFacade(t *testing.T) {
+	a := runOptionAnalysis(t)
+	buf := NewTrajectoryBuffer()
+	if _, err := a.Exhaustive(WithPropTrace(buf)); err != nil {
+		t.Fatal(err)
+	}
+	ts := buf.Trajectories()
+
+	var jsonl bytes.Buffer
+	if err := WriteTrajectoriesJSONL(&jsonl, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrajectoriesJSONL(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("round trip lost trajectories: %d vs %d", len(back), len(ts))
+	}
+
+	prof := AggregateTrajectories(ts, 4, 4, 8)
+	if prof.Trajectories != len(ts) {
+		t.Errorf("profile folded %d trajectories, want %d", prof.Trajectories, len(ts))
+	}
+	heat := prof.Render("")
+	if !strings.Contains(heat, "trajector") {
+		t.Errorf("heatmap missing caption:\n%s", heat)
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteTrajectoriesChromeTrace(&chrome, "testchain", ts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"traceEvents"`) {
+		t.Error("chrome export missing traceEvents envelope")
+	}
+}
