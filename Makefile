@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench bench-proptrace bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-check bench-all examples repro clean
 
 all: check
+
+# COVER_MIN is the enforced aggregate statement-coverage floor for the
+# internal packages (currently ~91%; the gate leaves headroom for churn).
+COVER_MIN ?= 85.0
 
 # check is the default gate: compile, lint (vet + format + staticcheck
 # when available), unit tests, and the race detector over the concurrent
@@ -31,11 +35,23 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/...
+# ci mirrors .github/workflows/ci.yml for local runs: the full check
+# gate plus the coverage floor and the examples smoke test.
+ci: check cover examples
 
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/... ./internal/cluster/...
+
+# cover prints per-package coverage and enforces COVER_MIN on the
+# aggregate statement coverage of the internal packages.
 cover:
 	$(GO) test -cover ./...
+	@$(GO) test -coverpkg=./internal/... -coverprofile=cover.out ./internal/... >/dev/null
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	rm -f cover.out; \
+	echo "internal/... aggregate coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "coverage below $(COVER_MIN)%"; exit 1; }
 
 # bench runs the campaign-engine benchmarks (scheduling modes plus the
 # telemetry collector on/off comparison) and records them as
@@ -50,6 +66,21 @@ bench:
 bench-proptrace:
 	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | tee BENCH_proptrace.txt | $(GO) run ./cmd/benchjson > BENCH_proptrace.json
 	@echo "wrote BENCH_proptrace.txt and BENCH_proptrace.json"
+
+# bench-cluster records the coordinator tax: one exhaustive campaign
+# in-process versus through a single self-hosted worker process. The
+# selfhost1 figure must stay within ~10% of inprocess.
+bench-cluster:
+	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | tee BENCH_cluster.txt | $(GO) run ./cmd/benchjson > BENCH_cluster.json
+	@echo "wrote BENCH_cluster.txt and BENCH_cluster.json"
+
+# bench-check is the regression gate: re-run every recorded benchmark
+# suite with the same flags that produced its committed BENCH_*.json and
+# fail on any >25% ns/op regression (benchjson -compare).
+bench-check:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | $(GO) run ./cmd/benchjson -compare BENCH_proptrace.json
+	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | $(GO) run ./cmd/benchjson -compare BENCH_cluster.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

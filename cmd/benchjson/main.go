@@ -6,15 +6,24 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/campaign/ | go run ./cmd/benchjson
+//	go test -bench=. ./internal/campaign/ | go run ./cmd/benchjson -compare BENCH_campaign.json
 //
 // Standard ns/op, B/op, and allocs/op columns map to fixed fields; any
 // other `<value> <unit>` pair (b.ReportMetric output such as
 // experiments/op) lands in the metrics map.
+//
+// With -compare FILE, the fresh run on stdin is diffed against the
+// committed JSON baseline instead of being printed: each benchmark
+// present in both is compared on ns/op, and the process exits non-zero
+// if any regresses by more than -threshold (default 0.25, i.e. 25%) —
+// the CI bench gate. Benchmarks present on only one side are reported
+// but do not fail the gate (new benchmarks must be able to land).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -102,7 +111,105 @@ func parse(in io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
+// diff is one benchmark's old-vs-new comparison.
+type diff struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	delta    float64 // (new-old)/old
+	regessed bool
+}
+
+// compare diffs a fresh report against a baseline on ns/op. It returns
+// the comparisons for benchmarks present in both, plus the names present
+// on only one side.
+func compare(baseline, fresh Report, threshold float64) (diffs []diff, onlyOld, onlyNew []string) {
+	old := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		old[b.Name] = b
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		seen[b.Name] = true
+		ob, ok := old[b.Name]
+		if !ok {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		d := diff{name: b.Name, oldNs: ob.NsPerOp, newNs: b.NsPerOp}
+		if ob.NsPerOp > 0 {
+			d.delta = (b.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			d.regessed = d.delta > threshold
+		}
+		diffs = append(diffs, d)
+	}
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	return diffs, onlyOld, onlyNew
+}
+
+// runCompare implements -compare: parse stdin, diff against the baseline
+// file, print the table, and exit non-zero on any regression beyond the
+// threshold.
+func runCompare(baselinePath string, threshold float64, in io.Reader, out io.Writer) (failed bool, err error) {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var baseline Report
+	if err := json.NewDecoder(f).Decode(&baseline); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	fresh, err := parse(in)
+	if err != nil {
+		return false, err
+	}
+	if len(fresh.Benchmarks) == 0 {
+		return false, fmt.Errorf("no benchmark lines on stdin")
+	}
+	diffs, onlyOld, onlyNew := compare(baseline, fresh, threshold)
+	for _, d := range diffs {
+		status := "ok"
+		if d.regessed {
+			status = "REGRESSED"
+			failed = true
+		} else if d.delta < -threshold {
+			status = "improved"
+		}
+		fmt.Fprintf(out, "%-56s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			d.name, d.oldNs, d.newNs, 100*d.delta, status)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(out, "%-56s (new, no baseline)\n", n)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(out, "%-56s (missing from this run)\n", n)
+	}
+	if failed {
+		fmt.Fprintf(out, "FAIL: ns/op regression beyond %.0f%% against %s\n", 100*threshold, baselinePath)
+	}
+	return failed, nil
+}
+
 func main() {
+	comparePath := flag.String("compare", "", "diff the fresh run on stdin against this committed JSON baseline instead of emitting JSON; exit non-zero on ns/op regressions beyond -threshold")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression as a fraction (with -compare)")
+	flag.Parse()
+	if *comparePath != "" {
+		failed, err := runCompare(*comparePath, *threshold, os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

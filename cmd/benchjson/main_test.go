@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +44,106 @@ func TestParse(t *testing.T) {
 	bare := rep.Benchmarks[2]
 	if bare.BytesPerOp != nil || bare.Metrics != nil {
 		t.Errorf("bare benchmark picked up phantom columns: %+v", bare)
+	}
+}
+
+func bench(name string, ns float64) Result {
+	return Result{Name: name, Iterations: 100, NsPerOp: ns}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 1000),
+		bench("BenchmarkB-8", 1000),
+		bench("BenchmarkGone-8", 500),
+	}}
+	fresh := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 1100), // +10%: within threshold
+		bench("BenchmarkB-8", 1400), // +40%: regression
+		bench("BenchmarkNew-8", 42),
+	}}
+	diffs, onlyOld, onlyNew := compare(baseline, fresh, 0.25)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %+v, want 2 entries", diffs)
+	}
+	if diffs[0].regessed || diffs[0].delta < 0.09 || diffs[0].delta > 0.11 {
+		t.Errorf("A = %+v, want +10%% within threshold", diffs[0])
+	}
+	if !diffs[1].regessed {
+		t.Errorf("B = %+v, want flagged as regression", diffs[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone-8" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew-8" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	baseline := Report{Benchmarks: []Result{bench("BenchmarkZ-8", 0)}}
+	fresh := Report{Benchmarks: []Result{bench("BenchmarkZ-8", 999)}}
+	diffs, _, _ := compare(baseline, fresh, 0.25)
+	if len(diffs) != 1 || diffs[0].regessed {
+		t.Errorf("zero-baseline diff = %+v, want not regressed", diffs)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	baseline := Report{Benchmarks: []Result{
+		bench("BenchmarkEngineCollector/off-8", 12000000),
+		bench("BenchmarkEngineCollector/on-8", 12000000),
+		bench("BenchmarkScheduling/dynamic-8", 20000000),
+	}}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	failed, err := runCompare(path, 0.25, strings.NewReader(sample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("clean run flagged as regression:\n%s", out.String())
+	}
+
+	// Tighten the threshold below the ~0.6% drift in the sample: no
+	// failure. Shrink the baseline instead to force one.
+	baseline.Benchmarks[0].NsPerOp = 1
+	data, _ = json.Marshal(baseline)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	failed, err = runCompare(path, 0.25, strings.NewReader(sample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("output missing REGRESSED/FAIL markers:\n%s", out.String())
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	if _, err := runCompare(filepath.Join(t.TempDir(), "missing.json"), 0.25, strings.NewReader(sample), io.Discard); err == nil {
+		t.Error("missing baseline file not reported")
+	}
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(path, 0.25, strings.NewReader("PASS\n"), io.Discard); err == nil {
+		t.Error("empty fresh run not reported")
 	}
 }
 

@@ -65,6 +65,8 @@ func main() {
 		err = cmdGolden(os.Args[2:])
 	case "exhaustive":
 		err = cmdExhaustive(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
 	case "infer":
 		err = cmdInfer(ctx, os.Args[2:])
 	case "progressive":
@@ -320,6 +322,10 @@ commands:
   kernels                          list built-in kernels and size presets
   golden      -kernel K -size S    inspect a kernel's golden run and phases
   exhaustive  -kernel K -size S    run the exhaustive campaign (ground truth)
+  worker      -kernel K -size S    serve fault-injection leases for one kernel
+              [-addr A] [-procs N] over HTTP (the worker half of a sharded
+              [-serve A] [-v]      campaign); prints "ftb-worker-listening
+                                   <addr>" on stdout once serving
   infer       -kernel K -size S    infer the boundary from a uniform sample
               [-frac F | -samples N] [-filter] [-seed X]
   progressive -kernel K -size S    adaptive progressive sampling
@@ -347,6 +353,21 @@ persistence:
   exhaustive  -checkpoint FILE     batch-checkpoint long campaigns; resumes
               [-batch N]           automatically if the file exists
   infer       -save FILE           save the inferred boundary
+
+cluster execution (exhaustive):
+  -cluster URL1,URL2               shard the campaign across running "ftbcli
+                                   worker" processes; each worker must serve
+                                   the same kernel and size (identity is
+                                   fingerprint-checked before any lease)
+  -selfhost N                      fork N local worker processes and shard
+                                   across them; combine with -cluster to mix
+  -shard N                         lease granularity in experiments (default
+                                   2048); smaller shards checkpoint and
+                                   rebalance finer, larger ones amortize the
+                                   HTTP round trip
+  a killed worker costs only its in-flight shard (the lease is re-queued);
+  with -checkpoint, a killed coordinator resumes without re-running completed
+  shards; the merged ground truth is byte-identical to a single-process run
 
 execution (exhaustive/infer/progressive/report/exp/trace):
   -progress                        render a live campaign progress line on
@@ -422,6 +443,9 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	save := fs.String("save", "", "write the ground truth to this file")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
 	batch := fs.Int("batch", 256, "sites per checkpoint batch")
+	clusterURLs := fs.String("cluster", "", "shard the campaign across these comma-separated worker URLs (see the worker command)")
+	selfhost := fs.Int("selfhost", 0, "shard the campaign across this many locally forked worker processes")
+	shard := fs.Int("shard", 0, "cluster lease granularity in experiments (default 2048)")
 	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -436,12 +460,44 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	defer exec.end()
 	an = exec.apply(ctx, an)
 	defer exec.finish()
+	var runOpts []ftb.RunOption
+	if *clusterURLs != "" || *selfhost > 0 {
+		co := ftb.ClusterOptions{
+			SelfHost:  *selfhost,
+			ShardSize: *shard,
+			SpawnLog:  os.Stderr,
+		}
+		if *clusterURLs != "" {
+			for _, u := range strings.Split(*clusterURLs, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					co.Workers = append(co.Workers, u)
+				}
+			}
+		}
+		if *selfhost > 0 {
+			// Self-hosted workers re-exec this binary's worker subcommand
+			// for the same kernel on ephemeral ports.
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("-selfhost: %w", err)
+			}
+			co.SelfHostCommand = []string{exe, "worker", "-kernel", *kernel, "-size", *size, "-addr", "127.0.0.1:0"}
+			if *exec.workers > 0 {
+				co.SelfHostCommand = append(co.SelfHostCommand, "-procs", fmt.Sprint(*exec.workers))
+			}
+			if *exec.verbose {
+				co.SelfHostCommand = append(co.SelfHostCommand, "-v")
+			}
+		}
+		runOpts = append(runOpts, ftb.WithCluster(co))
+		fmt.Fprintf(os.Stderr, "ftbcli: sharding across %d remote + %d self-hosted workers\n", len(co.Workers), co.SelfHost)
+	}
 	start := time.Now()
 	var gt *ftb.GroundTruth
 	if *checkpoint != "" {
-		gt, err = an.ExhaustiveCheckpointed(*checkpoint, *batch)
+		gt, err = an.ExhaustiveCheckpointed(*checkpoint, *batch, runOpts...)
 	} else {
-		gt, err = an.Exhaustive()
+		gt, err = an.Exhaustive(runOpts...)
 	}
 	if err != nil {
 		return err

@@ -270,6 +270,7 @@ type runConfig struct {
 	traceSink proptrace.Sink
 	traceOpts proptrace.Options
 	logger    *slog.Logger
+	cluster   *ClusterOptions
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -512,14 +513,26 @@ func (a *Analysis) SampleSpace() int { return a.Sites() * a.bits }
 // Tolerance returns the acceptable output deviation T.
 func (a *Analysis) Tolerance() float64 { return a.tol }
 
-// campaignConfig materializes the engine configuration for one call:
-// the analysis-level run plumbing with call-level RunOptions applied on
-// top.
-func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
+// resolve materializes the call-level run plumbing: the analysis-level
+// runConfig with the call's RunOptions applied on top.
+func (a *Analysis) resolve(opts []RunOption) runConfig {
 	rc := a.run
 	for _, o := range opts {
 		o(&rc)
 	}
+	return rc
+}
+
+// campaignConfig materializes the engine configuration for one call:
+// the analysis-level run plumbing with call-level RunOptions applied on
+// top.
+func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
+	return a.configFrom(a.resolve(opts))
+}
+
+// configFrom builds the in-process engine configuration from resolved
+// run plumbing.
+func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 	cfg := campaign.Config{
 		Factory:   a.factory,
 		Golden:    a.golden,
@@ -548,9 +561,15 @@ func (a *Analysis) campaignConfig(opts ...RunOption) campaign.Config {
 }
 
 // Exhaustive runs the full fault-injection campaign: every bit of every
-// dynamic instruction. Cost: SampleSpace() program executions.
+// dynamic instruction. Cost: SampleSpace() program executions. With
+// WithCluster, the campaign is sharded across worker processes instead
+// of goroutines; the result is byte-identical either way.
 func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
-	return campaign.Exhaustive(a.campaignConfig(opts...))
+	rc := a.resolve(opts)
+	if rc.cluster != nil {
+		return a.clusterExhaustive(rc, nil, 0, nil)
+	}
+	return campaign.Exhaustive(a.configFrom(rc))
 }
 
 // ExhaustiveCheckpointed runs the full campaign with progress persisted
@@ -570,10 +589,29 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts
 			return nil, fmt.Errorf("ftb: unreadable checkpoint %s: %w", checkpointPath, err)
 		}
 	}
-	gt, err := campaign.ExhaustiveCheckpointed(a.campaignConfig(opts...), prior, priorSites, batch,
-		func(partial *GroundTruth, done int) error {
-			return persist.SaveFile(checkpointPath, persist.Checkpoint{GT: partial, DoneSites: done}, persist.SaveCheckpoint)
+	saveCheckpoint := func(partial *GroundTruth, done int) error {
+		return persist.SaveFile(checkpointPath, persist.Checkpoint{GT: partial, DoneSites: done}, persist.SaveCheckpoint)
+	}
+	rc := a.resolve(opts)
+	var gt *GroundTruth
+	var err error
+	if rc.cluster != nil {
+		// Cluster campaigns checkpoint at shard granularity: the
+		// coordinator's contiguous-completion frontier is persisted every
+		// time it clears another site, so a killed coordinator resumes
+		// without re-running any completed shard.
+		lastSaved := priorSites
+		gt, err = a.clusterExhaustive(rc, prior, priorSites, func(partial *GroundTruth, frontier int) error {
+			done := frontier / a.bits
+			if done <= lastSaved {
+				return nil
+			}
+			lastSaved = done
+			return saveCheckpoint(partial, done)
 		})
+	} else {
+		gt, err = campaign.ExhaustiveCheckpointed(a.configFrom(rc), prior, priorSites, batch, saveCheckpoint)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -599,7 +637,11 @@ func (a *Analysis) NonMonotonicSites(gt *GroundTruth) (int, error) {
 
 // RunPairs classifies an explicit set of experiments.
 func (a *Analysis) RunPairs(pairs []Pair, opts ...RunOption) ([]Record, error) {
-	return campaign.RunPairs(a.campaignConfig(opts...), pairs)
+	rc := a.resolve(opts)
+	if rc.cluster != nil {
+		return nil, errClusterUnsupported("RunPairs")
+	}
+	return campaign.RunPairs(a.configFrom(rc), pairs)
 }
 
 // NewPredictor builds a predictor for an arbitrary boundary (e.g. one
@@ -680,6 +722,9 @@ func (a *Analysis) InferBoundary(opts InferOptions, runOpts ...RunOption) (*Resu
 	if k > a.SampleSpace() {
 		return nil, fmt.Errorf("ftb: sample budget %d exceeds sample space %d", k, a.SampleSpace())
 	}
+	if a.resolve(runOpts).cluster != nil {
+		return nil, errClusterUnsupported("InferBoundary")
+	}
 	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
 	known := boundary.NewKnown(a.Sites(), a.bits)
 	bld, recs, err := boundary.Build(a.inferConfig(opts, runOpts), pairs, boundary.BuildOptions{
@@ -698,6 +743,9 @@ func (a *Analysis) InferBoundary(opts InferOptions, runOpts ...RunOption) (*Resu
 func (a *Analysis) InferFromPairs(pairs []Pair, filter bool, opts ...RunOption) (*Result, error) {
 	if len(pairs) == 0 {
 		return nil, errors.New("ftb: InferFromPairs requires at least one pair")
+	}
+	if a.resolve(opts).cluster != nil {
+		return nil, errClusterUnsupported("InferFromPairs")
 	}
 	known := boundary.NewKnown(a.Sites(), a.bits)
 	bld, recs, err := boundary.Build(a.campaignConfig(opts...), pairs, boundary.BuildOptions{
@@ -737,6 +785,9 @@ func (a *Analysis) Progressive(opts ProgressiveOptions, runOpts ...RunOption) (*
 	}
 	if opts.Width == 0 {
 		opts.Width = a.width
+	}
+	if a.resolve(runOpts).cluster != nil {
+		return nil, nil, errClusterUnsupported("Progressive")
 	}
 	pres, err := sampling.RunProgressive(a.campaignConfig(runOpts...), opts)
 	if err != nil {

@@ -284,6 +284,15 @@ func (w *pairWorker) runChecked(cfg Config, run int, pair Pair) (Record, error) 
 // cancels the remaining work and is returned; a cancelled Config.Context
 // surfaces as its context error.
 func RunPairs(cfg Config, pairs []Pair) ([]Record, error) {
+	return RunPairsInPhase(cfg, pairs, "classify")
+}
+
+// RunPairsInPhase is RunPairs with an explicit telemetry/observer phase
+// label. Cluster workers execute exhaustive-campaign shards through the
+// pair path and use this to keep the shard's telemetry attributed to the
+// campaign phase the coordinator is actually running, instead of every
+// remote shard masquerading as "classify".
+func RunPairsInPhase(cfg Config, pairs []Pair, phase string) ([]Record, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
@@ -292,7 +301,7 @@ func RunPairs(cfg Config, pairs []Pair) ([]Record, error) {
 		return nil, err
 	}
 	records := make([]Record, len(pairs))
-	_, err = runEngine(cfg, "classify", len(pairs),
+	_, err = runEngine(cfg, phase, len(pairs),
 		func(w int) *pairWorker { return newPairWorker(cfg, w) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			rec, err := w.runChecked(cfg, i, pairs[i])

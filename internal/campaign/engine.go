@@ -91,8 +91,7 @@ type progress struct {
 	phase      string
 	total      int
 	done       int
-	frontier   int
-	pending    map[int]int // completed ranges [lo, hi) detached from the frontier
+	frontier   Frontier
 	counts     outcome.Counts
 	start      time.Time
 	observer   Observer
@@ -107,31 +106,17 @@ func (p *progress) rangeDone(lo, hi int, c outcome.Counts) error {
 	defer p.mu.Unlock()
 	p.done += hi - lo
 	p.counts.Merge(c)
-	advanced := false
-	if lo == p.frontier {
-		p.frontier = hi
-		advanced = true
-		for {
-			h, ok := p.pending[p.frontier]
-			if !ok {
-				break
-			}
-			delete(p.pending, p.frontier)
-			p.frontier = h
-		}
-	} else {
-		p.pending[lo] = hi
-	}
+	advanced := p.frontier.RangeDone(lo, hi)
 	var hookErr error
 	if advanced && p.onFrontier != nil {
-		hookErr = p.onFrontier(p.frontier)
+		hookErr = p.onFrontier(p.frontier.Current())
 	}
 	if p.observer != nil {
 		e := Event{
 			Phase:    p.phase,
 			Done:     p.done,
 			Total:    p.total,
-			Frontier: p.frontier,
+			Frontier: p.frontier.Current(),
 			Counts:   p.counts,
 			Elapsed:  time.Since(p.start),
 		}
@@ -147,7 +132,7 @@ func (p *progress) rangeDone(lo, hi int, c outcome.Counts) error {
 func (p *progress) currentFrontier() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.frontier
+	return p.frontier.Current()
 }
 
 // runEngine executes n independent experiments on cfg.Workers goroutines
@@ -212,7 +197,6 @@ func runEngine[S any](cfg Config, phase string, n int,
 	prog := &progress{
 		phase:      phase,
 		total:      n,
-		pending:    make(map[int]int),
 		start:      time.Now(),
 		observer:   cfg.Observer,
 		onFrontier: onFrontier,

@@ -222,13 +222,32 @@ func InjErrWidth(golden *trace.GoldenRun, site int, bit uint8, width int) float6
 	return bits.Err64(golden.Trace[site], uint(bit))
 }
 
-// Validate sanity-checks a ground truth against a golden run.
+// Validate sanity-checks a ground truth against a golden run: the site
+// count must match the golden trace, the data-element width must be a
+// legal IEEE-754 width, the bits-per-site count must fit the width, every
+// site must carry exactly BitsN records, and every record must be a valid
+// outcome kind. The cluster merge path assembles ground truths from
+// remote shard responses, so these checks are what stands between a
+// corrupt or mismatched worker and a silently wrong oracle.
 func (g *GroundTruth) Validate(golden *trace.GoldenRun) error {
 	if g.SitesN != golden.Sites() {
 		return fmt.Errorf("campaign: ground truth has %d sites, golden %d", g.SitesN, golden.Sites())
 	}
+	if w := g.Width(); w != 32 && w != 64 {
+		return fmt.Errorf("campaign: ground truth width %d must be 32 or 64", w)
+	}
+	if g.BitsN < 1 || g.BitsN > g.Width() {
+		return fmt.Errorf("campaign: ground truth bits %d outside [1, %d]", g.BitsN, g.Width())
+	}
 	if len(g.Kinds) != g.SitesN*g.BitsN {
-		return fmt.Errorf("campaign: ground truth kinds length %d != %d*%d", len(g.Kinds), g.SitesN, g.BitsN)
+		return fmt.Errorf("campaign: ground truth has %d records for %d sites × %d bits (want %d per site)",
+			len(g.Kinds), g.SitesN, g.BitsN, g.BitsN)
+	}
+	for i, k := range g.Kinds {
+		if int(k) >= outcome.NumKinds {
+			return fmt.Errorf("campaign: ground truth record %d (site %d, bit %d) has invalid outcome kind %d",
+				i, i/g.BitsN, i%g.BitsN, k)
+		}
 	}
 	return nil
 }

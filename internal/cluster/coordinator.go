@@ -1,0 +1,607 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"ftb/internal/campaign"
+	"ftb/internal/outcome"
+	"ftb/internal/telemetry"
+	"ftb/internal/trace"
+)
+
+// Coordinator tuning defaults. They favour small deployments (a handful
+// of workers on one machine or one rack); all are overridable per
+// campaign through Config.
+const (
+	// DefaultShardSize is the lease granularity in experiments: large
+	// enough that a program execution dominates the HTTP+JSON round
+	// trip, small enough that losing a worker forfeits little work and
+	// the checkpoint frontier advances steadily.
+	DefaultShardSize = 2048
+	// DefaultLeaseTimeout bounds one lease round trip. A worker that
+	// cannot finish a shard inside it is treated as lost and the lease
+	// is re-queued.
+	DefaultLeaseTimeout = 2 * time.Minute
+	// DefaultMaxWorkerFailures is the consecutive-failure budget after
+	// which a worker is dropped from the pool.
+	DefaultMaxWorkerFailures = 3
+	// DefaultMaxLeaseAttempts is the total-attempt budget per shard
+	// across all workers; exceeding it fails the campaign (the shard is
+	// poisoning workers, not hitting transient noise).
+	DefaultMaxLeaseAttempts = 8
+	// DefaultBackoff is the initial retry backoff after a lease
+	// failure; it doubles per consecutive failure up to
+	// DefaultBackoffCap.
+	DefaultBackoff    = 100 * time.Millisecond
+	DefaultBackoffCap = 5 * time.Second
+)
+
+// Config describes a sharded exhaustive campaign.
+type Config struct {
+	// Workers is the pool of worker base URLs (e.g. "http://10.0.0.2:9001").
+	// At least one is required.
+	Workers []string
+	// Golden is the coordinator's own fault-free run; every worker must
+	// fingerprint-match it.
+	Golden *trace.GoldenRun
+	// Program is the expected program name; non-empty values are
+	// enforced against each worker's /v1/info.
+	Program string
+	// Tol is the acceptable L∞ output deviation.
+	Tol float64
+	// Bits is the flips-per-site count (default Width).
+	Bits int
+	// Width is the IEEE-754 data-element width (default 64).
+	Width int
+	// ShardSize is the lease granularity in experiments (default
+	// DefaultShardSize).
+	ShardSize int
+	// LeaseTimeout bounds one lease round trip (default
+	// DefaultLeaseTimeout).
+	LeaseTimeout time.Duration
+	// MaxWorkerFailures drops a worker after this many consecutive
+	// failures (default DefaultMaxWorkerFailures).
+	MaxWorkerFailures int
+	// MaxLeaseAttempts fails the campaign when one shard has been
+	// attempted this many times in total (default
+	// DefaultMaxLeaseAttempts).
+	MaxLeaseAttempts int
+	// Backoff is the initial per-worker retry delay, doubling per
+	// consecutive failure up to BackoffCap (defaults DefaultBackoff /
+	// DefaultBackoffCap).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Context cancels the campaign (prompt, within one in-flight lease
+	// per worker).
+	Context context.Context
+	// Observer receives coordinator-side progress events (phase
+	// "exhaustive"): Done/Frontier count experiments, including the
+	// resumed prefix.
+	Observer campaign.Observer
+	// Collector, when non-nil, absorbs each shard's telemetry snapshot
+	// as it arrives, so live exports reflect the whole fleet
+	// mid-campaign.
+	Collector *telemetry.Collector
+	// Logger receives lease lifecycle events (Debug) and worker-loss /
+	// retry events (Warn). Nil discards.
+	Logger *slog.Logger
+	// Prior and PriorSites resume a checkpointed campaign: sites below
+	// PriorSites are copied from Prior and never leased.
+	Prior      *campaign.GroundTruth
+	PriorSites int
+	// OnFrontier, when non-nil, is invoked (serialized, under the merge
+	// lock) whenever the contiguous-completion frontier advances, with
+	// the partial ground truth and the absolute experiment frontier —
+	// the checkpoint hook. Only experiments below frontier are valid in
+	// gt. An error aborts the campaign.
+	OnFrontier func(gt *campaign.GroundTruth, frontier int) error
+}
+
+// Result is a completed (or interrupted) sharded campaign.
+type Result struct {
+	// GT is the merged ground truth. On error it is partial: only
+	// experiments below Frontier are valid.
+	GT *campaign.GroundTruth
+	// Frontier is the absolute contiguous-completion watermark in
+	// experiments (sites·bits completed = Frontier/Bits sites).
+	Frontier int
+	// Telemetry is the bucket-wise merge of every shard's snapshot,
+	// workers namespaced per shard.
+	Telemetry telemetry.Snapshot
+	// Shards counts leases executed successfully this run (excluding
+	// the resumed prefix); Retries counts failed lease attempts;
+	// WorkersLost counts workers dropped from the pool.
+	Shards      int
+	Retries     int
+	WorkersLost int
+}
+
+func (c *Config) normalized() (Config, error) {
+	out := *c
+	if len(out.Workers) == 0 {
+		return out, errors.New("cluster: at least one worker URL is required")
+	}
+	if out.Golden == nil {
+		return out, errors.New("cluster: Config.Golden is required")
+	}
+	if out.Tol <= 0 {
+		return out, fmt.Errorf("cluster: tolerance %g must be positive", out.Tol)
+	}
+	if out.Width == 0 {
+		out.Width = 64
+	}
+	if out.Width != 32 && out.Width != 64 {
+		return out, fmt.Errorf("cluster: width %d must be 32 or 64", out.Width)
+	}
+	if out.Bits == 0 {
+		out.Bits = out.Width
+	}
+	if out.Bits < 1 || out.Bits > out.Width {
+		return out, fmt.Errorf("cluster: bits %d outside [1, %d]", out.Bits, out.Width)
+	}
+	if out.ShardSize <= 0 {
+		out.ShardSize = DefaultShardSize
+	}
+	if out.LeaseTimeout <= 0 {
+		out.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if out.MaxWorkerFailures <= 0 {
+		out.MaxWorkerFailures = DefaultMaxWorkerFailures
+	}
+	if out.MaxLeaseAttempts <= 0 {
+		out.MaxLeaseAttempts = DefaultMaxLeaseAttempts
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = DefaultBackoff
+	}
+	if out.BackoffCap <= 0 {
+		out.BackoffCap = DefaultBackoffCap
+	}
+	if out.Context == nil {
+		out.Context = context.Background()
+	}
+	if out.Logger == nil {
+		out.Logger = slog.New(slog.DiscardHandler)
+	}
+	return out, nil
+}
+
+// lease is one shard of the experiment space, tracked through requeues.
+type lease struct {
+	lo, hi   int
+	attempts int
+}
+
+// coordinator is the per-campaign state shared by the worker client
+// goroutines.
+type coordinator struct {
+	cfg   Config
+	gt    *campaign.GroundTruth
+	start int // absolute experiment index where this run begins
+	total int // absolute experiment count (sites × bits)
+
+	queue chan lease
+	done  chan struct{}
+	once  sync.Once // closes done
+
+	mu        sync.Mutex
+	frontier  campaign.Frontier // relative to start
+	doneCount int               // experiments merged this run
+	counts    outcome.Counts
+	began     time.Time
+	telemetry telemetry.Snapshot
+	shards    int
+	retries   int
+	lost      int
+
+	errOnce  sync.Once
+	firstErr error
+	cancel   context.CancelFunc
+}
+
+// fail records the campaign's first error and cancels the rest.
+func (co *coordinator) fail(err error) {
+	co.errOnce.Do(func() {
+		co.firstErr = err
+		co.cancel()
+	})
+}
+
+// Exhaustive runs the complete campaign — every one of cfg.Bits flips at
+// every golden site — sharded across cfg.Workers. The merged ground
+// truth is byte-identical to campaign.Exhaustive with the same fault
+// model: scheduling, worker count, retries, and shard return order are
+// all invisible in the result.
+//
+// On error the returned Result still carries the partial ground truth
+// and its frontier so callers can checkpoint it (ftb's cluster
+// checkpointing does exactly that on cancellation).
+func Exhaustive(cfg Config) (*Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sites := cfg.Golden.Sites()
+	total := sites * cfg.Bits
+	gt := &campaign.GroundTruth{
+		SitesN: sites,
+		BitsN:  cfg.Bits,
+		WidthN: cfg.Width,
+		Kinds:  make([]outcome.Kind, total),
+	}
+	if cfg.Prior != nil {
+		if cfg.Prior.SitesN != sites || cfg.Prior.BitsN != cfg.Bits {
+			return nil, fmt.Errorf("cluster: checkpoint shape %dx%d does not match campaign %dx%d",
+				cfg.Prior.SitesN, cfg.Prior.BitsN, sites, cfg.Bits)
+		}
+		if cfg.PriorSites < 0 || cfg.PriorSites > sites {
+			return nil, fmt.Errorf("cluster: checkpoint site count %d outside [0, %d]", cfg.PriorSites, sites)
+		}
+		copy(gt.Kinds[:cfg.PriorSites*cfg.Bits], cfg.Prior.Kinds[:cfg.PriorSites*cfg.Bits])
+	} else if cfg.PriorSites != 0 {
+		return nil, fmt.Errorf("cluster: prior site count %d without a prior ground truth", cfg.PriorSites)
+	}
+	start := cfg.PriorSites * cfg.Bits
+
+	ctx, cancel := context.WithCancel(cfg.Context)
+	defer cancel()
+	co := &coordinator{
+		cfg:    cfg,
+		gt:     gt,
+		start:  start,
+		total:  total,
+		done:   make(chan struct{}),
+		began:  time.Now(),
+		cancel: cancel,
+	}
+
+	work := total - start
+	nShards := (work + cfg.ShardSize - 1) / cfg.ShardSize
+	// Capacity nShards: every lease in flight came out of the queue, so
+	// re-queueing can never block.
+	co.queue = make(chan lease, nShards)
+	for s := 0; s < nShards; s++ {
+		lo := start + s*cfg.ShardSize
+		co.queue <- lease{lo: lo, hi: min(lo+cfg.ShardSize, total)}
+	}
+	if work == 0 {
+		co.once.Do(func() { close(co.done) })
+	}
+
+	cfg.Logger.Debug("cluster campaign start",
+		"workers", len(cfg.Workers), "experiments", work, "shards", nShards,
+		"shard_size", cfg.ShardSize, "resumed_sites", cfg.PriorSites,
+		"lease_timeout", cfg.LeaseTimeout)
+
+	// Validate every worker's identity up front: a mismatched worker is
+	// a deployment error that would silently corrupt the merged oracle,
+	// so it fails the campaign rather than being quietly skipped.
+	wantCRC := GoldenCRC(cfg.Golden)
+	clients := make([]*workerClient, len(cfg.Workers))
+	for i, url := range cfg.Workers {
+		wc := newWorkerClient(url, cfg)
+		if err := wc.checkInfo(ctx, wantCRC, sites); err != nil {
+			return nil, err
+		}
+		clients[i] = wc
+	}
+
+	var wg sync.WaitGroup
+	for _, wc := range clients {
+		wg.Add(1)
+		go func(wc *workerClient) {
+			defer wg.Done()
+			co.runWorker(ctx, wc, wantCRC)
+		}(wc)
+	}
+	wg.Wait()
+
+	res := &Result{
+		GT:          gt,
+		Frontier:    start + co.frontier.Current(),
+		Telemetry:   co.telemetry,
+		Shards:      co.shards,
+		Retries:     co.retries,
+		WorkersLost: co.lost,
+	}
+	err = co.firstErr
+	if err == nil {
+		err = cfg.Context.Err()
+	}
+	if err == nil && co.doneCount < work {
+		err = fmt.Errorf("cluster: all workers lost with %d/%d experiments incomplete (frontier %d)",
+			work-co.doneCount, work, res.Frontier)
+	}
+	cfg.Logger.Debug("cluster campaign stop",
+		"frontier", res.Frontier, "experiments", total, "shards", co.shards,
+		"retries", co.retries, "workers_lost", co.lost,
+		"elapsed", time.Since(co.began), "err", err)
+	if err != nil {
+		return res, err
+	}
+	if err := gt.Validate(cfg.Golden); err != nil {
+		return res, fmt.Errorf("cluster: merged ground truth failed validation: %w", err)
+	}
+	return res, nil
+}
+
+// runWorker is one worker's lease loop: claim a shard, execute it
+// remotely, merge the result; on failure re-queue the shard, back off
+// exponentially, and drop the worker after MaxWorkerFailures consecutive
+// failures.
+func (co *coordinator) runWorker(ctx context.Context, wc *workerClient, wantCRC uint32) {
+	cfg := co.cfg
+	failures := 0
+	seq := 0
+	for {
+		var l lease
+		select {
+		case <-ctx.Done():
+			return
+		case <-co.done:
+			return
+		case l = <-co.queue:
+		}
+		l.attempts++
+		seq++
+		leaseID := fmt.Sprintf("%s#%d", wc.url, seq)
+		resp, err := wc.run(ctx, runRequest{
+			Lease:     leaseID,
+			Lo:        l.lo,
+			Hi:        l.hi,
+			Bits:      cfg.Bits,
+			Width:     cfg.Width,
+			Tol:       cfg.Tol,
+			GoldenCRC: wantCRC,
+		})
+		if err == nil {
+			err = co.validateResponse(l, resp)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation, not worker failure: put the lease back
+				// for a future resume and stop quietly.
+				co.requeue(l)
+				return
+			}
+			failures++
+			co.mu.Lock()
+			co.retries++
+			co.mu.Unlock()
+			cfg.Logger.Warn("lease failed",
+				"worker", wc.url, "lo", l.lo, "hi", l.hi,
+				"attempt", l.attempts, "consecutive_failures", failures, "err", err)
+			if l.attempts >= cfg.MaxLeaseAttempts {
+				co.fail(fmt.Errorf("cluster: shard [%d, %d) failed %d attempts (last worker %s): %w",
+					l.lo, l.hi, l.attempts, wc.url, err))
+				return
+			}
+			co.requeue(l)
+			if failures >= cfg.MaxWorkerFailures {
+				co.mu.Lock()
+				co.lost++
+				co.mu.Unlock()
+				cfg.Logger.Warn("worker lost", "worker", wc.url, "consecutive_failures", failures)
+				return
+			}
+			if !sleepCtx(ctx, backoffDelay(cfg.Backoff, cfg.BackoffCap, failures)) {
+				return
+			}
+			continue
+		}
+		failures = 0
+		if err := co.merge(l, resp, wc.url); err != nil {
+			co.fail(err)
+			return
+		}
+	}
+}
+
+// requeue returns a lease to the queue (never blocks: capacity covers
+// every lease).
+func (co *coordinator) requeue(l lease) { co.queue <- l }
+
+// backoffDelay is the exponential retry delay after the k-th consecutive
+// failure (k ≥ 1).
+func backoffDelay(base, cap time.Duration, k int) time.Duration {
+	d := base
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	return min(d, cap)
+}
+
+// sleepCtx sleeps for d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// validateResponse applies the strict shard checks the merge depends on.
+func (co *coordinator) validateResponse(l lease, resp *runResponse) error {
+	if resp.Lo != l.lo || resp.Hi != l.hi {
+		return fmt.Errorf("response range [%d, %d) does not echo lease [%d, %d)", resp.Lo, resp.Hi, l.lo, l.hi)
+	}
+	if len(resp.Kinds) != l.hi-l.lo {
+		return fmt.Errorf("response carries %d kinds for lease of %d", len(resp.Kinds), l.hi-l.lo)
+	}
+	for i, k := range resp.Kinds {
+		if int(k) >= outcome.NumKinds {
+			return fmt.Errorf("response kind %d at experiment %d is invalid", k, l.lo+i)
+		}
+	}
+	return nil
+}
+
+// merge folds one completed shard into the ground truth, the frontier,
+// the observer stream, and the merged telemetry. Serialized under mu, so
+// observer callbacks and the frontier hook see monotonic state exactly
+// like the in-process engine's.
+func (co *coordinator) merge(l lease, resp *runResponse, workerURL string) error {
+	var c outcome.Counts
+	for i, k := range resp.Kinds {
+		kind := outcome.Kind(k)
+		co.gt.Kinds[l.lo+i] = kind
+		c.Add(kind)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.shards++
+	co.doneCount += l.hi - l.lo
+	co.counts.Merge(c)
+	advanced := co.frontier.RangeDone(l.lo-co.start, l.hi-co.start)
+	if co.doneCount == co.total-co.start {
+		co.once.Do(func() { close(co.done) })
+	}
+	if resp.Telemetry != nil {
+		if err := co.telemetry.Merge(*resp.Telemetry, workerURL); err != nil {
+			co.cfg.Logger.Warn("merge shard telemetry", "worker", workerURL, "err", err)
+		} else if co.cfg.Collector != nil {
+			if err := co.cfg.Collector.Absorb(*resp.Telemetry); err != nil {
+				co.cfg.Logger.Warn("absorb shard telemetry", "worker", workerURL, "err", err)
+			}
+		}
+	}
+	var hookErr error
+	if advanced && co.cfg.OnFrontier != nil {
+		hookErr = co.cfg.OnFrontier(co.gt, co.start+co.frontier.Current())
+	}
+	if co.cfg.Observer != nil {
+		e := campaign.Event{
+			Phase:    "exhaustive",
+			Done:     co.start + co.doneCount,
+			Total:    co.total,
+			Frontier: co.start + co.frontier.Current(),
+			Counts:   co.counts,
+			Elapsed:  time.Since(co.began),
+		}
+		if secs := e.Elapsed.Seconds(); secs > 0 {
+			e.PerSec = float64(co.doneCount) / secs
+		}
+		co.cfg.Observer.OnProgress(e)
+	}
+	return hookErr
+}
+
+// workerClient is the coordinator's HTTP client for one worker.
+type workerClient struct {
+	url    string
+	cfg    Config
+	client *http.Client
+}
+
+func newWorkerClient(url string, cfg Config) *workerClient {
+	// No client-level timeout: each request carries its own lease
+	// deadline, and info checks use a short one.
+	return &workerClient{url: url, cfg: cfg, client: &http.Client{}}
+}
+
+// checkInfo fetches and validates the worker's identity, with a couple
+// of quick retries to ride out a worker that is still binding.
+func (wc *workerClient) checkInfo(ctx context.Context, wantCRC uint32, sites int) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, 500*time.Millisecond) {
+			return ctx.Err()
+		}
+		info, err := wc.fetchInfo(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if wc.cfg.Program != "" && info.Program != wc.cfg.Program {
+			return fmt.Errorf("cluster: worker %s serves program %q, campaign runs %q", wc.url, info.Program, wc.cfg.Program)
+		}
+		if info.Sites != sites {
+			return fmt.Errorf("cluster: worker %s has %d sites, campaign %d", wc.url, info.Sites, sites)
+		}
+		if info.Width != wc.cfg.Width {
+			return fmt.Errorf("cluster: worker %s has width %d, campaign %d", wc.url, info.Width, wc.cfg.Width)
+		}
+		if info.GoldenCRC != wantCRC {
+			return fmt.Errorf("cluster: worker %s golden fingerprint %#x does not match campaign %#x", wc.url, info.GoldenCRC, wantCRC)
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: worker %s unreachable: %w", wc.url, lastErr)
+}
+
+func (wc *workerClient) fetchInfo(ctx context.Context) (*Info, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wc.url+pathInfo, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wc.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("info: status %s", resp.Status)
+	}
+	var info Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
+		return nil, fmt.Errorf("info: decode: %w", err)
+	}
+	return &info, nil
+}
+
+// run executes one lease with its per-lease timeout.
+func (wc *workerClient) run(ctx context.Context, rr runRequest) (*runResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, wc.cfg.LeaseTimeout)
+	defer cancel()
+	body, err := json.Marshal(rr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wc.url+pathRun, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wc.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er)
+		if er.Error != "" {
+			return nil, fmt.Errorf("run: status %s: %s", resp.Status, er.Error)
+		}
+		return nil, fmt.Errorf("run: status %s", resp.Status)
+	}
+	var rres runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rres); err != nil {
+		return nil, fmt.Errorf("run: decode: %w", err)
+	}
+	return &rres, nil
+}
+
+// drainClose drains and closes a response body so the HTTP client can
+// reuse the connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}

@@ -1,0 +1,115 @@
+// Package cluster shards fault-injection campaigns across worker
+// processes: a coordinator leases contiguous ranges of the (site × bit)
+// experiment space to HTTP workers, re-queues the leases of workers that
+// stall or die, and merges shard results in input order, so the merged
+// ground truth is byte-identical to a single-process run.
+//
+// The paper's campaigns run on a cluster for the same two reasons this
+// package exists: an injected fault can take down the injecting process
+// (isolation), and the experiment space is embarrassingly parallel
+// (scale-out). A `kill -9`'d worker costs the campaign only that worker's
+// in-flight lease; a killed coordinator resumes from its last checkpoint
+// without re-running completed shards.
+//
+// The protocol is three JSON-over-HTTP endpoints, stdlib only:
+//
+//	GET  /healthz  — liveness ("ok")
+//	GET  /v1/info  — the worker's program identity (name, site count,
+//	                 width, golden-run checksum); the coordinator refuses
+//	                 workers whose identity does not match its own
+//	                 analysis, because a drifted worker would corrupt the
+//	                 merged oracle silently.
+//	POST /v1/run   — execute one lease: experiments [lo, hi) of the
+//	                 canonical row-major (site-major, bit-minor) space,
+//	                 returning one outcome byte per experiment plus the
+//	                 shard's telemetry snapshot.
+//
+// Determinism is the contract: outcome classification is a pure function
+// of (program, site, bit), so which worker executes a lease, how often a
+// lease is retried, and the order in which shards return are all
+// invisible in the merged result.
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"ftb/internal/telemetry"
+	"ftb/internal/trace"
+)
+
+// Protocol endpoints, shared by the worker mux and the coordinator
+// client.
+const (
+	pathHealth = "/healthz"
+	pathInfo   = "/v1/info"
+	pathRun    = "/v1/run"
+)
+
+// Info is a worker's program identity, served on /v1/info. The
+// coordinator matches every field against its own analysis before
+// leasing any work.
+type Info struct {
+	// Program is the instrumented program's name (e.g. "cg").
+	Program string `json:"program"`
+	// Sites is the golden run's dynamic-instruction count.
+	Sites int `json:"sites"`
+	// Width is the IEEE-754 width of the program's data elements.
+	Width int `json:"width"`
+	// GoldenCRC fingerprints the golden run (trace and output), so two
+	// processes that built subtly different instances of the "same"
+	// program cannot be mixed in one campaign.
+	GoldenCRC uint32 `json:"golden_crc"`
+	// Procs is the worker's engine parallelism, reported for operator
+	// visibility.
+	Procs int `json:"procs"`
+}
+
+// runRequest is one lease: execute experiments [Lo, Hi) of the canonical
+// pair space under the given fault model and tolerance.
+type runRequest struct {
+	Lease     string  `json:"lease"`
+	Lo        int     `json:"lo"`
+	Hi        int     `json:"hi"`
+	Bits      int     `json:"bits"`
+	Width     int     `json:"width"`
+	Tol       float64 `json:"tol"`
+	GoldenCRC uint32  `json:"golden_crc"`
+}
+
+// runResponse is one completed lease: the classified outcome of every
+// experiment in [Lo, Hi) (one byte per experiment, in index order) and
+// the telemetry snapshot of the shard's execution.
+type runResponse struct {
+	Lease     string              `json:"lease"`
+	Lo        int                 `json:"lo"`
+	Hi        int                 `json:"hi"`
+	Kinds     []byte              `json:"kinds"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// errorResponse carries a worker-side failure reason to the coordinator
+// log.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// GoldenCRC fingerprints a golden run: CRC-32 (IEEE) over the IEEE-754
+// bit patterns of the trace and the output, with the section lengths
+// mixed in so (trace, output) splits cannot collide.
+func GoldenCRC(g *trace.GoldenRun) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	writeFloats := func(xs []float64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
+		h.Write(buf[:])
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	writeFloats(g.Trace)
+	writeFloats(g.Output)
+	return h.Sum32()
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSpawnTimeout bounds how long a self-hosted worker may take to
+// print its listening marker before the spawn is abandoned.
+const DefaultSpawnTimeout = 30 * time.Second
+
+// Proc is one self-hosted worker process.
+type Proc struct {
+	// URL is the worker's base URL ("http://127.0.0.1:<port>").
+	URL string
+
+	cmd  *exec.Cmd
+	done chan struct{} // closed when the process has been reaped
+	once sync.Once
+}
+
+// Pid returns the worker's operating-system process id.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Kill force-terminates the worker (SIGKILL) and reaps it. Safe to call
+// more than once and after the process already exited.
+func (p *Proc) Kill() {
+	p.cmd.Process.Kill()
+	p.Wait()
+}
+
+// Wait blocks until the process has exited and been reaped.
+func (p *Proc) Wait() {
+	p.once.Do(func() {
+		p.cmd.Wait()
+		close(p.done)
+	})
+	<-p.done
+}
+
+// SpawnWorker forks one worker process from argv (argv[0] is the binary;
+// the command must print a ListeningPrefix marker line on stdout once
+// serving, as `ftbcli worker` and Worker.Serve do). Stderr, and stdout
+// after the marker, are forwarded to logOut when non-nil. The returned
+// Proc is ready to serve at Proc.URL.
+func SpawnWorker(ctx context.Context, argv []string, logOut io.Writer, timeout time.Duration) (*Proc, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("cluster: spawn: empty argv")
+	}
+	if timeout <= 0 {
+		timeout = DefaultSpawnTimeout
+	}
+	if logOut == nil {
+		logOut = io.Discard
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = logOut
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spawn: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: spawn %s: %w", argv[0], err)
+	}
+	p := &Proc{cmd: cmd, done: make(chan struct{})}
+
+	// Scan stdout for the marker, then keep draining so the worker never
+	// blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if addr, ok := strings.CutPrefix(line, ListeningPrefix); ok {
+				addrCh <- strings.TrimSpace(addr)
+				break
+			}
+			fmt.Fprintln(logOut, line)
+		}
+		for sc.Scan() {
+			fmt.Fprintln(logOut, sc.Text())
+		}
+		close(addrCh)
+	}()
+
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			p.Kill()
+			return nil, fmt.Errorf("cluster: worker %s exited before announcing its address", argv[0])
+		}
+		p.URL = "http://" + addr
+		return p, nil
+	case <-time.After(timeout):
+		p.Kill()
+		return nil, fmt.Errorf("cluster: worker %s did not announce within %s", argv[0], timeout)
+	case <-ctx.Done():
+		p.Kill()
+		return nil, ctx.Err()
+	}
+}
+
+// SpawnWorkers forks n workers from the same argv, killing all of them
+// if any spawn fails.
+func SpawnWorkers(ctx context.Context, argv []string, n int, logOut io.Writer, timeout time.Duration) ([]*Proc, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: spawn: worker count %d must be positive", n)
+	}
+	procs := make([]*Proc, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := SpawnWorker(ctx, argv, logOut, timeout)
+		if err != nil {
+			KillAll(procs)
+			return nil, fmt.Errorf("cluster: spawning worker %d/%d: %w", i+1, n, err)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// URLs returns the base URLs of procs, in order.
+func URLs(procs []*Proc) []string {
+	urls := make([]string, len(procs))
+	for i, p := range procs {
+		urls[i] = p.URL
+	}
+	return urls
+}
+
+// KillAll force-terminates and reaps every proc.
+func KillAll(procs []*Proc) {
+	for _, p := range procs {
+		p.Kill()
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"ftb/internal/outcome"
+)
+
+// Merge folds another snapshot into s, the operation behind cluster
+// campaigns: each remote worker returns the telemetry snapshot of its
+// shard, and the coordinator merges them into one fleet-wide view.
+//
+//   - Scalar counters (campaigns, experiments, trajectories, outcomes,
+//     wall-clock) and per-phase aggregates sum.
+//   - Latency histograms sum bucket-wise, which requires both sides to
+//     use the same bucket bounds (they do unless a Histogram was built
+//     with custom bounds; a mismatch is an error, never a silent drop).
+//   - Per-worker rows and sections are namespaced by shard: worker 0 of
+//     two different shards must not collapse into one row, since the
+//     whole point of the per-worker table is spotting utilization skew.
+//   - Gauges sum, which for the active_* gauges of a completed shard
+//     just adds zeros.
+//
+// Merge with an empty shard label keeps o's existing namespacing, so
+// already-merged snapshots can be merged again (coordinator trees).
+func (s *Snapshot) Merge(o Snapshot, shard string) error {
+	if err := mergeHistogram(&s.RunLatency, o.RunLatency); err != nil {
+		return fmt.Errorf("telemetry: merge run_latency: %w", err)
+	}
+	if err := mergeHistogram(&s.QueueWait, o.QueueWait); err != nil {
+		return fmt.Errorf("telemetry: merge queue_wait: %w", err)
+	}
+	s.Campaigns += o.Campaigns
+	s.Experiments += o.Experiments
+	s.Trajectories += o.Trajectories
+	s.Outcomes.Masked += o.Outcomes.Masked
+	s.Outcomes.SDC += o.Outcomes.SDC
+	s.Outcomes.Crash += o.Outcomes.Crash
+	s.Outcomes.Mismatch += o.Outcomes.Mismatch
+	s.WallSeconds += o.WallSeconds
+	for _, w := range o.Workers {
+		w.Shard = namespaced(shard, w.Shard)
+		s.Workers = append(s.Workers, w)
+	}
+	if len(o.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] += v
+	}
+	if len(o.Phases) > 0 && s.Phases == nil {
+		s.Phases = make(map[string]PhaseSnapshot)
+	}
+	for name, op := range o.Phases {
+		p := s.Phases[name]
+		p.Campaigns += op.Campaigns
+		p.Experiments += op.Experiments
+		p.Trajectories += op.Trajectories
+		p.Outcomes.Masked += op.Outcomes.Masked
+		p.Outcomes.SDC += op.Outcomes.SDC
+		p.Outcomes.Crash += op.Outcomes.Crash
+		p.Outcomes.Mismatch += op.Outcomes.Mismatch
+		p.WallSeconds += op.WallSeconds
+		s.Phases[name] = p
+	}
+	for _, sec := range o.Sections {
+		sec.Name = namespaced(shard, sec.Name)
+		s.Sections = append(s.Sections, sec)
+	}
+	return nil
+}
+
+// namespaced prefixes name with the shard label, keeping names that are
+// already namespaced (nested merges) intact under the outer shard.
+func namespaced(shard, name string) string {
+	switch {
+	case shard == "":
+		return name
+	case name == "":
+		return shard
+	default:
+		return shard + "/" + name
+	}
+}
+
+// mergeHistogram adds o's buckets into dst bucket-wise. An empty dst
+// (zero snapshot) adopts o's bucket layout.
+func mergeHistogram(dst *HistogramSnapshot, o HistogramSnapshot) error {
+	if len(o.Buckets) == 0 && o.Count == 0 {
+		return nil
+	}
+	if len(dst.Buckets) == 0 && dst.Count == 0 {
+		dst.Buckets = append([]BucketSnapshot(nil), o.Buckets...)
+		dst.Count = o.Count
+		dst.SumSeconds = o.SumSeconds
+		return nil
+	}
+	if len(dst.Buckets) != len(o.Buckets) {
+		return fmt.Errorf("bucket count %d != %d", len(dst.Buckets), len(o.Buckets))
+	}
+	for i := range dst.Buckets {
+		if dst.Buckets[i].LE != o.Buckets[i].LE {
+			return fmt.Errorf("bucket %d bound %q != %q", i, dst.Buckets[i].LE, o.Buckets[i].LE)
+		}
+		dst.Buckets[i].Count += o.Buckets[i].Count
+	}
+	dst.Count += o.Count
+	dst.SumSeconds += o.SumSeconds
+	return nil
+}
+
+// Absorb feeds a completed snapshot's aggregates into a live collector,
+// as if the snapshot's campaigns had run locally. The cluster coordinator
+// uses it so a collector attached through WithCollector — and therefore
+// the -metrics export and the -serve /metrics endpoint — reflects the
+// whole fleet, updating shard by shard as lease results arrive.
+//
+// Worker rows are folded by worker index (the shard namespacing of a
+// merged snapshot cannot be represented in the collector's counter
+// table); gauges, being instantaneous, are not absorbed.
+func (c *Collector) Absorb(s Snapshot) error {
+	if err := c.runLatency.absorb(s.RunLatency); err != nil {
+		return fmt.Errorf("telemetry: absorb run_latency: %w", err)
+	}
+	if err := c.queueWait.absorb(s.QueueWait); err != nil {
+		return fmt.Errorf("telemetry: absorb queue_wait: %w", err)
+	}
+	c.campaigns.Add(s.Campaigns)
+	c.wallNanos.Add(int64(s.WallSeconds * 1e9))
+	for _, w := range s.Workers {
+		i := w.Worker
+		if i < 0 {
+			i = 0
+		} else if i >= maxWorkers {
+			i = maxWorkers - 1
+		}
+		c.perWorker[i].add(w.Experiments)
+	}
+	for name, p := range s.Phases {
+		ph := c.phase(name)
+		ph.campaigns.Add(p.Campaigns)
+		ph.experiments.add(0, p.Experiments)
+		ph.outcomes[outcome.Masked].add(0, p.Outcomes.Masked)
+		ph.outcomes[outcome.SDC].add(0, p.Outcomes.SDC)
+		ph.outcomes[outcome.Crash].add(0, p.Outcomes.Crash)
+		ph.traced.add(0, p.Trajectories)
+		ph.mismatches.Add(p.Outcomes.Mismatch)
+		ph.wallNanos.Add(int64(p.WallSeconds * 1e9))
+	}
+	for _, sec := range s.Sections {
+		c.mu.Lock()
+		st, ok := c.sections[sec.Name]
+		if !ok {
+			st = &sectionStats{}
+			c.sections[sec.Name] = st
+			c.sectionOrder = append(c.sectionOrder, sec.Name)
+		}
+		c.mu.Unlock()
+		st.spans.Add(sec.Spans)
+		st.campaigns.Add(sec.Campaigns)
+		st.experiments.Add(sec.Experiments)
+		st.wallNanos.Add(int64(sec.WallSeconds * 1e9))
+	}
+	return nil
+}
+
+// absorb adds a snapshot's cumulative buckets into the histogram's first
+// shard. The snapshot's bounds must match the histogram's.
+func (h *Histogram) absorb(s HistogramSnapshot) error {
+	if len(s.Buckets) == 0 && s.Count == 0 {
+		return nil
+	}
+	if len(s.Buckets) != len(h.bounds)+1 {
+		return fmt.Errorf("bucket count %d != %d", len(s.Buckets), len(h.bounds)+1)
+	}
+	prev := int64(0)
+	for i, b := range s.Buckets {
+		if i < len(h.bounds) {
+			le, err := strconv.ParseFloat(b.LE, 64)
+			if err != nil || le != h.bounds[i] {
+				return fmt.Errorf("bucket %d bound %q != %g", i, b.LE, h.bounds[i])
+			}
+		} else if b.LE != "+Inf" {
+			return fmt.Errorf("final bucket bound %q, want +Inf", b.LE)
+		}
+		// Decode the cumulative counts back into per-bucket increments.
+		h.shards[0].counts[i].Add(b.Count - prev)
+		prev = b.Count
+	}
+	h.shards[0].sum.Add(int64(math.Round(s.SumSeconds * float64(time.Second))))
+	return nil
+}

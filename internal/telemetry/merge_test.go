@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ftb/internal/outcome"
+)
+
+// shardSnapshot builds a realistic snapshot by driving a private
+// collector the way the engine does.
+func shardSnapshot(t *testing.T, phase string, runs int, kind outcome.Kind) Snapshot {
+	t.Helper()
+	c := New()
+	rec := c.StartCampaign(phase, runs, 2)
+	for i := 0; i < runs; i++ {
+		rec.Run(i%2, kind, time.Duration(i+1)*time.Microsecond)
+	}
+	rec.Wait(0, 3*time.Microsecond)
+	rec.End()
+	return c.Snapshot()
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var merged Snapshot
+	a := shardSnapshot(t, "exhaustive", 10, outcome.Masked)
+	b := shardSnapshot(t, "exhaustive", 6, outcome.SDC)
+	if err := merged.Merge(a, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(b, "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Campaigns != 2 {
+		t.Errorf("Campaigns = %d, want 2", merged.Campaigns)
+	}
+	if merged.Experiments != 16 {
+		t.Errorf("Experiments = %d, want 16", merged.Experiments)
+	}
+	if merged.Outcomes.Masked != 10 || merged.Outcomes.SDC != 6 {
+		t.Errorf("Outcomes = %+v, want 10 masked / 6 sdc", merged.Outcomes)
+	}
+	ph := merged.Phases["exhaustive"]
+	if ph.Experiments != 16 || ph.Campaigns != 2 {
+		t.Errorf("phase = %+v, want 16 experiments over 2 campaigns", ph)
+	}
+	// Histograms sum bucket-wise: total count matches, final bucket is
+	// cumulative-total on both sides.
+	if merged.RunLatency.Count != 16 {
+		t.Errorf("RunLatency.Count = %d, want 16", merged.RunLatency.Count)
+	}
+	last := merged.RunLatency.Buckets[len(merged.RunLatency.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 16 {
+		t.Errorf("final bucket = %+v, want +Inf/16", last)
+	}
+	wantSum := a.RunLatency.SumSeconds + b.RunLatency.SumSeconds
+	if math.Abs(merged.RunLatency.SumSeconds-wantSum) > 1e-12 {
+		t.Errorf("RunLatency.SumSeconds = %g, want %g", merged.RunLatency.SumSeconds, wantSum)
+	}
+	// Worker rows are namespaced per shard, not collapsed.
+	if len(merged.Workers) != 4 {
+		t.Fatalf("Workers = %d rows, want 4 (2 shards × 2 workers)", len(merged.Workers))
+	}
+	shards := map[string]int64{}
+	for _, w := range merged.Workers {
+		if w.Shard == "" {
+			t.Errorf("worker %d lost its shard namespace", w.Worker)
+		}
+		shards[w.Shard] += w.Experiments
+	}
+	if shards["w1"] != 10 || shards["w2"] != 6 {
+		t.Errorf("per-shard experiments = %v, want w1:10 w2:6", shards)
+	}
+}
+
+func TestSnapshotMergeSections(t *testing.T) {
+	c := New()
+	done := c.StartSection("table1")
+	done()
+	var merged Snapshot
+	if err := merged.Merge(c.Snapshot(), "w1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-merging an already-merged snapshot nests the namespace.
+	var outer Snapshot
+	if err := outer.Merge(merged, "siteA"); err != nil {
+		t.Fatal(err)
+	}
+	if len(outer.Sections) != 1 || outer.Sections[0].Name != "siteA/w1/table1" {
+		t.Fatalf("sections = %+v, want one named siteA/w1/table1", outer.Sections)
+	}
+}
+
+func TestSnapshotMergeBucketMismatch(t *testing.T) {
+	var merged Snapshot
+	a := shardSnapshot(t, "classify", 3, outcome.Masked)
+	if err := merged.Merge(a, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.RunLatency.Buckets = append([]BucketSnapshot(nil), a.RunLatency.Buckets...)
+	b.RunLatency.Buckets[0].LE = "42"
+	if err := merged.Merge(b, "w2"); err == nil {
+		t.Fatal("Merge accepted mismatched histogram bounds")
+	}
+}
+
+func TestCollectorAbsorb(t *testing.T) {
+	remote := shardSnapshot(t, "exhaustive", 8, outcome.Crash)
+	c := New()
+	// Local activity first, so absorption provably adds rather than
+	// replaces.
+	rec := c.StartCampaign("exhaustive", 2, 1)
+	rec.Run(0, outcome.Masked, time.Microsecond)
+	rec.Run(0, outcome.Masked, time.Microsecond)
+	rec.End()
+	if err := c.Absorb(remote); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Experiments != 10 {
+		t.Errorf("Experiments = %d, want 10 (2 local + 8 absorbed)", s.Experiments)
+	}
+	if s.Campaigns != 2 {
+		t.Errorf("Campaigns = %d, want 2", s.Campaigns)
+	}
+	if s.Outcomes.Crash != 8 || s.Outcomes.Masked != 2 {
+		t.Errorf("Outcomes = %+v, want 8 crash + 2 masked", s.Outcomes)
+	}
+	if s.RunLatency.Count != 10 {
+		t.Errorf("RunLatency.Count = %d, want 10", s.RunLatency.Count)
+	}
+	wantSum := remote.RunLatency.SumSeconds + 2e-6
+	if math.Abs(s.RunLatency.SumSeconds-wantSum) > 1e-9 {
+		t.Errorf("RunLatency.SumSeconds = %g, want %g", s.RunLatency.SumSeconds, wantSum)
+	}
+	ph := s.Phases["exhaustive"]
+	if ph.Experiments != 10 || ph.Outcomes.Crash != 8 {
+		t.Errorf("phase = %+v, want 10 experiments with 8 crashes", ph)
+	}
+}

@@ -62,10 +62,14 @@ type BucketSnapshot struct {
 }
 
 // WorkerSnapshot is one engine worker's experiment count. Workers that
-// executed nothing are omitted.
+// executed nothing are omitted. Shard is empty for a locally collected
+// snapshot; merged cluster snapshots namespace each remote worker with
+// its shard label (see Snapshot.Merge), so worker 0 of shard "w1" and
+// worker 0 of shard "w2" stay distinct rows.
 type WorkerSnapshot struct {
-	Worker      int   `json:"worker"`
-	Experiments int64 `json:"experiments"`
+	Worker      int    `json:"worker"`
+	Shard       string `json:"shard,omitempty"`
+	Experiments int64  `json:"experiments"`
 }
 
 // PhaseSnapshot is one campaign phase's aggregate.
@@ -246,7 +250,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	for _, ws := range s.Workers {
-		if _, err := fmt.Fprintf(w, "ftb_worker_experiments_total{worker=\"%d\"} %d\n", ws.Worker, ws.Experiments); err != nil {
+		var err error
+		if ws.Shard != "" {
+			_, err = fmt.Fprintf(w, "ftb_worker_experiments_total{shard=%q,worker=\"%d\"} %d\n", ws.Shard, ws.Worker, ws.Experiments)
+		} else {
+			_, err = fmt.Fprintf(w, "ftb_worker_experiments_total{worker=\"%d\"} %d\n", ws.Worker, ws.Experiments)
+		}
+		if err != nil {
 			return err
 		}
 	}
