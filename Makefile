@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-check bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-check bench-all examples repro clean
 
 all: check
 
@@ -57,7 +57,7 @@ cover:
 # telemetry collector on/off comparison) and records them as
 # machine-readable JSON alongside the raw text.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=50x ./internal/campaign/ | tee BENCH_campaign.txt | $(GO) run ./cmd/benchjson > BENCH_campaign.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | tee BENCH_campaign.txt | $(GO) run ./cmd/benchjson > BENCH_campaign.json
 	@echo "wrote BENCH_campaign.txt and BENCH_campaign.json"
 
 # bench-proptrace measures trajectory-recording overhead on diff-mode
@@ -74,13 +74,22 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | tee BENCH_cluster.txt | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@echo "wrote BENCH_cluster.txt and BENCH_cluster.json"
 
+# bench-replay records what checkpointed prefix replay buys on a full
+# exhaustive campaign (replay on vs off, small and mid-size kernel). The
+# campaigns run minutes each, so iterations are few; the vanilla/replay
+# ns/op ratio on gmres-paper is the ≥2× acceptance figure.
+bench-replay:
+	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | tee BENCH_replay.txt | $(GO) run ./cmd/benchjson > BENCH_replay.json
+	@echo "wrote BENCH_replay.txt and BENCH_replay.json"
+
 # bench-check is the regression gate: re-run every recorded benchmark
 # suite with the same flags that produced its committed BENCH_*.json and
 # fail on any >25% ns/op regression (benchjson -compare).
 bench-check:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
 	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | $(GO) run ./cmd/benchjson -compare BENCH_proptrace.json
 	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | $(GO) run ./cmd/benchjson -compare BENCH_cluster.json
+	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_replay.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -134,6 +134,45 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunCompareReportsMissing pins the end-to-end output for benchmarks
+// that exist in the committed baseline but not in the fresh run (e.g. a
+// renamed or deleted benchmark): they must be called out in the report
+// but must not fail the gate — only a measured ns/op regression does.
+func TestRunCompareReportsMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	baseline := Report{Benchmarks: []Result{
+		bench("BenchmarkEngineCollector/off-8", 12000000),
+		bench("BenchmarkEngineCollector/on-8", 12000000),
+		bench("BenchmarkScheduling/dynamic-8", 20000000),
+		bench("BenchmarkRetired-8", 31415),
+		bench("BenchmarkAlsoRetired-8", 27182),
+	}}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	failed, err := runCompare(path, 0.25, strings.NewReader(sample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("missing benchmarks failed the gate:\n%s", out.String())
+	}
+	for _, name := range []string{"BenchmarkRetired-8", "BenchmarkAlsoRetired-8"} {
+		line := name
+		if !strings.Contains(out.String(), line) {
+			t.Errorf("output does not mention %s:\n%s", name, out.String())
+		}
+	}
+	if got := strings.Count(out.String(), "(missing from this run)"); got != 2 {
+		t.Errorf("missing-from-run lines = %d, want 2:\n%s", got, out.String())
+	}
+}
+
 func TestRunCompareErrors(t *testing.T) {
 	if _, err := runCompare(filepath.Join(t.TempDir(), "missing.json"), 0.25, strings.NewReader(sample), io.Discard); err == nil {
 		t.Error("missing baseline file not reported")

@@ -153,6 +153,8 @@ type execFlags struct {
 	memProfile    *string
 	verbose       *bool
 	serve         *string
+	noReplay      *bool
+	replayEvery   *int
 
 	pp      *progressPrinter
 	col     *ftb.Collector
@@ -172,6 +174,8 @@ func newExecFlags(fs *flag.FlagSet) *execFlags {
 		memProfile:    fs.String("memprofile", "", "write a pprof heap profile at command end to this file"),
 		verbose:       fs.Bool("v", false, "log campaign lifecycle events on stderr (slog debug level)"),
 		serve:         fs.String("serve", "", "serve live observability endpoints on this address (e.g. :8080): /metrics, /progress, /debug/pprof"),
+		noReplay:      fs.Bool("noreplay", false, "disable checkpointed prefix replay (full re-execution per experiment)"),
+		replayEvery:   fs.Int("replay-every", 0, "snapshot spacing of checkpointed replay, in sites (default 1)"),
 	}
 }
 
@@ -241,6 +245,11 @@ func (e *execFlags) options(ctx context.Context) []ftb.RunOption {
 	}
 	if e.col != nil {
 		opts = append(opts, ftb.WithCollector(e.col))
+	}
+	if *e.noReplay {
+		opts = append(opts, ftb.WithoutReplay())
+	} else if *e.replayEvery > 0 {
+		opts = append(opts, ftb.WithReplay(*e.replayEvery))
 	}
 	return opts
 }

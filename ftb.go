@@ -262,15 +262,17 @@ func RunInjectDiffDual(ctx *Ctx, p, goldenProg Program, site int, bit uint, sink
 // adjust: everything that changes how a campaign runs without changing
 // what it computes.
 type runConfig struct {
-	ctx       context.Context
-	observer  Observer
-	sched     Sched
-	workers   int
-	collector *telemetry.Collector
-	traceSink proptrace.Sink
-	traceOpts proptrace.Options
-	logger    *slog.Logger
-	cluster   *ClusterOptions
+	ctx         context.Context
+	observer    Observer
+	sched       Sched
+	workers     int
+	collector   *telemetry.Collector
+	traceSink   proptrace.Sink
+	traceOpts   proptrace.Options
+	logger      *slog.Logger
+	cluster     *ClusterOptions
+	replayOff   bool // checkpointed replay is on unless opted out
+	replayEvery int  // snapshot spacing in sites; 0 = campaign default
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -338,6 +340,32 @@ func WithPropTraceOptions(sink TrajectorySink, o TrajectoryOptions) RunOption {
 		rc.traceSink = sink
 		rc.traceOpts = o
 	}
+}
+
+// WithReplay sets the checkpoint spacing of checkpointed prefix replay,
+// in sites: an experiment injecting at site s resumes from a kernel
+// snapshot taken at the boundary s − s%every instead of re-executing the
+// prefix from the program entry. Replay is enabled by default (with
+// spacing 1, a snapshot at every site); WithReplay is for tuning the
+// spacing when kernel state is large relative to per-site store cost.
+// Classification results are byte-identical with or without replay —
+// only wall-clock changes. Programs that do not implement
+// trace.Snapshotter silently keep the full-execution path. every must be
+// at least 1; an invalid spacing surfaces as the campaign's error.
+func WithReplay(every int) RunOption {
+	return func(rc *runConfig) {
+		rc.replayOff = false
+		rc.replayEvery = every
+	}
+}
+
+// WithoutReplay disables checkpointed prefix replay for the call's
+// campaigns: every experiment re-executes its golden prefix from the
+// program entry. Results are identical to the replay path; use this to
+// benchmark the speedup or to exclude the snapshot machinery when
+// auditing a kernel's Snapshotter implementation.
+func WithoutReplay() RunOption {
+	return func(rc *runConfig) { rc.replayOff = true }
 }
 
 // WithLogger attaches a structured event log to the call's campaigns:
@@ -546,6 +574,11 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 		Observer:  rc.observer,
 		Collector: rc.collector,
 		Logger:    rc.logger,
+		// The facade enables checkpointed replay by default — it never
+		// changes results, and kernels that cannot snapshot fall back to
+		// vanilla execution on their own.
+		Replay:      !rc.replayOff,
+		ReplayEvery: rc.replayEvery,
 	}
 	if rc.traceSink != nil {
 		sink, o := rc.traceSink, rc.traceOpts

@@ -63,6 +63,10 @@ const (
 	// cancellation and progress stay responsive, large enough that queue
 	// contention is negligible next to a program execution.
 	DefaultBatch = 32
+	// DefaultReplayEvery is the snapshot spacing (in sites) used when
+	// Config.Replay is on and ReplayEvery is zero: one checkpoint per
+	// site-prefix boundary, the densest (and fastest) policy.
+	DefaultReplayEvery = 1
 )
 
 // Config describes the campaign target.
@@ -119,6 +123,20 @@ type Config struct {
 	// Propagate ignores Tracer — its PropagationSink already owns the
 	// diff stream.
 	Tracer func(worker int) Tracer
+	// Replay enables checkpointed prefix replay: a worker whose program
+	// implements trace.Snapshotter snapshots the kernel state at the
+	// injection site's prefix boundary and replays every experiment at
+	// that site from the snapshot, instead of re-executing the prefix
+	// from the program entry. Classification output is byte-identical to
+	// a vanilla campaign; only execution cost changes. Programs that do
+	// not implement Snapshotter fall back to the vanilla path silently.
+	Replay bool
+	// ReplayEvery is the snapshot spacing in sites when Replay is on
+	// (default DefaultReplayEvery): an experiment at site s resumes from
+	// the boundary s − s%ReplayEvery. 1 checkpoints every site; larger
+	// values trade replayed stores for fewer snapshot copies, which can
+	// win when kernel state is large relative to the per-site store cost.
+	ReplayEvery int
 	// Logger, when non-nil, receives the engine's structured event log:
 	// campaign start/stop, checkpoint saves and resumes, and trace-
 	// mismatch aborts, at conventional slog levels (Debug for lifecycle,
@@ -177,9 +195,22 @@ func (c *Config) normalized() (Config, error) {
 	}
 	if out.Batch == 0 {
 		out.Batch = DefaultBatch
+		if out.Replay {
+			// Site-aligned claims: exhaustive campaigns enumerate pairs
+			// site-major, so a batch of Bits experiments is exactly one
+			// site's worth of flips — each snapshot a worker builds is
+			// used for a full claim before the queue hands it elsewhere.
+			out.Batch = out.Bits
+		}
 	}
 	if out.Batch < 1 {
 		return out, fmt.Errorf("campaign: batch %d must be positive", out.Batch)
+	}
+	if out.ReplayEvery == 0 {
+		out.ReplayEvery = DefaultReplayEvery
+	}
+	if out.ReplayEvery < 1 {
+		return out, fmt.Errorf("campaign: replay spacing %d must be positive", out.ReplayEvery)
 	}
 	if out.Context == nil {
 		out.Context = context.Background()
@@ -241,15 +272,25 @@ type pairWorker struct {
 	p      trace.Program
 	ctx    trace.Ctx
 	worker int
-	tracer Tracer // nil when the campaign is untraced
+	tracer Tracer                      // nil when the campaign is untraced
+	replay *replayCache                // nil when replay is off or unsupported
+	rec    *telemetry.CampaignRecorder // nil when the campaign is uncollected
 }
 
 // newPairWorker builds one worker's state, attaching its tracer when the
-// campaign records trajectories.
-func newPairWorker(cfg Config, w int) *pairWorker {
-	pw := &pairWorker{p: cfg.Factory(), worker: w}
+// campaign records trajectories and its replay cache when the campaign
+// replays prefixes and the program can snapshot. A program that does not
+// implement trace.Snapshotter silently keeps the vanilla full-execution
+// path — Replay is a pure optimization, never a capability requirement.
+func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder) *pairWorker {
+	pw := &pairWorker{p: cfg.Factory(), worker: w, rec: rec}
 	if cfg.Tracer != nil {
 		pw.tracer = cfg.Tracer(w)
+	}
+	if cfg.Replay {
+		if s, ok := pw.p.(trace.Snapshotter); ok {
+			pw.replay = &replayCache{snap: s, every: cfg.ReplayEvery, cached: -1}
+		}
 	}
 	return pw
 }
@@ -259,14 +300,38 @@ func newPairWorker(cfg Config, w int) *pairWorker {
 // BeginRun/EndRun when a tracer is attached. Both paths apply the
 // trace-mismatch check (diff mode performs it inside RunInjectDiff), so
 // traced and untraced campaigns produce identical records and identical
-// failures. run is the campaign-wide experiment index tagged onto the
-// trajectory.
+// failures. With a replay cache, the experiment resumes from the site's
+// prefix boundary snapshot instead of the program entry; records are
+// identical either way. run is the campaign-wide experiment index tagged
+// onto the trajectory.
 func (w *pairWorker) runChecked(cfg Config, run int, pair Pair) (Record, error) {
+	resume := 0
+	if w.replay != nil {
+		var hit bool
+		var err error
+		resume, hit, err = w.replay.prepare(&w.ctx, pair.Site)
+		if err != nil {
+			return Record{}, err
+		}
+		if w.rec != nil && resume > 0 {
+			if hit {
+				w.rec.SnapshotHit(w.worker)
+			} else {
+				w.rec.SnapshotMiss(w.worker)
+			}
+			w.rec.StoresSkipped(w.worker, int64(resume))
+		}
+	}
 	if w.tracer == nil {
-		return runPairChecked(&w.ctx, w.p, cfg.Golden, cfg.Tol, pair)
+		res := trace.RunInjectFrom(&w.ctx, w.p, pair.Site, uint(pair.Bit), resume)
+		if !res.Crashed && w.ctx.Sites() != cfg.Golden.Sites() {
+			return Record{}, fmt.Errorf("%w: got %d, golden %d (program %q)",
+				trace.ErrTraceMismatch, w.ctx.Sites(), cfg.Golden.Sites(), w.p.Name())
+		}
+		return classify(cfg.Golden, cfg.Tol, pair, res), nil
 	}
 	w.tracer.BeginRun(run, w.worker, pair.Site, pair.Bit)
-	res, err := trace.RunInjectDiff(&w.ctx, w.p, cfg.Golden, pair.Site, uint(pair.Bit), w.tracer)
+	res, err := trace.RunInjectDiffFrom(&w.ctx, w.p, cfg.Golden, pair.Site, uint(pair.Bit), w.tracer, resume)
 	if err != nil {
 		return Record{}, err
 	}
@@ -302,7 +367,7 @@ func RunPairsInPhase(cfg Config, pairs []Pair, phase string) ([]Record, error) {
 	}
 	records := make([]Record, len(pairs))
 	_, err = runEngine(cfg, phase, len(pairs),
-		func(w int) *pairWorker { return newPairWorker(cfg, w) },
+		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			rec, err := w.runChecked(cfg, i, pairs[i])
 			if err != nil {
@@ -361,7 +426,7 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 	cfg.Tracer = nil
 	sinks := make([]PropagationSink, cfg.Workers)
 	_, err = runEngine(cfg, "propagate", len(pairs),
-		func(w int) *propWorker {
+		func(w int, _ *telemetry.CampaignRecorder) *propWorker {
 			sink := newSink()
 			sinks[w] = sink
 			return &propWorker{p: cfg.Factory(), sink: sink}

@@ -140,7 +140,10 @@ func (p *progress) currentFrontier() int {
 // goroutines, cancelled or not).
 //
 // setup is called once per started worker to build its private state
-// (program instance, trace context, sinks); item executes experiment i
+// (program instance, trace context, sinks); it receives the campaign's
+// telemetry recorder (nil without a collector) so worker state that
+// feeds the hot-path counters — e.g. the replay cache's snapshot
+// hit/miss accounting — can hold it directly. item executes experiment i
 // against that state and returns the outcome kind for progress
 // accounting. Results must be written by index into caller-owned storage,
 // which keeps campaign output in input order — and therefore byte-
@@ -153,7 +156,7 @@ func (p *progress) currentFrontier() int {
 // the context's error. The returned int is the final frontier: items
 // [0, frontier) are guaranteed complete even on error.
 func runEngine[S any](cfg Config, phase string, n int,
-	setup func(worker int) S,
+	setup func(worker int, rec *telemetry.CampaignRecorder) S,
 	item func(s S, i int) (outcome.Kind, error),
 	onFrontier func(frontier int) error,
 ) (int, error) {
@@ -226,7 +229,7 @@ func runEngine[S any](cfg Config, phase string, n int,
 				rec.WorkerStart()
 				defer rec.WorkerStop()
 			}
-			s := setup(w)
+			s := setup(w, rec)
 			// Static mode walks the worker's own contiguous chunk in
 			// batch-sized steps; dynamic mode claims batches off the
 			// shared queue head. The steps bound cancellation latency

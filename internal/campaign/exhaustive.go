@@ -7,6 +7,7 @@ import (
 
 	"ftb/internal/bits"
 	"ftb/internal/outcome"
+	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
 
@@ -80,7 +81,7 @@ func Exhaustive(cfg Config) (*GroundTruth, error) {
 		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
 	}
 	_, err = runEngine(cfg, "exhaustive", sites*cfg.Bits,
-		func(w int) *pairWorker { return newPairWorker(cfg, w) },
+		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			pair := PairAt(i, cfg.Bits)
 			rec, err := w.runChecked(cfg, i, pair)
@@ -177,7 +178,7 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 		}
 	}
 	frontier, err := runEngine(cfg, "exhaustive", n,
-		func(w int) *pairWorker { return newPairWorker(cfg, w) },
+		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			abs := priorSites*cfg.Bits + i
 			pair := PairAt(abs, cfg.Bits)

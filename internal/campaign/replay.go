@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"ftb/internal/trace"
+)
+
+// replayCache is one worker's checkpointed-replay state: at most one
+// kernel snapshot, taken at a site-prefix boundary (a multiple of the
+// campaign's ReplayEvery). Exhaustive campaigns enumerate the sample
+// space site-major, so a worker typically runs Bits experiments per
+// site and ReplayEvery*Bits per boundary — every snapshot it builds is
+// reused many times before the boundary moves.
+//
+// The cache holds the kernel's own single State buffer (Snapshot
+// invalidates previously returned States), which is exactly the
+// at-most-one-live-snapshot discipline trace.Snapshotter requires.
+type replayCache struct {
+	snap   trace.Snapshotter
+	every  int         // boundary spacing in sites (≥ 1)
+	cached int         // prefix length of the held snapshot; -1 when empty
+	state  trace.State // the snapshot, valid when cached >= 0
+}
+
+// prepare positions the worker's program to inject at site and returns
+// the resume offset to pass to trace.RunInjectFrom / RunInjectDiffFrom,
+// plus whether the cached snapshot served the prefix (hit) or had to be
+// built or extended (miss). A zero boundary means the experiment runs
+// from the program entry and the cache is not consulted.
+//
+// On return the program's live state holds exactly the prefix
+// [0, resume) — either restored from the cache or produced by running
+// the golden prefix — so the caller can launch the injection run
+// immediately.
+func (rc *replayCache) prepare(ctx *trace.Ctx, site int) (resume int, hit bool, err error) {
+	b := site - site%rc.every
+	if b == 0 {
+		return 0, false, nil
+	}
+	switch {
+	case rc.cached == b:
+		// Hit: the held snapshot is this experiment's prefix.
+		rc.snap.Restore(rc.state)
+		return b, true, nil
+	case rc.cached > 0 && rc.cached < b:
+		// The campaign moved to a later boundary: resume from the held
+		// snapshot and run only the gap [cached, b) before re-snapshotting.
+		rc.snap.Restore(rc.state)
+		if err := trace.Advance(ctx, rc.snap, rc.cached, b); err != nil {
+			rc.cached = -1
+			return 0, false, err
+		}
+	default:
+		// Empty cache, or a boundary behind the held one (dynamic
+		// scheduling can hand a worker an earlier batch): run the golden
+		// prefix from the entry.
+		if err := trace.Advance(ctx, rc.snap, 0, b); err != nil {
+			rc.cached = -1
+			return 0, false, err
+		}
+	}
+	// Advance paused with the live state at exactly [0, b) committed;
+	// the snapshot copy doubles as the restore for the run that follows.
+	rc.state = rc.snap.Snapshot()
+	rc.cached = b
+	return b, false, nil
+}

@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"testing"
+
+	"ftb/internal/kernels"
+	"ftb/internal/trace"
+)
+
+// BenchmarkReplayExhaustive measures what checkpointed prefix replay
+// buys on a full exhaustive campaign (every bit at every site), on a
+// small and a mid-size kernel. The replay variant must come in at most
+// half the vanilla ns/op on the mid-size kernel (gmres/paper, ~32k
+// sites) — re-executed prefixes are about half the total store count,
+// so skipping them approaches a 2× win as the trace grows, and crashed
+// experiments (whose prefix the vanilla path pays in full) push it past
+// it; the recorded pair in BENCH_replay.json is the acceptance artifact
+// for that bar. Workers is pinned to 1 so the pair measures the
+// algorithmic saving, not scheduler interleaving. Classification output
+// is byte-identical either way (pinned by TestReplayMatrixByteIdentical).
+func BenchmarkReplayExhaustive(b *testing.B) {
+	for _, tc := range []struct{ kernel, size string }{
+		{"cg", kernels.SizeTest},     // small: 418 sites
+		{"gmres", kernels.SizePaper}, // mid-size: 32104 sites
+	} {
+		k, err := kernels.New(tc.kernel, tc.size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := trace.Golden(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Factory: func() trace.Program {
+				kk, err := kernels.New(tc.kernel, tc.size)
+				if err != nil {
+					panic(err)
+				}
+				return kk
+			},
+			Golden:  g,
+			Tol:     k.Tolerance(),
+			Workers: 1,
+		}
+		for _, mode := range []struct {
+			name   string
+			replay bool
+		}{{"vanilla", false}, {"replay", true}} {
+			b.Run(tc.kernel+"-"+tc.size+"/"+mode.name, func(b *testing.B) {
+				c := cfg
+				c.Replay = mode.replay
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Exhaustive(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(g.Sites()), "sites")
+			})
+		}
+	}
+}

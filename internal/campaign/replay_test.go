@@ -1,0 +1,220 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/kernels"
+	"ftb/internal/telemetry"
+	"ftb/internal/trace"
+)
+
+// TestReplayMatrixByteIdentical is the tentpole's correctness bar: for
+// every registered kernel — both element widths, crash-heavy kernels
+// (cholesky's sqrt of corrupted negatives) included — an exhaustive
+// campaign with checkpointed replay must produce a ground truth
+// byte-identical to the vanilla full-execution campaign, under both
+// scheduling modes.
+func TestReplayMatrixByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel matrix in -short mode")
+	}
+	for _, name := range kernels.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, err := kernels.New(name, kernels.SizeTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := trace.Golden(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := campaign.Config{
+				Factory: func() trace.Program {
+					kk, err := kernels.New(name, kernels.SizeTest)
+					if err != nil {
+						panic(err)
+					}
+					return kk
+				},
+				Golden:  golden,
+				Tol:     k.Tolerance(),
+				Width:   k.Width(),
+				Workers: 2,
+			}
+			vanilla := base
+			want, err := campaign.Exhaustive(vanilla)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sched := range []campaign.Sched{campaign.SchedDynamic, campaign.SchedStatic} {
+				cfg := base
+				cfg.Replay = true
+				cfg.Sched = sched
+				got, err := campaign.Exhaustive(cfg)
+				if err != nil {
+					t.Fatalf("sched %v: %v", sched, err)
+				}
+				if len(got.Kinds) != len(want.Kinds) {
+					t.Fatalf("sched %v: %d records, want %d", sched, len(got.Kinds), len(want.Kinds))
+				}
+				for i := range want.Kinds {
+					if got.Kinds[i] != want.Kinds[i] {
+						t.Fatalf("sched %v: record %d (site %d, bit %d) = %v, want %v",
+							sched, i, i/cfg.Width, i%cfg.Width, got.Kinds[i], want.Kinds[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplaySpacingByteIdentical checks the periodic-checkpoint variant:
+// coarser snapshot spacing changes only which boundary each experiment
+// resumes from, never the classification.
+func TestReplaySpacingByteIdentical(t *testing.T) {
+	k, err := kernels.New("cg", kernels.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := trace.Golden(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := campaign.Config{
+		Factory: func() trace.Program {
+			kk, err := kernels.New("cg", kernels.SizeTest)
+			if err != nil {
+				panic(err)
+			}
+			return kk
+		},
+		Golden:  golden,
+		Tol:     k.Tolerance(),
+		Bits:    8, // trimmed fault population keeps the matrix quick
+		Workers: 2,
+	}
+	want, err := campaign.Exhaustive(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, every := range []int{1, 7, 64} {
+		cfg := base
+		cfg.Replay = true
+		cfg.ReplayEvery = every
+		got, err := campaign.Exhaustive(cfg)
+		if err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		for i := range want.Kinds {
+			if got.Kinds[i] != want.Kinds[i] {
+				t.Fatalf("every=%d: record %d = %v, want %v", every, i, got.Kinds[i], want.Kinds[i])
+			}
+		}
+	}
+}
+
+// plainProg is a program that deliberately does NOT implement
+// trace.Snapshotter, to pin the transparent-fallback contract.
+type plainProg struct {
+	inputs []float64
+}
+
+func (p *plainProg) Name() string { return "plain" }
+
+func (p *plainProg) Run(ctx *trace.Ctx) []float64 {
+	s := 0.0
+	for _, v := range p.inputs {
+		v = ctx.Store(v)
+		s = ctx.Store(s + v)
+	}
+	return []float64{s}
+}
+
+// TestReplayFallbackNonSnapshotter checks that Replay on a program
+// without Snapshot/Restore silently runs the vanilla path — same
+// records, zero replay telemetry.
+func TestReplayFallbackNonSnapshotter(t *testing.T) {
+	mk := func() trace.Program { return &plainProg{inputs: []float64{1, 2, 3, 4, 5}} }
+	golden, err := trace.Golden(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.New()
+	cfg := campaign.Config{
+		Factory:   mk,
+		Golden:    golden,
+		Tol:       1e-12,
+		Workers:   2,
+		Replay:    true,
+		Collector: col,
+	}
+	got, err := campaign.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Exhaustive(campaign.Config{Factory: mk, Golden: golden, Tol: 1e-12, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Kinds {
+		if got.Kinds[i] != want.Kinds[i] {
+			t.Fatalf("record %d = %v, want %v", i, got.Kinds[i], want.Kinds[i])
+		}
+	}
+	snap := col.Snapshot()
+	if snap.Replay.SnapshotHits != 0 || snap.Replay.SnapshotMisses != 0 || snap.Replay.StoresSkipped != 0 {
+		t.Errorf("fallback campaign recorded replay activity: %+v", snap.Replay)
+	}
+}
+
+// TestReplayTelemetryCounts pins the counter arithmetic for the densest
+// policy (every=1, site-aligned batches): each site past the first costs
+// exactly one snapshot miss (the incremental advance) and serves its
+// remaining flips from cache, and the skipped-store total is the sum of
+// every experiment's prefix length.
+func TestReplayTelemetryCounts(t *testing.T) {
+	k, err := kernels.New("matmul", kernels.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := trace.Golden(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bitsN = 16
+	col := telemetry.New()
+	_, err = campaign.Exhaustive(campaign.Config{
+		Factory: func() trace.Program {
+			kk, err := kernels.New("matmul", kernels.SizeTest)
+			if err != nil {
+				panic(err)
+			}
+			return kk
+		},
+		Golden:    golden,
+		Tol:       k.Tolerance(),
+		Bits:      bitsN,
+		Workers:   3,
+		Replay:    true,
+		Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := int64(golden.Sites())
+	snap := col.Snapshot()
+	wantMisses := sites - 1 // site 0 resumes from nothing; every other site extends once
+	wantHits := (sites - 1) * (bitsN - 1)
+	wantSkipped := bitsN * sites * (sites - 1) / 2
+	if snap.Replay.SnapshotMisses != wantMisses {
+		t.Errorf("misses = %d, want %d", snap.Replay.SnapshotMisses, wantMisses)
+	}
+	if snap.Replay.SnapshotHits != wantHits {
+		t.Errorf("hits = %d, want %d", snap.Replay.SnapshotHits, wantHits)
+	}
+	if snap.Replay.StoresSkipped != wantSkipped {
+		t.Errorf("stores skipped = %d, want %d", snap.Replay.StoresSkipped, wantSkipped)
+	}
+}

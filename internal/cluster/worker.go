@@ -203,6 +203,12 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		Observer:  w.cfg.Observer,
 		Collector: col,
 		Logger:    w.cfg.Logger,
+		// Leases are contiguous index ranges of the site-major sample
+		// space, so a shard's engine workers walk sites in order and the
+		// per-worker snapshot cache is reused within the lease exactly as
+		// in a single-process campaign. Non-Snapshotter factories fall
+		// back to vanilla execution.
+		Replay: true,
 	}, pairs, "exhaustive")
 	if err != nil {
 		status := http.StatusInternalServerError

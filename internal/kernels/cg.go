@@ -28,7 +28,26 @@ type CG struct {
 	// Work vectors, reset at the start of every Run.
 	x, r, p, q linalg.Vector
 
+	// st stashes the scalar stores (and the carried ρ) so a resumed run
+	// can recover values whose defining stores were committed before the
+	// checkpoint; part of the Snapshot state.
+	st cgStash
+
 	phases []Phase
+	snap   *cgState
+}
+
+// cgStash holds the committed value of each scalar store plus the
+// carried ρ (the previous iteration's ρ_new once an iteration ends).
+type cgStash struct {
+	rho, pq, alpha, rhoNew, beta float64
+}
+
+// cgState is the kernel's checkpoint: the four work vectors plus the
+// scalar stash.
+type cgState struct {
+	x, r, p, q linalg.Vector
+	st         cgStash
 }
 
 // CGConfig parameterizes NewCG.
@@ -105,18 +124,19 @@ func (k *CG) Width() int { return 64 }
 // the fixed number of iterations.
 func (k *CG) Run(ctx *trace.Ctx) []float64 {
 	a, b := k.a, k.b
+	rc := newCursor(ctx)
 	x, r, p, q := k.x, k.r, k.p, k.q
 	n := a.N
 
 	// Region 1: zero-initialize the solution vector. These stores are the
 	// paper's "first dynamic instructions initialize floating point
 	// variables to zero".
-	for i := 0; i < n; i++ {
+	for i := rc.bulk(n); i < n; i++ {
 		x[i] = ctx.Store(0)
 	}
 
 	// Region 2: once-only initialization. r = b − A·x, p = r, ρ = r·r.
-	for i := 0; i < n; i++ {
+	for i := rc.bulk(n); i < n; i++ {
 		lo, hi := a.RowRange(i)
 		s := 0.0
 		for kk := lo; kk < hi; kk++ {
@@ -124,19 +144,25 @@ func (k *CG) Run(ctx *trace.Ctx) []float64 {
 		}
 		r[i] = ctx.Store(b[i] - s)
 	}
-	for i := 0; i < n; i++ {
+	for i := rc.bulk(n); i < n; i++ {
 		p[i] = ctx.Store(r[i])
 	}
-	rho := 0.0
-	for i := 0; i < n; i++ {
-		rho += r[i] * r[i]
+	// The carried ρ lives in the stash: live code reads and writes
+	// k.st.rho, while skipped stores leave the checkpointed value alone,
+	// so a resume mid-iteration sees the ρ the committed prefix ended
+	// with.
+	if !rc.one() {
+		rho := 0.0
+		for i := 0; i < n; i++ {
+			rho += r[i] * r[i]
+		}
+		k.st.rho = ctx.Store(rho)
 	}
-	rho = ctx.Store(rho)
 
 	// Region 3: fixed-count CG iterations.
 	for it := 0; it < k.iters; it++ {
 		// q = A·p
-		for i := 0; i < n; i++ {
+		for i := rc.bulk(n); i < n; i++ {
 			lo, hi := a.RowRange(i)
 			s := 0.0
 			for kk := lo; kk < hi; kk++ {
@@ -144,33 +170,86 @@ func (k *CG) Run(ctx *trace.Ctx) []float64 {
 			}
 			q[i] = ctx.Store(s)
 		}
-		pq := 0.0
-		for i := 0; i < n; i++ {
-			pq += p[i] * q[i]
+		var pq float64
+		if rc.one() {
+			pq = k.st.pq
+		} else {
+			for i := 0; i < n; i++ {
+				pq += p[i] * q[i]
+			}
+			pq = ctx.Store(pq)
+			k.st.pq = pq
 		}
-		pq = ctx.Store(pq)
-		alpha := ctx.Store(rho / pq)
-		for i := 0; i < n; i++ {
+		var alpha float64
+		if rc.one() {
+			alpha = k.st.alpha
+		} else {
+			alpha = ctx.Store(k.st.rho / pq)
+			k.st.alpha = alpha
+		}
+		for i := rc.bulk(n); i < n; i++ {
 			x[i] = ctx.Store(x[i] + alpha*p[i])
 		}
-		for i := 0; i < n; i++ {
+		for i := rc.bulk(n); i < n; i++ {
 			r[i] = ctx.Store(r[i] - alpha*q[i])
 		}
-		rhoNew := 0.0
-		for i := 0; i < n; i++ {
-			rhoNew += r[i] * r[i]
+		var rhoNew float64
+		if rc.one() {
+			rhoNew = k.st.rhoNew
+		} else {
+			for i := 0; i < n; i++ {
+				rhoNew += r[i] * r[i]
+			}
+			rhoNew = ctx.Store(rhoNew)
+			k.st.rhoNew = rhoNew
 		}
-		rhoNew = ctx.Store(rhoNew)
-		beta := ctx.Store(rhoNew / rho)
-		for i := 0; i < n; i++ {
+		var beta float64
+		if rc.one() {
+			beta = k.st.beta
+		} else {
+			beta = ctx.Store(rhoNew / k.st.rho)
+			k.st.beta = beta
+		}
+		for i := rc.bulk(n); i < n; i++ {
 			p[i] = ctx.Store(r[i] + beta*p[i])
 		}
-		rho = rhoNew
+		// ρ carry: only once live — a skipped iteration must leave the
+		// checkpointed ρ for the first live scalar store to read.
+		if rc.done() {
+			k.st.rho = rhoNew
+		}
 	}
 
 	out := make([]float64, n)
 	copy(out, x)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *CG) Snapshot() trace.State {
+	if k.snap == nil {
+		n := k.a.N
+		k.snap = &cgState{
+			x: linalg.NewVector(n), r: linalg.NewVector(n),
+			p: linalg.NewVector(n), q: linalg.NewVector(n),
+		}
+	}
+	copy(k.snap.x, k.x)
+	copy(k.snap.r, k.r)
+	copy(k.snap.p, k.p)
+	copy(k.snap.q, k.q)
+	k.snap.st = k.st
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *CG) Restore(s trace.State) {
+	sn := s.(*cgState)
+	copy(k.x, sn.x)
+	copy(k.r, sn.r)
+	copy(k.p, sn.p)
+	copy(k.q, sn.q)
+	k.st = sn.st
 }
 
 func init() {

@@ -21,6 +21,7 @@ type Cholesky struct {
 	orig   []float64 // pristine SPD input, row-major
 	work   *linalg.Dense
 	phases []Phase
+	snap   []float64
 }
 
 // CholeskyConfig parameterizes NewCholesky.
@@ -92,23 +93,32 @@ func (k *Cholesky) Width() int { return 64 }
 // L packed row-major into an n×n matrix (upper triangle zero).
 func (k *Cholesky) Run(ctx *trace.Ctx) []float64 {
 	n := k.n
+	rc := newCursor(ctx)
 	a := k.work
-	copy(a.Data, k.orig)
+	if rc.done() {
+		copy(a.Data, k.orig)
+	}
 
 	// Column-oriented Cholesky: for each column j, the diagonal entry is
 	// sqrt(a_jj − Σ l_jk²); below-diagonal entries are
-	// (a_ij − Σ l_ik·l_jk) / l_jj. Stores overwrite the lower triangle.
+	// (a_ij − Σ l_ik·l_jk) / l_jj. Stores overwrite the lower triangle;
+	// a skipped diagonal store reads its committed value back from it.
 	for j := 0; j < n; j++ {
-		var diag float64
-		for kk := 0; kk < j; kk++ {
-			l := a.At(j, kk)
-			diag += l * l
+		var d float64
+		if rc.one() {
+			d = a.At(j, j)
+		} else {
+			var diag float64
+			for kk := 0; kk < j; kk++ {
+				l := a.At(j, kk)
+				diag += l * l
+			}
+			// math.Sqrt of a corrupted negative yields NaN: the tracked store
+			// aborts the run as a crash, mirroring an FP-exception trap.
+			d = ctx.Store(math.Sqrt(a.At(j, j) - diag))
+			a.Set(j, j, d)
 		}
-		// math.Sqrt of a corrupted negative yields NaN: the tracked store
-		// aborts the run as a crash, mirroring an FP-exception trap.
-		d := ctx.Store(math.Sqrt(a.At(j, j) - diag))
-		a.Set(j, j, d)
-		for i := j + 1; i < n; i++ {
+		for i := j + 1 + rc.bulk(n-j-1); i < n; i++ {
 			var s float64
 			for kk := 0; kk < j; kk++ {
 				s += a.At(i, kk) * a.At(j, kk)
@@ -124,6 +134,21 @@ func (k *Cholesky) Run(ctx *trace.Ctx) []float64 {
 		}
 	}
 	return out
+}
+
+// Snapshot implements trace.Snapshotter: the factorization is in-place,
+// so the work matrix is the whole checkpoint.
+func (k *Cholesky) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = make([]float64, len(k.work.Data))
+	}
+	copy(k.snap, k.work.Data)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *Cholesky) Restore(s trace.State) {
+	copy(k.work.Data, s.([]float64))
 }
 
 func init() {

@@ -29,7 +29,34 @@ type FFT struct {
 	input  linalg.ComplexVec
 	bufA   linalg.ComplexVec
 	bufB   linalg.ComplexVec
+
+	// st stashes the pre-values of the multi-store unit a checkpoint may
+	// split (a bit-reversal swap, a butterfly, or an in-place twiddle
+	// update reads its operands before its first store overwrites them);
+	// part of the Snapshot state.
+	st     fftStash
 	phases []Phase
+	snap   *fftState
+
+	// Tracked-store counts of the structural blocks, precomputed for the
+	// cursor's region skips: the bit-reversal permutation and the whole
+	// row FFT, for rows of length n1 and n2 respectively.
+	swapStores1, swapStores2 int
+	rowStores1, rowStores2   int
+}
+
+// fftStash holds the operand pair(s) read at the head of the store unit
+// currently in flight. At most one unit is split by any resume point, so
+// a single set of fields suffices.
+type fftStash struct {
+	ar, ai, br, bi float64
+}
+
+// fftState is the kernel's checkpoint: both ping-pong buffers plus the
+// unit stash.
+type fftState struct {
+	bufA, bufB linalg.ComplexVec
+	st         fftStash
 }
 
 // FFTConfig parameterizes NewFFT.
@@ -61,6 +88,10 @@ func NewFFT(cfg FFTConfig) (*FFT, error) {
 		bufB:  linalg.NewComplexVec(n),
 	}
 	fillRandom(k.input, cfg.Seed)
+	k.swapStores1 = 4 * countBitRevSwaps(cfg.N1)
+	k.swapStores2 = 4 * countBitRevSwaps(cfg.N2)
+	k.rowStores1 = k.swapStores1 + 2*cfg.N1*linalg.Log2(cfg.N1)
+	k.rowStores2 = k.swapStores2 + 2*cfg.N2*linalg.Log2(cfg.N2)
 	k.phases = k.layoutPhases()
 	return k, nil
 }
@@ -120,16 +151,27 @@ func countBitRevSwaps(n int) int {
 func (k *FFT) Run(ctx *trace.Ctx) []float64 {
 	n1, n2 := k.n1, k.n2
 	n := n1 * n2
+	rc := newCursor(ctx)
 	src, dst := k.bufA, k.bufB
-	copy(src, k.input)
+	if rc.done() {
+		copy(src, k.input)
+	}
 
 	// Step 1: transpose the n1×n2 view of src into the n2×n1 view of dst.
-	transpose(ctx, dst, src, n1, n2)
+	// Each transpose writes 2n components; when the checkpoint lies past a
+	// whole block (a transpose, a row FFT, a twiddle row), region bypasses
+	// it — the restored buffers already hold its stores.
+	if !rc.region(2 * n) {
+		k.transpose(ctx, &rc, dst, src, n1, n2)
+	}
 	src, dst = dst, src
 
 	// Step 2: n2 in-place row FFTs of length n1.
 	for r := 0; r < n2; r++ {
-		rowFFT(ctx, src[2*r*n1:2*(r+1)*n1], n1)
+		if rc.region(k.rowStores1) {
+			continue
+		}
+		k.rowFFT(ctx, &rc, src[2*r*n1:2*(r+1)*n1], n1, k.swapStores1)
 	}
 
 	// Step 3: twiddle scaling. Element (j, k1) of the n2×n1 matrix is
@@ -138,28 +180,48 @@ func (k *FFT) Run(ctx *trace.Ctx) []float64 {
 	// normalization into the twiddle pass costs no extra stores; it also
 	// means perturbations injected up to this phase reach the output
 	// attenuated by 1/N, the FFT's source of natural error masking.)
+	// The update is in place, so the operand pair is stashed before the
+	// first component store can overwrite it.
 	invN := 1.0 / float64(n)
 	for j := 0; j < n2; j++ {
+		if rc.region(2 * n1) {
+			continue
+		}
 		for k1 := 0; k1 < n1; k1++ {
 			wr, wi := linalg.Twiddle(j*k1%n, n)
 			wr *= invN
 			wi *= invN
-			re, im := src.At(j*n1 + k1)
-			src.Set(j*n1+k1, ctx.Store(re*wr-im*wi), ctx.Store(re*wi+im*wr))
+			if rc.done() {
+				k.st.ar, k.st.ai = src.At(j*n1 + k1)
+			}
+			re, im := k.st.ar, k.st.ai
+			if !rc.one() {
+				src.SetRe(j*n1+k1, ctx.Store(re*wr-im*wi))
+			}
+			if !rc.one() {
+				src.SetIm(j*n1+k1, ctx.Store(re*wi+im*wr))
+			}
 		}
 	}
 
 	// Step 4: transpose back to n1×n2.
-	transpose(ctx, dst, src, n2, n1)
+	if !rc.region(2 * n) {
+		k.transpose(ctx, &rc, dst, src, n2, n1)
+	}
 	src, dst = dst, src
 
 	// Step 5: n1 in-place row FFTs of length n2.
 	for r := 0; r < n1; r++ {
-		rowFFT(ctx, src[2*r*n2:2*(r+1)*n2], n2)
+		if rc.region(k.rowStores2) {
+			continue
+		}
+		k.rowFFT(ctx, &rc, src[2*r*n2:2*(r+1)*n2], n2, k.swapStores2)
 	}
 
 	// Step 6: final transpose to natural order.
-	transpose(ctx, dst, src, n1, n2)
+	if !rc.region(2 * n) {
+		k.transpose(ctx, &rc, dst, src, n1, n2)
+	}
 	src = dst
 
 	out := make([]float64, 2*n)
@@ -168,45 +230,110 @@ func (k *FFT) Run(ctx *trace.Ctx) []float64 {
 }
 
 // transpose writes the rows×cols matrix src (row-major complex) into dst
-// as its cols×rows transpose, tracking every component store.
-func transpose(ctx *trace.Ctx, dst, src linalg.ComplexVec, rows, cols int) {
+// as its cols×rows transpose, tracking every component store. src is
+// never written during a transpose, so skipped stores need no stash —
+// the operands are simply re-read.
+func (k *FFT) transpose(ctx *trace.Ctx, rc *cursor, dst, src linalg.ComplexVec, rows, cols int) {
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			re, im := src.At(i*cols + j)
-			dst.Set(j*rows+i, ctx.Store(re), ctx.Store(im))
+			if !rc.one() {
+				dst.SetRe(j*rows+i, ctx.Store(re))
+			}
+			if !rc.one() {
+				dst.SetIm(j*rows+i, ctx.Store(im))
+			}
 		}
 	}
 }
 
 // rowFFT performs an in-place iterative radix-2 decimation-in-time FFT of
-// length n (a power of two) on row, tracking every component store.
-func rowFFT(ctx *trace.Ctx, row linalg.ComplexVec, n int) {
+// length n (a power of two) on row, tracking every component store. Both
+// the swap and the butterfly overwrite their own operands, so each unit
+// stashes its operand pair before its first store; a resume that lands
+// inside the unit replays the remaining stores from the stash.
+// swapStores is the bit-reversal permutation's tracked-store count
+// (4 × swap count), precomputed by the caller for the region skip.
+func (k *FFT) rowFFT(ctx *trace.Ctx, rc *cursor, row linalg.ComplexVec, n, swapStores int) {
 	bitsN := linalg.Log2(n)
 	// Bit-reversal permutation; each executed swap writes four components.
-	for i := 0; i < n; i++ {
-		j := linalg.BitRev(i, bitsN)
-		if j > i {
-			ar, ai := row.At(i)
-			br, bi := row.At(j)
-			row.Set(i, ctx.Store(br), ctx.Store(bi))
-			row.Set(j, ctx.Store(ar), ctx.Store(ai))
+	if !rc.region(swapStores) {
+		for i := 0; i < n; i++ {
+			j := linalg.BitRev(i, bitsN)
+			if j <= i {
+				continue
+			}
+			if rc.done() {
+				k.st.ar, k.st.ai = row.At(i)
+				k.st.br, k.st.bi = row.At(j)
+			}
+			if !rc.one() {
+				row.SetRe(i, ctx.Store(k.st.br))
+			}
+			if !rc.one() {
+				row.SetIm(i, ctx.Store(k.st.bi))
+			}
+			if !rc.one() {
+				row.SetRe(j, ctx.Store(k.st.ar))
+			}
+			if !rc.one() {
+				row.SetIm(j, ctx.Store(k.st.ai))
+			}
 		}
 	}
-	// Butterfly stages.
+	// Butterfly stages; each stage writes 2n components.
 	for size := 2; size <= n; size <<= 1 {
+		if rc.region(2 * n) {
+			continue
+		}
 		half := size >> 1
 		for start := 0; start < n; start += size {
 			for kk := 0; kk < half; kk++ {
 				wr, wi := linalg.Twiddle(kk, size)
-				ar, ai := row.At(start + kk)
-				br, bi := row.At(start + kk + half)
-				tr := br*wr - bi*wi
-				ti := br*wi + bi*wr
-				row.Set(start+kk, ctx.Store(ar+tr), ctx.Store(ai+ti))
-				row.Set(start+kk+half, ctx.Store(ar-tr), ctx.Store(ai-ti))
+				if rc.done() {
+					k.st.ar, k.st.ai = row.At(start + kk)
+					k.st.br, k.st.bi = row.At(start + kk + half)
+				}
+				ar, ai := k.st.ar, k.st.ai
+				tr := k.st.br*wr - k.st.bi*wi
+				ti := k.st.br*wi + k.st.bi*wr
+				if !rc.one() {
+					row.SetRe(start+kk, ctx.Store(ar+tr))
+				}
+				if !rc.one() {
+					row.SetIm(start+kk, ctx.Store(ai+ti))
+				}
+				if !rc.one() {
+					row.SetRe(start+kk+half, ctx.Store(ar-tr))
+				}
+				if !rc.one() {
+					row.SetIm(start+kk+half, ctx.Store(ai-ti))
+				}
 			}
 		}
 	}
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *FFT) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &fftState{
+			bufA: linalg.NewComplexVec(k.n1 * k.n2),
+			bufB: linalg.NewComplexVec(k.n1 * k.n2),
+		}
+	}
+	copy(k.snap.bufA, k.bufA)
+	copy(k.snap.bufB, k.bufB)
+	k.snap.st = k.st
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *FFT) Restore(s trace.State) {
+	sn := s.(*fftState)
+	copy(k.bufA, sn.bufA)
+	copy(k.bufB, sn.bufB)
+	k.st = sn.st
 }
 
 func init() {

@@ -32,7 +32,33 @@ type GMRES struct {
 	g       linalg.Vector   // rhs of the least-squares problem
 	y       linalg.Vector
 
+	// st stashes intermediates destroyed by their own unit's stores, so
+	// a resumed run can finish a unit the checkpoint split; part of the
+	// Snapshot state.
+	st gmresStash
+
 	phases []Phase
+	snap   *gmresState
+}
+
+// gmresStash holds the residual norm β (consumed by untracked code) and
+// the pre-rotation values the Givens units overwrite in place.
+type gmresStash struct {
+	beta         float64 // residual norm of the current restart
+	rotH0, rotH1 float64 // rotation-application pre-values h_{i,j}, h_{i+1,j}
+	hjj, hj1j    float64 // new-rotation pre-values h_{j,j}, h_{j+1,j}
+	gj           float64 // new-rotation pre-value g_j
+}
+
+// gmresState is the kernel's checkpoint: every work array plus the
+// stash.
+type gmresState struct {
+	x, r, w linalg.Vector
+	v       []linalg.Vector
+	h       []float64
+	cs, sn  linalg.Vector
+	g, y    linalg.Vector
+	st      gmresStash
 }
 
 // GMRESConfig parameterizes NewGMRES.
@@ -138,16 +164,24 @@ func (k *GMRES) Width() int { return 64 }
 // the fixed number of restart cycles.
 func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
 	a, b := k.a, k.b
+	rc := newCursor(ctx)
 	n := a.N
 	m := k.m
 	x := k.x
-	for i := range x {
-		x[i] = 0
+	if rc.done() {
+		for i := range x {
+			x[i] = 0
+		}
 	}
 
 	for rs := 0; rs < k.restarts; rs++ {
+		// A checkpoint at or beyond this restart cycle's end (its phase
+		// extent is its tracked-store count): bypass the whole cycle.
+		if ph := k.phases[rs]; rc.region(ph.End - ph.Start) {
+			continue
+		}
 		// r = b − A·x.
-		for i := 0; i < n; i++ {
+		for i := rc.bulk(n); i < n; i++ {
 			lo, hi := a.RowRange(i)
 			s := 0.0
 			for kk := lo; kk < hi; kk++ {
@@ -155,19 +189,34 @@ func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
 			}
 			k.r[i] = ctx.Store(b[i] - s)
 		}
-		beta := ctx.Store(math.Sqrt(k.r.Dot(k.r)))
-		for i := 0; i < n; i++ {
+		// β is consumed by the untracked g reset below, so it lives in
+		// the stash across the checkpoint.
+		if !rc.one() {
+			k.st.beta = ctx.Store(math.Sqrt(k.r.Dot(k.r)))
+		}
+		beta := k.st.beta
+		for i := rc.bulk(n); i < n; i++ {
 			k.v[0][i] = ctx.Store(k.r[i] / beta)
 		}
-		for i := range k.g {
-			k.g[i] = 0
+		// Untracked reset: re-execute only once live (a checkpoint taken
+		// inside the Arnoldi loop already holds the mid-restart g).
+		if rc.done() {
+			for i := range k.g {
+				k.g[i] = 0
+			}
+			k.g[0] = beta
 		}
-		k.g[0] = beta
 
 		// Arnoldi with modified Gram–Schmidt and on-the-fly Givens QR.
+		// One inner step's tracked-store count (matvec, orthogonalization,
+		// h_{j+1,j}, v_{j+1}, rotations; the same terms layoutPhases
+		// counts); a step wholly below the checkpoint is bypassed.
 		for j := 0; j < m; j++ {
+			if rc.region(n + (j+1)*(1+n) + 1 + n + 2*j + 6) {
+				continue
+			}
 			w := k.w
-			for i := 0; i < n; i++ {
+			for i := rc.bulk(n); i < n; i++ {
 				lo, hi := a.RowRange(i)
 				s := 0.0
 				for kk := lo; kk < hi; kk++ {
@@ -176,39 +225,76 @@ func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
 				w[i] = ctx.Store(s)
 			}
 			for i := 0; i <= j; i++ {
-				hij := ctx.Store(w.Dot(k.v[i]))
-				k.h.Set(i, j, hij)
-				for t := 0; t < n; t++ {
+				var hij float64
+				if rc.one() {
+					hij = k.h.At(i, j)
+				} else {
+					hij = ctx.Store(w.Dot(k.v[i]))
+					k.h.Set(i, j, hij)
+				}
+				for t := rc.bulk(n); t < n; t++ {
 					w[t] = ctx.Store(w[t] - hij*k.v[i][t])
 				}
 			}
-			hj1 := ctx.Store(math.Sqrt(w.Dot(w)))
-			k.h.Set(j+1, j, hj1)
-			for t := 0; t < n; t++ {
+			var hj1 float64
+			if rc.one() {
+				hj1 = k.h.At(j+1, j)
+			} else {
+				hj1 = ctx.Store(math.Sqrt(w.Dot(w)))
+				k.h.Set(j+1, j, hj1)
+			}
+			for t := rc.bulk(n); t < n; t++ {
 				k.v[j+1][t] = ctx.Store(w[t] / hj1)
 			}
 
-			// Apply accumulated rotations to column j of H.
+			// Apply accumulated rotations to column j of H. The two
+			// stores overwrite their own inputs, so the pre-values are
+			// stashed before the unit and committed one at a time.
 			for i := 0; i < j; i++ {
-				hi0 := k.h.At(i, j)
-				hi1 := k.h.At(i+1, j)
-				k.h.Set(i, j, ctx.Store(k.cs[i]*hi0+k.sn[i]*hi1))
-				k.h.Set(i+1, j, ctx.Store(-k.sn[i]*hi0+k.cs[i]*hi1))
+				if rc.done() {
+					k.st.rotH0, k.st.rotH1 = k.h.At(i, j), k.h.At(i+1, j)
+				}
+				hi0, hi1 := k.st.rotH0, k.st.rotH1
+				if !rc.one() {
+					k.h.Set(i, j, ctx.Store(k.cs[i]*hi0+k.sn[i]*hi1))
+				}
+				if !rc.one() {
+					k.h.Set(i+1, j, ctx.Store(-k.sn[i]*hi0+k.cs[i]*hi1))
+				}
 			}
-			// New rotation annihilating h_{j+1,j}.
-			hjj, hj1j := k.h.At(j, j), k.h.At(j+1, j)
+			// New rotation annihilating h_{j+1,j}: six stores sharing
+			// stashed pre-values (h_{j,j} and g_j are overwritten by the
+			// unit's own stores).
+			if rc.done() {
+				k.st.hjj, k.st.hj1j = k.h.At(j, j), k.h.At(j+1, j)
+				k.st.gj = k.g[j]
+			}
+			hjj, hj1j, gj := k.st.hjj, k.st.hj1j, k.st.gj
 			den := math.Sqrt(hjj*hjj + hj1j*hj1j)
-			k.cs[j] = ctx.Store(hjj / den)
-			k.sn[j] = ctx.Store(hj1j / den)
-			k.h.Set(j, j, ctx.Store(k.cs[j]*hjj+k.sn[j]*hj1j))
-			k.h.Set(j+1, j, ctx.Store(0))
-			gj := k.g[j]
-			k.g[j] = ctx.Store(k.cs[j] * gj)
-			k.g[j+1] = ctx.Store(-k.sn[j] * gj)
+			if !rc.one() {
+				k.cs[j] = ctx.Store(hjj / den)
+			}
+			if !rc.one() {
+				k.sn[j] = ctx.Store(hj1j / den)
+			}
+			if !rc.one() {
+				k.h.Set(j, j, ctx.Store(k.cs[j]*hjj+k.sn[j]*hj1j))
+			}
+			if !rc.one() {
+				k.h.Set(j+1, j, ctx.Store(0))
+			}
+			if !rc.one() {
+				k.g[j] = ctx.Store(k.cs[j] * gj)
+			}
+			if !rc.one() {
+				k.g[j+1] = ctx.Store(-k.sn[j] * gj)
+			}
 		}
 
 		// Back-substitution: solve the m×m triangular system H y = g.
-		for j := m - 1; j >= 0; j-- {
+		// Program order walks j downward, so a bulk skip of the leading
+		// stores starts the loop that many rows lower.
+		for j := m - 1 - rc.bulk(m); j >= 0; j-- {
 			s := k.g[j]
 			for t := j + 1; t < m; t++ {
 				s -= k.h.At(j, t) * k.y[t]
@@ -216,7 +302,7 @@ func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
 			k.y[j] = ctx.Store(s / k.h.At(j, j))
 		}
 		// x += V y.
-		for i := 0; i < n; i++ {
+		for i := rc.bulk(n); i < n; i++ {
 			s := x[i]
 			for j := 0; j < m; j++ {
 				s += k.v[j][i] * k.y[j]
@@ -228,6 +314,53 @@ func (k *GMRES) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, n)
 	copy(out, x)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *GMRES) Snapshot() trace.State {
+	if k.snap == nil {
+		n := k.a.N
+		k.snap = &gmresState{
+			x: linalg.NewVector(n), r: linalg.NewVector(n), w: linalg.NewVector(n),
+			v:  make([]linalg.Vector, len(k.v)),
+			h:  make([]float64, len(k.h.Data)),
+			cs: linalg.NewVector(k.m), sn: linalg.NewVector(k.m),
+			g: linalg.NewVector(k.m + 1), y: linalg.NewVector(k.m),
+		}
+		for i := range k.snap.v {
+			k.snap.v[i] = linalg.NewVector(n)
+		}
+	}
+	copy(k.snap.x, k.x)
+	copy(k.snap.r, k.r)
+	copy(k.snap.w, k.w)
+	for i := range k.v {
+		copy(k.snap.v[i], k.v[i])
+	}
+	copy(k.snap.h, k.h.Data)
+	copy(k.snap.cs, k.cs)
+	copy(k.snap.sn, k.sn)
+	copy(k.snap.g, k.g)
+	copy(k.snap.y, k.y)
+	k.snap.st = k.st
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *GMRES) Restore(s trace.State) {
+	sn := s.(*gmresState)
+	copy(k.x, sn.x)
+	copy(k.r, sn.r)
+	copy(k.w, sn.w)
+	for i := range k.v {
+		copy(k.v[i], sn.v[i])
+	}
+	copy(k.h.Data, sn.h)
+	copy(k.cs, sn.cs)
+	copy(k.sn, sn.sn)
+	copy(k.g, sn.g)
+	copy(k.y, sn.y)
+	k.st = sn.st
 }
 
 func init() {

@@ -23,7 +23,17 @@ type Heat3D struct {
 	init       []float64
 	cur, next  []float64
 	energy     []float64
+	stEnergy   float64 // running per-step energy sum; part of the checkpoint
 	phases     []Phase
+	snap       *heat3dState
+}
+
+// heat3dState is the kernel's checkpoint: both field buffers, the
+// energy series, and the partial per-step energy accumulator.
+type heat3dState struct {
+	cur, next []float64
+	energy    []float64
+	stEnergy  float64
 }
 
 // Heat3DConfig parameterizes NewHeat3D.
@@ -96,16 +106,24 @@ func (k *Heat3D) Width() int { return 64 }
 func (k *Heat3D) Run(ctx *trace.Ctx) []float64 {
 	nx, ny, nz := k.nx, k.ny, k.nz
 	alpha := k.alpha
+	rc := newCursor(ctx)
 	cur, next := k.cur, k.next
-	copy(cur, k.init)
-	copy(next, k.init) // boundaries held fixed
+	if rc.done() {
+		copy(cur, k.init)
+		copy(next, k.init) // boundaries held fixed
+	}
 
+	// The running energy sum lives in a stash field so a checkpoint taken
+	// mid-step carries the partial reduction; a step entered live resets
+	// it, a skipped or partially-skipped step leaves the restored value.
 	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
 	for s := 0; s < k.steps; s++ {
-		var energy float64
+		if rc.done() {
+			k.stEnergy = 0
+		}
 		for z := 1; z < nz-1; z++ {
 			for y := 1; y < ny-1; y++ {
-				for x := 1; x < nx-1; x++ {
+				for x := 1 + rc.bulk(nx-2); x < nx-1; x++ {
 					i := id(x, y, z)
 					lap := cur[id(x-1, y, z)] + cur[id(x+1, y, z)] +
 						cur[id(x, y-1, z)] + cur[id(x, y+1, z)] +
@@ -113,11 +131,13 @@ func (k *Heat3D) Run(ctx *trace.Ctx) []float64 {
 						6*cur[i]
 					v := ctx.Store(cur[i] + alpha*lap)
 					next[i] = v
-					energy += v
+					k.stEnergy += v
 				}
 			}
 		}
-		k.energy[s] = ctx.Store(energy)
+		if !rc.one() {
+			k.energy[s] = ctx.Store(k.stEnergy)
+		}
 		cur, next = next, cur
 	}
 
@@ -125,6 +145,31 @@ func (k *Heat3D) Run(ctx *trace.Ctx) []float64 {
 	out = append(out, cur...)
 	out = append(out, k.energy...)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *Heat3D) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &heat3dState{
+			cur:    make([]float64, len(k.cur)),
+			next:   make([]float64, len(k.next)),
+			energy: make([]float64, len(k.energy)),
+		}
+	}
+	copy(k.snap.cur, k.cur)
+	copy(k.snap.next, k.next)
+	copy(k.snap.energy, k.energy)
+	k.snap.stEnergy = k.stEnergy
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *Heat3D) Restore(s trace.State) {
+	sn := s.(*heat3dState)
+	copy(k.cur, sn.cur)
+	copy(k.next, sn.next)
+	copy(k.energy, sn.energy)
+	k.stEnergy = sn.stEnergy
 }
 
 func init() {

@@ -24,6 +24,7 @@ type LU struct {
 	orig     []float64 // pristine input matrix, row-major
 	work     *linalg.Dense
 	phases   []Phase
+	snap     []float64
 }
 
 // LUConfig parameterizes NewLU.
@@ -114,20 +115,36 @@ func (k *LU) layoutPhases() []Phase {
 // into input files).
 func (k *LU) Run(ctx *trace.Ctx) []float64 {
 	n, bs := k.n, k.block
+	rc := newCursor(ctx)
 	a := k.work
-	copy(a.Data, k.orig)
+	if rc.done() {
+		copy(a.Data, k.orig)
+	}
 
-	for kb := 0; kb < n; kb += bs {
+	for bi, kb := 0, 0; kb < n; bi, kb = bi+1, kb+bs {
 		kend := min(kb+bs, n)
 
+		// A checkpoint at or beyond this block step's end (its phase extent
+		// is its tracked-store count): everything it writes is already in
+		// the restored matrix, so bypass the whole step.
+		if ph := k.phases[bi]; rc.region(ph.End - ph.Start) {
+			continue
+		}
+
 		// Factor the diagonal block A[kb:kend, kb:kend] (unblocked
-		// right-looking elimination).
+		// right-looking elimination). A skipped multiplier store reads
+		// its committed value back from the matrix.
 		for kk := kb; kk < kend; kk++ {
 			pivot := a.At(kk, kk)
 			for i := kk + 1; i < kend; i++ {
-				l := ctx.Store(a.At(i, kk) / pivot)
-				a.Set(i, kk, l)
-				for j := kk + 1; j < kend; j++ {
+				var l float64
+				if rc.one() {
+					l = a.At(i, kk)
+				} else {
+					l = ctx.Store(a.At(i, kk) / pivot)
+					a.Set(i, kk, l)
+				}
+				for j := kk + 1 + rc.bulk(kend-kk-1); j < kend; j++ {
 					a.Set(i, j, ctx.Store(a.At(i, j)-l*a.At(kk, j)))
 				}
 			}
@@ -138,9 +155,14 @@ func (k *LU) Run(ctx *trace.Ctx) []float64 {
 		for kk := kb; kk < kend; kk++ {
 			pivot := a.At(kk, kk)
 			for i := kend; i < n; i++ {
-				l := ctx.Store(a.At(i, kk) / pivot)
-				a.Set(i, kk, l)
-				for j := kk + 1; j < kend; j++ {
+				var l float64
+				if rc.one() {
+					l = a.At(i, kk)
+				} else {
+					l = ctx.Store(a.At(i, kk) / pivot)
+					a.Set(i, kk, l)
+				}
+				for j := kk + 1 + rc.bulk(kend-kk-1); j < kend; j++ {
 					a.Set(i, j, ctx.Store(a.At(i, j)-l*a.At(kk, j)))
 				}
 			}
@@ -152,7 +174,7 @@ func (k *LU) Run(ctx *trace.Ctx) []float64 {
 		for kk := kb; kk < kend; kk++ {
 			for i := kk + 1; i < kend; i++ {
 				lik := a.At(i, kk)
-				for j := kend; j < n; j++ {
+				for j := kend + rc.bulk(n-kend); j < n; j++ {
 					a.Set(i, j, ctx.Store(a.At(i, j)-lik*a.At(kk, j)))
 				}
 			}
@@ -161,7 +183,7 @@ func (k *LU) Run(ctx *trace.Ctx) []float64 {
 		// Interior update: A[kend:n, kend:n] -= L_panel · U_panel, one
 		// fused dot product (and one tracked store) per element.
 		for i := kend; i < n; i++ {
-			for j := kend; j < n; j++ {
+			for j := kend + rc.bulk(n-kend); j < n; j++ {
 				s := a.At(i, j)
 				for kk := kb; kk < kend; kk++ {
 					s -= a.At(i, kk) * a.At(kk, j)
@@ -174,6 +196,21 @@ func (k *LU) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, len(a.Data))
 	copy(out, a.Data)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter: the factorization is in-place,
+// so the work matrix is the whole checkpoint.
+func (k *LU) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = make([]float64, len(k.work.Data))
+	}
+	copy(k.snap, k.work.Data)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *LU) Restore(s trace.State) {
+	copy(k.work.Data, s.([]float64))
 }
 
 func init() {

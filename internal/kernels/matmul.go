@@ -20,6 +20,7 @@ type MatMul struct {
 	a, b   *linalg.Dense
 	c      *linalg.Dense
 	phases []Phase
+	snap   []float64
 }
 
 // MatMulConfig parameterizes NewMatMul.
@@ -68,10 +69,11 @@ func (k *MatMul) Width() int { return 64 }
 // Run implements trace.Program. The output is the product matrix.
 func (k *MatMul) Run(ctx *trace.Ctx) []float64 {
 	n := k.n
+	rc := newCursor(ctx)
 	a, b, c := k.a, k.b, k.c
 	for i := 0; i < n; i++ {
 		arow := a.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		for j := rc.bulk(n); j < n; j++ {
 			var acc float64
 			for kk := 0; kk < n; kk++ {
 				acc += arow[kk] * b.Data[kk*n+j]
@@ -82,6 +84,21 @@ func (k *MatMul) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, n*n)
 	copy(out, c.Data)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter. Only the output matrix is
+// mutated by Run, so it is the whole checkpoint.
+func (k *MatMul) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = make([]float64, k.n*k.n)
+	}
+	copy(k.snap, k.c.Data)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *MatMul) Restore(s trace.State) {
+	copy(k.c.Data, s.([]float64))
 }
 
 func init() {

@@ -20,6 +20,13 @@ type MatVec struct {
 	x0       linalg.Vector
 	x, y     linalg.Vector
 	phases   []Phase
+	snap     *matVecState
+}
+
+// matVecState is the kernel's checkpoint: both product buffers (the
+// input matrix and x0 are never mutated by Run).
+type matVecState struct {
+	x, y linalg.Vector
 }
 
 // MatVecConfig parameterizes NewMatVec.
@@ -102,11 +109,14 @@ func (k *MatVec) layoutPhases() []Phase {
 // Run implements trace.Program. The output is the final product vector.
 func (k *MatVec) Run(ctx *trace.Ctx) []float64 {
 	n := k.n
+	rc := newCursor(ctx)
 	x, y := k.x, k.y
-	copy(x, k.x0)
+	if rc.done() {
+		copy(x, k.x0)
+	}
 
 	for s := 0; s < k.steps; s++ {
-		for i := 0; i < n; i++ {
+		for i := rc.bulk(n); i < n; i++ {
 			row := k.a.Data[i*n : (i+1)*n]
 			var acc float64
 			for j, v := range row {
@@ -120,6 +130,23 @@ func (k *MatVec) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, n)
 	copy(out, x)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *MatVec) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &matVecState{x: linalg.NewVector(k.n), y: linalg.NewVector(k.n)}
+	}
+	copy(k.snap.x, k.x)
+	copy(k.snap.y, k.y)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *MatVec) Restore(s trace.State) {
+	sn := s.(*matVecState)
+	copy(k.x, sn.x)
+	copy(k.y, sn.y)
 }
 
 func init() {

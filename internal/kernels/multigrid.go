@@ -25,7 +25,16 @@ type Multigrid struct {
 	rhs    []float64
 	// Per-level storage (index 0 = finest).
 	u, f, res []([]float64)
-	phases    []Phase
+	// perLevel[l] is the tracked-store count of one V-cycle starting at
+	// level l, precomputed for the cursor's region skips.
+	perLevel []int
+	phases   []Phase
+	snap     *multigridState
+}
+
+// multigridState is the kernel's checkpoint: the full grid hierarchy.
+type multigridState struct {
+	u, f, res [][]float64
 }
 
 // MultigridConfig parameterizes NewMultigrid.
@@ -76,6 +85,10 @@ func NewMultigrid(cfg MultigridConfig) (*Multigrid, error) {
 	k.rhs = make([]float64, len(k.f[0]))
 	fillRandom(k.rhs, cfg.Seed)
 	k.rhs[0], k.rhs[len(k.rhs)-1] = 0, 0
+	k.perLevel = make([]int, cfg.Levels)
+	for l := cfg.Levels - 1; l >= 0; l-- {
+		k.perLevel[l] = k.vcycleSites(l)
+	}
 	k.phases = k.layoutPhases()
 	return k, nil
 }
@@ -123,13 +136,16 @@ func (k *Multigrid) Width() int { return 64 }
 
 // smooth performs nu weighted-Jacobi sweeps (ω = 2/3) on level l:
 // u ← u + ω·(f − A u)/diag, with A the 1-D Laplacian [−1, 2, −1]/h².
-func (k *Multigrid) smooth(ctx *trace.Ctx, l int) {
+func (k *Multigrid) smooth(ctx *trace.Ctx, rc *cursor, l int) {
 	n := k.interior(l)
 	h2 := 1.0 / float64((n+1)*(n+1))
 	u, f := k.u[l], k.f[l]
 	const omega = 2.0 / 3.0
 	for s := 0; s < k.nu; s++ {
-		for i := 1; i <= n; i++ {
+		if rc.region(n) {
+			continue
+		}
+		for i := 1 + rc.bulk(n); i <= n; i++ {
 			au := (2*u[i] - u[i-1] - u[i+1]) / h2
 			u[i] = ctx.Store(u[i] + omega*(f[i]-au)*h2/2)
 		}
@@ -137,39 +153,49 @@ func (k *Multigrid) smooth(ctx *trace.Ctx, l int) {
 }
 
 // vcycle runs one V-cycle at level l.
-func (k *Multigrid) vcycle(ctx *trace.Ctx, l int) {
+func (k *Multigrid) vcycle(ctx *trace.Ctx, rc *cursor, l int) {
+	// A checkpoint at or beyond this cycle's end: every store in it is
+	// already committed, so bypass the whole recursion.
+	if rc.region(k.perLevel[l]) {
+		return
+	}
 	n := k.interior(l)
 	h2 := 1.0 / float64((n+1)*(n+1))
 	u, f, res := k.u[l], k.f[l], k.res[l]
 
 	if l == k.levels-1 {
 		// One interior point: solve 2u/h² = f exactly.
-		u[1] = ctx.Store(f[1] * h2 / 2)
+		if !rc.one() {
+			u[1] = ctx.Store(f[1] * h2 / 2)
+		}
 		return
 	}
 
-	k.smooth(ctx, l)
+	k.smooth(ctx, rc, l)
 
 	// Residual r = f − A u.
-	for i := 1; i <= n; i++ {
+	for i := 1 + rc.bulk(n); i <= n; i++ {
 		res[i] = ctx.Store(f[i] - (2*u[i]-u[i-1]-u[i+1])/h2)
 	}
 
 	// Full-weighting restriction to the coarse grid.
 	nc := k.interior(l + 1)
 	fc, uc := k.f[l+1], k.u[l+1]
-	for i := 1; i <= nc; i++ {
-		fi := 2 * i
-		fc[i] = ctx.Store(0.25*res[fi-1] + 0.5*res[fi] + 0.25*res[fi+1])
+	for i := 1 + rc.bulk(nc); i <= nc; i++ {
+		fc[i] = ctx.Store(0.25*res[2*i-1] + 0.5*res[2*i] + 0.25*res[2*i+1])
 	}
-	for i := range uc {
-		uc[i] = 0
+	// Untracked reset of the coarse iterate: only once live (a
+	// checkpoint inside the coarse solve already holds the mid-solve uc).
+	if rc.done() {
+		for i := range uc {
+			uc[i] = 0
+		}
 	}
 
-	k.vcycle(ctx, l+1)
+	k.vcycle(ctx, rc, l+1)
 
 	// Linear prolongation of the coarse correction and fine-grid update.
-	for i := 1; i <= n; i++ {
+	for i := 1 + rc.bulk(n); i <= n; i++ {
 		var corr float64
 		if i%2 == 0 {
 			corr = uc[i/2]
@@ -179,21 +205,56 @@ func (k *Multigrid) vcycle(ctx *trace.Ctx, l int) {
 		u[i] = ctx.Store(u[i] + corr)
 	}
 
-	k.smooth(ctx, l)
+	k.smooth(ctx, rc, l)
 }
 
 // Run implements trace.Program. The output is the fine-grid solution.
 func (k *Multigrid) Run(ctx *trace.Ctx) []float64 {
-	copy(k.f[0], k.rhs)
-	for i := range k.u[0] {
-		k.u[0][i] = 0
+	rc := newCursor(ctx)
+	if rc.done() {
+		copy(k.f[0], k.rhs)
+		for i := range k.u[0] {
+			k.u[0][i] = 0
+		}
 	}
 	for c := 0; c < k.cycles; c++ {
-		k.vcycle(ctx, 0)
+		k.vcycle(ctx, &rc, 0)
 	}
 	out := make([]float64, len(k.u[0]))
 	copy(out, k.u[0])
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *Multigrid) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &multigridState{
+			u:   make([][]float64, k.levels),
+			f:   make([][]float64, k.levels),
+			res: make([][]float64, k.levels),
+		}
+		for l := 0; l < k.levels; l++ {
+			k.snap.u[l] = make([]float64, len(k.u[l]))
+			k.snap.f[l] = make([]float64, len(k.f[l]))
+			k.snap.res[l] = make([]float64, len(k.res[l]))
+		}
+	}
+	for l := 0; l < k.levels; l++ {
+		copy(k.snap.u[l], k.u[l])
+		copy(k.snap.f[l], k.f[l])
+		copy(k.snap.res[l], k.res[l])
+	}
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *Multigrid) Restore(s trace.State) {
+	sn := s.(*multigridState)
+	for l := 0; l < k.levels; l++ {
+		copy(k.u[l], sn.u[l])
+		copy(k.f[l], sn.f[l])
+		copy(k.res[l], sn.res[l])
+	}
 }
 
 func init() {

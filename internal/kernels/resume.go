@@ -1,0 +1,73 @@
+package kernels
+
+import "ftb/internal/trace"
+
+// cursor drives a resumed Run past the stores a restored checkpoint
+// already holds. A kernel threads one cursor through its Run in program
+// order: every tracked store is guarded by one() (true means the store
+// was committed before the checkpoint, so its body — the Store call and
+// the assignment — must be skipped), and untracked setup mutations are
+// guarded by done() (only re-execute them once the run is live, i.e.
+// past the resume point).
+//
+// Because a checkpoint is taken at an exact store boundary, at most one
+// program "unit" (a group of stores sharing intermediate values) can be
+// split by the resume point; kernels stash such intermediates in
+// snapshot-visible fields so the live half of a split unit can finish
+// from the checkpoint (see DESIGN.md §11).
+type cursor struct {
+	skip int // committed stores still to skip
+}
+
+// newCursor returns a cursor for the context's resume offset. A
+// from-scratch run gets a zero cursor, whose guards compile down to a
+// counter test per store.
+func newCursor(ctx *trace.Ctx) cursor { return cursor{skip: ctx.ResumePos()} }
+
+// done reports whether the run is past the resume point (live).
+func (c *cursor) done() bool { return c.skip == 0 }
+
+// one consumes the next store slot, reporting whether that store was
+// already committed before the checkpoint and must be skipped.
+func (c *cursor) one() bool {
+	if c.skip > 0 {
+		c.skip--
+		return true
+	}
+	return false
+}
+
+// bulk consumes up to n pending skips at once and returns how many were
+// consumed: the number of leading stores of an n-store block already
+// committed before the checkpoint. A loop whose iterations each commit
+// exactly one store — and do nothing else the skip path would need —
+// fast-forwards with it in O(1) instead of burning a one() test per
+// skipped iteration, which is what makes resuming deep into a long run
+// cheap:
+//
+//	for i := rc.bulk(n); i < n; i++ {
+//		v[i] = ctx.Store(...)
+//	}
+func (c *cursor) bulk(n int) int {
+	k := min(c.skip, n)
+	c.skip -= k
+	return k
+}
+
+// region consumes n pending skips — but only all-or-nothing — and
+// reports whether the caller's whole n-store block is already committed.
+// It exists for structural blocks (a V-cycle leg, an LU block step, an
+// FFT stage) whose control flow itself costs something to walk: when the
+// checkpoint lies beyond the block, the caller bypasses the block
+// wholesale — recursion, loop headers, stashes and all — instead of
+// threading one()/bulk() guards through it. When the checkpoint lies
+// inside the block, region consumes nothing and the caller walks the
+// block with the fine-grained guards as usual. n must be the block's
+// exact tracked-store count, or resumed runs would misnumber sites.
+func (c *cursor) region(n int) bool {
+	if c.skip >= n {
+		c.skip -= n
+		return true
+	}
+	return false
+}

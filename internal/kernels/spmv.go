@@ -21,6 +21,12 @@ type SpMV struct {
 	x0     linalg.Vector
 	x, y   linalg.Vector
 	phases []Phase
+	snap   *spmvState
+}
+
+// spmvState is the kernel's checkpoint: both iterate buffers.
+type spmvState struct {
+	x, y linalg.Vector
 }
 
 // SpMVConfig parameterizes NewSpMV.
@@ -101,11 +107,14 @@ func (k *SpMV) layoutPhases() []Phase {
 // Run implements trace.Program. The output is the final iterate.
 func (k *SpMV) Run(ctx *trace.Ctx) []float64 {
 	a := k.a
+	rc := newCursor(ctx)
 	x, y := k.x, k.y
-	copy(x, k.x0)
+	if rc.done() {
+		copy(x, k.x0)
+	}
 
 	for s := 0; s < k.steps; s++ {
-		for i := 0; i < a.N; i++ {
+		for i := rc.bulk(a.N); i < a.N; i++ {
 			lo, hi := a.RowRange(i)
 			var acc float64
 			for kk := lo; kk < hi; kk++ {
@@ -119,6 +128,23 @@ func (k *SpMV) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, a.N)
 	copy(out, x)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *SpMV) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &spmvState{x: linalg.NewVector(k.a.N), y: linalg.NewVector(k.a.N)}
+	}
+	copy(k.snap.x, k.x)
+	copy(k.snap.y, k.y)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *SpMV) Restore(s trace.State) {
+	sn := s.(*spmvState)
+	copy(k.x, sn.x)
+	copy(k.y, sn.y)
 }
 
 func init() {

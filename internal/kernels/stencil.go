@@ -21,6 +21,12 @@ type Stencil struct {
 	init           []float64
 	cur, next      []float64
 	phases         []Phase
+	snap           *stencilState
+}
+
+// stencilState is the kernel's checkpoint: both sweep buffers.
+type stencilState struct {
+	cur, next []float64
 }
 
 // StencilConfig parameterizes NewStencil.
@@ -85,13 +91,16 @@ func (k *Stencil) layoutPhases() []Phase {
 // Run implements trace.Program. The output is the final grid.
 func (k *Stencil) Run(ctx *trace.Ctx) []float64 {
 	nx, ny := k.nx, k.ny
+	rc := newCursor(ctx)
 	cur, next := k.cur, k.next
-	copy(cur, k.init)
-	copy(next, k.init) // boundaries stay fixed in next
+	if rc.done() {
+		copy(cur, k.init)
+		copy(next, k.init) // boundaries stay fixed in next
+	}
 
 	for s := 0; s < k.sweeps; s++ {
 		for y := 1; y < ny-1; y++ {
-			for x := 1; x < nx-1; x++ {
+			for x := 1 + rc.bulk(nx-2); x < nx-1; x++ {
 				i := y*nx + x
 				v := 0.2 * (cur[i] + cur[i+1] + cur[i-1] + cur[i+nx] + cur[i-nx])
 				next[i] = ctx.Store(v)
@@ -103,6 +112,23 @@ func (k *Stencil) Run(ctx *trace.Ctx) []float64 {
 	out := make([]float64, len(cur))
 	copy(out, cur)
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *Stencil) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &stencilState{cur: make([]float64, len(k.cur)), next: make([]float64, len(k.next))}
+	}
+	copy(k.snap.cur, k.cur)
+	copy(k.snap.next, k.next)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *Stencil) Restore(s trace.State) {
+	sn := s.(*stencilState)
+	copy(k.cur, sn.cur)
+	copy(k.next, sn.next)
 }
 
 func init() {

@@ -17,6 +17,12 @@ type Stencil32 struct {
 	init           []float32
 	cur, next      []float32
 	phases         []Phase
+	snap           *stencil32State
+}
+
+// stencil32State is the kernel's checkpoint: both sweep buffers.
+type stencil32State struct {
+	cur, next []float32
 }
 
 // NewStencil32 validates cfg and returns the kernel. The configuration
@@ -71,13 +77,16 @@ func (k *Stencil32) Width() int { return 32 }
 // float64 (the values are exactly representable).
 func (k *Stencil32) Run(ctx *trace.Ctx) []float64 {
 	nx, ny := k.nx, k.ny
+	rc := newCursor(ctx)
 	cur, next := k.cur, k.next
-	copy(cur, k.init)
-	copy(next, k.init)
+	if rc.done() {
+		copy(cur, k.init)
+		copy(next, k.init)
+	}
 
 	for s := 0; s < k.sweeps; s++ {
 		for y := 1; y < ny-1; y++ {
-			for x := 1; x < nx-1; x++ {
+			for x := 1 + rc.bulk(nx-2); x < nx-1; x++ {
 				i := y*nx + x
 				v := 0.2 * (cur[i] + cur[i+1] + cur[i-1] + cur[i+nx] + cur[i-nx])
 				next[i] = ctx.Store32(v)
@@ -91,6 +100,23 @@ func (k *Stencil32) Run(ctx *trace.Ctx) []float64 {
 		out[i] = float64(v)
 	}
 	return out
+}
+
+// Snapshot implements trace.Snapshotter.
+func (k *Stencil32) Snapshot() trace.State {
+	if k.snap == nil {
+		k.snap = &stencil32State{cur: make([]float32, len(k.cur)), next: make([]float32, len(k.next))}
+	}
+	copy(k.snap.cur, k.cur)
+	copy(k.snap.next, k.next)
+	return k.snap
+}
+
+// Restore implements trace.Snapshotter.
+func (k *Stencil32) Restore(s trace.State) {
+	sn := s.(*stencil32State)
+	copy(k.cur, sn.cur)
+	copy(k.next, sn.next)
 }
 
 func init() {

@@ -20,6 +20,16 @@ func (c ComplexVec) At(i int) (re, im float64) { return c[2*i], c[2*i+1] }
 // Set assigns element i.
 func (c ComplexVec) Set(i int, re, im float64) { c[2*i], c[2*i+1] = re, im }
 
+// SetRe assigns only the real component of element i. Together with
+// SetIm it lets instrumented kernels commit the two components of one
+// complex write individually, which checkpointed replay requires: a run
+// paused between the two component stores must have committed exactly
+// the first.
+func (c ComplexVec) SetRe(i int, re float64) { c[2*i] = re }
+
+// SetIm assigns only the imaginary component of element i.
+func (c ComplexVec) SetIm(i int, im float64) { c[2*i+1] = im }
+
 // Clone returns an independent copy.
 func (c ComplexVec) Clone() ComplexVec {
 	out := make(ComplexVec, len(c))

@@ -52,13 +52,20 @@ func Classify(golden, out []float64, tol float64, crashed bool) Kind {
 	if len(out) != len(golden) {
 		return SDC // divergent output shape: observably wrong result
 	}
+	// Hot loop: one subtraction and one comparison per element on the
+	// common (masked) path. NaN deviations fail the !(d <= maxd) test's
+	// complement — NaN compares false against everything — so they fall
+	// into the slow branch with Inf and are classified there.
 	var maxd float64
 	for i := range out {
-		d := math.Abs(out[i] - golden[i])
-		if math.IsNaN(d) || math.IsInf(d, 0) {
-			return Crash
+		d := out[i] - golden[i]
+		if d < 0 {
+			d = -d
 		}
-		if d > maxd {
+		if !(d <= maxd) {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return Crash
+			}
 			maxd = d
 		}
 	}
@@ -77,11 +84,14 @@ func OutputError(golden, out []float64, crashed bool) float64 {
 	}
 	var maxd float64
 	for i := range out {
-		d := math.Abs(out[i] - golden[i])
-		if math.IsNaN(d) || math.IsInf(d, 0) {
-			return math.Inf(1)
+		d := out[i] - golden[i]
+		if d < 0 {
+			d = -d
 		}
-		if d > maxd {
+		if !(d <= maxd) {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return math.Inf(1)
+			}
 			maxd = d
 		}
 	}

@@ -40,6 +40,9 @@ func (s *Snapshot) Merge(o Snapshot, shard string) error {
 	s.Outcomes.SDC += o.Outcomes.SDC
 	s.Outcomes.Crash += o.Outcomes.Crash
 	s.Outcomes.Mismatch += o.Outcomes.Mismatch
+	s.Replay.SnapshotHits += o.Replay.SnapshotHits
+	s.Replay.SnapshotMisses += o.Replay.SnapshotMisses
+	s.Replay.StoresSkipped += o.Replay.StoresSkipped
 	s.WallSeconds += o.WallSeconds
 	for _, w := range o.Workers {
 		w.Shard = namespaced(shard, w.Shard)
@@ -63,6 +66,9 @@ func (s *Snapshot) Merge(o Snapshot, shard string) error {
 		p.Outcomes.SDC += op.Outcomes.SDC
 		p.Outcomes.Crash += op.Outcomes.Crash
 		p.Outcomes.Mismatch += op.Outcomes.Mismatch
+		p.Replay.SnapshotHits += op.Replay.SnapshotHits
+		p.Replay.SnapshotMisses += op.Replay.SnapshotMisses
+		p.Replay.StoresSkipped += op.Replay.StoresSkipped
 		p.WallSeconds += op.WallSeconds
 		s.Phases[name] = p
 	}
@@ -148,6 +154,9 @@ func (c *Collector) Absorb(s Snapshot) error {
 		ph.outcomes[outcome.Crash].add(0, p.Outcomes.Crash)
 		ph.traced.add(0, p.Trajectories)
 		ph.mismatches.Add(p.Outcomes.Mismatch)
+		ph.snapHits.add(0, p.Replay.SnapshotHits)
+		ph.snapMisses.add(0, p.Replay.SnapshotMisses)
+		ph.storesSkipped.add(0, p.Replay.StoresSkipped)
 		ph.wallNanos.Add(int64(p.WallSeconds * 1e9))
 	}
 	for _, sec := range s.Sections {

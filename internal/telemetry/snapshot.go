@@ -26,6 +26,7 @@ type Snapshot struct {
 	// trajectory (campaigns run with a tracer attached).
 	Trajectories int64                    `json:"trajectories"`
 	Outcomes     OutcomeCounts            `json:"outcomes"`
+	Replay       ReplayCounts             `json:"replay"`
 	WallSeconds  float64                  `json:"wall_seconds"`
 	RunLatency   HistogramSnapshot        `json:"run_latency"`
 	QueueWait    HistogramSnapshot        `json:"queue_wait"`
@@ -33,6 +34,17 @@ type Snapshot struct {
 	Gauges       map[string]int64         `json:"gauges"`
 	Phases       map[string]PhaseSnapshot `json:"phases"`
 	Sections     []SectionSnapshot        `json:"sections,omitempty"`
+}
+
+// ReplayCounts is the checkpointed-replay accounting of campaigns run
+// with Replay enabled: how often a worker's cached kernel snapshot
+// served an experiment's prefix (hit) versus had to be built or extended
+// (miss), and the total prefix stores replay avoided re-executing. All
+// zero for campaigns run without replay.
+type ReplayCounts struct {
+	SnapshotHits   int64 `json:"snapshot_hits"`
+	SnapshotMisses int64 `json:"snapshot_misses"`
+	StoresSkipped  int64 `json:"stores_skipped"`
 }
 
 // OutcomeCounts is the classified-outcome tally, plus trace-mismatch
@@ -78,6 +90,7 @@ type PhaseSnapshot struct {
 	Experiments  int64         `json:"experiments"`
 	Trajectories int64         `json:"trajectories"`
 	Outcomes     OutcomeCounts `json:"outcomes"`
+	Replay       ReplayCounts  `json:"replay"`
 	WallSeconds  float64       `json:"wall_seconds"`
 }
 
@@ -157,9 +170,17 @@ func (c *Collector) Snapshot() Snapshot {
 			Experiments:  ph.experiments.Value(),
 			Trajectories: ph.traced.Value(),
 			Outcomes:     pc,
-			WallSeconds:  nanosToSeconds(ph.wallNanos.Value()),
+			Replay: ReplayCounts{
+				SnapshotHits:   ph.snapHits.Value(),
+				SnapshotMisses: ph.snapMisses.Value(),
+				StoresSkipped:  ph.storesSkipped.Value(),
+			},
+			WallSeconds: nanosToSeconds(ph.wallNanos.Value()),
 		}
 		s.Trajectories += ps.Trajectories
+		s.Replay.SnapshotHits += ps.Replay.SnapshotHits
+		s.Replay.SnapshotMisses += ps.Replay.SnapshotMisses
+		s.Replay.StoresSkipped += ps.Replay.StoresSkipped
 		s.Phases[name] = ps
 	}
 	for _, name := range c.sectionOrder {
@@ -236,6 +257,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "ftb_outcomes_total{outcome=%q} %d\n", kv.label, kv.v); err != nil {
 			return err
 		}
+	}
+	if err := counter("ftb_replay_snapshot_hits_total", "Experiments whose prefix was served from a cached kernel snapshot.", s.Replay.SnapshotHits); err != nil {
+		return err
+	}
+	if err := counter("ftb_replay_snapshot_misses_total", "Experiments that had to build or extend a kernel snapshot.", s.Replay.SnapshotMisses); err != nil {
+		return err
+	}
+	if err := counter("ftb_replay_stores_skipped_total", "Prefix stores replay avoided re-executing.", s.Replay.StoresSkipped); err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP ftb_campaign_wall_seconds_total Summed campaign wall-clock time.\n# TYPE ftb_campaign_wall_seconds_total counter\nftb_campaign_wall_seconds_total %s\n", promFloat(s.WallSeconds)); err != nil {
 		return err

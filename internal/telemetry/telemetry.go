@@ -197,6 +197,13 @@ type phaseStats struct {
 	traced      stripedCounter
 	mismatches  Counter
 	wallNanos   Counter
+	// Checkpointed-replay accounting (campaigns run with Replay enabled):
+	// snapshot-cache hits and misses, plus the total number of prefix
+	// stores replay avoided re-executing. All three ride the per-
+	// experiment hot path, so they stripe like the outcome counters.
+	snapHits      stripedCounter
+	snapMisses    stripedCounter
+	storesSkipped stripedCounter
 }
 
 // sectionStats aggregates one named harness section (e.g. "table1"):
@@ -332,6 +339,27 @@ func (r *CampaignRecorder) Wait(worker int, d time.Duration) {
 // Mismatch records a trace-mismatch abort (a factory that built a
 // different, or non-data-oblivious, program).
 func (r *CampaignRecorder) Mismatch() { r.ph.mismatches.Inc() }
+
+// SnapshotHit records that the given worker served an experiment's
+// prefix from its cached kernel snapshot (checkpointed replay).
+func (r *CampaignRecorder) SnapshotHit(worker int) {
+	r.ph.snapHits.add(worker&stripeMask, 1)
+}
+
+// SnapshotMiss records that the given worker had to (re)build its kernel
+// snapshot — by running or extending the prefix — before injecting.
+func (r *CampaignRecorder) SnapshotMiss(worker int) {
+	r.ph.snapMisses.add(worker&stripeMask, 1)
+}
+
+// StoresSkipped records how many prefix stores one experiment avoided
+// re-executing by resuming from a snapshot instead of running from the
+// program entry.
+func (r *CampaignRecorder) StoresSkipped(worker int, n int64) {
+	if n > 0 {
+		r.ph.storesSkipped.add(worker&stripeMask, n)
+	}
+}
 
 // End closes the campaign, charging its wall-clock to the collector and
 // the phase. Extra calls are no-ops, so it is defer-safe.

@@ -1,0 +1,168 @@
+// Checkpointed prefix replay: the injection run for site i is
+// byte-identical to the golden run for every store before i, so a
+// campaign that snapshots the kernel state at a site's prefix boundary
+// can replay all bit flips for that site from the snapshot instead of
+// re-executing the prefix. This file holds the substrate half of that
+// optimization: the Snapshotter contract kernels opt into, the
+// advance/pause mechanism that drives a kernel to an exact store
+// boundary, and resume-armed variants of the injection runners.
+package trace
+
+import "fmt"
+
+// State is an opaque kernel snapshot. Its concrete type is owned by the
+// kernel that produced it; the campaign layer only shuttles it between
+// Snapshot and Restore on the same Program instance.
+//
+// A kernel may (and the in-tree kernels do) back all its States with a
+// single reusable buffer: calling Snapshot invalidates any State the
+// same instance returned earlier. The replay cache holds at most one
+// live State per Program instance, so this aliasing is safe.
+type State any
+
+// Snapshotter is implemented by programs that support checkpointed
+// prefix replay. Snapshot captures every piece of state that Run
+// mutates (arrays, scratch buffers, carried scalars) at a store
+// boundary: after Advance(ctx, p, from, to) returns, exactly the
+// tracked stores [0, to) have been committed, and Snapshot must capture
+// enough to later Restore the instance to that point and resume with
+// a Ctx armed at offset to.
+//
+// Programs that do not implement Snapshotter transparently fall back to
+// full re-execution in the campaign layer.
+type Snapshotter interface {
+	Program
+	// Snapshot captures the current run state. The returned State is
+	// only valid until the next Snapshot call on the same instance.
+	Snapshot() State
+	// Restore rewinds the instance to a state previously captured by
+	// Snapshot on the same instance.
+	Restore(State)
+}
+
+// pauseSignal aborts an advance run once the target store boundary is
+// reached. It never escapes this package.
+type pauseSignal struct{}
+
+// ResumePos returns the store offset the context was armed to resume
+// from: the number of already-committed tracked stores a resumed Run
+// must skip before its first Store call. Zero for a from-scratch run.
+func (c *Ctx) ResumePos() int { return c.resume }
+
+// InjectFrom arms c like Inject, resuming from a checkpoint that holds
+// the first `resume` stores: dynamic-instruction indices start at
+// resume, so the injection site keeps its from-scratch index. The site
+// must not precede the resume offset (the flip would silently never
+// fire).
+func (c *Ctx) InjectFrom(site int, bit uint, resume int) {
+	if site < resume {
+		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
+	}
+	*c = Ctx{mode: ModeInject, site: site, bit: bit, n: resume, resume: resume}
+}
+
+// InjectDiffFrom arms c like InjectDiff, resuming from a checkpoint
+// that holds the first `resume` stores. The caller is responsible for
+// replaying the skipped prefix's zero deltas to the sink (see
+// RunInjectDiffFrom).
+func (c *Ctx) InjectDiffFrom(site int, bit uint, golden []float64, sink DiffSink, resume int) {
+	if site < resume {
+		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
+	}
+	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink, n: resume, resume: resume}
+}
+
+// armAdvance arms c to run stores [from, to) and pause: the run skips
+// the first `from` stores (already committed in the restored state),
+// commits stores [from, to), and aborts inside the Store call for store
+// `to` — before the kernel assigns its value anywhere.
+func (c *Ctx) armAdvance(from, to int) {
+	*c = Ctx{mode: modeAdvance, n: from, resume: from, pauseAt: to}
+}
+
+// Advance drives p from a state holding the first `from` stores to one
+// holding exactly the first `to` stores, then pauses it. The golden
+// prefix is known safe, so no crash trapping applies. A run that
+// completes without reaching store `to` means the boundary lies past
+// the end of the trace (a campaign or kernel bug) and is an error.
+func Advance(ctx *Ctx, p Program, from, to int) error {
+	if from < 0 || to < from {
+		return fmt.Errorf("trace: invalid advance range [%d, %d)", from, to)
+	}
+	paused := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(pauseSignal); !ok {
+					panic(r)
+				}
+				paused = true
+			}
+		}()
+		ctx.armAdvance(from, to)
+		p.Run(ctx)
+	}()
+	if !paused {
+		return fmt.Errorf("trace: advance to store %d never paused (program %q ran %d stores)",
+			to, p.Name(), ctx.Sites())
+	}
+	return nil
+}
+
+// RunInjectFrom executes p with a single bit flip at (site, bit),
+// resuming from a restored checkpoint that holds the first `resume`
+// stores. With resume == 0 it is exactly RunInject. The run's outcome
+// (output, crash, injected error) is byte-identical to a from-scratch
+// RunInject at the same (site, bit).
+func RunInjectFrom(ctx *Ctx, p Program, site int, bit uint, resume int) (res InjectResult) {
+	ctx.InjectFrom(site, bit, resume)
+	defer func() {
+		res.InjErr = ctx.InjectedError()
+		res.Injected = ctx.Injected()
+		if r := recover(); r != nil {
+			cs, ok := r.(crashSignal)
+			if !ok {
+				panic(r)
+			}
+			res.Crashed = true
+			res.CrashAt = cs.site
+			res.Output = nil
+		}
+	}()
+	res.Output = p.Run(ctx)
+	return res
+}
+
+// RunInjectDiffFrom executes p like RunInjectDiff, resuming from a
+// restored checkpoint that holds the first `resume` stores. The skipped
+// prefix is byte-identical to the golden run, so its deltas are zero by
+// construction; they are replayed to the sink before the run starts, so
+// the sink observes the same per-site stream as a from-scratch run.
+func RunInjectDiffFrom(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink, resume int) (InjectResult, error) {
+	for i := 0; i < resume && i < len(golden.Trace); i++ {
+		sink.Observe(i, golden.Trace[i], 0)
+	}
+	ctx.InjectDiffFrom(site, bit, golden.Trace, sink, resume)
+	res := func() (res InjectResult) {
+		defer func() {
+			res.InjErr = ctx.InjectedError()
+			res.Injected = ctx.Injected()
+			if r := recover(); r != nil {
+				cs, ok := r.(crashSignal)
+				if !ok {
+					panic(r)
+				}
+				res.Crashed = true
+				res.CrashAt = cs.site
+				res.Output = nil
+			}
+		}()
+		res.Output = p.Run(ctx)
+		return res
+	}()
+	if !res.Crashed && ctx.Sites() != golden.Sites() {
+		return res, fmt.Errorf("%w: got %d, golden %d (program %q)",
+			ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+	}
+	return res, nil
+}

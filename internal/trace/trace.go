@@ -42,6 +42,9 @@ const (
 	// modeStreamDiff is the injected half of a dual run: golden reference
 	// values are read from the channel instead of a recorded trace.
 	modeStreamDiff
+	// modeAdvance re-executes the golden prefix up to a store boundary
+	// and pauses there, so a Snapshotter can checkpoint (see Advance).
+	modeAdvance
 )
 
 // DiffSink consumes per-site propagation errors during a ModeInjectDiff
@@ -101,6 +104,10 @@ type Ctx struct {
 	streamOut   chan<- float64
 	streamIn    <-chan float64
 	streamShort bool // golden stream ended before this run did
+
+	// Checkpointed replay (see replay.go).
+	resume  int // stores already committed before this run started
+	pauseAt int // modeAdvance: store index to pause at, pre-commit
 }
 
 // Count arms c to count dynamic instructions.
@@ -218,6 +225,14 @@ func (c *Ctx) Store(v float64) float64 {
 		}
 		c.sink.Observe(i, g, d)
 		return v
+	case modeAdvance:
+		// The golden prefix is known safe: no flip, no crash trapping.
+		// Pausing here — before Store returns — leaves exactly the
+		// stores [0, pauseAt) committed by the kernel.
+		if i == c.pauseAt {
+			panic(pauseSignal{})
+		}
+		return v
 	default:
 		panic(fmt.Sprintf("trace: invalid mode %d", c.mode))
 	}
@@ -258,6 +273,38 @@ func (c *Ctx) Store32(v float32) float32 {
 				d = -d
 			}
 			c.sink.Observe(i, g, d)
+		}
+		return v
+	case modeStreamSource:
+		c.streamOut <- float64(v)
+		return v
+	case modeStreamDiff:
+		if i == c.site {
+			if c.bit >= bits.Width32 {
+				panic(fmt.Sprintf("trace: bit %d armed against 32-bit site %d", c.bit, i))
+			}
+			orig := v
+			v = bits.Flip32(v, c.bit)
+			c.injected = true
+			c.injErr = injectionError32(orig, v)
+		}
+		if bits.IsUnsafe32(v) {
+			panic(crashSignal{site: i})
+		}
+		g, ok := <-c.streamIn
+		if !ok {
+			c.streamShort = true
+			return v
+		}
+		d := float64(v) - g
+		if d < 0 {
+			d = -d
+		}
+		c.sink.Observe(i, g, d)
+		return v
+	case modeAdvance:
+		if i == c.pauseAt {
+			panic(pauseSignal{})
 		}
 		return v
 	default:
@@ -339,23 +386,8 @@ type InjectResult struct {
 // (re-armed internally). The returned output aliases kernel-owned memory
 // only until the next run on the same Program instance; callers that keep
 // it must copy.
-func RunInject(ctx *Ctx, p Program, site int, bit uint) (res InjectResult) {
-	ctx.Inject(site, bit)
-	defer func() {
-		res.InjErr = ctx.InjectedError()
-		res.Injected = ctx.Injected()
-		if r := recover(); r != nil {
-			cs, ok := r.(crashSignal)
-			if !ok {
-				panic(r)
-			}
-			res.Crashed = true
-			res.CrashAt = cs.site
-			res.Output = nil
-		}
-	}()
-	res.Output = p.Run(ctx)
-	return res
+func RunInject(ctx *Ctx, p Program, site int, bit uint) InjectResult {
+	return RunInjectFrom(ctx, p, site, bit, 0)
 }
 
 // RunInjectDiff executes p with a single bit flip at (site, bit), streaming
@@ -365,27 +397,5 @@ func RunInject(ctx *Ctx, p Program, site int, bit uint) (res InjectResult) {
 // returned if the run's dynamic-instruction count differs from golden's
 // (only possible for a buggy, non-data-oblivious kernel).
 func RunInjectDiff(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink) (InjectResult, error) {
-	ctx.InjectDiff(site, bit, golden.Trace, sink)
-	res := func() (res InjectResult) {
-		defer func() {
-			res.InjErr = ctx.InjectedError()
-			res.Injected = ctx.Injected()
-			if r := recover(); r != nil {
-				cs, ok := r.(crashSignal)
-				if !ok {
-					panic(r)
-				}
-				res.Crashed = true
-				res.CrashAt = cs.site
-				res.Output = nil
-			}
-		}()
-		res.Output = p.Run(ctx)
-		return res
-	}()
-	if !res.Crashed && ctx.Sites() != golden.Sites() {
-		return res, fmt.Errorf("%w: got %d, golden %d (program %q)",
-			ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
-	}
-	return res, nil
+	return RunInjectDiffFrom(ctx, p, golden, site, bit, sink, 0)
 }
