@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-check bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-check bench-all examples repro clean
 
 all: check
 
@@ -40,7 +40,7 @@ test:
 ci: check cover examples
 
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/... ./internal/cluster/...
+	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/... ./internal/cluster/... ./internal/store/...
 
 # cover prints per-package coverage and enforces COVER_MIN on the
 # aggregate statement coverage of the internal packages.
@@ -82,6 +82,14 @@ bench-replay:
 	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | tee BENCH_replay.txt | $(GO) run ./cmd/benchjson > BENCH_replay.json
 	@echo "wrote BENCH_replay.txt and BENCH_replay.json"
 
+# bench-store records the ground-truth store's cost model: append
+# throughput, point lookup, range scan, full materialization, and the
+# legacy container load it replaces (LoadGroundTruth, the migration
+# baseline).
+bench-store:
+	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | tee BENCH_store.txt | $(GO) run ./cmd/benchjson > BENCH_store.json
+	@echo "wrote BENCH_store.txt and BENCH_store.json"
+
 # bench-check is the regression gate: re-run every recorded benchmark
 # suite with the same flags that produced its committed BENCH_*.json and
 # fail on any >25% ns/op regression (benchjson -compare).
@@ -89,6 +97,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
 	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | $(GO) run ./cmd/benchjson -compare BENCH_proptrace.json
 	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | $(GO) run ./cmd/benchjson -compare BENCH_cluster.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | $(GO) run ./cmd/benchjson -compare BENCH_store.json
 	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_replay.json
 
 bench-all:

@@ -73,6 +73,8 @@ func main() {
 		err = cmdProgressive(ctx, os.Args[2:])
 	case "exp":
 		err = cmdExp(ctx, os.Args[2:])
+	case "query":
+		err = cmdQuery(ctx, os.Args[2:])
 	case "show":
 		err = cmdShow(os.Args[2:])
 	case "propagate":
@@ -161,6 +163,7 @@ type execFlags struct {
 	cpuFile *os.File
 	logger  *slog.Logger
 	srv     *obsServer
+	store   *ftb.Store // set before begin when the command opened one
 }
 
 // newExecFlags registers the shared execution flags on fs.
@@ -194,12 +197,16 @@ func (e *execFlags) begin(ctx context.Context) error {
 		e.col = ftb.NewCollector()
 	}
 	if *e.serve != "" {
-		srv, err := startServer(ctx, *e.serve, e.col)
+		srv, err := startServer(ctx, *e.serve, e.col, e.store)
 		if err != nil {
 			return err
 		}
 		e.srv = srv
-		fmt.Fprintf(os.Stderr, "ftbcli: serving observability endpoints on http://%s (/metrics /progress /debug/pprof)\n", srv.addr())
+		fmt.Fprintf(os.Stderr, "ftbcli: serving observability endpoints on http://%s (/metrics /progress /debug/pprof", srv.addr())
+		if e.store != nil {
+			fmt.Fprint(os.Stderr, " /v1/query /v1/campaigns")
+		}
+		fmt.Fprintln(os.Stderr, ")")
 	}
 	if *e.cpuProfile != "" {
 		f, err := os.Create(*e.cpuProfile)
@@ -344,6 +351,13 @@ commands:
                                    table3 table4 monotonic baseline
                                    ablation sensitivity all
               [-size S] [-trials N] [-seed X]
+  query       -store DIR           answer point/range/summary queries from a
+              [-campaign REF]      ground-truth store with zero engine runs;
+              [-site N [-bit B]]   REF is a campaign directory name or unique
+              [-sites LO:HI]       program name (optional when the store holds
+              [-json]              one campaign); no facet lists campaigns /
+              [-serve ADDR]        summarizes the campaign; -serve exposes
+                                   /v1/query and /v1/campaigns over HTTP
   show        FILE                 summarize a saved artifact (.ftb file)
   propagate   -kernel K -size S    chart one injection's error propagation
               [-site N] [-bit B]   (the paper's Figure 2)
@@ -361,6 +375,12 @@ persistence:
   exhaustive  -save FILE           save the ground truth for later analysis
   exhaustive  -checkpoint FILE     batch-checkpoint long campaigns; resumes
               [-batch N]           automatically if the file exists
+  exhaustive  -store DIR           append outcomes durably to a ground-truth
+                                   store as the campaign runs; a killed run
+                                   (in-process or cluster coordinator) resumes
+                                   from the store, and results stay queryable
+                                   with "ftbcli query" (mutually exclusive
+                                   with -checkpoint)
   infer       -save FILE           save the inferred boundary
 
 cluster execution (exhaustive):
@@ -451,6 +471,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	kernel, size := kernelFlags(fs)
 	save := fs.String("save", "", "write the ground truth to this file")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
+	storeDir := fs.String("store", "", "ground-truth store directory: outcomes are appended durably as the campaign runs, a prior partial campaign resumes from the store, and results stay queryable with ftbcli query")
 	batch := fs.Int("batch", 256, "sites per checkpoint batch")
 	clusterURLs := fs.String("cluster", "", "shard the campaign across these comma-separated worker URLs (see the worker command)")
 	selfhost := fs.Int("selfhost", 0, "shard the campaign across this many locally forked worker processes")
@@ -463,13 +484,25 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	var runOpts []ftb.RunOption
+	if *storeDir != "" {
+		st, err := ftb.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		exec.store = st
+		runOpts = append(runOpts, ftb.WithStore(st))
+	}
 	if err := exec.begin(ctx); err != nil {
 		return err
 	}
 	defer exec.end()
+	if exec.store != nil && exec.col != nil {
+		exec.store.SetCollector(exec.col)
+	}
 	an = exec.apply(ctx, an)
 	defer exec.finish()
-	var runOpts []ftb.RunOption
 	if *clusterURLs != "" || *selfhost > 0 {
 		co := ftb.ClusterOptions{
 			SelfHost:  *selfhost,
@@ -503,7 +536,10 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	}
 	start := time.Now()
 	var gt *ftb.GroundTruth
-	if *checkpoint != "" {
+	if *checkpoint != "" || *storeDir != "" {
+		// With -store and no -checkpoint the empty path selects the
+		// store-backed resume (the two together are rejected by the
+		// facade as mutually exclusive).
 		gt, err = an.ExhaustiveCheckpointed(*checkpoint, *batch, runOpts...)
 	} else {
 		gt, err = an.Exhaustive(runOpts...)

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftb"
+	"ftb/internal/store"
+)
+
+// cmdQuery answers point, range, and summary queries from a ground-truth
+// store. It opens only the store: no kernel is constructed, no golden
+// run is computed, and no experiment executes — a completed campaign is
+// queryable forever at zero engine cost.
+func cmdQuery(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("store", "", "ground-truth store directory (required)")
+	campaignRef := fs.String("campaign", "", "campaign to query: directory name or unique program name (default: the store's only campaign)")
+	site := fs.Int("site", -1, "point query: dynamic-instruction site")
+	bit := fs.Int("bit", -1, "point query: bit position (requires -site)")
+	sites := fs.String("sites", "", "range query: LO:HI half-open site range")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
+	serve := fs.String("serve", "", "serve the store's query endpoints on this address (/v1/query, /v1/campaigns, /metrics) until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("query: -store is required")
+	}
+	st, err := ftb.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	if *serve != "" {
+		col := ftb.NewCollector()
+		st.SetCollector(col)
+		srv, err := startServer(ctx, *serve, col, st)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ftbcli: serving store query endpoints on http://%s (/v1/query /v1/campaigns /metrics)\n", srv.addr())
+		<-ctx.Done()
+		srv.shutdown()
+		return ctx.Err()
+	}
+
+	emit := func(doc any, text func() error) error {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}
+		return text()
+	}
+
+	// No campaign and no query facets: list what the store holds.
+	if *campaignRef == "" && *site < 0 && *sites == "" {
+		doc, err := campaignListDoc(st)
+		if err != nil {
+			return err
+		}
+		return emit(doc, func() error {
+			fmt.Printf("campaigns: %d\n", len(doc.Campaigns))
+			for _, c := range doc.Campaigns {
+				fmt.Printf("  %-24s %-10s %7d sites × %2d bits  w%d  tol %g  coverage %d/%d (%.1f%%)  %d segments  %d B\n",
+					c.Campaign, c.Program, c.Sites, c.Bits, c.Width, c.Tol,
+					c.Covered, c.Total, 100*float64(c.Covered)/float64(max(c.Total, 1)),
+					c.Segments, c.Bytes)
+			}
+			return nil
+		})
+	}
+
+	c, err := st.Lookup(*campaignRef)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *site >= 0 && *bit >= 0:
+		doc, err := pointDoc(c, *site, *bit)
+		if err != nil {
+			return err
+		}
+		return emit(doc, func() error {
+			outcome := doc.Outcome
+			if !doc.Found {
+				outcome = "unclassified"
+			}
+			fmt.Printf("%s site %d bit %d: %s\n", doc.Campaign, doc.Site, doc.Bit, outcome)
+			return nil
+		})
+	case *site >= 0:
+		doc, err := rangeDoc(c, *site, *site+1)
+		if err != nil {
+			return err
+		}
+		return emit(doc, func() error {
+			fmt.Printf("%s site %d: masked %d  sdc %d  crash %d  missing %d\n",
+				doc.Campaign, *site, doc.Masked, doc.SDC, doc.Crash, doc.Missing)
+			return nil
+		})
+	case *sites != "":
+		lo, hi, err := parseSiteRange(*sites)
+		if err != nil {
+			return err
+		}
+		doc, err := rangeDoc(c, lo, hi)
+		if err != nil {
+			return err
+		}
+		return emit(doc, func() error {
+			fmt.Printf("%s sites [%d, %d): masked %d  sdc %d  crash %d  missing %d  sdc ratio %.2f%%\n",
+				doc.Campaign, doc.LoSite, doc.HiSite, doc.Masked, doc.SDC, doc.Crash, doc.Missing,
+				100*doc.SDCRatio)
+			return nil
+		})
+	default:
+		doc, err := campaignSummaryDoc(c)
+		if err != nil {
+			return err
+		}
+		return emit(doc, func() error {
+			fmt.Printf("campaign %s: program %s, %d sites × %d bits, width %d, tolerance %g\n",
+				doc.Campaign, doc.Program, doc.Sites, doc.Bits, doc.Width, doc.Tol)
+			fmt.Printf("  coverage: %d/%d experiments (%.1f%%)\n",
+				doc.Covered, doc.Total, 100*float64(doc.Covered)/float64(max(doc.Total, 1)))
+			classified := doc.Masked + doc.SDC + doc.Crash
+			if classified > 0 {
+				fmt.Printf("  outcomes: masked %d (%.2f%%)  sdc %d (%.2f%%)  crash %d (%.2f%%)\n",
+					doc.Masked, 100*float64(doc.Masked)/float64(classified),
+					doc.SDC, 100*float64(doc.SDC)/float64(classified),
+					doc.Crash, 100*float64(doc.Crash)/float64(classified))
+			}
+			fmt.Printf("  log: %d segments, %d bytes\n", doc.Segments, doc.Bytes)
+			return nil
+		})
+	}
+}
+
+// parseSiteRange parses "LO:HI" into a half-open site range.
+func parseSiteRange(s string) (lo, hi int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("query: -sites %q is not LO:HI", s)
+	}
+	if lo, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("query: -sites %q: %w", s, err)
+	}
+	if hi, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("query: -sites %q: %w", s, err)
+	}
+	return lo, hi, nil
+}
+
+// The JSON document shapes below are shared between `ftbcli query -json`
+// and the /v1 endpoints, so scripting against either surface sees the
+// same schema.
+
+type campaignDoc struct {
+	Campaign  string  `json:"campaign"`
+	Program   string  `json:"program"`
+	Sites     int     `json:"sites"`
+	Bits      int     `json:"bits"`
+	Width     int     `json:"width"`
+	Tol       float64 `json:"tol"`
+	GoldenCRC uint32  `json:"golden_crc"`
+	Covered   int64   `json:"covered"`
+	Total     int64   `json:"total"`
+	Segments  int     `json:"segments"`
+	Bytes     int64   `json:"bytes"`
+}
+
+type campaignList struct {
+	Campaigns []campaignDoc `json:"campaigns"`
+}
+
+type summaryDoc struct {
+	campaignDoc
+	Masked int `json:"masked"`
+	SDC    int `json:"sdc"`
+	Crash  int `json:"crash"`
+}
+
+type pointResult struct {
+	Campaign string `json:"campaign"`
+	Site     int    `json:"site"`
+	Bit      int    `json:"bit"`
+	Found    bool   `json:"found"`
+	Outcome  string `json:"outcome,omitempty"`
+}
+
+type rangeResult struct {
+	Campaign string  `json:"campaign"`
+	LoSite   int     `json:"lo_site"`
+	HiSite   int     `json:"hi_site"`
+	Masked   int     `json:"masked"`
+	SDC      int     `json:"sdc"`
+	Crash    int     `json:"crash"`
+	Missing  int     `json:"missing"`
+	SDCRatio float64 `json:"sdc_ratio"`
+}
+
+func infoDoc(info store.CampaignInfo) campaignDoc {
+	return campaignDoc{
+		Campaign:  info.Dir,
+		Program:   info.Identity.Program,
+		Sites:     info.Identity.Sites,
+		Bits:      info.Identity.Bits,
+		Width:     info.Identity.Width,
+		Tol:       info.Identity.Tol,
+		GoldenCRC: info.Identity.GoldenCRC,
+		Covered:   info.Covered,
+		Total:     info.Total,
+		Segments:  info.Segments,
+		Bytes:     info.Bytes,
+	}
+}
+
+func campaignListDoc(st *ftb.Store) (campaignList, error) {
+	infos, err := st.Campaigns()
+	if err != nil {
+		return campaignList{}, err
+	}
+	doc := campaignList{Campaigns: []campaignDoc{}}
+	for _, info := range infos {
+		doc.Campaigns = append(doc.Campaigns, infoDoc(info))
+	}
+	return doc, nil
+}
+
+func campaignSummaryDoc(c *ftb.StoreCampaign) (summaryDoc, error) {
+	sum, err := c.Summary(0, c.ID().Sites)
+	if err != nil {
+		return summaryDoc{}, err
+	}
+	return summaryDoc{
+		campaignDoc: infoDoc(c.Info()),
+		Masked:      sum.Counts[0],
+		SDC:         sum.Counts[1],
+		Crash:       sum.Counts[2],
+	}, nil
+}
+
+func pointDoc(c *ftb.StoreCampaign, site, bit int) (pointResult, error) {
+	k, found, err := c.Get(site, bit)
+	if err != nil {
+		return pointResult{}, err
+	}
+	doc := pointResult{Campaign: c.ID().DirName(), Site: site, Bit: bit, Found: found}
+	if found {
+		doc.Outcome = k.String()
+	}
+	return doc, nil
+}
+
+func rangeDoc(c *ftb.StoreCampaign, loSite, hiSite int) (rangeResult, error) {
+	sum, err := c.Summary(loSite, hiSite)
+	if err != nil {
+		return rangeResult{}, err
+	}
+	return rangeResult{
+		Campaign: c.ID().DirName(),
+		LoSite:   loSite,
+		HiSite:   hiSite,
+		Masked:   sum.Counts[0],
+		SDC:      sum.Counts[1],
+		Crash:    sum.Counts[2],
+		Missing:  sum.Missing,
+		SDCRatio: sum.Counts.SDCRatio(),
+	}, nil
+}

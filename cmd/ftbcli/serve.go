@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -47,11 +48,14 @@ func (m multiObserver) OnProgress(e ftb.ProgressEvent) {
 
 // obsServer is the -serve observability endpoint: a plain HTTP server
 // exposing the running campaign's metrics (/metrics, Prometheus text
-// exposition), its progress frontier (/progress, JSON), and the
-// standard pprof handlers (/debug/pprof/). It doubles as a progress
-// observer so /progress reflects the live campaign, not a poll cycle.
+// exposition), its progress frontier (/progress, JSON), the standard
+// pprof handlers (/debug/pprof/), and — when a ground-truth store is
+// attached — the store query surface (/v1/query, /v1/campaigns). It
+// doubles as a progress observer so /progress reflects the live
+// campaign, not a poll cycle.
 type obsServer struct {
 	col    *ftb.Collector
+	store  *ftb.Store // nil = no store attached
 	srv    *http.Server
 	ln     net.Listener
 	start  time.Time
@@ -65,14 +69,16 @@ type obsServer struct {
 }
 
 // startServer binds addr and serves until the context is cancelled or
-// shutdown is called, whichever comes first.
-func startServer(ctx context.Context, addr string, col *ftb.Collector) (*obsServer, error) {
+// shutdown is called, whichever comes first. st may be nil (no store
+// attached; the /v1 endpoints answer 404).
+func startServer(ctx context.Context, addr string, col *ftb.Collector, st *ftb.Store) (*obsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("-serve %s: %w", addr, err)
 	}
 	s := &obsServer{
 		col:    col,
+		store:  st,
 		ln:     ln,
 		start:  time.Now(),
 		served: make(chan struct{}),
@@ -81,6 +87,8 @@ func startServer(ctx context.Context, addr string, col *ftb.Collector) (*obsServ
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	// The pprof handlers are registered explicitly on this private mux;
 	// importing net/http/pprof only for its DefaultServeMux side effect
 	// would leak the endpoints onto any other default-mux server.
@@ -167,4 +175,89 @@ func (s *obsServer) handleProgress(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(doc)
+}
+
+// writeJSON emits one /v1 response document.
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// handleCampaigns lists the attached store's campaigns
+// (the JSON shape of `ftbcli query -json` with no facets).
+func (s *obsServer) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no ground-truth store attached (run with -store DIR)", http.StatusNotFound)
+		return
+	}
+	doc, err := campaignListDoc(s.store)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, doc)
+}
+
+// handleQuery answers point, range, and summary queries against the
+// attached store. Parameters: campaign (directory or unique program
+// name; optional when the store holds one campaign), then either
+// site [+ bit] for a point / single-site query, lo + hi for a site
+// range, or nothing for the whole-campaign summary.
+func (s *obsServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no ground-truth store attached (run with -store DIR)", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	badParam := false
+	intParam := func(name string) (int, bool) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("parameter %s=%q is not an integer", name, v), http.StatusBadRequest)
+			badParam = true
+			return 0, false
+		}
+		return n, true
+	}
+	site, hasSite := intParam("site")
+	bit, hasBit := intParam("bit")
+	lo, hasLo := intParam("lo")
+	hi, hasHi := intParam("hi")
+	if badParam {
+		return
+	}
+	c, err := s.store.Lookup(q.Get("campaign"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	respond := func(doc any, err error) {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, doc)
+	}
+	switch {
+	case hasSite && hasBit:
+		d, err := pointDoc(c, site, bit)
+		respond(d, err)
+	case hasSite:
+		d, err := rangeDoc(c, site, site+1)
+		respond(d, err)
+	case hasLo && hasHi:
+		d, err := rangeDoc(c, lo, hi)
+		respond(d, err)
+	case hasLo || hasHi || hasBit:
+		http.Error(w, "incomplete query: use site[&bit], lo&hi, or no facet for the campaign summary", http.StatusBadRequest)
+	default:
+		d, err := campaignSummaryDoc(c)
+		respond(d, err)
+	}
 }

@@ -32,7 +32,7 @@ func TestServeEndpoints(t *testing.T) {
 	col := ftb.NewCollector()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s, err := startServer(ctx, "127.0.0.1:0", col)
+	s, err := startServer(ctx, "127.0.0.1:0", col, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestServeEndpoints(t *testing.T) {
 // window.
 func TestServeShutdownOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	s, err := startServer(ctx, "127.0.0.1:0", ftb.NewCollector())
+	s, err := startServer(ctx, "127.0.0.1:0", ftb.NewCollector(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestServeShutdownOnCancel(t *testing.T) {
 func TestServeShutdownIdempotent(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s, err := startServer(ctx, "127.0.0.1:0", ftb.NewCollector())
+	s, err := startServer(ctx, "127.0.0.1:0", ftb.NewCollector(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func cmdWorker(ctx context.Context, args []string) error {
 	var obs *obsServer
 	if *serve != "" {
 		col := ftb.NewCollector()
-		srv, err := startServer(ctx, *serve, col)
+		srv, err := startServer(ctx, *serve, col, nil)
 		if err != nil {
 			return err
 		}

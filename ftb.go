@@ -271,8 +271,9 @@ type runConfig struct {
 	traceOpts   proptrace.Options
 	logger      *slog.Logger
 	cluster     *ClusterOptions
-	replayOff   bool // checkpointed replay is on unless opted out
-	replayEvery int  // snapshot spacing in sites; 0 = campaign default
+	store       *Store // nil = no durable ground-truth store
+	replayOff   bool   // checkpointed replay is on unless opted out
+	replayEvery int    // snapshot spacing in sites; 0 = campaign default
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -599,10 +600,23 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 // of goroutines; the result is byte-identical either way.
 func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 	rc := a.resolve(opts)
+	var gt *GroundTruth
+	var err error
 	if rc.cluster != nil {
-		return a.clusterExhaustive(rc, nil, 0, nil)
+		gt, err = a.clusterExhaustive(rc, nil, 0, nil, nil, nil)
+	} else {
+		gt, err = campaign.Exhaustive(a.configFrom(rc))
 	}
-	return campaign.Exhaustive(a.configFrom(rc))
+	if err != nil {
+		return nil, err
+	}
+	if rc.store != nil {
+		// With a store attached the campaign's result is also the durable
+		// record: append it and hand back the store-materialized copy, so
+		// the caller's ground truth is exactly what later queries serve.
+		return a.storeFinalize(rc.store, gt)
+	}
+	return gt, nil
 }
 
 // ExhaustiveCheckpointed runs the full campaign with progress persisted
@@ -610,7 +624,15 @@ func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 // already holds a matching partial campaign. The checkpoint file is
 // removed on successful completion; if only that cleanup fails, the
 // completed ground truth is returned alongside the error.
+//
+// With WithStore, checkpointPath must be empty: progress persists as
+// durable appends to the store's campaign log instead of a monolithic
+// checkpoint file, and resume state is read back from the store manifest.
 func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts ...RunOption) (*GroundTruth, error) {
+	rc := a.resolve(opts)
+	if rc.store != nil {
+		return a.storeCheckpointed(rc, checkpointPath, batch)
+	}
 	var prior *GroundTruth
 	priorSites := 0
 	if cp, err := persist.LoadFile(checkpointPath, persist.LoadCheckpoint); err == nil {
@@ -625,7 +647,6 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts
 	saveCheckpoint := func(partial *GroundTruth, done int) error {
 		return persist.SaveFile(checkpointPath, persist.Checkpoint{GT: partial, DoneSites: done}, persist.SaveCheckpoint)
 	}
-	rc := a.resolve(opts)
 	var gt *GroundTruth
 	var err error
 	if rc.cluster != nil {
@@ -634,7 +655,7 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts
 		// time it clears another site, so a killed coordinator resumes
 		// without re-running any completed shard.
 		lastSaved := priorSites
-		gt, err = a.clusterExhaustive(rc, prior, priorSites, func(partial *GroundTruth, frontier int) error {
+		gt, err = a.clusterExhaustive(rc, prior, priorSites, nil, nil, func(partial *GroundTruth, frontier int) error {
 			done := frontier / a.bits
 			if done <= lastSaved {
 				return nil

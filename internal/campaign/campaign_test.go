@@ -388,13 +388,16 @@ func TestExhaustiveCheckpointedValidation(t *testing.T) {
 	if _, err := ExhaustiveCheckpointed(cfg, nil, 3, 4, nil); err == nil {
 		t.Error("prior sites without prior accepted")
 	}
+	// A prior that disagrees with the campaign identity is the typed
+	// ErrCheckpointMismatch, so callers can distinguish "wrong
+	// checkpoint file" from transient campaign failures.
 	bad := &GroundTruth{SitesN: 5, BitsN: 64, Kinds: make([]outcome.Kind, 5*64)}
-	if _, err := ExhaustiveCheckpointed(cfg, bad, 2, 4, nil); err == nil {
-		t.Error("mismatched prior accepted")
+	if _, err := ExhaustiveCheckpointed(cfg, bad, 2, 4, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("mismatched prior: got %v, want ErrCheckpointMismatch", err)
 	}
 	good := &GroundTruth{SitesN: 8, BitsN: 64, Kinds: make([]outcome.Kind, 8*64)}
-	if _, err := ExhaustiveCheckpointed(cfg, good, 9, 4, nil); err == nil {
-		t.Error("out-of-range prior site count accepted")
+	if _, err := ExhaustiveCheckpointed(cfg, good, 9, 4, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("out-of-range prior site count: got %v, want ErrCheckpointMismatch", err)
 	}
 }
 

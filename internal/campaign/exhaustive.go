@@ -11,6 +11,14 @@ import (
 	"ftb/internal/trace"
 )
 
+// ErrCheckpointMismatch reports a resume whose prior ground truth — a
+// checkpoint file, a store manifest, or an in-memory partial result —
+// disagrees with the campaign it is being resumed into on identity:
+// program shape (site count), bits per site, or config. Resuming such a
+// prior would silently trust experiment outcomes from a different
+// campaign, so it is a typed, checkable error rather than a fresh start.
+var ErrCheckpointMismatch = errors.New("campaign: checkpoint does not match campaign identity")
+
 // GroundTruth is the result of an exhaustive campaign: the classified
 // outcome of every single-bit flip at every dynamic instruction. It is
 // the oracle that the boundary method's predictions are evaluated against.
@@ -127,11 +135,12 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 	}
 	if prior != nil {
 		if prior.SitesN != sites || prior.BitsN != cfg.Bits {
-			return nil, fmt.Errorf("campaign: checkpoint shape %dx%d does not match campaign %dx%d",
-				prior.SitesN, prior.BitsN, sites, cfg.Bits)
+			return nil, fmt.Errorf("%w: checkpoint shape %d sites × %d bits, campaign %d sites × %d bits",
+				ErrCheckpointMismatch, prior.SitesN, prior.BitsN, sites, cfg.Bits)
 		}
 		if priorSites < 0 || priorSites > sites {
-			return nil, fmt.Errorf("campaign: checkpoint site count %d outside [0, %d]", priorSites, sites)
+			return nil, fmt.Errorf("%w: checkpoint site count %d outside [0, %d]",
+				ErrCheckpointMismatch, priorSites, sites)
 		}
 		copy(gt.Kinds[:priorSites*cfg.Bits], prior.Kinds[:priorSites*cfg.Bits])
 	} else if priorSites != 0 {

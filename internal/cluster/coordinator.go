@@ -98,6 +98,22 @@ type Config struct {
 	// PriorSites are copied from Prior and never leased.
 	Prior      *campaign.GroundTruth
 	PriorSites int
+	// Completed lists additional absolute experiment ranges whose
+	// outcomes in Prior are trusted — shard leases a previous
+	// coordinator merged durably (e.g. into a ground-truth store) before
+	// it was killed, which unlike the PriorSites prefix may sit anywhere
+	// in the experiment space. Ranges must be sorted, non-overlapping,
+	// and within [0, sites×bits); portions below the PriorSites prefix
+	// are ignored as redundant. Completed requires Prior and removes the
+	// covered experiments from lease generation.
+	Completed []Range
+	// OnShard, when non-nil, is invoked (serialized, under the merge
+	// lock) with each completed lease's absolute experiment range and
+	// classified outcomes, before any OnFrontier call the merge
+	// triggers. It is the durable-merge hook: appending every shard to a
+	// store makes a killed coordinator resumable from exactly the shards
+	// it had merged. An error aborts the campaign.
+	OnShard func(lo, hi int, kinds []outcome.Kind) error
 	// OnFrontier, when non-nil, is invoked (serialized, under the merge
 	// lock) whenever the contiguous-completion frontier advances, with
 	// the partial ground truth and the absolute experiment frontier —
@@ -175,6 +191,9 @@ func (c *Config) normalized() (Config, error) {
 	return out, nil
 }
 
+// Range is a half-open [Lo, Hi) range of absolute experiment indices.
+type Range struct{ Lo, Hi int }
+
 // lease is one shard of the experiment space, tracked through requeues.
 type lease struct {
 	lo, hi   int
@@ -240,17 +259,25 @@ func Exhaustive(cfg Config) (*Result, error) {
 	}
 	if cfg.Prior != nil {
 		if cfg.Prior.SitesN != sites || cfg.Prior.BitsN != cfg.Bits {
-			return nil, fmt.Errorf("cluster: checkpoint shape %dx%d does not match campaign %dx%d",
-				cfg.Prior.SitesN, cfg.Prior.BitsN, sites, cfg.Bits)
+			return nil, fmt.Errorf("cluster: %w: checkpoint shape %d sites × %d bits, campaign %d sites × %d bits",
+				campaign.ErrCheckpointMismatch, cfg.Prior.SitesN, cfg.Prior.BitsN, sites, cfg.Bits)
 		}
 		if cfg.PriorSites < 0 || cfg.PriorSites > sites {
-			return nil, fmt.Errorf("cluster: checkpoint site count %d outside [0, %d]", cfg.PriorSites, sites)
+			return nil, fmt.Errorf("cluster: %w: checkpoint site count %d outside [0, %d]",
+				campaign.ErrCheckpointMismatch, cfg.PriorSites, sites)
 		}
 		copy(gt.Kinds[:cfg.PriorSites*cfg.Bits], cfg.Prior.Kinds[:cfg.PriorSites*cfg.Bits])
 	} else if cfg.PriorSites != 0 {
 		return nil, fmt.Errorf("cluster: prior site count %d without a prior ground truth", cfg.PriorSites)
 	}
 	start := cfg.PriorSites * cfg.Bits
+	completed, err := clipCompleted(cfg.Completed, start, total, cfg.Prior != nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range completed {
+		copy(gt.Kinds[r.Lo:r.Hi], cfg.Prior.Kinds[r.Lo:r.Hi])
+	}
 
 	ctx, cancel := context.WithCancel(cfg.Context)
 	defer cancel()
@@ -264,23 +291,33 @@ func Exhaustive(cfg Config) (*Result, error) {
 		cancel: cancel,
 	}
 
-	work := total - start
-	nShards := (work + cfg.ShardSize - 1) / cfg.ShardSize
-	// Capacity nShards: every lease in flight came out of the queue, so
-	// re-queueing can never block.
-	co.queue = make(chan lease, nShards)
-	for s := 0; s < nShards; s++ {
-		lo := start + s*cfg.ShardSize
-		co.queue <- lease{lo: lo, hi: min(lo+cfg.ShardSize, total)}
+	// Seed the merge state with the already-completed ranges: they count
+	// as merged work, advance the frontier, and contribute their outcome
+	// tallies, exactly as if their leases had just returned.
+	for _, r := range completed {
+		co.doneCount += r.Hi - r.Lo
+		co.frontier.RangeDone(r.Lo-start, r.Hi-start)
+		for _, k := range gt.Kinds[r.Lo:r.Hi] {
+			co.counts.Add(k)
+		}
 	}
-	if work == 0 {
+
+	work := total - start
+	// Leases cover only the gaps between completed ranges. Capacity
+	// covers every lease, so re-queueing can never block.
+	leases := gapLeases(start, total, completed, cfg.ShardSize)
+	co.queue = make(chan lease, max(len(leases), 1))
+	for _, l := range leases {
+		co.queue <- l
+	}
+	if co.doneCount == work {
 		co.once.Do(func() { close(co.done) })
 	}
 
 	cfg.Logger.Debug("cluster campaign start",
-		"workers", len(cfg.Workers), "experiments", work, "shards", nShards,
+		"workers", len(cfg.Workers), "experiments", work-co.doneCount, "shards", len(leases),
 		"shard_size", cfg.ShardSize, "resumed_sites", cfg.PriorSites,
-		"lease_timeout", cfg.LeaseTimeout)
+		"resumed_ranges", len(completed), "lease_timeout", cfg.LeaseTimeout)
 
 	// Validate every worker's identity up front: a mismatched worker is
 	// a deployment error that would silently corrupt the merged oracle,
@@ -332,6 +369,52 @@ func Exhaustive(cfg Config) (*Result, error) {
 		return res, fmt.Errorf("cluster: merged ground truth failed validation: %w", err)
 	}
 	return res, nil
+}
+
+// clipCompleted validates Config.Completed and clips it to [start, total):
+// ranges must be sorted, non-overlapping, in bounds, and backed by a
+// prior; portions below start duplicate the PriorSites prefix and drop.
+func clipCompleted(completed []Range, start, total int, havePrior bool) ([]Range, error) {
+	if len(completed) == 0 {
+		return nil, nil
+	}
+	if !havePrior {
+		return nil, errors.New("cluster: completed ranges without a prior ground truth")
+	}
+	var out []Range
+	prev := 0
+	for _, r := range completed {
+		if r.Lo < 0 || r.Hi < r.Lo || r.Hi > total {
+			return nil, fmt.Errorf("cluster: completed range [%d, %d) outside [0, %d)", r.Lo, r.Hi, total)
+		}
+		if r.Lo < prev {
+			return nil, fmt.Errorf("cluster: completed ranges unsorted or overlapping at [%d, %d)", r.Lo, r.Hi)
+		}
+		prev = r.Hi
+		if r.Hi <= start {
+			continue
+		}
+		out = append(out, Range{Lo: max(r.Lo, start), Hi: r.Hi})
+	}
+	return out, nil
+}
+
+// gapLeases shards the experiment space [start, total) minus the
+// completed ranges into leases of at most shardSize experiments.
+func gapLeases(start, total int, completed []Range, shardSize int) []lease {
+	var leases []lease
+	addGap := func(lo, hi int) {
+		for s := lo; s < hi; s += shardSize {
+			leases = append(leases, lease{lo: s, hi: min(s+shardSize, hi)})
+		}
+	}
+	lo := start
+	for _, r := range completed {
+		addGap(lo, r.Lo)
+		lo = r.Hi
+	}
+	addGap(lo, total)
+	return leases
 }
 
 // runWorker is one worker's lease loop: claim a shard, execute it
@@ -481,7 +564,10 @@ func (co *coordinator) merge(l lease, resp *runResponse, workerURL string) error
 		}
 	}
 	var hookErr error
-	if advanced && co.cfg.OnFrontier != nil {
+	if co.cfg.OnShard != nil {
+		hookErr = co.cfg.OnShard(l.lo, l.hi, co.gt.Kinds[l.lo:l.hi])
+	}
+	if hookErr == nil && advanced && co.cfg.OnFrontier != nil {
 		hookErr = co.cfg.OnFrontier(co.gt, co.start+co.frontier.Current())
 	}
 	if co.cfg.Observer != nil {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"syscall"
 
 	"ftb/internal/boundary"
 	"ftb/internal/campaign"
@@ -467,8 +468,12 @@ func LoadKnown(r io.Reader) (*boundary.Known, error) {
 	return k, nil
 }
 
-// SaveFile writes an artifact to path using save, atomically via a
-// temporary file in the same directory.
+// SaveFile writes an artifact to path using save, atomically and
+// durably: the bytes are written to a temporary file in the same
+// directory, fsynced, renamed over path, and the directory entry is
+// fsynced in turn. A crash at any point leaves either the old artifact
+// or the new one — never a torn file, and never a rename that the
+// filesystem forgets.
 func SaveFile[T any](path string, v T, save func(io.Writer, T) error) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".ftb-*")
 	if err != nil {
@@ -484,10 +489,33 @@ func SaveFile[T any](path string, v T, save func(io.Writer, T) error) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dirOf(path))
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Filesystems that cannot sync directories (the error surfaces as
+// EINVAL/ENOTSUP on some network and FUSE mounts) are forgiven: the
+// rename itself already succeeded.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.ENOTTY) && !errors.Is(err, syscall.EBADF) {
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads an artifact from path using load.

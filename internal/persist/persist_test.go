@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -218,6 +219,40 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile("/nonexistent/x.ftb", LoadBoundary); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestSaveFileTruncationDetected simulates a crash mid-write: every
+// proper prefix of a saved artifact must fail to load (the trailing
+// CRC-32, the explicit sizes, or the magic catches it), so a torn file
+// can never be mistaken for a shorter valid one. SaveFile's temp+rename
+// protocol makes a torn final file unreachable in practice; this pins
+// the second line of defence.
+func TestSaveFileTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.ftb")
+	gt := &campaign.GroundTruth{SitesN: 7, BitsN: 3, WidthN: 64, Kinds: make([]outcome.Kind, 21)}
+	for i := range gt.Kinds {
+		gt.Kinds[i] = outcome.Kind(i % outcome.NumKinds)
+	}
+	if err := SaveFile(path, gt, SaveGroundTruth); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, LoadGroundTruth); err != nil {
+		t.Fatalf("full file does not load: %v", err)
+	}
+	torn := filepath.Join(dir, "torn.ftb")
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(torn, LoadGroundTruth); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", cut, len(full))
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/persist"
+)
+
+// benchCampaign builds a fully-covered campaign of the given shape.
+func benchCampaign(b *testing.B, sites, bits int) (*Campaign, *campaign.GroundTruth) {
+	b.Helper()
+	id := testIdentity(sites, bits)
+	c, err := openCampaign(filepath.Join(b.TempDir(), "c"), id, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	gt := &campaign.GroundTruth{SitesN: sites, BitsN: bits, WidthN: id.Width, Kinds: kindsFor(0, sites*bits, 1)}
+	if err := c.ImportGroundTruth(gt); err != nil {
+		b.Fatal(err)
+	}
+	return c, gt
+}
+
+// BenchmarkStoreAppend measures durable batch appends (write + fsync +
+// manifest commit) of checkpoint-sized batches.
+func BenchmarkStoreAppend(b *testing.B) {
+	const batch = 4096
+	id := testIdentity(4096, 16)
+	c, err := openCampaign(filepath.Join(b.TempDir(), "c"), id, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	kinds := kindsFor(0, batch, 0)
+	b.SetBytes(batch * recordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * batch) % (id.experiments() - batch)
+		if err := c.Append(start, kinds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePointLookup measures Get latency on a fully-covered
+// compacted campaign (one segment, sparse block index).
+func BenchmarkStorePointLookup(b *testing.B) {
+	c, _ := benchCampaign(b, 4096, 16)
+	if _, err := c.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	id := c.ID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site := (i * 2654435761) % id.Sites
+		if _, ok, err := c.Get(site, i%id.Bits); err != nil || !ok {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkStoreMaterialize measures whole-campaign materialization from
+// segments — the store-backed path to a GroundTruth.
+func BenchmarkStoreMaterialize(b *testing.B) {
+	c, _ := benchCampaign(b, 4096, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadGroundTruth is the baseline BenchmarkStoreMaterialize is
+// compared against: decoding the same campaign from a monolithic
+// SaveGroundTruth container.
+func BenchmarkLoadGroundTruth(b *testing.B) {
+	gt := &campaign.GroundTruth{SitesN: 4096, BitsN: 16, WidthN: 64, Kinds: kindsFor(0, 4096*16, 1)}
+	var buf bytes.Buffer
+	if err := persist.SaveGroundTruth(&buf, gt); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := persist.LoadGroundTruth(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreScanRange measures a 256-site range scan — the unit of
+// the query surface's summary endpoint.
+func BenchmarkStoreScanRange(b *testing.B) {
+	c, _ := benchCampaign(b, 4096, 16)
+	if _, err := c.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 256) % 3840
+		if _, err := c.Summary(lo, lo+256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

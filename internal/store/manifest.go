@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The manifest is the campaign's commit record: a small versioned blob
+// naming the identity, the next segment sequence number, and — per live
+// segment — the committed byte length. Append batches and compactions
+// become visible (and durable) exactly when a new manifest lands via
+// write-temp, fsync, rename, fsync-directory; a crash at any earlier
+// point leaves the previous manifest in place and at most a torn tail
+// past some segment's committed length, which reopen ignores.
+const (
+	manifestName    = "MANIFEST"
+	manifestMagic   = "FTBM"
+	manifestVersion = 1
+)
+
+type manifestSeg struct {
+	seq       uint64
+	committed int64 // committed bytes, including the segment header
+}
+
+type manifest struct {
+	id      Identity
+	nextSeq uint64
+	segs    []manifestSeg // ascending seq
+}
+
+func (m *manifest) encode() []byte {
+	var b []byte
+	b = append(b, manifestMagic...)
+	b = append(b, manifestVersion, 0, 0, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.id.Program)))
+	b = append(b, m.id.Program...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.id.Sites))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.id.Bits))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.id.Width))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.id.Tol))
+	b = binary.LittleEndian.AppendUint32(b, m.id.GoldenCRC)
+	b = binary.LittleEndian.AppendUint64(b, m.nextSeq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.segs)))
+	for _, s := range m.segs {
+		b = binary.LittleEndian.AppendUint64(b, s.seq)
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.committed))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func decodeManifest(b []byte) (*manifest, error) {
+	if len(b) < 4+4+4 {
+		return nil, fmt.Errorf("%w: manifest truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: manifest crc %08x, want %08x", ErrCorrupt, got, want)
+	}
+	if string(body[:4]) != manifestMagic {
+		return nil, fmt.Errorf("%w: manifest magic %q", ErrCorrupt, body[:4])
+	}
+	if body[4] != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, this build reads %d", body[4], manifestVersion)
+	}
+	r := reader{b: body, off: 8}
+	m := &manifest{}
+	nameLen := int(r.u32())
+	if nameLen < 0 || r.off+nameLen > len(body) {
+		return nil, fmt.Errorf("%w: manifest program name length %d", ErrCorrupt, nameLen)
+	}
+	m.id.Program = string(body[r.off : r.off+nameLen])
+	r.off += nameLen
+	m.id.Sites = int(r.u64())
+	m.id.Bits = int(r.u32())
+	m.id.Width = int(r.u32())
+	m.id.Tol = math.Float64frombits(r.u64())
+	m.id.GoldenCRC = r.u32()
+	m.nextSeq = r.u64()
+	nseg := int(r.u32())
+	for i := 0; i < nseg; i++ {
+		seq := r.u64()
+		committed := int64(r.u64())
+		if committed < segHeaderSize || (committed-segHeaderSize)%recordSize != 0 {
+			return nil, fmt.Errorf("%w: manifest segment %d committed length %d not record-aligned", ErrCorrupt, seq, committed)
+		}
+		m.segs = append(m.segs, manifestSeg{seq: seq, committed: committed})
+	}
+	if r.bad || r.off != len(body) {
+		return nil, fmt.Errorf("%w: manifest framing", ErrCorrupt)
+	}
+	for i := 1; i < len(m.segs); i++ {
+		if m.segs[i].seq <= m.segs[i-1].seq {
+			return nil, fmt.Errorf("%w: manifest segments out of order", ErrCorrupt)
+		}
+	}
+	return m, nil
+}
+
+// reader is a bounds-checked little-endian cursor; any out-of-bounds read
+// sets bad and returns zero, so decodeManifest validates once at the end.
+type reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func readManifest(path string) (*manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// writeManifest atomically and durably replaces dir/MANIFEST: the bytes
+// are fsynced in a temp file before the rename, and the directory is
+// fsynced after, so the new manifest — and with it every committed
+// length it names — survives power loss.
+func writeManifest(dir string, m *manifest) error {
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(m.encode()); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Platforms
+// whose directory handles reject fsync (notably some Windows setups) are
+// forgiven: the rename itself is still atomic there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package store is a log-structured, append-only store for fault-injection
+// experiment outcomes keyed by (program, config, site, bit).
+//
+// A DB is a directory holding one subdirectory per campaign, where a
+// campaign is identified by the injection target's Identity (program name
+// plus the config facets that change the answer: site count, bits per
+// site, data width, tolerance, golden-trace CRC). Each campaign directory
+// contains numbered segment files of fixed-width CRC-32-framed records and
+// a MANIFEST naming the live segments and their committed lengths.
+//
+// Writes are appends: a batch of classified outcomes becomes a run of
+// records at the tail of the active segment, fsynced before the manifest
+// advances the committed length. Reads resolve duplicates last-writer-wins
+// — higher segment sequence beats lower, later file offset beats earlier
+// within a segment — so re-running a range simply supersedes it, and
+// compaction can fold any set of overlapping segments into one without
+// changing any answer. See DESIGN.md §12 for the format and the
+// crash-safety argument.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ftb/internal/telemetry"
+)
+
+// Errors reported by the store. ErrCorrupt matches persist.ErrCorrupt in
+// spirit: bytes inside the committed region that fail CRC or framing
+// checks. Torn bytes past the committed length are not corruption — they
+// are an interrupted append, and reopening simply ignores them.
+var (
+	// ErrCorrupt reports a segment or manifest whose committed bytes fail
+	// validation: a flipped bit, a truncation into the committed region,
+	// or a foreign file.
+	ErrCorrupt = errors.New("store: corrupt data")
+	// ErrIdentityMismatch reports an open of an existing campaign
+	// directory whose manifest disagrees with the caller's identity
+	// (program name, config hash, site count, ...).
+	ErrIdentityMismatch = errors.New("store: campaign identity mismatch")
+	// ErrIncomplete reports a materialization of a campaign that does not
+	// yet cover every (site, bit) experiment.
+	ErrIncomplete = errors.New("store: campaign coverage incomplete")
+)
+
+// Identity names a campaign: the program plus every config facet that
+// changes experiment outcomes. Two runs with equal identities answer the
+// same queries, so they share one campaign log; any facet differing yields
+// a distinct campaign directory (and ErrIdentityMismatch if a directory
+// collision still manages to disagree).
+type Identity struct {
+	Program   string  // analysis/program name, e.g. "gmres"
+	Sites     int     // dynamic instruction count of the golden run
+	Bits      int     // bit flips per site
+	Width     int     // IEEE-754 data width (32 or 64)
+	Tol       float64 // domain tolerance T
+	GoldenCRC uint32  // CRC-32 of the golden run (see cluster.GoldenCRC)
+}
+
+func (id Identity) validate() error {
+	if id.Program == "" {
+		return fmt.Errorf("store: identity has empty program name")
+	}
+	if id.Sites < 1 {
+		return fmt.Errorf("store: identity has %d sites, want >= 1", id.Sites)
+	}
+	if id.Width != 32 && id.Width != 64 {
+		return fmt.Errorf("store: identity width %d must be 32 or 64", id.Width)
+	}
+	if id.Bits < 1 || id.Bits > id.Width {
+		return fmt.Errorf("store: identity bits %d outside [1, %d]", id.Bits, id.Width)
+	}
+	if id.Sites > math.MaxUint32/id.Bits {
+		return fmt.Errorf("store: identity %d sites × %d bits overflows the record key space", id.Sites, id.Bits)
+	}
+	return nil
+}
+
+// experiments returns the campaign's total key space: sites × bits.
+func (id Identity) experiments() int { return id.Sites * id.Bits }
+
+// ConfigHash is a stable CRC-32 over every identity facet except the
+// program name. It names the campaign directory together with the program
+// and is the "config hash" surfaced by identity-mismatch errors.
+func (id Identity) ConfigHash() uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(id.Sites))
+	put(uint64(id.Bits))
+	put(uint64(id.Width))
+	put(math.Float64bits(id.Tol))
+	put(uint64(id.GoldenCRC))
+	return h.Sum32()
+}
+
+// DirName returns the campaign's directory name under the DB root:
+// a sanitized program name joined with the config hash, so distinct
+// configs of one program never collide.
+func (id Identity) DirName() string {
+	return fmt.Sprintf("%s-%08x", sanitize(id.Program), id.ConfigHash())
+}
+
+// String renders the identity the way mismatch errors report it.
+func (id Identity) String() string {
+	return fmt.Sprintf("program %q config %08x (sites %d, bits %d, width %d, tol %g, golden crc %08x)",
+		id.Program, id.ConfigHash(), id.Sites, id.Bits, id.Width, id.Tol, id.GoldenCRC)
+}
+
+// sanitize maps a program name onto a filesystem-safe slug.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "campaign"
+	}
+	return b.String()
+}
+
+// DB is a root directory of campaign logs. It hands out Campaign handles
+// (one shared handle per campaign; DB methods are safe for concurrent
+// use) and lists what it holds for the serving endpoints.
+type DB struct {
+	dir string
+	mu  sync.Mutex
+	col *telemetry.Collector
+	lgs map[string]*Campaign // open campaigns by directory name
+}
+
+// Open opens (creating if necessary) a store root directory.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open root: %w", err)
+	}
+	return &DB{dir: dir, lgs: make(map[string]*Campaign)}, nil
+}
+
+// Dir returns the root directory path.
+func (db *DB) Dir() string { return db.dir }
+
+// SetCollector attaches a telemetry collector; subsequent store
+// operations (on campaigns opened before or after the call) count
+// appends, lookups, scans, and compactions into it.
+func (db *DB) SetCollector(col *telemetry.Collector) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.col = col
+	for _, c := range db.lgs {
+		c.setCollector(col)
+	}
+}
+
+// Campaign opens the campaign log for id, creating it if absent. Opening
+// an existing directory whose manifest disagrees with id on any facet
+// returns an error wrapping ErrIdentityMismatch.
+func (db *DB) Campaign(id Identity) (*Campaign, error) {
+	if err := id.validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := id.DirName()
+	if c, ok := db.lgs[name]; ok {
+		if c.id != id {
+			return nil, fmt.Errorf("%w: store has %v, campaign supplies %v", ErrIdentityMismatch, c.id, id)
+		}
+		return c, nil
+	}
+	c, err := openCampaign(filepath.Join(db.dir, name), id, db.col)
+	if err != nil {
+		return nil, err
+	}
+	db.lgs[name] = c
+	return c, nil
+}
+
+// CampaignInfo summarizes one campaign directory for listings.
+type CampaignInfo struct {
+	Identity Identity
+	Dir      string // directory name under the DB root
+	Segments int    // live segments in the manifest
+	Records  int64  // committed records across live segments
+	Bytes    int64  // committed bytes across live segments
+	Covered  int64  // distinct experiments with a stored outcome
+	Total    int64  // sites × bits
+}
+
+// Campaigns lists every campaign under the root, ordered by directory
+// name. Directories without a readable manifest are skipped (a concurrent
+// creation's half-made directory is not an error); a corrupt manifest is.
+func (db *DB) Campaigns() ([]CampaignInfo, error) {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list campaigns: %w", err)
+	}
+	var infos []CampaignInfo
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		c, err := db.open(e.Name())
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, c.Info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Dir < infos[j].Dir })
+	return infos, nil
+}
+
+// Lookup resolves a campaign reference — a directory name or a program
+// name — to an open campaign. An empty ref resolves iff the store holds
+// exactly one campaign. Program-name refs must be unambiguous.
+func (db *DB) Lookup(ref string) (*Campaign, error) {
+	infos, err := db.Campaigns()
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("store: no campaigns in %s", db.dir)
+	}
+	if ref == "" {
+		if len(infos) == 1 {
+			return db.open(infos[0].Dir)
+		}
+		return nil, fmt.Errorf("store: %d campaigns in %s, select one with a campaign reference", len(infos), db.dir)
+	}
+	var match []CampaignInfo
+	for _, in := range infos {
+		if in.Dir == ref {
+			return db.open(in.Dir)
+		}
+		if in.Identity.Program == ref {
+			match = append(match, in)
+		}
+	}
+	switch len(match) {
+	case 0:
+		return nil, fmt.Errorf("store: no campaign %q in %s", ref, db.dir)
+	case 1:
+		return db.open(match[0].Dir)
+	default:
+		return nil, fmt.Errorf("store: %d campaigns for program %q, reference one by directory name", len(match), ref)
+	}
+}
+
+// open opens the campaign in the named subdirectory using the identity
+// recorded in its manifest, sharing any handle already open.
+func (db *DB) open(name string) (*Campaign, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.lgs[name]; ok {
+		return c, nil
+	}
+	dir := filepath.Join(db.dir, name)
+	m, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	c, err := openCampaign(dir, m.id, db.col)
+	if err != nil {
+		return nil, err
+	}
+	db.lgs[name] = c
+	return c, nil
+}
+
+// Close releases every open campaign handle.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for name, c := range db.lgs {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(db.lgs, name)
+	}
+	return first
+}

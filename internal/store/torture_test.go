@@ -1,0 +1,272 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ftb/internal/outcome"
+)
+
+// dirSnapshot captures a campaign directory's full byte content.
+func dirSnapshot(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	snap := make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = b
+	}
+	return snap
+}
+
+func writeSnapshot(t *testing.T, dir string, snap map[string][]byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range snap {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// appendDiff identifies the single segment file an append extended (or
+// created): its name and its pre-append length. ok is false when the
+// directory changed in any other shape — e.g. an auto-compaction rewrote
+// the segment set — which the one-file truncation model cannot simulate.
+func appendDiff(pre, post map[string][]byte) (segName string, preLen int, ok bool) {
+	for name := range pre {
+		if _, still := post[name]; !still && name != manifestName {
+			return "", 0, false // a file vanished: compaction, not a plain append
+		}
+	}
+	changed := 0
+	for name, b := range post {
+		if name == manifestName || !isSegName(name) {
+			continue
+		}
+		old, existed := pre[name]
+		switch {
+		case !existed:
+			segName, preLen = name, 0
+			changed++
+		case len(old) != len(b):
+			segName, preLen = name, len(old)
+			changed++
+		}
+	}
+	return segName, preLen, changed == 1
+}
+
+// TestTortureCrashConsistency interleaves appends, compactions, and
+// reopens at random, and around appends simulates kill-after-N-bytes
+// crashes: the pre-append directory plus the touched segment truncated at
+// byte counts between the old and new lengths. Every crash state must
+// open cleanly and show, per experiment, either the pre-crash value (or
+// absence) or the batch's value — never an error, never a value that was
+// not written.
+func TestTortureCrashConsistency(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tortureRun(t, seed)
+		})
+	}
+}
+
+func tortureRun(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	id := testIdentity(24, 4) // 96 experiments: small enough to check exhaustively
+	root := t.TempDir()
+	dir := filepath.Join(root, "c")
+
+	var c *Campaign
+	open := func() {
+		cc, err := openCampaign(dir, id, nil)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		cc.rotateBytes = 400 // rotate often so crashes hit fresh segments too
+		cc.compactAfter = 6
+		c = cc
+	}
+	open()
+	defer func() { c.Close() }()
+
+	// model is the committed view; a simulated crash may additionally
+	// expose any record-consistent prefix of the in-flight batch.
+	model := make(map[int]outcome.Kind)
+	crashDirs := 0
+
+	verifyCrashState := func(pre map[string][]byte, batchStart int, batch []outcome.Kind) {
+		t.Helper()
+		segName, preLen, ok := appendDiff(pre, dirSnapshot(t, dir))
+		if !ok {
+			return // auto-compaction rewrote the segment set mid-append
+		}
+		postSeg := dirSnapshot(t, dir)[segName]
+		// A handful of truncation points, always including the endpoints:
+		// crash before any byte landed, and crash after the full segment
+		// write but before the manifest commit.
+		cuts := []int{preLen, len(postSeg)}
+		for i := 0; i < 4; i++ {
+			cuts = append(cuts, preLen+rng.Intn(len(postSeg)-preLen+1))
+		}
+		for _, cut := range cuts {
+			crashDirs++
+			cdir := filepath.Join(root, fmt.Sprintf("crash-%d", crashDirs))
+			writeSnapshot(t, cdir, pre)
+			if cut > 0 {
+				if err := os.WriteFile(filepath.Join(cdir, segName), postSeg[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cc, err := openCampaign(cdir, id, nil)
+			if err != nil {
+				t.Fatalf("cut %d (pre %d, post %d): reopen failed: %v", cut, preLen, len(postSeg), err)
+			}
+			kinds, set, err := cc.Scan(0, id.experiments())
+			if err != nil {
+				t.Fatalf("cut %d: scan failed: %v", cut, err)
+			}
+			for key := 0; key < id.experiments(); key++ {
+				preKind, preOK := model[key]
+				var postKind outcome.Kind
+				inBatch := key >= batchStart && key < batchStart+len(batch)
+				if inBatch {
+					postKind = batch[key-batchStart]
+				}
+				switch {
+				case !set[key]:
+					if preOK {
+						t.Fatalf("cut %d: experiment %d lost its committed value %v", cut, key, preKind)
+					}
+				case preOK && kinds[key] == preKind:
+					// pre-crash view (a torn append legitimately loses its tail)
+				case inBatch && kinds[key] == postKind:
+					// post-crash view
+				default:
+					t.Fatalf("cut %d: experiment %d = %v, want pre (%v, %v) or batch (%v, %v)",
+						cut, key, kinds[key], preKind, preOK, postKind, inBatch)
+				}
+			}
+			cc.Close()
+			os.RemoveAll(cdir)
+		}
+	}
+
+	verifyModel := func() {
+		t.Helper()
+		kinds, set, err := c.Scan(0, id.experiments())
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		for key := 0; key < id.experiments(); key++ {
+			want, ok := model[key]
+			if set[key] != ok || (ok && kinds[key] != want) {
+				t.Fatalf("experiment %d: stored (%v, %v), model (%v, %v)", key, kinds[key], set[key], want, ok)
+			}
+		}
+	}
+
+	for op := 0; op < 60; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6: // append a random range, sometimes with crash simulation
+			lo := rng.Intn(id.experiments())
+			n := 1 + rng.Intn(id.experiments()-lo)
+			batch := make([]outcome.Kind, n)
+			for i := range batch {
+				batch[i] = outcome.Kind(rng.Intn(outcome.NumKinds))
+			}
+			simulate := rng.Intn(2) == 0
+			var pre map[string][]byte
+			if simulate {
+				pre = dirSnapshot(t, dir)
+			}
+			if err := c.Append(lo, batch); err != nil {
+				t.Fatalf("op %d: append: %v", op, err)
+			}
+			if simulate {
+				verifyCrashState(pre, lo, batch)
+			}
+			for i, k := range batch {
+				model[lo+i] = k
+			}
+		case r < 8: // compact
+			if _, err := c.Compact(); err != nil {
+				t.Fatalf("op %d: compact: %v", op, err)
+			}
+		default: // close and reopen
+			if err := c.Close(); err != nil {
+				t.Fatalf("op %d: close: %v", op, err)
+			}
+			open()
+		}
+		verifyModel()
+	}
+}
+
+func isSegName(name string) bool {
+	var seq uint64
+	_, err := fmt.Sscanf(name, "seg-%06d.log", &seq)
+	return err == nil
+}
+
+// TestConcurrentReadersAndWriter drives concurrent Gets, Scans, and
+// Appends on one campaign — the shape -race inspects for data races
+// between the write path and the ReadAt-based readers.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	id := testIdentity(32, 4)
+	c := openTest(t, filepath.Join(t.TempDir(), "c"), id)
+	c.rotateBytes = 512
+	c.compactAfter = 4
+	if err := c.Append(0, kindsFor(0, id.experiments(), 0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(2) == 0 {
+					if _, _, err := c.Get(rng.Intn(id.Sites), rng.Intn(id.Bits)); err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+				} else if _, _, err := c.Scan(0, id.experiments()); err != nil {
+					t.Errorf("Scan: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		lo := rng.Intn(id.experiments())
+		n := 1 + rng.Intn(id.experiments()-lo)
+		if err := c.Append(lo, kindsFor(lo, n, i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -43,6 +43,14 @@ func (s *Snapshot) Merge(o Snapshot, shard string) error {
 	s.Replay.SnapshotHits += o.Replay.SnapshotHits
 	s.Replay.SnapshotMisses += o.Replay.SnapshotMisses
 	s.Replay.StoresSkipped += o.Replay.StoresSkipped
+	s.Store.Appends += o.Store.Appends
+	s.Store.RecordsAppended += o.Store.RecordsAppended
+	s.Store.Lookups += o.Store.Lookups
+	s.Store.Scans += o.Store.Scans
+	s.Store.RecordsRead += o.Store.RecordsRead
+	s.Store.Compactions += o.Store.Compactions
+	s.Store.SegmentsCompacted += o.Store.SegmentsCompacted
+	s.Store.BytesReclaimed += o.Store.BytesReclaimed
 	s.WallSeconds += o.WallSeconds
 	for _, w := range o.Workers {
 		w.Shard = namespaced(shard, w.Shard)
@@ -136,6 +144,14 @@ func (c *Collector) Absorb(s Snapshot) error {
 	}
 	c.campaigns.Add(s.Campaigns)
 	c.wallNanos.Add(int64(s.WallSeconds * 1e9))
+	c.store.appends.Add(s.Store.Appends)
+	c.store.recordsAppended.Add(s.Store.RecordsAppended)
+	c.store.lookups.Add(s.Store.Lookups)
+	c.store.scans.Add(s.Store.Scans)
+	c.store.recordsRead.Add(s.Store.RecordsRead)
+	c.store.compactions.Add(s.Store.Compactions)
+	c.store.segmentsCompacted.Add(s.Store.SegmentsCompacted)
+	c.store.bytesReclaimed.Add(s.Store.BytesReclaimed)
 	for _, w := range s.Workers {
 		i := w.Worker
 		if i < 0 {

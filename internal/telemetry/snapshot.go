@@ -27,6 +27,7 @@ type Snapshot struct {
 	Trajectories int64                    `json:"trajectories"`
 	Outcomes     OutcomeCounts            `json:"outcomes"`
 	Replay       ReplayCounts             `json:"replay"`
+	Store        StoreCounts              `json:"store"`
 	WallSeconds  float64                  `json:"wall_seconds"`
 	RunLatency   HistogramSnapshot        `json:"run_latency"`
 	QueueWait    HistogramSnapshot        `json:"queue_wait"`
@@ -45,6 +46,21 @@ type ReplayCounts struct {
 	SnapshotHits   int64 `json:"snapshot_hits"`
 	SnapshotMisses int64 `json:"snapshot_misses"`
 	StoresSkipped  int64 `json:"stores_skipped"`
+}
+
+// StoreCounts is the ground-truth-store accounting (internal/store):
+// durable batch appends and the records they carried, point lookups and
+// range scans with the records they read, and what compaction folded
+// away. All zero for processes that never touch a store.
+type StoreCounts struct {
+	Appends           int64 `json:"appends"`
+	RecordsAppended   int64 `json:"records_appended"`
+	Lookups           int64 `json:"lookups"`
+	Scans             int64 `json:"scans"`
+	RecordsRead       int64 `json:"records_read"`
+	Compactions       int64 `json:"compactions"`
+	SegmentsCompacted int64 `json:"segments_compacted"`
+	BytesReclaimed    int64 `json:"bytes_reclaimed"`
 }
 
 // OutcomeCounts is the classified-outcome tally, plus trace-mismatch
@@ -146,6 +162,16 @@ func (c *Collector) Snapshot() Snapshot {
 		WallSeconds: nanosToSeconds(c.wallNanos.Value()),
 		RunLatency:  c.runLatency.snapshot(),
 		QueueWait:   c.queueWait.snapshot(),
+		Store: StoreCounts{
+			Appends:           c.store.appends.Value(),
+			RecordsAppended:   c.store.recordsAppended.Value(),
+			Lookups:           c.store.lookups.Value(),
+			Scans:             c.store.scans.Value(),
+			RecordsRead:       c.store.recordsRead.Value(),
+			Compactions:       c.store.compactions.Value(),
+			SegmentsCompacted: c.store.segmentsCompacted.Value(),
+			BytesReclaimed:    c.store.bytesReclaimed.Value(),
+		},
 		Gauges: map[string]int64{
 			"active_campaigns": c.activeCampaigns.Value(),
 			"active_workers":   c.activeWorkers.Value(),
@@ -265,6 +291,30 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := counter("ftb_replay_stores_skipped_total", "Prefix stores replay avoided re-executing.", s.Replay.StoresSkipped); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_appends_total", "Durable outcome-batch appends into the ground-truth store.", s.Store.Appends); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_records_appended_total", "Outcome records appended into the ground-truth store.", s.Store.RecordsAppended); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_lookups_total", "Point lookups answered by the ground-truth store.", s.Store.Lookups); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_scans_total", "Range scans and materializations answered by the ground-truth store.", s.Store.Scans); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_records_read_total", "Records read by store lookups and scans.", s.Store.RecordsRead); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_compactions_total", "Ground-truth store compactions.", s.Store.Compactions); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_segments_compacted_total", "Segments folded away by store compactions.", s.Store.SegmentsCompacted); err != nil {
+		return err
+	}
+	if err := counter("ftb_store_bytes_reclaimed_total", "Bytes reclaimed by store compactions.", s.Store.BytesReclaimed); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP ftb_campaign_wall_seconds_total Summed campaign wall-clock time.\n# TYPE ftb_campaign_wall_seconds_total counter\nftb_campaign_wall_seconds_total %s\n", promFloat(s.WallSeconds)); err != nil {

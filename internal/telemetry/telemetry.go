@@ -206,6 +206,23 @@ type phaseStats struct {
 	storesSkipped stripedCounter
 }
 
+// storeStats aggregates ground-truth-store activity (internal/store):
+// how much a process appended, how much it read back, and what
+// compaction reclaimed. Store operations are batch-granular — one append
+// per checkpoint batch or shard lease, one scan per materialization —
+// so plain atomic counters suffice; nothing here rides the
+// per-experiment hot path.
+type storeStats struct {
+	appends           Counter
+	recordsAppended   Counter
+	lookups           Counter
+	scans             Counter
+	recordsRead       Counter
+	compactions       Counter
+	segmentsCompacted Counter
+	bytesReclaimed    Counter
+}
+
 // sectionStats aggregates one named harness section (e.g. "table1"):
 // wall-clock plus the campaign and experiment counts attributed to it.
 type sectionStats struct {
@@ -234,6 +251,8 @@ type Collector struct {
 
 	activeCampaigns Gauge
 	activeWorkers   Gauge
+
+	store storeStats
 
 	mu           sync.Mutex
 	phases       map[string]*phaseStats
@@ -371,6 +390,36 @@ func (r *CampaignRecorder) End() {
 	r.c.wallNanos.Add(wall)
 	r.ph.wallNanos.Add(wall)
 	r.c.activeCampaigns.Add(-1)
+}
+
+// StoreAppend records one durable outcome-batch append of the given
+// record count into the ground-truth store.
+func (c *Collector) StoreAppend(records int) {
+	c.store.appends.Inc()
+	c.store.recordsAppended.Add(int64(records))
+}
+
+// StoreLookup records one point lookup that read recordsRead records.
+func (c *Collector) StoreLookup(recordsRead int64) {
+	c.store.lookups.Inc()
+	c.store.recordsRead.Add(recordsRead)
+}
+
+// StoreScan records one range scan (or materialization) that read
+// recordsRead records.
+func (c *Collector) StoreScan(recordsRead int64) {
+	c.store.scans.Inc()
+	c.store.recordsRead.Add(recordsRead)
+}
+
+// StoreCompaction records one compaction that folded segments live
+// segments away and reclaimed bytesReclaimed bytes.
+func (c *Collector) StoreCompaction(segments int, bytesReclaimed int64) {
+	c.store.compactions.Inc()
+	c.store.segmentsCompacted.Add(int64(segments))
+	if bytesReclaimed > 0 {
+		c.store.bytesReclaimed.Add(bytesReclaimed)
+	}
 }
 
 // StartSection opens a named wall-clock span (e.g. one experiment table

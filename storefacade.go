@@ -1,0 +1,179 @@
+package ftb
+
+import (
+	"errors"
+	"fmt"
+
+	"ftb/internal/campaign"
+	"ftb/internal/cluster"
+	"ftb/internal/persist"
+	"ftb/internal/store"
+)
+
+// Store is a durable, queryable ground-truth store: a directory of
+// per-campaign append-only logs keyed by (program, config) identity.
+// Attach one to a campaign with WithStore; open past campaigns for
+// querying with OpenStore + Store.Lookup, or through `ftbcli query`.
+type Store = store.DB
+
+// StoreCampaign is one campaign's log inside a Store: the per-experiment
+// outcome records of a single (program, config) identity, with point
+// lookup (Get), range scans (Scan, Summary, SiteSlice), and
+// whole-campaign materialization into a GroundTruth.
+type StoreCampaign = store.Campaign
+
+// StoreIdentity keys a campaign inside a Store: the program name plus
+// every config facet that changes experiment outcomes.
+type StoreIdentity = store.Identity
+
+// Typed store errors, re-exported so callers can errors.Is against the
+// facade alone. ErrCheckpointMismatch additionally covers the checkpoint
+// file path (see campaign.ErrCheckpointMismatch).
+var (
+	// ErrStoreIdentityMismatch reports a store campaign whose recorded
+	// identity disagrees with the analysis (different program, shape,
+	// tolerance, or golden run).
+	ErrStoreIdentityMismatch = store.ErrIdentityMismatch
+	// ErrStoreCorrupt reports corruption inside a store's committed
+	// region (bad frame CRC, truncated segment, bad manifest).
+	ErrStoreCorrupt = store.ErrCorrupt
+	// ErrStoreIncomplete reports a materialization over a campaign that
+	// does not yet cover every (site, bit) experiment.
+	ErrStoreIncomplete = store.ErrIncomplete
+	// ErrCheckpointMismatch reports a resume whose prior — checkpoint
+	// file or store campaign — does not match the campaign's identity.
+	ErrCheckpointMismatch = campaign.ErrCheckpointMismatch
+)
+
+// OpenStore opens the ground-truth store rooted at dir, creating the
+// directory if needed. A Store holds any number of campaigns; the same
+// Store value is safe for concurrent use.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// WithStore routes the call's exhaustive campaign through st: outcomes
+// are appended durably to the analysis's campaign log as the run
+// progresses, the returned ground truth is materialized back from the
+// store (byte-identical to the in-memory result), and
+// ExhaustiveCheckpointed resumes from the store manifest instead of a
+// checkpoint file. Only exhaustive campaigns consult the store.
+func WithStore(st *Store) RunOption {
+	return func(rc *runConfig) { rc.store = st }
+}
+
+// StoreIdentity returns the identity under which this analysis's
+// campaigns are keyed in a store: program name, site count, bits, width,
+// tolerance, and the golden-run fingerprint.
+func (a *Analysis) StoreIdentity() StoreIdentity {
+	return store.Identity{
+		Program:   a.name,
+		Sites:     a.golden.Sites(),
+		Bits:      a.bits,
+		Width:     a.width,
+		Tol:       a.tol,
+		GoldenCRC: cluster.GoldenCRC(a.golden),
+	}
+}
+
+// StoreCampaign opens (creating if absent) this analysis's campaign log
+// in st. It fails with ErrStoreIdentityMismatch if the store already
+// holds a campaign under the same key whose recorded identity differs.
+func (a *Analysis) StoreCampaign(st *Store) (*StoreCampaign, error) {
+	return st.Campaign(a.StoreIdentity())
+}
+
+// ImportGroundTruth migrates a completed ground truth — typically one
+// decoded from a SaveGroundTruth container — into this analysis's
+// campaign log in st, after which it is queryable with zero engine runs.
+func (a *Analysis) ImportGroundTruth(st *Store, gt *GroundTruth) error {
+	c, err := a.StoreCampaign(st)
+	if err != nil {
+		return err
+	}
+	return c.ImportGroundTruth(gt)
+}
+
+// ImportGroundTruthFile reads a SaveGroundTruth container from path and
+// imports it into st (the migration path for pre-store campaign files).
+func (a *Analysis) ImportGroundTruthFile(st *Store, path string) error {
+	gt, err := persist.LoadFile(path, persist.LoadGroundTruth)
+	if err != nil {
+		return fmt.Errorf("ftb: load ground truth %s: %w", path, err)
+	}
+	return a.ImportGroundTruth(st, gt)
+}
+
+// storeFinalize appends a completed ground truth to the analysis's
+// campaign in st and returns the store-materialized copy, so the
+// caller's result is exactly what later queries will serve.
+func (a *Analysis) storeFinalize(st *Store, gt *GroundTruth) (*GroundTruth, error) {
+	c, err := a.StoreCampaign(st)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ImportGroundTruth(gt); err != nil {
+		return nil, err
+	}
+	return c.Materialize()
+}
+
+// storeCheckpointed is ExhaustiveCheckpointed's store-backed path. The
+// campaign log carries the resume state: completed work is read back
+// from the store manifest, progress lands as durable batch appends (at
+// frontier granularity in-process, at shard granularity under
+// WithCluster), and the final ground truth is materialized from the
+// store. A campaign the store already covers completely costs zero
+// engine runs.
+func (a *Analysis) storeCheckpointed(rc runConfig, checkpointPath string, batch int) (*GroundTruth, error) {
+	if checkpointPath != "" {
+		return nil, errors.New("ftb: WithStore and a checkpoint file are mutually exclusive; pass an empty checkpointPath and let the store carry resume state")
+	}
+	c, err := a.StoreCampaign(rc.store)
+	if err != nil {
+		return nil, err
+	}
+	prior, completed, err := c.MaterializeSparse()
+	if err != nil {
+		return nil, err
+	}
+	prefixSites, err := c.PrefixSites()
+	if err != nil {
+		return nil, err
+	}
+	if rc.cluster != nil {
+		// Every completed experiment range in the store — contiguous
+		// prefix or not — is handed to the coordinator as already-done
+		// work, so a killed coordinator resumes without re-leasing any
+		// merged shard. Each newly merged lease is appended before the
+		// merge completes: the store never lags the coordinator.
+		ranges := make([]cluster.Range, len(completed))
+		for i, r := range completed {
+			ranges[i] = cluster.Range{Lo: r.Lo, Hi: r.Hi}
+		}
+		onShard := func(lo, hi int, kinds []Outcome) error {
+			return c.Append(lo, kinds)
+		}
+		if _, err := a.clusterExhaustive(rc, prior, prefixSites, ranges, onShard, nil); err != nil {
+			return nil, err
+		}
+		return c.Materialize()
+	}
+	// In-process: the engine's contiguous-completion frontier drives
+	// delta appends — each checkpoint call persists only the sites
+	// completed since the last one.
+	lastSaved := prefixSites
+	save := func(partial *GroundTruth, done int) error {
+		if done <= lastSaved {
+			return nil
+		}
+		start := lastSaved * a.bits
+		if err := c.Append(start, partial.Kinds[start:done*a.bits]); err != nil {
+			return err
+		}
+		lastSaved = done
+		return nil
+	}
+	if _, err := campaign.ExhaustiveCheckpointed(a.configFrom(rc), prior, prefixSites, batch, save); err != nil {
+		return nil, err
+	}
+	return c.Materialize()
+}

@@ -1,0 +1,269 @@
+package ftb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ftb/internal/persist"
+)
+
+// storeTestAnalysis builds a cg/test analysis with a 2-bit fault model
+// and a factory-invocation counter: the engine constructs programs only
+// when it is about to run experiments, so zero new counts across a call
+// proves the call ran zero engine experiments.
+func storeTestAnalysis(t *testing.T) (*Analysis, *atomic.Int64) {
+	t.Helper()
+	k, err := NewKernel("cg", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	an, err := NewAnalysis(func() Program {
+		calls.Add(1)
+		kk, err := NewKernel("cg", SizeTest)
+		if err != nil {
+			panic(err)
+		}
+		return kk
+	}, k.Tolerance(), Options{Bits: 2, Width: k.Width()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, &calls
+}
+
+func TestWithStoreExhaustiveByteIdentity(t *testing.T) {
+	an, _ := storeTestAnalysis(t)
+	want, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := an.Exhaustive(WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clusterGTBytes(t, got), clusterGTBytes(t, want)) {
+		t.Fatal("store-materialized ground truth is not byte-identical to in-memory")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle on the same directory serves the same bytes.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c, err := an.StoreCampaign(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clusterGTBytes(t, again), clusterGTBytes(t, want)) {
+		t.Fatal("reopened store serves different bytes")
+	}
+}
+
+func TestWithStoreCheckpointedResumeAndZeroRuns(t *testing.T) {
+	an, calls := storeTestAnalysis(t)
+	want, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Phase 1: cancel mid-campaign; the store keeps the partial progress.
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	total := an.SampleSpace()
+	obs := ObserverFunc(func(e ProgressEvent) {
+		if e.Frontier >= total/3 {
+			cancel()
+		}
+	})
+	_, err = an.ExhaustiveCheckpointed("", 1, WithStore(st), WithContext(ctx), WithObserver(obs))
+	if err == nil {
+		t.Fatal("phase 1 completed despite cancellation")
+	}
+	c, err := an.StoreCampaign(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.PrefixSites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 || done >= an.Sites() {
+		t.Fatalf("store prefix after cancellation = %d sites, want mid-campaign", done)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh handle (a new process, in effect) resumes from the
+	// manifest and completes.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := an.ExhaustiveCheckpointed("", 1, WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clusterGTBytes(t, got), clusterGTBytes(t, want)) {
+		t.Fatal("store-resumed ground truth is not byte-identical to in-process")
+	}
+
+	// Phase 3: the campaign is fully covered, so answering again costs
+	// zero engine runs — the factory is never invoked.
+	pre := calls.Load()
+	again, err := an.ExhaustiveCheckpointed("", 1, WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load() - pre; n != 0 {
+		t.Fatalf("covered campaign constructed %d programs, want 0 engine runs", n)
+	}
+	if !bytes.Equal(clusterGTBytes(t, again), clusterGTBytes(t, want)) {
+		t.Fatal("re-served ground truth differs")
+	}
+}
+
+func TestWithStoreClusterKilledCoordinatorResume(t *testing.T) {
+	an, _ := storeTestAnalysis(t)
+	want, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := clusterTestWorkers(t, "cg", SizeTest, 1)
+	dir := t.TempDir()
+
+	// Phase 1: kill the coordinator (cancel) once a third of the space
+	// clears. Completed shards are already durable in the store.
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	total := an.SampleSpace()
+	obs := ObserverFunc(func(e ProgressEvent) {
+		if e.Frontier >= total/3 {
+			cancel()
+		}
+	})
+	_, err = an.ExhaustiveCheckpointed("", 1,
+		WithCluster(ClusterOptions{Workers: urls, ShardSize: 32}),
+		WithStore(st), WithContext(ctx), WithObserver(obs))
+	if err == nil {
+		t.Fatal("phase 1 completed despite cancellation")
+	}
+	c, err := an.StoreCampaign(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := c.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, r := range ranges {
+		covered += r.Hi - r.Lo
+	}
+	if covered <= 0 || covered >= total {
+		t.Fatalf("store covers %d/%d experiments after kill, want mid-campaign", covered, total)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh coordinator resumes from the store manifest; the
+	// merged ground truth materialized from the store is byte-identical
+	// to the in-process campaign.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := an.ExhaustiveCheckpointed("", 1,
+		WithCluster(ClusterOptions{Workers: urls, ShardSize: 32}), WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clusterGTBytes(t, got), clusterGTBytes(t, want)) {
+		t.Fatal("killed-and-resumed cluster ground truth is not byte-identical to in-process")
+	}
+}
+
+func TestWithStoreRejectsCheckpointPath(t *testing.T) {
+	an, _ := storeTestAnalysis(t)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = an.ExhaustiveCheckpointed(filepath.Join(t.TempDir(), "x.ckpt"), 4, WithStore(st))
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion rejection", err)
+	}
+}
+
+func TestImportGroundTruthFileMigration(t *testing.T) {
+	an, calls := storeTestAnalysis(t)
+	want, err := an.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gt.bin")
+	if err := persist.SaveFile(path, want, persist.SaveGroundTruth); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Before migration a materialization is typed-incomplete.
+	c, err := an.StoreCampaign(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Materialize(); !errors.Is(err, ErrStoreIncomplete) {
+		t.Fatalf("empty campaign Materialize err = %v, want ErrStoreIncomplete", err)
+	}
+
+	if err := an.ImportGroundTruthFile(st, path); err != nil {
+		t.Fatal(err)
+	}
+	pre := calls.Load()
+	got, err := an.ExhaustiveCheckpointed("", 8, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load() - pre; n != 0 {
+		t.Fatalf("migrated campaign constructed %d programs, want 0 engine runs", n)
+	}
+	if !bytes.Equal(clusterGTBytes(t, got), clusterGTBytes(t, want)) {
+		t.Fatal("migrated ground truth is not byte-identical to the container's")
+	}
+}
