@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-check bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-compose bench-check bench-all examples repro clean
 
 all: check
 
@@ -90,6 +90,15 @@ bench-store:
 	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | tee BENCH_store.txt | $(GO) run ./cmd/benchjson > BENCH_store.json
 	@echo "wrote BENCH_store.txt and BENCH_store.json"
 
+# bench-compose records what compositional section campaigns buy over a
+# replay-enabled exhaustive campaign (composed vs exhaustive wall time on
+# fft/cg at paper size). The bench itself gates zero outcome mismatches
+# against ground truth and a ≥3x stores-executed speedup per kernel; the
+# recorded pair in BENCH_compose.json is the acceptance artifact.
+bench-compose:
+	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | tee BENCH_compose.txt | $(GO) run ./cmd/benchjson > BENCH_compose.json
+	@echo "wrote BENCH_compose.txt and BENCH_compose.json"
+
 # bench-check is the regression gate: re-run every recorded benchmark
 # suite with the same flags that produced its committed BENCH_*.json and
 # fail on any >25% ns/op regression (benchjson -compare).
@@ -99,6 +108,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | $(GO) run ./cmd/benchjson -compare BENCH_cluster.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | $(GO) run ./cmd/benchjson -compare BENCH_store.json
 	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_replay.json
+	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_compose.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

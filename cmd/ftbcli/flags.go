@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+
+	"ftb"
+)
+
+// Shared flag registration. The campaign subcommands used to hand-roll
+// overlapping -serve/-v/-json/-store definitions with drifting help
+// text; each shared flag is registered through exactly one helper here,
+// so a new flag (and its wording) lands everywhere at once.
+
+// serveFlag registers the observability-server address flag.
+func serveFlag(fs *flag.FlagSet) *string {
+	return fs.String("serve", "", "serve live observability endpoints on this address (e.g. :8080): /metrics, /progress, /debug/pprof")
+}
+
+// verboseFlag registers the structured-log toggle.
+func verboseFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("v", false, "log lifecycle events on stderr (slog debug level); FTB_LOG sets the level without the flag")
+}
+
+// jsonFlag registers the JSON-output toggle.
+func jsonFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("json", false, "emit JSON instead of text")
+}
+
+// storeDirFlag registers the ground-truth store directory flag; usage
+// varies per command (campaigns append, queries read), so it is the one
+// argument.
+func storeDirFlag(fs *flag.FlagSet, usage string) *string {
+	return fs.String("store", "", usage)
+}
+
+// composeFlags bundles the compositional-campaign flags shared by the
+// subcommands that can run composed campaigns.
+type composeFlags struct {
+	enable      *bool
+	calibration *float64
+	seed        *uint64
+	safety      *float64
+	slack       *float64
+	minSamples  *int
+	refine      *int
+	validate    *bool
+}
+
+// newComposeFlags registers the -compose flag family on fs.
+func newComposeFlags(fs *flag.FlagSet) *composeFlags {
+	return &composeFlags{
+		enable:      fs.Bool("compose", false, "run the campaign compositionally: execute each experiment only within its own declared section and predict the rest from per-section summaries (kernels with section declarations only)"),
+		calibration: fs.Float64("calibration", 0, "fraction of the experiment space sampled for full calibration runs (default 0.02)"),
+		seed:        fs.Uint64("compose-seed", 0, "seed of the deterministic calibration sample"),
+		safety:      fs.Float64("safety", 0, "multiplicative safety margin of the composed predictor (default 32; larger predicts less, falls back more)"),
+		slack:       fs.Float64("slack", 0, "multiplicative neighborhood summary lookups must corroborate (default 16, one magnitude bin; narrower predicts more)"),
+		minSamples:  fs.Int("min-samples", 0, "evidence floor per prediction: fewer matching calibration observations force a full-execution fallback (default 3)"),
+		refine:      fs.Int("refine", 1, "split every declared section into this many parts: finer sections execute less per experiment (default 1, the declared layout)"),
+		validate:    fs.Bool("validate", false, "compare every composed result against the store's exhaustive ground truth and report mismatches (requires -store with a complete campaign)"),
+	}
+}
+
+// enabled reports whether -compose was requested.
+func (c *composeFlags) enabled() bool { return *c.enable }
+
+// option builds the WithCompose RunOption; the campaign's accounting
+// lands in rep.
+func (c *composeFlags) option(rep *ftb.ComposeReport) ftb.RunOption {
+	return ftb.WithCompose(ftb.ComposeOptions{
+		Calibration: *c.calibration,
+		Seed:        *c.seed,
+		MinSamples:  *c.minSamples,
+		Safety:      *c.safety,
+		Slack:       *c.slack,
+		Validate:    *c.validate,
+		Report:      rep,
+	})
+}
+
+// sectionsOption returns the WithSections override -refine asks for, or
+// nil when the declared layout (or no layout at all — the composed
+// campaign reports that error itself) should stand.
+func (c *composeFlags) sectionsOption(an *ftb.Analysis) ftb.RunOption {
+	if *c.refine <= 1 {
+		return nil
+	}
+	secs := an.Sections()
+	if secs == nil {
+		return nil
+	}
+	return ftb.WithSections(ftb.RefineSections(secs, *c.refine))
+}

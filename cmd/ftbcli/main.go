@@ -75,6 +75,8 @@ func main() {
 		err = cmdExp(ctx, os.Args[2:])
 	case "query":
 		err = cmdQuery(ctx, os.Args[2:])
+	case "sections":
+		err = cmdSections(os.Args[2:])
 	case "show":
 		err = cmdShow(os.Args[2:])
 	case "propagate":
@@ -175,8 +177,8 @@ func newExecFlags(fs *flag.FlagSet) *execFlags {
 		metricsFormat: fs.String("metrics-format", "json", "metrics snapshot format: json or prom"),
 		cpuProfile:    fs.String("cpuprofile", "", "write a pprof CPU profile of the command to this file"),
 		memProfile:    fs.String("memprofile", "", "write a pprof heap profile at command end to this file"),
-		verbose:       fs.Bool("v", false, "log campaign lifecycle events on stderr (slog debug level)"),
-		serve:         fs.String("serve", "", "serve live observability endpoints on this address (e.g. :8080): /metrics, /progress, /debug/pprof"),
+		verbose:       verboseFlag(fs),
+		serve:         serveFlag(fs),
 		noReplay:      fs.Bool("noreplay", false, "disable checkpointed prefix replay (full re-execution per experiment)"),
 		replayEvery:   fs.Int("replay-every", 0, "snapshot spacing of checkpointed replay, in sites (default 1)"),
 	}
@@ -358,6 +360,9 @@ commands:
               [-json]              one campaign); no facet lists campaigns /
               [-serve ADDR]        summarizes the campaign; -serve exposes
                                    /v1/query and /v1/campaigns over HTTP
+  sections    -kernel K -size S    list a kernel's declared compositional
+              [-store DIR] [-json] sections (name, site range, identity hash);
+                                   -store shows the persisted summary state
   show        FILE                 summarize a saved artifact (.ftb file)
   propagate   -kernel K -size S    chart one injection's error propagation
               [-site N] [-bit B]   (the paper's Figure 2)
@@ -382,6 +387,24 @@ persistence:
                                    with "ftbcli query" (mutually exclusive
                                    with -checkpoint)
   infer       -save FILE           save the inferred boundary
+
+compositional execution (exhaustive, sectioned kernels):
+  -compose                         run each experiment only within its own
+                                   declared section and predict the rest from
+                                   per-section error-transfer summaries;
+                                   falls back to full execution when the
+                                   evidence is inconclusive (results byte-
+                                   identical up to the predictor's verdicts)
+  -calibration F                   full-run calibration sample fraction
+                                   (default 0.02)
+  -compose-seed X                  calibration sampling seed
+  -safety F  -min-samples N        predictor conservatism knobs (default 32, 3)
+  -validate                        check every composed result against the
+                                   store's exhaustive ground truth (requires
+                                   -store with a complete campaign)
+  with -store, section summaries persist beside the campaign log and are
+  reused on the next composed run as long as each section's identity hash
+  still matches; only changed sections re-calibrate
 
 cluster execution (exhaustive):
   -cluster URL1,URL2               shard the campaign across running "ftbcli
@@ -471,14 +494,18 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	kernel, size := kernelFlags(fs)
 	save := fs.String("save", "", "write the ground truth to this file")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: saves progress in batches and resumes if it exists")
-	storeDir := fs.String("store", "", "ground-truth store directory: outcomes are appended durably as the campaign runs, a prior partial campaign resumes from the store, and results stay queryable with ftbcli query")
+	storeDir := storeDirFlag(fs, "ground-truth store directory: outcomes are appended durably as the campaign runs, a prior partial campaign resumes from the store, and results stay queryable with ftbcli query")
 	batch := fs.Int("batch", 256, "sites per checkpoint batch")
 	clusterURLs := fs.String("cluster", "", "shard the campaign across these comma-separated worker URLs (see the worker command)")
 	selfhost := fs.Int("selfhost", 0, "shard the campaign across this many locally forked worker processes")
 	shard := fs.Int("shard", 0, "cluster lease granularity in experiments (default 2048)")
+	comp := newComposeFlags(fs)
 	exec := newExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if comp.enabled() && *checkpoint != "" {
+		return errors.New("exhaustive: -compose and -checkpoint are mutually exclusive (composed campaigns persist section summaries in the store instead)")
 	}
 	an, err := ftb.NewKernelAnalysis(*kernel, *size)
 	if err != nil {
@@ -534,14 +561,26 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 		runOpts = append(runOpts, ftb.WithCluster(co))
 		fmt.Fprintf(os.Stderr, "ftbcli: sharding across %d remote + %d self-hosted workers\n", len(co.Workers), co.SelfHost)
 	}
+	var rep ftb.ComposeReport
+	if comp.enabled() {
+		runOpts = append(runOpts, comp.option(&rep))
+		if o := comp.sectionsOption(an); o != nil {
+			runOpts = append(runOpts, o)
+		}
+	}
 	start := time.Now()
 	var gt *ftb.GroundTruth
-	if *checkpoint != "" || *storeDir != "" {
+	switch {
+	case comp.enabled():
+		// Composed campaigns consult the store for summary reuse and
+		// validation but never append outcomes to it.
+		gt, err = an.Exhaustive(runOpts...)
+	case *checkpoint != "" || *storeDir != "":
 		// With -store and no -checkpoint the empty path selects the
 		// store-backed resume (the two together are rejected by the
 		// facade as mutually exclusive).
 		gt, err = an.ExhaustiveCheckpointed(*checkpoint, *batch, runOpts...)
-	} else {
+	default:
 		gt, err = an.Exhaustive(runOpts...)
 	}
 	if err != nil {
@@ -553,6 +592,9 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	fmt.Printf("exhaustive campaign: %d experiments in %v\n", overall.Total(), elapsed.Round(time.Millisecond))
 	fmt.Printf("  masked %.2f%%  sdc %.2f%%  crash %.2f%%\n",
 		100*overall.MaskedRatio(), 100*overall.SDCRatio(), 100*overall.CrashRatio())
+	if comp.enabled() {
+		printComposeReport(&rep, *comp.validate)
+	}
 	nm, err := an.NonMonotonicSites(gt)
 	if err != nil {
 		return err

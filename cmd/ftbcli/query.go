@@ -20,13 +20,13 @@ import (
 // queryable forever at zero engine cost.
 func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	dir := fs.String("store", "", "ground-truth store directory (required)")
+	dir := storeDirFlag(fs, "ground-truth store directory (required)")
 	campaignRef := fs.String("campaign", "", "campaign to query: directory name or unique program name (default: the store's only campaign)")
 	site := fs.Int("site", -1, "point query: dynamic-instruction site")
 	bit := fs.Int("bit", -1, "point query: bit position (requires -site)")
 	sites := fs.String("sites", "", "range query: LO:HI half-open site range")
-	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
-	serve := fs.String("serve", "", "serve the store's query endpoints on this address (/v1/query, /v1/campaigns, /metrics) until interrupted")
+	jsonOut := jsonFlag(fs)
+	serve := serveFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ftb"
+)
+
+// cmdSections lists a kernel's declared compositional sections: name,
+// site range, and identity hash per section — the layout and keys a
+// composed campaign (`exhaustive -compose`) calibrates and persists
+// summaries under. With -store, persisted summary state from the
+// kernel's campaign directory is shown alongside: whether each
+// section's summary is current (identity hash still matches) and how
+// many calibration observations back it.
+func cmdSections(args []string) error {
+	fs := flag.NewFlagSet("sections", flag.ExitOnError)
+	kernel, size := kernelFlags(fs)
+	storeDir := storeDirFlag(fs, "ground-truth store directory: show the persisted section-summary state beside the declared layout")
+	jsonOut := jsonFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := ftb.NewKernelAnalysis(*kernel, *size)
+	if err != nil {
+		return err
+	}
+	secs := an.Sections()
+	if len(secs) == 0 {
+		return fmt.Errorf("sections: kernel %q declares no compositional sections", *kernel)
+	}
+	hashes := an.SectionHashes(secs)
+
+	var lib *ftb.SectionLibrary
+	if *storeDir != "" {
+		st, err := ftb.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		camp, err := an.StoreCampaign(st)
+		if err != nil {
+			return err
+		}
+		if lib, err = camp.LoadSectionSummaries(); err != nil {
+			return err
+		}
+	}
+
+	type sectionDoc struct {
+		Index   int    `json:"index"`
+		Name    string `json:"name"`
+		Start   int    `json:"start"`
+		End     int    `json:"end"`
+		Sites   int    `json:"sites"`
+		Hash    uint64 `json:"hash,string"`
+		Summary string `json:"summary,omitempty"` // current | stale | none
+		Samples int    `json:"samples,omitempty"`
+	}
+	doc := struct {
+		Kernel   string       `json:"kernel"`
+		Size     string       `json:"size"`
+		Sites    int          `json:"sites"`
+		Sections []sectionDoc `json:"sections"`
+	}{Kernel: *kernel, Size: *size, Sites: an.Sites()}
+	for i, s := range secs {
+		d := sectionDoc{Index: i, Name: s.Name, Start: s.Start, End: s.End, Sites: s.Sites(), Hash: hashes[i]}
+		if lib != nil {
+			if sum := lib.Find(s, hashes[i]); sum != nil {
+				d.Summary, d.Samples = "current", sum.Samples
+			} else {
+				d.Summary = "none"
+				for _, sum := range lib.Summaries {
+					if sum != nil && sum.Section.Start == s.Start && sum.Section.End == s.End {
+						d.Summary = "stale" // same range, hash no longer matches
+						break
+					}
+				}
+			}
+		}
+		doc.Sections = append(doc.Sections, d)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	fmt.Printf("kernel %s (%s): %d sections over %d sites\n", *kernel, *size, len(secs), an.Sites())
+	for _, d := range doc.Sections {
+		line := fmt.Sprintf("  %3d %-14s [%7d, %7d)  %7d sites  hash %016x", d.Index, d.Name, d.Start, d.End, d.Sites, d.Hash)
+		if lib != nil {
+			line += fmt.Sprintf("  summary %s", d.Summary)
+			if d.Summary == "current" {
+				line += fmt.Sprintf(" (%d samples)", d.Samples)
+			}
+		}
+		fmt.Println(line)
+	}
+	if *storeDir != "" && lib == nil {
+		fmt.Println("  no persisted section summaries (run `ftbcli exhaustive -compose -store ...` to build them)")
+	}
+	return nil
+}
+
+// printComposeReport renders a composed campaign's accounting after the
+// outcome summary.
+func printComposeReport(rep *ftb.ComposeReport, validated bool) {
+	exact := rep.ExactCrash + rep.ExactZero + rep.ExactLast
+	fmt.Printf("  composed: calibrated %d  exact %d (crash %d, zero %d, last %d)  predicted %d  fallbacks %d\n",
+		rep.Calibrated, exact, rep.ExactCrash, rep.ExactZero, rep.ExactLast,
+		rep.Predicted.Total(), rep.Fallbacks)
+	if rep.Fallbacks > 0 {
+		line := "  fallback reasons:"
+		for r, n := range rep.FallbackReasons {
+			if n > 0 {
+				line += fmt.Sprintf(" %s %d", ftb.FallbackReason(r), n)
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  summaries: %d reused, %d rebuilt; estimated store-count speedup %.1fx\n",
+		rep.SummariesReused, rep.SummariesBuilt, rep.Speedup())
+	if validated {
+		fmt.Printf("  validation mismatches: %d\n", rep.Mismatches)
+	}
+}

@@ -25,8 +25,8 @@ func cmdWorker(ctx context.Context, args []string) error {
 	kernel, size := kernelFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks an ephemeral port)")
 	procs := fs.Int("procs", 0, "engine parallelism per lease (default GOMAXPROCS)")
-	serve := fs.String("serve", "", "also serve observability endpoints on this address: /metrics, /progress, /debug/pprof")
-	verbose := fs.Bool("v", false, "log lease lifecycle events on stderr")
+	serve := serveFlag(fs)
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

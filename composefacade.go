@@ -1,0 +1,182 @@
+package ftb
+
+import (
+	"errors"
+	"fmt"
+
+	"ftb/internal/campaign"
+	"ftb/internal/sections"
+)
+
+// Compositional-sections facade: the Section type kernels declare, the
+// WithSections / WithCompose RunOptions that switch Exhaustive into
+// composed mode, and the Sections accessor. Sections ride the same
+// variadic RunOption door as every other campaign knob — there is no
+// parallel ComposedExhaustive method family on Analysis.
+
+type (
+	// Section is one compositional section: a named, contiguous range of
+	// dynamic-instruction (store) indices. A program's sections partition
+	// [0, Sites()) exactly; built-in kernels derive theirs from their
+	// phase layouts.
+	Section = sections.Section
+	// SectionSummary is one section's error-transfer summary: binned
+	// boundary-error observations from calibration runs, keyed by the
+	// section's identity hash for incremental reuse.
+	SectionSummary = sections.Summary
+	// SectionLibrary is a program's persisted set of section summaries.
+	SectionLibrary = sections.Library
+	// ComposeReport is the accounting of a composed exhaustive campaign:
+	// exact / predicted / fallback partition, calibration size, summary
+	// provenance, store-count speedup estimate, and the mismatch count
+	// against validation ground truth.
+	ComposeReport = campaign.ComposeReport
+	// SectionReport is one section's share of a ComposeReport.
+	SectionReport = campaign.SectionReport
+	// FallbackReason names why the composed predictor declined one
+	// experiment; it indexes ComposeReport.FallbackReasons.
+	FallbackReason = sections.FallbackReason
+)
+
+// ComposeOptions tunes a composed exhaustive campaign. The zero value
+// uses the package defaults (2% calibration, MinSamples 3, Safety 32).
+type ComposeOptions struct {
+	// Calibration is the fraction of the (site × bit) space sampled for
+	// full cross-boundary calibration runs (default 0.02); their exact
+	// outcomes double as campaign results.
+	Calibration float64
+	// Seed drives the deterministic calibration sample.
+	Seed uint64
+	// MinSamples is the evidence floor of the composed predictor: fewer
+	// matching calibration observations along the chain force a
+	// full-execution fallback (default 3).
+	MinSamples int
+	// Safety is the predictor's multiplicative safety margin against the
+	// tolerance (default 32): larger values predict less and fall back
+	// more.
+	Safety float64
+	// Slack is the multiplicative neighborhood summary lookups are
+	// widened by (default 16, one magnitude bin): calibration evidence
+	// within that factor of the queried boundary error must exist and
+	// agree before the predictor commits.
+	Slack float64
+	// Validate compares every composed result against store-materialized
+	// exhaustive ground truth and counts disagreements in
+	// Report.Mismatches. It requires an attached WithStore whose campaign
+	// is complete.
+	Validate bool
+	// Report, when non-nil, receives the campaign's accounting.
+	Report *ComposeReport
+}
+
+// WithSections overrides the section layout of the call's composed
+// campaigns. Most programs never need it — kernels implementing
+// sections.Declarer (all built-in phase-structured kernels) declare
+// their layout, which Exhaustive uses by default; WithSections is for
+// ablations (coarser layouts) and for external programs that declare no
+// sections of their own. The layout must partition the program's
+// dynamic-instruction range exactly.
+func WithSections(secs []Section) RunOption {
+	s := append([]Section(nil), secs...)
+	return func(rc *runConfig) { rc.sections = s }
+}
+
+// RefineSections splits every section of a layout into up to k equal
+// contiguous parts (names suffixed ".1", ".2", ...), preserving layout
+// validity and every original boundary. Finer sections shrink each
+// experiment's within-section execution roughly by k at the cost of
+// more boundary pauses, so pairing a declared layout with
+// RefineSections is the standard way to tune composed-campaign cost:
+//
+//	ftb.WithSections(ftb.RefineSections(a.Sections(), 2))
+func RefineSections(secs []Section, k int) []Section {
+	return sections.Refine(secs, k)
+}
+
+// WithCompose switches the call's Exhaustive campaign into composed
+// mode: every experiment executes only to the end of its own section,
+// and the downstream outcome is decided by an exact shortcut, a chained
+// section-summary prediction, or a full-execution fallback. With a
+// store attached (WithStore), persisted summaries whose section
+// identity hashes still match are reused — changed sections alone are
+// re-calibrated — and the campaign's final summaries are saved back for
+// the next run.
+func WithCompose(o ComposeOptions) RunOption {
+	return func(rc *runConfig) { rc.compose = &o }
+}
+
+// Sections returns the program's declared compositional section layout
+// (a copy), or nil for programs that declare none. It mirrors Sites and
+// Bits: the static shape of the analysis, independent of any campaign.
+func (a *Analysis) Sections() []Section {
+	return append([]Section(nil), a.declared...)
+}
+
+// SectionHashes returns the per-section identity hashes of the given
+// layout against this analysis's golden run — the keys under which
+// summaries are persisted and reused.
+func (a *Analysis) SectionHashes(secs []Section) []uint64 {
+	return sections.Hashes(secs, a.golden.Trace)
+}
+
+// composedExhaustive is Exhaustive's composed-mode path.
+func (a *Analysis) composedExhaustive(rc runConfig) (*GroundTruth, error) {
+	if rc.cluster != nil {
+		return nil, errClusterUnsupported("Exhaustive with WithCompose")
+	}
+	opts := *rc.compose
+	secs := rc.sections
+	if secs == nil {
+		secs = a.declared
+	}
+	if len(secs) == 0 {
+		return nil, fmt.Errorf("ftb: program %q declares no sections; pass WithSections", a.name)
+	}
+	if err := sections.Validate(secs, a.Sites()); err != nil {
+		return nil, err
+	}
+	copts := campaign.ComposeOptions{
+		Sections:    secs,
+		Calibration: opts.Calibration,
+		Seed:        opts.Seed,
+		MinSamples:  opts.MinSamples,
+		Safety:      opts.Safety,
+		Slack:       opts.Slack,
+	}
+	var camp *StoreCampaign
+	if rc.store != nil {
+		c, err := a.StoreCampaign(rc.store)
+		if err != nil {
+			return nil, err
+		}
+		camp = c
+		prior, err := c.LoadSectionSummaries()
+		if err != nil {
+			return nil, err
+		}
+		copts.Prior = prior
+	}
+	if opts.Validate {
+		if camp == nil {
+			return nil, errors.New("ftb: ComposeOptions.Validate needs exhaustive ground truth; attach the store holding it with WithStore")
+		}
+		truth, err := camp.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("ftb: ComposeOptions.Validate: %w", err)
+		}
+		copts.Truth = truth
+	}
+	gt, rep, err := campaign.ComposedExhaustive(a.configFrom(rc), copts)
+	if err != nil {
+		return nil, err
+	}
+	if camp != nil && rep.Library != nil {
+		if err := camp.SaveSectionSummaries(rep.Library); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Report != nil {
+		*opts.Report = *rep
+	}
+	return gt, nil
+}

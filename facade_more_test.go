@@ -212,8 +212,8 @@ func TestExhaustiveCheckpointedResumeFacade(t *testing.T) {
 }
 
 // TestContextAndObserverFacade exercises the engine plumbing end to end
-// through the public API: WithContext cancellation, WithObserver progress
-// events, and the per-call InferOptions overrides.
+// through the public API: WithContext cancellation and WithObserver
+// progress events, both per call and persistently via Analysis.With.
 func TestContextAndObserverFacade(t *testing.T) {
 	an, err := NewKernelAnalysis("stencil", SizeTest)
 	if err != nil {
@@ -222,13 +222,13 @@ func TestContextAndObserverFacade(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := an.WithContext(ctx).Exhaustive(); !errors.Is(err, context.Canceled) {
+	if _, err := an.With(WithContext(ctx)).Exhaustive(); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled Exhaustive = %v, want context.Canceled", err)
 	}
-	if _, err := an.InferBoundary(InferOptions{SampleFrac: 0.05, Context: ctx}); !errors.Is(err, context.Canceled) {
+	if _, err := an.InferBoundary(InferOptions{SampleFrac: 0.05}, WithContext(ctx)); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled InferBoundary = %v, want context.Canceled", err)
 	}
-	if _, _, err := an.WithContext(ctx).Progressive(ProgressiveOptions{RoundFrac: 0.02}); !errors.Is(err, context.Canceled) {
+	if _, _, err := an.With(WithContext(ctx)).Progressive(ProgressiveOptions{RoundFrac: 0.02}); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled Progressive = %v, want context.Canceled", err)
 	}
 
@@ -238,7 +238,7 @@ func TestContextAndObserverFacade(t *testing.T) {
 		events++
 		phases[e.Phase] = true
 	})
-	if _, err := an.WithObserver(obs).InferBoundary(InferOptions{SampleFrac: 0.1}); err != nil {
+	if _, err := an.With(WithObserver(obs)).InferBoundary(InferOptions{SampleFrac: 0.1}); err != nil {
 		t.Fatal(err)
 	}
 	if events == 0 || !phases["classify"] || !phases["propagate"] {
@@ -246,11 +246,11 @@ func TestContextAndObserverFacade(t *testing.T) {
 	}
 
 	// Both scheduling modes agree through the facade too.
-	gtDyn, err := an.WithSched(SchedDynamic).Exhaustive()
+	gtDyn, err := an.With(WithSched(SchedDynamic)).Exhaustive()
 	if err != nil {
 		t.Fatal(err)
 	}
-	gtStat, err := an.WithSched(SchedStatic).Exhaustive()
+	gtStat, err := an.With(WithSched(SchedStatic)).Exhaustive()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,11 +39,19 @@
 //	col.Snapshot().WriteJSON(os.Stdout)
 //
 // Analysis.With applies RunOptions persistently to a copy of the
-// Analysis. The older per-knob plumbing — the Analysis.WithContext,
-// WithObserver, and WithSched clone methods, and the Context and
-// Observer fields of InferOptions — is deprecated in favour of
-// RunOptions; it keeps working, but call-level RunOptions win when both
-// are used.
+// Analysis. RunOptions are the only way to configure a run: the
+// per-knob clone methods and InferOptions override fields that predated
+// them have been removed.
+//
+// # Compositional section campaigns
+//
+// Kernels that declare compositional sections (contiguous partitions of
+// the dynamic-instruction range, surfaced through Analysis.Sections)
+// can run Exhaustive in composed mode: each experiment executes only to
+// the end of its own section and the remaining outcome is predicted by
+// chaining per-section error-transfer summaries, falling back to full
+// execution when the evidence is inconclusive. Opt in with WithCompose;
+// override the section layout with WithSections.
 package ftb
 
 import (
@@ -63,6 +71,7 @@ import (
 	"ftb/internal/proptrace"
 	"ftb/internal/rng"
 	"ftb/internal/sampling"
+	"ftb/internal/sections"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
@@ -271,9 +280,11 @@ type runConfig struct {
 	traceOpts   proptrace.Options
 	logger      *slog.Logger
 	cluster     *ClusterOptions
-	store       *Store // nil = no durable ground-truth store
-	replayOff   bool   // checkpointed replay is on unless opted out
-	replayEvery int    // snapshot spacing in sites; 0 = campaign default
+	store       *Store          // nil = no durable ground-truth store
+	replayOff   bool            // checkpointed replay is on unless opted out
+	replayEvery int             // snapshot spacing in sites; 0 = campaign default
+	sections    []Section       // nil = the program's declared layout
+	compose     *ComposeOptions // nil = full-suffix execution
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -381,14 +392,15 @@ func WithLogger(l *slog.Logger) RunOption {
 // the paper's workflows: exhaustive campaigns, boundary inference with
 // uniform sampling, and adaptive progressive sampling.
 type Analysis struct {
-	factory func() trace.Program
-	name    string // program name, used to label recorded trajectories
-	golden  *trace.GoldenRun
-	tol     float64
-	bits    int
-	width   int
-	batch   int
-	run     runConfig
+	factory  func() trace.Program
+	name     string // program name, used to label recorded trajectories
+	golden   *trace.GoldenRun
+	tol      float64
+	bits     int
+	width    int
+	batch    int
+	declared []Section // the program's declared section layout, if any
+	run      runConfig
 }
 
 // Options tweaks an Analysis.
@@ -451,14 +463,19 @@ func NewAnalysis(factory func() Program, tol float64, opts Options) (*Analysis, 
 	if bits < 1 || bits > width {
 		return nil, fmt.Errorf("ftb: bits %d outside [1, %d]", bits, width)
 	}
+	var declared []Section
+	if d, ok := p.(sections.Declarer); ok {
+		declared = d.Sections()
+	}
 	return &Analysis{
-		factory: factory,
-		name:    p.Name(),
-		golden:  g,
-		tol:     tol,
-		bits:    bits,
-		width:   width,
-		batch:   opts.Batch,
+		factory:  factory,
+		name:     p.Name(),
+		golden:   g,
+		tol:      tol,
+		bits:     bits,
+		width:    width,
+		batch:    opts.Batch,
+		declared: declared,
 		run: runConfig{
 			ctx:      opts.Context,
 			observer: opts.Observer,
@@ -478,33 +495,6 @@ func (a *Analysis) With(opts ...RunOption) *Analysis {
 		o(&b.run)
 	}
 	return &b
-}
-
-// WithContext returns a copy of the Analysis whose campaigns are
-// cancelled when ctx is.
-//
-// Deprecated: use With(WithContext(ctx)), or pass WithContext(ctx)
-// directly to the campaign-running method.
-func (a *Analysis) WithContext(ctx context.Context) *Analysis {
-	return a.With(WithContext(ctx))
-}
-
-// WithObserver returns a copy of the Analysis whose campaigns report
-// progress to obs.
-//
-// Deprecated: use With(WithObserver(obs)), or pass WithObserver(obs)
-// directly to the campaign-running method.
-func (a *Analysis) WithObserver(obs Observer) *Analysis {
-	return a.With(WithObserver(obs))
-}
-
-// WithSched returns a copy of the Analysis using the given campaign
-// scheduling mode.
-//
-// Deprecated: use With(WithSched(s)), or pass WithSched(s) directly to
-// the campaign-running method.
-func (a *Analysis) WithSched(s Sched) *Analysis {
-	return a.With(WithSched(s))
 }
 
 // NewKernelAnalysis builds an Analysis for a built-in kernel at one of
@@ -597,9 +587,16 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 // Exhaustive runs the full fault-injection campaign: every bit of every
 // dynamic instruction. Cost: SampleSpace() program executions. With
 // WithCluster, the campaign is sharded across worker processes instead
-// of goroutines; the result is byte-identical either way.
+// of goroutines; the result is byte-identical either way. With
+// WithCompose, each experiment executes only within its own declared
+// section and the rest of the outcome is predicted compositionally (see
+// the package documentation); composed results are returned directly
+// and never appended to an attached store.
 func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 	rc := a.resolve(opts)
+	if rc.compose != nil {
+		return a.composedExhaustive(rc)
+	}
 	var gt *GroundTruth
 	var err error
 	if rc.cluster != nil {
@@ -630,6 +627,9 @@ func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 // checkpoint file, and resume state is read back from the store manifest.
 func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts ...RunOption) (*GroundTruth, error) {
 	rc := a.resolve(opts)
+	if rc.compose != nil {
+		return nil, errors.New("ftb: WithCompose applies to Exhaustive only; composed campaigns persist section summaries, not checkpoints")
+	}
 	if rc.store != nil {
 		return a.storeCheckpointed(rc, checkpointPath, batch)
 	}
@@ -724,30 +724,6 @@ type InferOptions struct {
 	Filter bool
 	// Seed drives sample selection.
 	Seed uint64
-	// Context cancels this inference's campaigns.
-	//
-	// Deprecated: pass the WithContext RunOption to InferBoundary
-	// instead. When both are set, the RunOption wins.
-	Context context.Context
-	// Observer receives this inference's progress events.
-	//
-	// Deprecated: pass the WithObserver RunOption to InferBoundary
-	// instead. When both are set, the RunOption wins.
-	Observer Observer
-}
-
-// inferConfig is the analysis campaign config with the deprecated
-// InferOptions overrides applied first, then the call's RunOptions (so
-// the new API wins when both are used).
-func (a *Analysis) inferConfig(opts InferOptions, runOpts []RunOption) campaign.Config {
-	var legacy []RunOption
-	if opts.Context != nil {
-		legacy = append(legacy, WithContext(opts.Context))
-	}
-	if opts.Observer != nil {
-		legacy = append(legacy, WithObserver(opts.Observer))
-	}
-	return a.campaignConfig(append(legacy, runOpts...)...)
 }
 
 // Result is an inferred boundary plus everything needed to use and judge
@@ -781,7 +757,7 @@ func (a *Analysis) InferBoundary(opts InferOptions, runOpts ...RunOption) (*Resu
 	}
 	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
 	known := boundary.NewKnown(a.Sites(), a.bits)
-	bld, recs, err := boundary.Build(a.inferConfig(opts, runOpts), pairs, boundary.BuildOptions{
+	bld, recs, err := boundary.Build(a.campaignConfig(runOpts...), pairs, boundary.BuildOptions{
 		Filter: opts.Filter,
 		Known:  known,
 	})

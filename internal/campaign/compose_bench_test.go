@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"testing"
+
+	"ftb/internal/kernels"
+	"ftb/internal/sections"
+	"ftb/internal/trace"
+)
+
+// BenchmarkComposeExhaustive measures what compositional section
+// campaigns buy over a replay-enabled exhaustive campaign on the two
+// phase-structured kernels at paper size, and gates the two acceptance
+// bars of the composed mode: zero outcome mismatches against the
+// exhaustive ground truth, and at least a 3x reduction in campaign cost
+// (stores executed vs the exhaustive baseline, rep.Speedup() — the
+// deterministic work metric, immune to scheduler and machine noise;
+// the ns/op pair additionally records the wall-clock view, which sits
+// lower because the per-experiment checkpoint restore is a fixed cost
+// the composed mode cannot shrink). Safety 1 / Slack 2 is the
+// aggressive predictor setting the paper-size sweeps proved sound on
+// these two kernels specifically (DESIGN.md §13 — gmres, by contrast,
+// mismatches at Slack 2 and stays on the conservative defaults), and
+// each declared layout is refined (sections.Refine) to the finest
+// granularity that still improves wall clock: finer sections shrink the
+// within-section execution share, which is the controllable term of the
+// cost model. Workers is pinned to 1 so the pair measures the
+// algorithmic saving, not scheduler interleaving.
+func BenchmarkComposeExhaustive(b *testing.B) {
+	for _, tc := range []struct {
+		kernel string
+		refine int // Refine factor over the declared layout
+	}{
+		{"fft", 4}, // 6 declared phases -> 24 sections
+		{"cg", 4},  // 12 declared iterations -> 48 sections
+	} {
+		k, err := kernels.New(tc.kernel, kernels.SizePaper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := trace.Golden(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Factory: func() trace.Program {
+				kk, err := kernels.New(tc.kernel, kernels.SizePaper)
+				if err != nil {
+					panic(err)
+				}
+				return kk
+			},
+			Golden:  g,
+			Tol:     k.Tolerance(),
+			Workers: 1,
+			Replay:  true,
+		}
+		layout := sections.Refine(k.(sections.Declarer).Sections(), tc.refine)
+		var truth *GroundTruth
+		b.Run(tc.kernel+"-paper/exhaustive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := Exhaustive(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth = m
+			}
+			b.ReportMetric(float64(g.Sites()), "sites")
+		})
+		b.Run(tc.kernel+"-paper/composed", func(b *testing.B) {
+			var rep *ComposeReport
+			for i := 0; i < b.N; i++ {
+				_, r, err := ComposedExhaustive(cfg, ComposeOptions{
+					Sections: layout,
+					Truth:    truth,
+					Safety:   1,
+					Slack:    2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r
+			}
+			if rep.Mismatches != 0 {
+				b.Fatalf("composed campaign disagreed with exhaustive ground truth on %d experiments", rep.Mismatches)
+			}
+			if rep.Speedup() < 3 {
+				b.Fatalf("campaign-cost speedup %.2fx, want >= 3x (executed %d of %d baseline stores)",
+					rep.Speedup(), rep.StoresExecuted, rep.StoresBaseline)
+			}
+			b.ReportMetric(float64(len(layout)), "sections")
+			b.ReportMetric(float64(rep.Mismatches), "mismatches")
+			b.ReportMetric(rep.Speedup(), "speedup")
+		})
+	}
+}

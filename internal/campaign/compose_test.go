@@ -1,0 +1,170 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/kernels"
+	"ftb/internal/sections"
+	"ftb/internal/trace"
+)
+
+// composeConfig builds a replay-enabled campaign config for a sectioned
+// kernel at test size and returns it with the kernel's section layout.
+func composeConfig(t *testing.T, name string) (campaign.Config, []sections.Section) {
+	t.Helper()
+	k, err := kernels.New(name, kernels.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := trace.Golden(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := k.(sections.Declarer)
+	if !ok {
+		t.Fatalf("%s declares no sections", name)
+	}
+	cfg := campaign.Config{
+		Factory: func() trace.Program {
+			kk, err := kernels.New(name, kernels.SizeTest)
+			if err != nil {
+				panic(err)
+			}
+			return kk
+		},
+		Golden: golden,
+		Tol:    k.Tolerance(),
+		Width:  k.Width(),
+		Replay: true,
+	}
+	return cfg, d.Sections()
+}
+
+// TestComposedExhaustiveByteIdentical is the compositional campaign's
+// correctness bar: for every sectioned kernel, the composed campaign's
+// ground truth must be byte-identical to the vanilla exhaustive
+// campaign's — predictions included — with zero recorded mismatches
+// against the wired-in truth.
+func TestComposedExhaustiveByteIdentical(t *testing.T) {
+	for _, name := range []string{"lu", "fft", "gmres", "cg", "stencil"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg, secs := composeConfig(t, name)
+			want, err := campaign.Exhaustive(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, rep, err := campaign.ComposedExhaustive(cfg, campaign.ComposeOptions{
+				Sections: secs,
+				Truth:    want,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Mismatches != 0 {
+				t.Errorf("%d mismatches against exhaustive truth", rep.Mismatches)
+			}
+			if len(got.Kinds) != len(want.Kinds) {
+				t.Fatalf("%d records, want %d", len(got.Kinds), len(want.Kinds))
+			}
+			for i := range want.Kinds {
+				if got.Kinds[i] != want.Kinds[i] {
+					t.Fatalf("record %d (site %d, bit %d) = %v, want %v",
+						i, i/cfg.Width, i%cfg.Width, got.Kinds[i], want.Kinds[i])
+				}
+			}
+			// The partition must account for every experiment exactly.
+			exact := rep.ExactCrash + rep.ExactZero + rep.ExactLast
+			if sum := rep.Calibrated + exact + rep.Predicted.Total() + rep.Fallbacks; sum != rep.Experiments {
+				t.Errorf("partition %d+%d+%d+%d = %d, want %d experiments",
+					rep.Calibrated, exact, rep.Predicted.Total(), rep.Fallbacks, sum, rep.Experiments)
+			}
+			if rep.StoresExecuted >= rep.StoresBaseline {
+				t.Errorf("executed %d stores, baseline %d: composition saved nothing",
+					rep.StoresExecuted, rep.StoresBaseline)
+			}
+		})
+	}
+}
+
+// TestComposedExhaustiveIncremental exercises the hash-keyed summary
+// reuse path: a second campaign fed the first campaign's library reuses
+// every summary and calibrates nothing, while a library with one
+// tampered hash forces exactly that section to be rebuilt.
+func TestComposedExhaustiveIncremental(t *testing.T) {
+	cfg, secs := composeConfig(t, "cg")
+	opts := campaign.ComposeOptions{Sections: secs}
+	first, rep1, err := campaign.ComposedExhaustive(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Library == nil || len(rep1.Library.Summaries) == 0 {
+		t.Fatal("first campaign produced no summary library")
+	}
+	if rep1.SummariesReused != 0 || rep1.SummariesBuilt == 0 {
+		t.Fatalf("first campaign: reused=%d built=%d", rep1.SummariesReused, rep1.SummariesBuilt)
+	}
+
+	opts.Prior = rep1.Library
+	second, rep2, err := campaign.ComposedExhaustive(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SummariesReused != rep1.SummariesBuilt || rep2.SummariesBuilt != 0 {
+		t.Errorf("full reuse: reused=%d built=%d, want %d/0",
+			rep2.SummariesReused, rep2.SummariesBuilt, rep1.SummariesBuilt)
+	}
+	if rep2.Calibrated != 0 {
+		t.Errorf("full reuse still ran %d calibration experiments", rep2.Calibrated)
+	}
+	for i := range first.Kinds {
+		if second.Kinds[i] != first.Kinds[i] {
+			t.Fatalf("record %d changed across reuse: %v != %v", i, second.Kinds[i], first.Kinds[i])
+		}
+	}
+
+	// Tamper with one summary's identity hash: that section must miss
+	// and be rebuilt; the others still reuse.
+	tampered := &sections.Library{Program: rep1.Library.Program}
+	bumped := false
+	for _, s := range rep1.Library.Summaries {
+		cp := *s
+		// Only sections after the first reuse summaries; tamper the
+		// first downstream one.
+		if !bumped && cp.Section.Start > 0 {
+			cp.Hash++
+			bumped = true
+		}
+		tampered.Summaries = append(tampered.Summaries, &cp)
+	}
+	if !bumped {
+		t.Fatal("no downstream summary to tamper")
+	}
+	opts.Prior = tampered
+	_, rep3, err := campaign.ComposedExhaustive(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.SummariesBuilt != 1 || rep3.SummariesReused != rep1.SummariesBuilt-1 {
+		t.Errorf("tampered hash: reused=%d built=%d, want %d/1",
+			rep3.SummariesReused, rep3.SummariesBuilt, rep1.SummariesBuilt-1)
+	}
+	if rep3.Calibrated == 0 {
+		t.Error("rebuilt section ran no calibration")
+	}
+}
+
+// TestComposedExhaustiveRejectsBadLayout checks the layout gate: a
+// layout that does not partition the site range is refused up front.
+func TestComposedExhaustiveRejectsBadLayout(t *testing.T) {
+	cfg, secs := composeConfig(t, "stencil")
+	bad := append([]sections.Section(nil), secs...)
+	bad[0].Start = 1 // leaves site 0 uncovered
+	if _, _, err := campaign.ComposedExhaustive(cfg, campaign.ComposeOptions{Sections: bad}); err == nil {
+		t.Error("gapped layout accepted")
+	}
+	if _, _, err := campaign.ComposedExhaustive(cfg, campaign.ComposeOptions{}); err == nil {
+		t.Error("empty layout accepted")
+	}
+}

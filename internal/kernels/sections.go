@@ -1,0 +1,39 @@
+package kernels
+
+import "ftb/internal/sections"
+
+// sectionsFromPhases maps a kernel's phase layout onto compositional
+// sections. The phases already mark the structural regions — LU block
+// steps, FFT stages, CG/GMRES solver iterations, stencil sweeps — whose
+// boundaries the replay cursors (resume.go) can pause at exactly, which
+// is the property a section boundary needs: a truncated injection run
+// pauses there, and Advance can rebuild the golden state up to there.
+func sectionsFromPhases(ph []Phase) []sections.Section {
+	out := make([]sections.Section, len(ph))
+	for i, p := range ph {
+		out[i] = sections.Section{Name: p.Name, Start: p.Start, End: p.End}
+	}
+	return out
+}
+
+// The kernels below implement sections.Declarer: their phase maps are
+// exhaustive partitions of the dynamic-instruction range (the invariant
+// test in sections_test.go enforces contiguity, coverage, and replay
+// agreement at every declared boundary), so the phases double as the
+// compositional sections the campaign layer composes across.
+
+// Sections implements sections.Declarer: one section per block step.
+func (k *LU) Sections() []sections.Section { return sectionsFromPhases(k.phases) }
+
+// Sections implements sections.Declarer: one section per FFT stage.
+func (k *FFT) Sections() []sections.Section { return sectionsFromPhases(k.phases) }
+
+// Sections implements sections.Declarer: one section per restart cycle.
+func (k *GMRES) Sections() []sections.Section { return sectionsFromPhases(k.phases) }
+
+// Sections implements sections.Declarer: init regions, then one section
+// per CG iteration.
+func (k *CG) Sections() []sections.Section { return sectionsFromPhases(k.phases) }
+
+// Sections implements sections.Declarer: one section per Jacobi sweep.
+func (k *Stencil) Sections() []sections.Section { return sectionsFromPhases(k.phases) }

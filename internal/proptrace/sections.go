@@ -1,0 +1,92 @@
+package proptrace
+
+import (
+	"math"
+
+	"ftb/internal/sections"
+)
+
+// SectionStat aggregates recorded trajectories over one compositional
+// section: how many injections landed in it, how many runs died in it,
+// and how large the sampled deviations passing through it were. It is
+// the trajectory-side view of a section's error transfer — the exact,
+// boundary-sampled view lives in the campaign's calibration summaries.
+type SectionStat struct {
+	Section sections.Section `json:"section"`
+	// Injections counts trajectories whose injection site lies in the
+	// section; Crashes counts trajectories whose crash site does.
+	Injections int `json:"injections"`
+	Crashes    int `json:"crashes"`
+	// Traversals counts trajectories with at least one retained sample
+	// in the section (downsampling can skip short sections).
+	Traversals int `json:"traversals"`
+	// MaxDelta is the largest retained deviation sampled inside the
+	// section; MeanDelta averages the retained samples. Both are
+	// downsampled views, not exact extrema (except that a trajectory's
+	// global Max landmark is exact and is folded into its section).
+	MaxDelta  Float `json:"max_delta"`
+	MeanDelta Float `json:"mean_delta"`
+
+	sum     float64
+	samples int
+}
+
+// AggregateSections folds trajectories into per-section statistics: the
+// per-section error-decay profile of a traced campaign. Samples outside
+// every section (a trajectory recorded against a different layout) are
+// ignored.
+func AggregateSections(ts []Trajectory, secs []sections.Section) []SectionStat {
+	out := make([]SectionStat, len(secs))
+	for i, s := range secs {
+		out[i].Section = s
+	}
+	seen := make([]bool, len(secs))
+	for _, t := range ts {
+		if i := sections.Find(secs, t.Site); i >= 0 {
+			out[i].Injections++
+		}
+		if t.CrashSite >= 0 {
+			if i := sections.Find(secs, t.CrashSite); i >= 0 {
+				out[i].Crashes++
+			}
+		}
+		for i := range seen {
+			seen[i] = false
+		}
+		fold := func(s Sample) {
+			i := sections.Find(secs, s.Site)
+			if i < 0 {
+				return
+			}
+			st := &out[i]
+			if !seen[i] {
+				seen[i] = true
+				st.Traversals++
+			}
+			d := float64(s.Delta)
+			if math.IsNaN(d) {
+				return
+			}
+			if d > float64(st.MaxDelta) {
+				st.MaxDelta = Float(d)
+			}
+			if !math.IsInf(d, 0) {
+				st.sum += d
+				st.samples++
+			}
+		}
+		for _, s := range t.Samples {
+			fold(s)
+		}
+		// The global extremum landmark is exact regardless of the
+		// stride; folding it in keeps MaxDelta honest for sections the
+		// downsampler skipped over.
+		fold(t.Max)
+	}
+	for i := range out {
+		if out[i].samples > 0 {
+			out[i].MeanDelta = Float(out[i].sum / float64(out[i].samples))
+		}
+	}
+	return out
+}

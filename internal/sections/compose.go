@@ -1,0 +1,243 @@
+package sections
+
+import (
+	"fmt"
+	"math"
+
+	"ftb/internal/outcome"
+)
+
+// Params tunes the Compose predictor's conservatism.
+type Params struct {
+	// MinSamples is the minimum total calibration samples the consulted
+	// bins must hold before any of their evidence is trusted (and every
+	// consulted bin must itself be populated). Default 3.
+	MinSamples int
+	// Safety is the multiplicative margin a predicted error bound must
+	// clear against the tolerance: a Masked verdict needs the bound to
+	// satisfy max·Safety ≤ tol. Anything inside the margin falls back
+	// to full execution. Default 32 (one bin width plus one octave).
+	Safety float64
+	// Slack is the multiplicative neighborhood every summary lookup is
+	// widened by: a query for boundary error e consults the bins
+	// covering [e/Slack, e·Slack], so calibration evidence within that
+	// factor of e must exist (and agree) before Compose will predict.
+	// Wider slack demands more corroboration; narrower slack lets a
+	// clean bin predict even when a mixed neighborhood sits one bin
+	// away. Default binSlack (one bin width, 16).
+	Slack float64
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.MinSamples <= 0 {
+		p.MinSamples = 3
+	}
+	if p.Safety <= 0 {
+		p.Safety = 32
+	}
+	if p.Slack <= 0 {
+		p.Slack = binSlack
+	}
+	return p
+}
+
+// FallbackReason says why Compose declined to predict; the campaign
+// aggregates the tallies so a report can show where the evidence ran
+// out (and therefore which tunable — calibration density, safety
+// margin, section layout — would convert fallbacks into predictions).
+type FallbackReason uint8
+
+const (
+	// ReasonNone: the prediction composed; no fallback.
+	ReasonNone FallbackReason = iota
+	// ReasonSeed: the boundary error itself was unusable (non-finite).
+	ReasonSeed
+	// ReasonNoSummary: a downstream section has no summary at all.
+	ReasonNoSummary
+	// ReasonGap: a magnitude bin in the widened query range holds no
+	// calibration sample (more calibration would populate it).
+	ReasonGap
+	// ReasonSparse: the covered bins hold fewer than MinSamples samples.
+	ReasonSparse
+	// ReasonCrashMix: some samples in the covered bins crashed inside
+	// the section while others survived it, so the surviving exits are
+	// a biased transfer estimate.
+	ReasonCrashMix
+	// ReasonDiverge: the chained error interval left the finite
+	// positive range (an exit bound of 0 or ±Inf cannot be chained).
+	ReasonDiverge
+	// ReasonMargin: the chain completed but the final error bound did
+	// not clear the safety margin below the tolerance — the injection
+	// lives in the contested magnitude range where only a full run can
+	// classify it.
+	ReasonMargin
+
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	"none", "seed", "no-summary", "gap", "sparse", "crash-mix", "diverge", "margin",
+}
+
+// String returns the reason's short display name.
+func (r FallbackReason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// Prediction is Compose's verdict for one injection.
+type Prediction struct {
+	// Composed reports whether the summaries supported a prediction;
+	// when false the caller must execute the experiment in full.
+	Composed bool
+	// Kind is the predicted outcome, valid when Composed.
+	Kind outcome.Kind
+	// Hops is the number of downstream sections the boundary-error
+	// interval was chained through before the verdict.
+	Hops int
+	// Why records what evidence was missing when Composed is false.
+	Why FallbackReason
+}
+
+func fallback(hops int, why FallbackReason) Prediction {
+	return Prediction{Hops: hops, Why: why}
+}
+
+// Compose predicts the final outcome of an injection in section secIdx
+// that reached its section's end boundary with running-max error b > 0,
+// by chaining the downstream summaries sums[secIdx+1..] instead of
+// executing those sections.
+//
+// The interval [lo, hi] brackets the possible boundary error entering
+// each successive section, seeded at [b, b]. At every hop the interval
+// is widened by one bin width and mapped through the populated bins it
+// covers; the hop short-circuits to Masked when those bins' calibration
+// runs unanimously ended Masked and their largest final output error
+// clears the safety margin below the tolerance. Otherwise the chain
+// continues with [min exit, max exit] of the bins — sound to chain
+// because the exit metric is the running max of the deviation stream,
+// which upper-bounds the final output error — and after the last
+// section a bound hi·Safety ≤ tol still predicts Masked.
+//
+// Masked is the ONLY outcome Compose ever predicts. A masked verdict
+// rests on an upper bound: the error stays provably (up to bin spread,
+// absorbed by the slack and margin) below the tolerance, and an error
+// that small cannot produce the non-finite values a crash requires. SDC
+// and Crash verdicts would rest on lower bounds that finite calibration
+// samples cannot certify — a crash is a qualitative event, and one
+// unsampled amplification path (a corrupted value that lands near zero
+// and later divides, say) flips an "obvious" SDC into a crash. Those
+// experiments run in full instead; they are the minority in the
+// resilient programs composition targets.
+//
+// Any gap in the evidence (an unpopulated bin in the widened cover, too
+// few samples, a non-finite bound, samples that crashed inside a section
+// while others survived it) returns a fallback verdict instead of a
+// guess.
+func Compose(sums []*Summary, secIdx int, b, tol float64, p Params) Prediction {
+	p = p.withDefaults()
+	if !(b > 0) || math.IsInf(b, 0) {
+		return fallback(0, ReasonSeed)
+	}
+	lo, hi := b, b
+	hops := 0
+	for j := secIdx + 1; j < len(sums); j++ {
+		s := sums[j]
+		if s == nil {
+			return fallback(hops, ReasonNoSummary)
+		}
+		hops++
+		// Widen the query by the slack factor on each side before
+		// binning: within-bin magnitudes can differ by a full bin
+		// factor, so a point's neighbors must corroborate the bin
+		// extremes.
+		qlo, qhi := lo/p.Slack, hi*p.Slack
+		if math.IsInf(qhi, 0) {
+			return fallback(hops, ReasonDiverge)
+		}
+		// Bracket the query range with populated evidence. The section's
+		// control flow is fixed (store counts are deterministic), so its
+		// error transfer is monotone in the entry magnitude to first
+		// order; that hypothesis lets the lookup bridge interior bins no
+		// calibration sample happened to land in (intermediate entries
+		// transfer to intermediate exits) and extend the pool upward for
+		// sample support (evidence at larger magnitudes only widens the
+		// pooled bounds, so every verdict it enables is the conservative
+		// one). What it never allows is extrapolating upward: with no
+		// populated bin at or above the query top, the entry error is
+		// larger than anything calibrated, and the hop falls back.
+		loB, ceil, ok := s.bracket(binOf(qlo), binOf(qhi))
+		if !ok {
+			return fallback(hops, ReasonGap)
+		}
+		hiBin := binOf(qhi)
+		total, crashesIn := 0, 0
+		var kinds [outcome.NumKinds]int
+		minExit, maxExit := math.Inf(1), math.Inf(-1)
+		minFinal, maxFinal := math.Inf(1), math.Inf(-1)
+		covered := false // a pooled bin at or above the query top
+		for idx := loB; idx <= ceil; idx++ {
+			bin := s.bins[idx]
+			if bin == nil || bin.Count == 0 {
+				continue
+			}
+			if covered && total >= p.MinSamples {
+				break
+			}
+			total += bin.Count
+			crashesIn += bin.Crashes
+			for k, n := range bin.Outcomes {
+				kinds[k] += n
+			}
+			if bin.Count > bin.Crashes {
+				minExit = math.Min(minExit, float64(bin.MinExit))
+				maxExit = math.Max(maxExit, float64(bin.MaxExit))
+				minFinal = math.Min(minFinal, float64(bin.MinFinal))
+				maxFinal = math.Max(maxFinal, float64(bin.MaxFinal))
+			}
+			covered = covered || idx >= hiBin
+		}
+		if total < p.MinSamples {
+			return fallback(hops, ReasonSparse)
+		}
+		if unanimousKind(kinds) == int(outcome.Masked) && maxFinal*p.Safety <= tol {
+			return Prediction{Composed: true, Kind: outcome.Masked, Hops: hops}
+		}
+		if crashesIn > 0 {
+			// Some samples died inside this section, others survived:
+			// the surviving exits are a biased transfer estimate.
+			return fallback(hops, ReasonCrashMix)
+		}
+		if math.IsInf(maxExit, 0) || !(minExit > 0) {
+			return fallback(hops, ReasonDiverge)
+		}
+		lo, hi = minExit, maxExit
+	}
+	// Chained through every remaining section: hi bounds the running-max
+	// deviation at program end, which upper-bounds the final L∞ output
+	// error (every output element's deviation is the delta of its last
+	// tracked store).
+	if hi*p.Safety <= tol {
+		return Prediction{Composed: true, Kind: outcome.Masked, Hops: hops}
+	}
+	return fallback(hops, ReasonMargin)
+}
+
+// unanimousKind returns the single outcome kind with all the votes, or
+// -1 when the tallies are mixed or empty.
+func unanimousKind(kinds [outcome.NumKinds]int) int {
+	kind := -1
+	for k, n := range kinds {
+		if n == 0 {
+			continue
+		}
+		if kind >= 0 {
+			return -1
+		}
+		kind = k
+	}
+	return kind
+}

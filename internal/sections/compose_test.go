@@ -1,0 +1,179 @@
+package sections
+
+import (
+	"math"
+	"testing"
+
+	"ftb/internal/outcome"
+)
+
+// calibrated builds a summary for sec with one masked observation per
+// (entry, exit, final) triple.
+func calibrated(sec Section, triples ...[3]float64) *Summary {
+	s := NewSummary(sec, 1)
+	for _, t := range triples {
+		s.Observe(t[0], t[1], false, outcome.Masked, t[2])
+	}
+	return s
+}
+
+const testTol = 1e-6
+
+func TestComposeMaskedUnanimity(t *testing.T) {
+	// Entries at 0.05, 1, 10 populate the three bins the widened query
+	// for b=1 covers; all samples masked with tiny final errors.
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{0.05, 0.1, 1e-12}, [3]float64{1, 2, 1e-12}, [3]float64{10, 20, 1e-11})
+	pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{})
+	if !pred.Composed || pred.Kind != outcome.Masked || pred.Hops != 1 {
+		t.Fatalf("unanimous masked neighborhood not predicted: %+v", pred)
+	}
+}
+
+func TestComposeNeverPredictsSDC(t *testing.T) {
+	// A unanimously-SDC neighborhood with errors far above tolerance
+	// must still fall back: Compose only ever certifies Masked (an SDC
+	// verdict would rest on a lower bound finite samples cannot give —
+	// one unsampled amplification path can turn the run into a crash).
+	sum := NewSummary(Section{Start: 4, End: 8}, 1)
+	for _, e := range []float64{0.05, 1, 10} {
+		sum.Observe(e, e*2, false, outcome.SDC, 1e3)
+	}
+	pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{})
+	if pred.Composed {
+		t.Fatalf("predicted %v from SDC evidence; want fallback", pred.Kind)
+	}
+	if pred.Why != ReasonMargin {
+		t.Errorf("Why = %v, want margin", pred.Why)
+	}
+}
+
+func TestComposeCrashMixFallsBack(t *testing.T) {
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{0.05, 0.1, 1e-12}, [3]float64{1, 2, 1e-12}, [3]float64{10, 20, 1e-11})
+	sum.Observe(1.5, 0, true, outcome.Crash, 0) // one sample died inside
+	pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{})
+	if pred.Composed || pred.Why != ReasonCrashMix {
+		t.Fatalf("crash-mixed neighborhood: %+v, want crash-mix fallback", pred)
+	}
+}
+
+func TestComposeEvidenceGaps(t *testing.T) {
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{1, 2, 1e-12}, [3]float64{10, 20, 1e-11})
+	// Above every observation: predicting would extrapolate upward.
+	if pred := Compose([]*Summary{nil, sum}, 0, 1e6, testTol, Params{}); pred.Composed || pred.Why != ReasonGap {
+		t.Errorf("query above the evidence ceiling: %+v, want gap fallback", pred)
+	}
+	// No summary at all for the downstream section.
+	if pred := Compose([]*Summary{nil, nil}, 0, 1.0, testTol, Params{}); pred.Composed || pred.Why != ReasonNoSummary {
+		t.Errorf("nil downstream summary: %+v, want no-summary fallback", pred)
+	}
+	// A summary with no observations brackets nothing.
+	empty := NewSummary(Section{Start: 4, End: 8}, 1)
+	if pred := Compose([]*Summary{nil, empty}, 0, 1.0, testTol, Params{}); pred.Composed || pred.Why != ReasonGap {
+		t.Errorf("empty summary: %+v, want gap fallback", pred)
+	}
+	// Unusable seed errors never consult the summaries.
+	if pred := Compose([]*Summary{nil, sum}, 0, math.Inf(1), testTol, Params{}); pred.Composed || pred.Why != ReasonSeed {
+		t.Errorf("infinite boundary error: %+v, want seed fallback", pred)
+	}
+	if pred := Compose([]*Summary{nil, sum}, 0, 0, testTol, Params{}); pred.Composed || pred.Why != ReasonSeed {
+		t.Errorf("zero boundary error: %+v, want seed fallback", pred)
+	}
+}
+
+func TestComposeDownwardClosure(t *testing.T) {
+	// The query for b=1e-9 lies entirely below the calibrated
+	// magnitudes; monotone transfer makes the certified-masked region
+	// downward closed, so the floor evidence decides.
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{1, 2, 1e-12}, [3]float64{1.1, 2, 1e-12}, [3]float64{10, 20, 1e-11})
+	pred := Compose([]*Summary{nil, sum}, 0, 1e-9, testTol, Params{})
+	if !pred.Composed || pred.Kind != outcome.Masked {
+		t.Fatalf("below-floor query with masked floor evidence: %+v", pred)
+	}
+	// But not when the floor evidence itself is unsafe.
+	bad := NewSummary(Section{Start: 4, End: 8}, 1)
+	for _, e := range []float64{1, 1.1, 10} {
+		bad.Observe(e, e*2, false, outcome.SDC, 1e3)
+	}
+	if pred := Compose([]*Summary{nil, bad}, 0, 1e-9, testTol, Params{}); pred.Composed {
+		t.Fatalf("below-floor query predicted from SDC floor evidence: %+v", pred)
+	}
+}
+
+func TestComposeInteriorHoleBridged(t *testing.T) {
+	// Bins at the query edges are populated, the middle one is not:
+	// first-order monotonicity bridges the hole instead of falling back.
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{0.05, 0.1, 1e-12}, [3]float64{0.06, 0.1, 1e-12}, [3]float64{10, 20, 1e-11})
+	pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{})
+	if !pred.Composed || pred.Kind != outcome.Masked {
+		t.Fatalf("interior evidence hole not bridged: %+v", pred)
+	}
+}
+
+func TestComposeMinSamples(t *testing.T) {
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{1, 2, 1e-12}, [3]float64{10, 20, 1e-11})
+	// Two samples total and nothing left to pool: sparse.
+	if pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{MinSamples: 3}); pred.Composed || pred.Why != ReasonSparse {
+		t.Errorf("undersampled neighborhood: %+v, want sparse fallback", pred)
+	}
+	if pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{MinSamples: 2}); !pred.Composed {
+		t.Errorf("neighborhood meeting MinSamples fell back: %+v", pred)
+	}
+}
+
+func TestComposeMarginBlocksNearTolerance(t *testing.T) {
+	// Unanimously masked, but the observed final errors sit within the
+	// safety margin of the tolerance: the verdict needs headroom the
+	// evidence does not have.
+	sum := calibrated(Section{Start: 4, End: 8},
+		[3]float64{0.05, 0.1, testTol / 2}, [3]float64{1, 2, testTol / 2}, [3]float64{10, 20, testTol / 2})
+	if pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{Safety: 4}); pred.Composed || pred.Why != ReasonMargin {
+		t.Errorf("near-tolerance finals with safety 4: %+v, want margin fallback", pred)
+	}
+	if pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{Safety: 1.5}); !pred.Composed {
+		t.Errorf("finals clearing safety 1.5 fell back: %+v", pred)
+	}
+}
+
+func TestComposeChainsThroughSections(t *testing.T) {
+	// First downstream section: mixed outcomes (no unanimity) but tiny,
+	// tight exits; second: unanimously masked. The chain must thread the
+	// first section's exit interval into the second and predict there.
+	first := NewSummary(Section{Start: 4, End: 8}, 1)
+	first.Observe(0.05, 1e-10, false, outcome.Masked, 1e-12)
+	first.Observe(1, 2e-10, false, outcome.SDC, 10) // mixed: blocks unanimity
+	first.Observe(10, 4e-10, false, outcome.Masked, 1e-12)
+	second := calibrated(Section{Start: 8, End: 12},
+		[3]float64{1e-11, 1e-11, 1e-12}, [3]float64{2e-10, 2e-10, 1e-12}, [3]float64{5e-9, 5e-9, 1e-12})
+	pred := Compose([]*Summary{nil, first, second}, 0, 1.0, testTol, Params{})
+	if !pred.Composed || pred.Kind != outcome.Masked || pred.Hops != 2 {
+		t.Fatalf("two-hop chain: %+v, want masked at hop 2", pred)
+	}
+}
+
+func TestComposeTerminalBound(t *testing.T) {
+	// Mixed outcomes everywhere (no unanimity shortcut fires), but the
+	// exit interval stays far below tolerance through the whole chain:
+	// the end-of-chain running-max bound certifies Masked.
+	sum := NewSummary(Section{Start: 4, End: 8}, 1)
+	sum.Observe(0.05, 1e-10, false, outcome.Masked, 1e-12)
+	sum.Observe(1, 2e-10, false, outcome.SDC, 10)
+	sum.Observe(10, 4e-10, false, outcome.Masked, 1e-12)
+	pred := Compose([]*Summary{nil, sum}, 0, 1.0, testTol, Params{})
+	if !pred.Composed || pred.Kind != outcome.Masked {
+		t.Fatalf("terminal running-max bound: %+v, want masked", pred)
+	}
+	// An exit interval touching ±Inf cannot be chained.
+	div := NewSummary(Section{Start: 4, End: 8}, 1)
+	div.Observe(0.05, 1e-10, false, outcome.Masked, 1e-12)
+	div.Observe(1, math.Inf(1), false, outcome.SDC, 10)
+	div.Observe(10, 4e-10, false, outcome.Masked, 1e-12)
+	if pred := Compose([]*Summary{nil, div, sum}, 0, 1.0, testTol, Params{}); pred.Composed || pred.Why != ReasonDiverge {
+		t.Errorf("infinite exit bound: %+v, want diverge fallback", pred)
+	}
+}

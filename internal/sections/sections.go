@@ -1,0 +1,151 @@
+// Package sections implements the compositional-analysis substrate:
+// FastFlip-style program sections and per-section error-transfer
+// summaries (Joshi et al., PAPERS.md).
+//
+// A Section is a contiguous dynamic-instruction range a kernel declares
+// alongside its replay cursors — an LU block step, an FFT phase, a CG
+// iteration. The point of declaring them is compositionality: the effect
+// of an error that is live at a section's entry boundary depends only on
+// the section's own computation, not on where the error was injected.
+// A campaign can therefore run each injection only to the end of its own
+// section, summarize how every section transforms incoming boundary
+// errors (Summary), and chain those summaries (Compose) to predict the
+// final outcome without executing sections i+1..n.
+//
+// Summaries are empirical, built from calibration samples, so Compose is
+// deliberately conservative: it predicts only when the sample evidence
+// for the queried error magnitude is populated, unanimous, and clears a
+// multiplicative safety margin against the kernel tolerance, and returns
+// a fallback verdict otherwise (the campaign then runs the experiment in
+// full). Each section also carries an identity hash over its golden
+// trace segment, so a re-analysis after a kernel change rebuilds only
+// the summaries whose sections actually changed.
+package sections
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Section is a named contiguous dynamic-instruction range.
+type Section struct {
+	Name  string `json:"name"`
+	Start int    `json:"start"` // first site of the section
+	End   int    `json:"end"`   // one past the last site
+}
+
+// Sites returns the number of dynamic instructions in the section.
+func (s Section) Sites() int { return s.End - s.Start }
+
+// Declarer is implemented by programs that declare compositional
+// sections. The declared ranges must satisfy Validate against the
+// program's dynamic-instruction count; the kernels-wide invariant test
+// enforces this for every in-tree declarer.
+type Declarer interface {
+	Sections() []Section
+}
+
+// Validate checks that secs is a compositional section layout for a
+// program with `sites` dynamic instructions: at least one section, every
+// range non-empty, sections contiguous (each starts where the previous
+// ended), starting at site 0 and covering exactly [0, sites).
+func Validate(secs []Section, sites int) error {
+	if len(secs) == 0 {
+		return fmt.Errorf("sections: no sections declared")
+	}
+	pos := 0
+	for i, s := range secs {
+		if s.End <= s.Start {
+			return fmt.Errorf("sections: section %d (%q) empty range [%d, %d)", i, s.Name, s.Start, s.End)
+		}
+		if s.Start != pos {
+			return fmt.Errorf("sections: section %d (%q) starts at %d, want %d (gap or overlap)", i, s.Name, s.Start, pos)
+		}
+		pos = s.End
+	}
+	if pos != sites {
+		return fmt.Errorf("sections: sections cover [0, %d), program has %d sites", pos, sites)
+	}
+	return nil
+}
+
+// Find returns the index of the section containing site, or -1 when the
+// site lies outside every section. Sections must be sorted (Validate
+// guarantees it).
+func Find(secs []Section, site int) int {
+	i := sort.Search(len(secs), func(i int) bool { return secs[i].End > site })
+	if i == len(secs) || site < secs[i].Start {
+		return -1
+	}
+	return i
+}
+
+// Refine splits every section of a valid layout into up to k equal
+// contiguous parts (sections shorter than k sites split into one part
+// per site), names suffixed ".1", ".2", ... . Refining preserves layout
+// validity, and a finer layout trades calibration granularity for
+// campaign cost: each experiment executes only its own, now smaller,
+// section, so the within-section work shrinks roughly by k while the
+// fallback and calibration shares stay put. The declared layout marks
+// the semantic phase boundaries; Refine is the mechanical tuning knob
+// on top.
+func Refine(secs []Section, k int) []Section {
+	if k <= 1 {
+		return append([]Section(nil), secs...)
+	}
+	var out []Section
+	for _, s := range secs {
+		parts := k
+		if s.Sites() < parts {
+			parts = s.Sites()
+		}
+		pos := s.Start
+		for i := 0; i < parts; i++ {
+			end := s.Start + (s.Sites()*(i+1))/parts
+			out = append(out, Section{
+				Name:  fmt.Sprintf("%s.%d", s.Name, i+1),
+				Start: pos,
+				End:   end,
+			})
+			pos = end
+		}
+	}
+	return out
+}
+
+// Hash returns the section's identity hash: FNV-1a over the section
+// bounds and the golden-trace values the section stores. Any change to
+// the section's computation — different operations, different inputs,
+// shifted boundaries — changes the golden values it stores and therefore
+// the hash, which is what incremental re-analysis keys summaries on.
+func Hash(sec Section, golden []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(sec.Start))
+	put(uint64(sec.End))
+	hi := sec.End
+	if hi > len(golden) {
+		hi = len(golden)
+	}
+	for _, v := range golden[sec.Start:hi] {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// Hashes returns Hash for every section against the same golden trace.
+func Hashes(secs []Section, golden []float64) []uint64 {
+	out := make([]uint64, len(secs))
+	for i, s := range secs {
+		out[i] = Hash(s, golden)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package sections
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ftb/internal/outcome"
+)
+
+func TestValidate(t *testing.T) {
+	ok := []Section{{Name: "a", Start: 0, End: 4}, {Name: "b", Start: 4, End: 10}}
+	if err := Validate(ok, 10); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		secs  []Section
+		sites int
+	}{
+		{"empty list", nil, 10},
+		{"empty range", []Section{{Name: "a", Start: 0, End: 0}, {Name: "b", Start: 0, End: 10}}, 10},
+		{"gap", []Section{{Name: "a", Start: 0, End: 4}, {Name: "b", Start: 5, End: 10}}, 10},
+		{"overlap", []Section{{Name: "a", Start: 0, End: 6}, {Name: "b", Start: 4, End: 10}}, 10},
+		{"not from zero", []Section{{Name: "a", Start: 1, End: 10}}, 10},
+		{"short coverage", []Section{{Name: "a", Start: 0, End: 9}}, 10},
+		{"over coverage", []Section{{Name: "a", Start: 0, End: 11}}, 10},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.secs, tc.sites); err == nil {
+			t.Errorf("%s: Validate accepted %v over %d sites", tc.name, tc.secs, tc.sites)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	secs := []Section{{Start: 0, End: 4}, {Start: 4, End: 10}, {Start: 10, End: 11}}
+	for site, want := range map[int]int{0: 0, 3: 0, 4: 1, 9: 1, 10: 2, 11: -1, -1: -1, 100: -1} {
+		if got := Find(secs, site); got != want {
+			t.Errorf("Find(site %d) = %d, want %d", site, got, want)
+		}
+	}
+}
+
+func TestRefine(t *testing.T) {
+	secs := []Section{{Name: "a", Start: 0, End: 7}, {Name: "b", Start: 7, End: 9}}
+	for _, k := range []int{2, 3, 4} {
+		got := Refine(secs, k)
+		if err := Validate(got, 9); err != nil {
+			t.Fatalf("Refine(k=%d) produced an invalid layout: %v", k, err)
+		}
+		// Refined boundaries keep every original boundary.
+		for _, s := range secs {
+			if i := Find(got, s.Start); i < 0 || got[i].Start != s.Start {
+				t.Errorf("Refine(k=%d) lost the boundary at %d", k, s.Start)
+			}
+		}
+	}
+	got := Refine(secs, 4)
+	// "a" (7 sites) splits into 4 parts, "b" (2 sites) into its 2 sites.
+	if len(got) != 6 {
+		t.Fatalf("Refine(k=4) = %d sections, want 6: %v", len(got), got)
+	}
+	if got[0].Name != "a.1" || got[4].Name != "b.1" {
+		t.Errorf("Refine names: %q, %q", got[0].Name, got[4].Name)
+	}
+	// No part more than one site larger than another within a section.
+	for i := 0; i < 4; i++ {
+		if n := got[i].Sites(); n < 1 || n > 2 {
+			t.Errorf("uneven split: part %d has %d sites", i, n)
+		}
+	}
+	// k<=1 is the identity, as a copy.
+	same := Refine(secs, 1)
+	if len(same) != 2 || same[0] != secs[0] || same[1] != secs[1] {
+		t.Errorf("Refine(k=1) = %v, want copy of input", same)
+	}
+}
+
+func TestHashIdentity(t *testing.T) {
+	golden := []float64{1, 2, 3, 4, 5, 6}
+	sec := Section{Name: "a", Start: 1, End: 4}
+	h := Hash(sec, golden)
+	if h != Hash(sec, golden) {
+		t.Fatal("Hash is not deterministic")
+	}
+	// Sensitive to the section's own golden values...
+	changed := append([]float64(nil), golden...)
+	changed[2] = 3.0000001
+	if Hash(sec, changed) == h {
+		t.Error("Hash ignored a changed golden value inside the section")
+	}
+	// ...but not to values outside the section.
+	outside := append([]float64(nil), golden...)
+	outside[5] = -7
+	if Hash(sec, outside) != h {
+		t.Error("Hash depends on golden values outside the section")
+	}
+	// Shifted boundaries change the hash even over identical values.
+	if Hash(Section{Name: "a", Start: 1, End: 5}, golden) == h {
+		t.Error("Hash ignored a boundary shift")
+	}
+	hs := Hashes([]Section{sec, {Start: 4, End: 6}}, golden)
+	if len(hs) != 2 || hs[0] != h {
+		t.Errorf("Hashes mismatch: %v (want first %d)", hs, h)
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	// One bin factor (2^binBits) apart is exactly one bin index apart,
+	// across the full magnitude range including subnormal-adjacent scales.
+	for _, e := range []float64{1e-30, 1e-9, 0.5, 1, 3, 1e12} {
+		if got, want := binOf(e*binSlack), binOf(e)+1; got != want {
+			t.Errorf("binOf(%g * slack) = %d, want %d", e, got, want)
+		}
+	}
+	// Monotone over an exponent sweep.
+	prev := binOf(math.Ldexp(1, -60))
+	for exp := -59; exp <= 60; exp++ {
+		cur := binOf(math.Ldexp(1, exp))
+		if cur < prev {
+			t.Fatalf("binOf not monotone at 2^%d: %d < %d", exp, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSummaryObserve(t *testing.T) {
+	sum := NewSummary(Section{Name: "s", Start: 0, End: 4}, 7)
+	// Zero / negative / non-finite entries carry no information.
+	sum.Observe(0, 1, false, outcome.Masked, 0)
+	sum.Observe(-1, 1, false, outcome.Masked, 0)
+	sum.Observe(math.Inf(1), 1, false, outcome.Masked, 0)
+	if sum.Samples != 0 || len(sum.Bins()) != 0 {
+		t.Fatalf("degenerate entries were recorded: %d samples", sum.Samples)
+	}
+	sum.Observe(1.0, 2.0, false, outcome.Masked, 1e-12)
+	sum.Observe(1.5, 8.0, false, outcome.SDC, 3.5)
+	sum.Observe(1.2, 0, true, outcome.Crash, 0) // crash: exit/final ignored
+	if sum.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", sum.Samples)
+	}
+	bins := sum.Bins()
+	if len(bins) != 1 {
+		t.Fatalf("entries within one magnitude bin split into %d bins", len(bins))
+	}
+	b := bins[0]
+	if b.Count != 3 || b.Crashes != 1 {
+		t.Errorf("bin count/crashes = %d/%d, want 3/1", b.Count, b.Crashes)
+	}
+	if b.MinExit != 2 || b.MaxExit != 8 || b.MinFinal != 1e-12 || b.MaxFinal != 3.5 {
+		t.Errorf("bin bounds exit [%v,%v] final [%v,%v]", b.MinExit, b.MaxExit, b.MinFinal, b.MaxFinal)
+	}
+	if b.Outcomes[outcome.Masked] != 1 || b.Outcomes[outcome.SDC] != 1 || b.Outcomes[outcome.Crash] != 1 {
+		t.Errorf("outcome tallies %v", b.Outcomes)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	sec := Section{Name: "s", Start: 0, End: 4}
+	a, b := NewSummary(sec, 1), NewSummary(sec, 1)
+	a.Observe(1.0, 4.0, false, outcome.Masked, 1e-9)
+	b.Observe(1.1, 2.0, false, outcome.Masked, 1e-12)
+	b.Observe(64, 128, false, outcome.SDC, 5) // new bin for a
+	a.Merge(b)
+	if a.Samples != 3 {
+		t.Fatalf("merged Samples = %d, want 3", a.Samples)
+	}
+	bins := a.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("merged into %d bins, want 2", len(bins))
+	}
+	if bins[0].MinExit != 2 || bins[0].MaxExit != 4 || bins[0].MinFinal != 1e-12 {
+		t.Errorf("merged bounds exit [%v,%v] final min %v", bins[0].MinExit, bins[0].MaxExit, bins[0].MinFinal)
+	}
+	// Crash-only summaries must not clobber real exit bounds with zeros.
+	c := NewSummary(sec, 1)
+	c.Observe(1.0, 0, true, outcome.Crash, 0)
+	a.Merge(c)
+	if got := a.Bins()[0]; got.MinExit != 2 || got.Crashes != 1 {
+		t.Errorf("crash merge disturbed exit bounds: min %v crashes %d", got.MinExit, got.Crashes)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	sum := NewSummary(Section{Name: "s", Start: 2, End: 9}, 0xdeadbeef)
+	sum.Observe(1.0, math.Inf(1), false, outcome.SDC, math.Inf(1)) // ±Inf deltas are legal
+	sum.Observe(1e-8, 1e-8, false, outcome.Masked, 1e-13)
+	sum.Observe(3.0, 0, true, outcome.Crash, 0)
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Section != sum.Section || back.Hash != sum.Hash || back.Samples != sum.Samples {
+		t.Fatalf("header mismatch after round trip: %+v vs %+v", back, sum)
+	}
+	got, want := back.Bins(), sum.Bins()
+	if len(got) != len(want) {
+		t.Fatalf("bin count %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if *got[i] != *want[i] {
+			t.Errorf("bin %d: %+v vs %+v", i, *got[i], *want[i])
+		}
+	}
+}
+
+func TestLibraryFind(t *testing.T) {
+	sec := Section{Name: "s", Start: 0, End: 4}
+	sum := NewSummary(sec, 42)
+	lib := &Library{Program: "p", Summaries: []*Summary{sum}}
+	if lib.Find(sec, 42) != sum {
+		t.Error("Find missed a matching summary")
+	}
+	if lib.Find(sec, 43) != nil {
+		t.Error("Find returned a summary with a stale identity hash")
+	}
+	if lib.Find(Section{Start: 0, End: 5}, 42) != nil {
+		t.Error("Find returned a summary for a different range")
+	}
+	if (*Library)(nil).Find(sec, 42) != nil {
+		t.Error("nil library Find != nil")
+	}
+}

@@ -1,0 +1,285 @@
+package sections
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"ftb/internal/outcome"
+)
+
+// binBits is the width of one magnitude bin in binary exponent steps:
+// errors within a factor of 2^binBits of each other share a bin. Wider
+// bins need fewer calibration samples to populate; narrower bins give
+// tighter transfer intervals. 4 (one hexadecade) balances the two for
+// the in-tree kernels.
+const binBits = 4
+
+// binSlack is the multiplicative neighborhood every summary lookup is
+// widened by: a query for boundary error e consults the bins covering
+// [e/binSlack, e·binSlack], so a sample anywhere within one bin width of
+// e must exist (and agree) before Compose will predict. This is what
+// absorbs intra-bin spread — two errors in the same bin can differ by
+// 2^binBits, so trusting a bin's extremes for a point query needs the
+// adjacent magnitude range to corroborate them.
+const binSlack = float64(1 << binBits)
+
+// binOf maps a positive finite error magnitude to its bin index.
+func binOf(e float64) int {
+	_, exp := math.Frexp(e)
+	if exp >= 0 {
+		return exp / binBits
+	}
+	return -((-exp + binBits - 1) / binBits) // floor division for negative exponents
+}
+
+// Float is a float64 whose JSON encoding survives non-finite values
+// (±Inf deltas are legal propagation observations); it mirrors
+// proptrace.Float, which this package cannot import without a cycle.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"+Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("sections: bad float %s: %w", data, err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Bin aggregates every calibration sample whose boundary error at the
+// summary's section entry fell in one magnitude bin.
+type Bin struct {
+	// Index is the magnitude bin: entry errors e with binOf(e) == Index.
+	Index int `json:"bin"`
+	// Count is the number of samples aggregated into the bin.
+	Count int `json:"count"`
+	// Crashes counts samples that crashed inside this section (they
+	// have no exit error; their final outcome is Crash).
+	Crashes int `json:"crashes"`
+	// MinExit/MaxExit bound the observed exit boundary errors (the
+	// running-max |golden−corrupted| deviation from the injection
+	// through the section's end) of the non-crashing samples.
+	MinExit Float `json:"min_exit"`
+	MaxExit Float `json:"max_exit"`
+	// Outcomes tallies the samples' final classified outcomes
+	// (indexed by outcome.Kind), observed on the full calibration run.
+	Outcomes [outcome.NumKinds]int `json:"outcomes"`
+	// MinFinal/MaxFinal bound the observed final L∞ output errors of
+	// the non-crashing samples.
+	MinFinal Float `json:"min_final"`
+	MaxFinal Float `json:"max_final"`
+}
+
+// Summary is one section's error-transfer summary: for each entry-error
+// magnitude bin, how the section transformed the error (exit bounds),
+// whether it crashed inside the section, and how the runs it was
+// observed on ultimately ended.
+type Summary struct {
+	Section Section `json:"section"`
+	// Hash is the section's identity hash at the time the summary was
+	// built; a summary is only reusable while the hash still matches.
+	Hash uint64 `json:"hash,string"`
+	// Samples is the total number of calibration observations.
+	Samples int `json:"samples"`
+	// Bins holds the populated magnitude bins, sorted by Index in the
+	// JSON encoding.
+	bins map[int]*Bin
+}
+
+// NewSummary returns an empty summary for sec with identity hash.
+func NewSummary(sec Section, hash uint64) *Summary {
+	return &Summary{Section: sec, Hash: hash, bins: map[int]*Bin{}}
+}
+
+// bracket locates the populated evidence covering the query bins
+// [lo, hi]: loB is the largest populated bin at or below lo (or the
+// lowest populated bin at all, when the query bottom lies below every
+// observation — the downward-closed case), ceil is the highest
+// populated bin, and ok reports that at least one populated bin sits at
+// or above hi. ok == false means predicting would extrapolate upward
+// past every observation (or the summary is empty).
+func (s *Summary) bracket(lo, hi int) (loB int, ceil int, ok bool) {
+	floor, any := 0, false
+	haveLoB, haveHi := false, false
+	for idx, b := range s.bins {
+		if b.Count == 0 {
+			continue
+		}
+		if !any || idx < floor {
+			floor = idx
+		}
+		if !any || idx > ceil {
+			ceil = idx
+		}
+		any = true
+		if idx <= lo && (!haveLoB || idx > loB) {
+			loB, haveLoB = idx, true
+		}
+		haveHi = haveHi || idx >= hi
+	}
+	if !haveLoB {
+		loB = floor
+	}
+	return loB, ceil, any && haveHi
+}
+
+// Bins returns the populated bins sorted by index.
+func (s *Summary) Bins() []*Bin {
+	out := make([]*Bin, 0, len(s.bins))
+	for _, b := range s.bins {
+		out = append(out, b)
+	}
+	sortBins(out)
+	return out
+}
+
+func sortBins(bs []*Bin) {
+	for i := 1; i < len(bs); i++ { // insertion sort: bin counts are tiny
+		for j := i; j > 0 && bs[j-1].Index > bs[j].Index; j-- {
+			bs[j-1], bs[j] = bs[j], bs[j-1]
+		}
+	}
+}
+
+// Observe folds one calibration observation into the summary: a run
+// whose boundary error entering this section was entry, which either
+// crashed inside the section (crashed, at which point exit and final
+// are ignored) or left it with boundary error exit, and whose full run
+// classified as kind with final output error finalErr. Entries that are
+// zero, negative, or non-finite carry no information and are dropped.
+func (s *Summary) Observe(entry, exit float64, crashed bool, kind outcome.Kind, finalErr float64) {
+	if !(entry > 0) || math.IsInf(entry, 0) {
+		return
+	}
+	idx := binOf(entry)
+	b := s.bins[idx]
+	if b == nil {
+		b = &Bin{Index: idx}
+		s.bins[idx] = b
+	}
+	b.Count++
+	s.Samples++
+	b.Outcomes[int(kind)]++
+	if crashed {
+		b.Crashes++
+		return
+	}
+	if b.Count-b.Crashes == 1 {
+		b.MinExit, b.MaxExit = Float(exit), Float(exit)
+		b.MinFinal, b.MaxFinal = Float(finalErr), Float(finalErr)
+		return
+	}
+	b.MinExit = Float(math.Min(float64(b.MinExit), exit))
+	b.MaxExit = Float(math.Max(float64(b.MaxExit), exit))
+	b.MinFinal = Float(math.Min(float64(b.MinFinal), finalErr))
+	b.MaxFinal = Float(math.Max(float64(b.MaxFinal), finalErr))
+}
+
+// Merge folds o (a summary for the same section) into s.
+func (s *Summary) Merge(o *Summary) {
+	for idx, ob := range o.bins {
+		b := s.bins[idx]
+		if b == nil {
+			cp := *ob
+			s.bins[idx] = &cp
+			s.Samples += ob.Count
+			continue
+		}
+		first := b.Count-b.Crashes == 0
+		b.Count += ob.Count
+		b.Crashes += ob.Crashes
+		s.Samples += ob.Count
+		for k, n := range ob.Outcomes {
+			b.Outcomes[k] += n
+		}
+		if ob.Count-ob.Crashes == 0 {
+			continue
+		}
+		if first {
+			b.MinExit, b.MaxExit = ob.MinExit, ob.MaxExit
+			b.MinFinal, b.MaxFinal = ob.MinFinal, ob.MaxFinal
+			continue
+		}
+		b.MinExit = Float(math.Min(float64(b.MinExit), float64(ob.MinExit)))
+		b.MaxExit = Float(math.Max(float64(b.MaxExit), float64(ob.MaxExit)))
+		b.MinFinal = Float(math.Min(float64(b.MinFinal), float64(ob.MinFinal)))
+		b.MaxFinal = Float(math.Max(float64(b.MaxFinal), float64(ob.MaxFinal)))
+	}
+}
+
+// summaryJSON is Summary's wire form: bins as a sorted array.
+type summaryJSON struct {
+	Section Section `json:"section"`
+	Hash    uint64  `json:"hash,string"`
+	Samples int     `json:"samples"`
+	Bins    []*Bin  `json:"bins"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{Section: s.Section, Hash: s.Hash, Samples: s.Samples, Bins: s.Bins()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.Section, s.Hash, s.Samples = w.Section, w.Hash, w.Samples
+	s.bins = make(map[int]*Bin, len(w.Bins))
+	for _, b := range w.Bins {
+		s.bins[b.Index] = b
+	}
+	return nil
+}
+
+// Library is a persistable set of per-section summaries for one program,
+// the unit the ground-truth store saves beside a campaign. Lookups are
+// hash-keyed: a summary is only returned while its section's identity
+// hash still matches, which is exactly the incremental-re-analysis rule
+// (a changed section misses and is rebuilt; unchanged sections reuse).
+type Library struct {
+	Program   string     `json:"program"`
+	Summaries []*Summary `json:"summaries"`
+}
+
+// Find returns the stored summary for sec with identity hash, or nil.
+func (l *Library) Find(sec Section, hash uint64) *Summary {
+	if l == nil {
+		return nil
+	}
+	for _, s := range l.Summaries {
+		if s.Section.Start == sec.Start && s.Section.End == sec.End && s.Hash == hash {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"ftb/internal/sections"
+)
+
+// sectionsFile is the per-campaign sidecar holding the campaign's
+// section-summary library. It rides in the campaign directory beside the
+// segments and manifest, but is not part of the ground-truth log: the
+// summaries are derived, hash-keyed artifacts a later composed campaign
+// may reuse (and silently rebuilds when the identity hashes no longer
+// match), so a missing or torn sidecar is never a store error.
+const sectionsFile = "sections.json"
+
+// SaveSectionSummaries persists lib as the campaign's section-summary
+// sidecar, atomically (temp file + rename): a crash mid-write leaves
+// either the previous sidecar or none.
+func (c *Campaign) SaveSectionSummaries(lib *sections.Library) error {
+	if lib == nil {
+		return fmt.Errorf("store: nil section-summary library")
+	}
+	data, err := json.MarshalIndent(lib, "", "\t")
+	if err != nil {
+		return fmt.Errorf("store: encode section summaries: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, sectionsFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: save section summaries: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save section summaries: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save section summaries: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: save section summaries: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, sectionsFile)); err != nil {
+		return fmt.Errorf("store: save section summaries: %w", err)
+	}
+	return nil
+}
+
+// LoadSectionSummaries loads the campaign's section-summary sidecar.
+// A campaign without one returns (nil, nil) — the caller calibrates from
+// scratch; a sidecar that exists but does not parse is ErrCorrupt.
+func (c *Campaign) LoadSectionSummaries() (*sections.Library, error) {
+	data, err := os.ReadFile(filepath.Join(c.dir, sectionsFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: load section summaries: %w", err)
+	}
+	var lib sections.Library
+	if err := json.Unmarshal(data, &lib); err != nil {
+		return nil, fmt.Errorf("%w: section summaries: %v", ErrCorrupt, err)
+	}
+	return &lib, nil
+}

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftb/internal/outcome"
+	"ftb/internal/sections"
+)
+
+// TestSectionSummariesSidecarRoundTrip covers the section-summary
+// sidecar's contract: save/load round-trips bins and non-finite bounds
+// exactly, a campaign without a sidecar loads (nil, nil), and a torn or
+// garbled sidecar is surfaced as ErrCorrupt rather than silently
+// recalibrated over.
+func TestSectionSummariesSidecarRoundTrip(t *testing.T) {
+	c := openTest(t, t.TempDir(), testIdentity(8, 4))
+
+	// No sidecar yet: calibrate-from-scratch signal, not an error.
+	lib, err := c.LoadSectionSummaries()
+	if err != nil || lib != nil {
+		t.Fatalf("missing sidecar: lib=%v err=%v, want nil/nil", lib, err)
+	}
+
+	sum := sections.NewSummary(sections.Section{Name: "sweep", Start: 4, End: 8}, 0xfeed)
+	sum.Observe(1.5, 3.0, false, outcome.Masked, 1e-12)
+	sum.Observe(100, math.Inf(1), false, outcome.SDC, 42)
+	sum.Observe(0.001, 0, true, outcome.Crash, 0)
+	want := &sections.Library{Program: "test", Summaries: []*sections.Summary{sum}}
+	if err := c.SaveSectionSummaries(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LoadSectionSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "test" || len(got.Summaries) != 1 {
+		t.Fatalf("loaded %+v", got)
+	}
+	s := got.Summaries[0]
+	if s.Section != sum.Section || s.Hash != 0xfeed || s.Samples != 3 {
+		t.Errorf("summary header = %+v, want %+v", s, sum)
+	}
+	bins := s.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("%d bins, want 3", len(bins))
+	}
+	// The Inf exit bound must survive the JSON round trip.
+	var sawInf bool
+	for _, b := range bins {
+		sawInf = sawInf || math.IsInf(float64(b.MaxExit), 1)
+	}
+	if !sawInf {
+		t.Error("+Inf exit bound lost in round trip")
+	}
+	// Reloaded summaries must be queryable (Find is the reuse gate).
+	if got.Find(sum.Section, 0xfeed) == nil {
+		t.Error("reloaded library misses its own summary")
+	}
+	if got.Find(sum.Section, 0xbeef) != nil {
+		t.Error("hash-mismatched lookup hit")
+	}
+
+	// Overwrite is atomic and last-writer-wins.
+	if err := c.SaveSectionSummaries(&sections.Library{Program: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = c.LoadSectionSummaries(); err != nil || len(got.Summaries) != 0 {
+		t.Fatalf("overwrite: %+v err=%v", got, err)
+	}
+
+	// A garbled sidecar is ErrCorrupt.
+	if err := os.WriteFile(filepath.Join(c.dir, sectionsFile), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadSectionSummaries(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbled sidecar: err = %v, want ErrCorrupt", err)
+	}
+
+	if err := c.SaveSectionSummaries(nil); err == nil {
+		t.Error("nil library accepted")
+	}
+}

@@ -72,6 +72,33 @@ func (c *Ctx) InjectDiffFrom(site int, bit uint, golden []float64, sink DiffSink
 	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink, n: resume, resume: resume}
 }
 
+// InjectDiffUntil arms c like InjectDiffFrom but additionally truncates
+// the run at the store boundary `until`: the run commits and observes
+// stores [resume, until) and pauses inside the Store call for store
+// `until`, before that store is processed. The injection site must lie
+// inside the truncated range, so the flip always fires. A boundary at or
+// past the end of the trace never pauses — the run completes normally.
+func (c *Ctx) InjectDiffUntil(site int, bit uint, golden []float64, sink DiffSink, resume, until int) {
+	if site < resume {
+		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
+	}
+	if until <= site {
+		panic(fmt.Sprintf("trace: truncation boundary %d does not cover injection site %d", until, site))
+	}
+	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink,
+		n: resume, resume: resume, pauseAt: until}
+}
+
+// ResumeTail arms c to finish a paused truncated injection run: the
+// program instance already holds the corrupted mid-run state with the
+// first `resume` stores committed (its own truncated run left it
+// there), and the armed run re-walks the control flow, skips those
+// committed stores, and executes the suffix with crash trapping armed
+// and no further injection (site -1 never matches a store index).
+func (c *Ctx) ResumeTail(resume int) {
+	*c = Ctx{mode: ModeInject, site: -1, n: resume, resume: resume}
+}
+
 // armAdvance arms c to run stores [from, to) and pause: the run skips
 // the first `from` stores (already committed in the restored state),
 // commits stores [from, to), and aborts inside the Store call for store
@@ -131,6 +158,86 @@ func RunInjectFrom(ctx *Ctx, p Program, site int, bit uint, resume int) (res Inj
 	}()
 	res.Output = p.Run(ctx)
 	return res
+}
+
+// RunInjectDiffUntil executes p with a single bit flip at (site, bit)
+// from a restored checkpoint holding the first `resume` stores, but runs
+// only to the store boundary `until`: the compositional campaign's
+// within-section experiment. The sink observes the deltas of stores
+// [site, until) — the skipped prefix's zero deltas are not replayed, as
+// section-local aggregation has no use for them.
+//
+// Three terminations are possible, and the first two are byte-exact
+// prefixes of the equivalent full run: the run crashes before the
+// boundary (paused=false, res.Crashed=true); the run pauses at the
+// boundary (paused=true, res.Output=nil — a crash at store `until`
+// itself belongs to the un-executed suffix and is not trapped); or
+// `until` lies at or past the end of the trace and the run completes
+// like RunInjectDiffFrom, trace-mismatch check included (paused=false).
+func RunInjectDiffUntil(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink, resume, until int) (res InjectResult, paused bool, err error) {
+	ctx.InjectDiffUntil(site, bit, golden.Trace, sink, resume, until)
+	res = func() (res InjectResult) {
+		defer func() {
+			res.InjErr = ctx.InjectedError()
+			res.Injected = ctx.Injected()
+			if r := recover(); r != nil {
+				switch s := r.(type) {
+				case crashSignal:
+					res.Crashed = true
+					res.CrashAt = s.site
+					res.Output = nil
+				case pauseSignal:
+					paused = true
+					res.Output = nil
+				default:
+					panic(r)
+				}
+			}
+		}()
+		res.Output = p.Run(ctx)
+		return res
+	}()
+	if !paused && !res.Crashed && ctx.Sites() != golden.Sites() {
+		return res, false, fmt.Errorf("%w: got %d, golden %d (program %q)",
+			ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+	}
+	return res, paused, nil
+}
+
+// RunResumeTail finishes a truncated injection run from the boundary it
+// paused at: p must be the same instance a RunInjectDiffUntil just
+// paused at store `resume`, still holding its corrupted mid-run state.
+// The truncated run is a byte-exact prefix of the full experiment, and
+// at the pause the instance's arrays and stashed unit intermediates are
+// exactly that prefix's state (the pause fires before store `resume`
+// commits — the same boundary invariant golden checkpoints rely on), so
+// executing the remaining stores completes the experiment
+// byte-identically to a full re-run, at suffix cost. The kernel must
+// support cursor-guided resume (in-tree, the Snapshotter kernels). The
+// returned InjErr/Injected describe only the tail, where no flip ever
+// fires; the caller carries the truncated run's values forward.
+func RunResumeTail(ctx *Ctx, p Program, golden *GoldenRun, resume int) (InjectResult, error) {
+	ctx.ResumeTail(resume)
+	res := func() (res InjectResult) {
+		defer func() {
+			if r := recover(); r != nil {
+				cs, ok := r.(crashSignal)
+				if !ok {
+					panic(r)
+				}
+				res.Crashed = true
+				res.CrashAt = cs.site
+				res.Output = nil
+			}
+		}()
+		res.Output = p.Run(ctx)
+		return res
+	}()
+	if !res.Crashed && ctx.Sites() != golden.Sites() {
+		return res, fmt.Errorf("%w: got %d, golden %d (program %q)",
+			ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+	}
+	return res, nil
 }
 
 // RunInjectDiffFrom executes p like RunInjectDiff, resuming from a

@@ -183,6 +183,14 @@ func (c *Ctx) Store(v float64) float64 {
 		}
 		return v
 	case ModeInjectDiff:
+		// A truncation boundary (InjectDiffUntil) pauses before this
+		// store is processed: the run has then committed and observed
+		// exactly the stores [resume, pauseAt), and store pauseAt —
+		// including a crash it would have raised — belongs to the
+		// downstream sections the caller is not executing.
+		if i == c.pauseAt && c.pauseAt > 0 {
+			panic(pauseSignal{})
+		}
 		if i == c.site {
 			orig := v
 			v = bits.Flip64(v, c.bit)
@@ -254,6 +262,9 @@ func (c *Ctx) Store32(v float32) float32 {
 		c.golden = append(c.golden, float64(v))
 		return v
 	case ModeInject, ModeInjectDiff:
+		if i == c.pauseAt && c.pauseAt > 0 && c.mode == ModeInjectDiff {
+			panic(pauseSignal{}) // truncation boundary, see Store
+		}
 		if i == c.site {
 			if c.bit >= bits.Width32 {
 				panic(fmt.Sprintf("trace: bit %d armed against 32-bit site %d", c.bit, i))

@@ -88,20 +88,19 @@ func TestWithContextOption(t *testing.T) {
 	}
 }
 
-// TestRunOptionOverridesLegacyInferOptions checks precedence: when both
-// the deprecated InferOptions.Context and a call-level RunOption are
-// set, the RunOption wins.
-func TestRunOptionOverridesLegacyInferOptions(t *testing.T) {
+// TestInferBoundaryRunOptions checks that InferBoundary's trailing
+// RunOptions reach its campaigns: a call-level context cancels, and a
+// later option overrides an earlier one.
+func TestInferBoundaryRunOptions(t *testing.T) {
 	a := runOptionAnalysis(t)
 	dead, cancel := context.WithCancel(context.Background())
 	cancel()
-	// Legacy field alone still cancels.
-	if _, err := a.InferBoundary(InferOptions{Samples: 10, Context: dead}); !errors.Is(err, context.Canceled) {
-		t.Errorf("legacy InferOptions.Context: err = %v, want canceled", err)
+	if _, err := a.InferBoundary(InferOptions{Samples: 10}, WithContext(dead)); !errors.Is(err, context.Canceled) {
+		t.Errorf("call-level WithContext: err = %v, want canceled", err)
 	}
-	// A live call-level context overrides the dead legacy one.
-	if _, err := a.InferBoundary(InferOptions{Samples: 10, Context: dead}, WithContext(context.Background())); err != nil {
-		t.Errorf("RunOption should override legacy field: %v", err)
+	// The last WithContext wins, matching persistent-vs-call precedence.
+	if _, err := a.InferBoundary(InferOptions{Samples: 10}, WithContext(dead), WithContext(context.Background())); err != nil {
+		t.Errorf("later RunOption should override earlier one: %v", err)
 	}
 }
 
