@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-compose bench-check bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-compose bench-obs bench-check bench-all examples repro clean
 
 all: check
 
@@ -40,7 +40,7 @@ test:
 ci: check cover examples
 
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/... ./internal/cluster/... ./internal/store/...
+	$(GO) test -race ./internal/campaign/... ./internal/trace/... ./internal/telemetry/... ./internal/cluster/... ./internal/store/... ./internal/obs/...
 
 # cover prints per-package coverage and enforces COVER_MIN on the
 # aggregate statement coverage of the internal packages.
@@ -99,9 +99,18 @@ bench-compose:
 	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | tee BENCH_compose.txt | $(GO) run ./cmd/benchjson > BENCH_compose.json
 	@echo "wrote BENCH_compose.txt and BENCH_compose.json"
 
+# bench-obs records the span-tracing tax on an exhaustive campaign:
+# paired spans-off/spans-on rounds reduced to a median overhead_pct
+# metric. The recorded figure is gated at ≤5% by bench-check (benchjson
+# -ceiling), the span subsystem's acceptance budget.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkEngineSpans -benchtime=1x ./internal/campaign/ | tee BENCH_obs.txt | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo "wrote BENCH_obs.txt and BENCH_obs.json"
+
 # bench-check is the regression gate: re-run every recorded benchmark
 # suite with the same flags that produced its committed BENCH_*.json and
-# fail on any >25% ns/op regression (benchjson -compare).
+# fail on any >25% ns/op regression (benchjson -compare). The obs suite
+# additionally enforces the absolute ≤5% span-overhead ceiling.
 bench-check:
 	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
 	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | $(GO) run ./cmd/benchjson -compare BENCH_proptrace.json
@@ -109,6 +118,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | $(GO) run ./cmd/benchjson -compare BENCH_store.json
 	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_replay.json
 	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_compose.json
+	$(GO) test -run '^$$' -bench BenchmarkEngineSpans -benchtime=1x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_obs.json -ceiling overhead_pct=5
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -50,6 +50,12 @@ type ClusterOptions struct {
 	// Backoff is the initial per-worker retry delay, doubling per
 	// consecutive failure (default cluster.DefaultBackoff).
 	Backoff time.Duration
+	// OnWorkers, when non-nil, is invoked once with the full worker URL
+	// pool (configured plus self-hosted) after self-hosted workers have
+	// spawned, before any lease is issued. It is how a live fleet view
+	// (e.g. the ftbcli -serve /v1/fleet endpoint) learns which workers
+	// to poll mid-campaign.
+	OnWorkers func(urls []string)
 }
 
 // WithCluster runs the call's campaign sharded across worker processes
@@ -98,6 +104,9 @@ func (a *Analysis) clusterExhaustive(rc runConfig, prior *GroundTruth, priorSite
 		defer cluster.KillAll(procs)
 		urls = append(urls, cluster.URLs(procs)...)
 	}
+	if co.OnWorkers != nil {
+		co.OnWorkers(append([]string(nil), urls...))
+	}
 	res, err := cluster.Exhaustive(cluster.Config{
 		Workers:           urls,
 		Golden:            a.golden,
@@ -114,6 +123,9 @@ func (a *Analysis) clusterExhaustive(rc runConfig, prior *GroundTruth, priorSite
 		Observer:          rc.observer,
 		Collector:         rc.collector,
 		Logger:            rc.logger,
+		Spans:             rc.spans,
+		SpanParent:        rc.spanParent,
+		SpanSample:        rc.spanSample,
 		Prior:             prior,
 		PriorSites:        priorSites,
 		Completed:         completed,

@@ -18,6 +18,12 @@
 // if any regresses by more than -threshold (default 0.25, i.e. 25%) —
 // the CI bench gate. Benchmarks present on only one side are reported
 // but do not fail the gate (new benchmarks must be able to land).
+//
+// -ceiling "metric=value,..." additionally fails the run (in either
+// mode) if any benchmark reports a named metric above its ceiling —
+// e.g. -ceiling overhead_pct=5 enforces the span-recording overhead
+// budget against the absolute number the benchmark reports, independent
+// of any baseline drift.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -151,10 +158,48 @@ func compare(baseline, fresh Report, threshold float64) (diffs []diff, onlyOld, 
 	return diffs, onlyOld, onlyNew
 }
 
-// runCompare implements -compare: parse stdin, diff against the baseline
-// file, print the table, and exit non-zero on any regression beyond the
-// threshold.
-func runCompare(baselinePath string, threshold float64, in io.Reader, out io.Writer) (failed bool, err error) {
+// parseCeilings parses the -ceiling flag value: comma-separated
+// metric=value pairs, e.g. "overhead_pct=5".
+func parseCeilings(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	ceil := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("ceiling %q: want metric=value", pair)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ceiling %q: %w", pair, err)
+		}
+		ceil[name] = v
+	}
+	return ceil, nil
+}
+
+// checkCeilings returns one failure line per benchmark metric that
+// exceeds its -ceiling bound. Benchmarks that don't report a bounded
+// metric are ignored: ceilings constrain values that exist, they don't
+// require every benchmark to emit them.
+func checkCeilings(rep Report, ceil map[string]float64) []string {
+	var fails []string
+	for _, b := range rep.Benchmarks {
+		for name, bound := range ceil {
+			if v, ok := b.Metrics[name]; ok && v > bound {
+				fails = append(fails, fmt.Sprintf("%s: %s %.4g exceeds ceiling %g", b.Name, name, v, bound))
+			}
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}
+
+// runCompare implements -compare: diff the fresh run against the
+// baseline file, print the table, and report whether any regression
+// exceeded the threshold.
+func runCompare(baselinePath string, threshold float64, fresh Report, out io.Writer) (failed bool, err error) {
 	f, err := os.Open(baselinePath)
 	if err != nil {
 		return false, err
@@ -163,13 +208,6 @@ func runCompare(baselinePath string, threshold float64, in io.Reader, out io.Wri
 	var baseline Report
 	if err := json.NewDecoder(f).Decode(&baseline); err != nil {
 		return false, fmt.Errorf("%s: %w", baselinePath, err)
-	}
-	fresh, err := parse(in)
-	if err != nil {
-		return false, err
-	}
-	if len(fresh.Benchmarks) == 0 {
-		return false, fmt.Errorf("no benchmark lines on stdin")
 	}
 	diffs, onlyOld, onlyNew := compare(baseline, fresh, threshold)
 	for _, d := range diffs {
@@ -198,17 +236,12 @@ func runCompare(baselinePath string, threshold float64, in io.Reader, out io.Wri
 func main() {
 	comparePath := flag.String("compare", "", "diff the fresh run on stdin against this committed JSON baseline instead of emitting JSON; exit non-zero on ns/op regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression as a fraction (with -compare)")
+	ceiling := flag.String("ceiling", "", "comma-separated metric=value bounds; exit non-zero if any benchmark reports a metric above its bound (e.g. overhead_pct=5)")
 	flag.Parse()
-	if *comparePath != "" {
-		failed, err := runCompare(*comparePath, *threshold, os.Stdin, os.Stdout)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(2)
-		}
-		if failed {
-			os.Exit(1)
-		}
-		return
+	ceil, err := parseCeilings(*ceiling)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
 	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -219,10 +252,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	failed := false
+	for _, msg := range checkCeilings(rep, ceil) {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", msg)
+		failed = true
+	}
+	if *comparePath != "" {
+		regressed, err := runCompare(*comparePath, *threshold, rep, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed || failed {
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -106,7 +106,7 @@ func TestRunCompare(t *testing.T) {
 	}
 
 	var out strings.Builder
-	failed, err := runCompare(path, 0.25, strings.NewReader(sample), &out)
+	failed, err := runCompare(path, 0.25, mustParse(t, sample), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunCompare(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	failed, err = runCompare(path, 0.25, strings.NewReader(sample), &out)
+	failed, err = runCompare(path, 0.25, mustParse(t, sample), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRunCompareReportsMissing(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	failed, err := runCompare(path, 0.25, strings.NewReader(sample), &out)
+	failed, err := runCompare(path, 0.25, mustParse(t, sample), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,15 +174,50 @@ func TestRunCompareReportsMissing(t *testing.T) {
 }
 
 func TestRunCompareErrors(t *testing.T) {
-	if _, err := runCompare(filepath.Join(t.TempDir(), "missing.json"), 0.25, strings.NewReader(sample), io.Discard); err == nil {
+	if _, err := runCompare(filepath.Join(t.TempDir(), "missing.json"), 0.25, mustParse(t, sample), io.Discard); err == nil {
 		t.Error("missing baseline file not reported")
 	}
-	path := filepath.Join(t.TempDir(), "old.json")
-	if err := os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runCompare(path, 0.25, strings.NewReader("PASS\n"), io.Discard); err == nil {
-		t.Error("empty fresh run not reported")
+	if _, err := runCompare(path, 0.25, mustParse(t, sample), io.Discard); err == nil {
+		t.Error("corrupt baseline file not reported")
+	}
+}
+
+// mustParse parses a `go test -bench` text sample for use as a fresh run.
+func mustParse(t *testing.T, text string) Report {
+	t.Helper()
+	rep, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCeilings(t *testing.T) {
+	if _, err := parseCeilings("overhead_pct"); err == nil {
+		t.Error("missing =value not reported")
+	}
+	if _, err := parseCeilings("overhead_pct=high"); err == nil {
+		t.Error("non-numeric bound not reported")
+	}
+	ceil, err := parseCeilings("overhead_pct=5, experiments/op=8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{Benchmarks: []Result{
+		{Name: "BenchmarkSpans/on-8", Metrics: map[string]float64{"overhead_pct": 3.2, "experiments/op": 4096}},
+		{Name: "BenchmarkSpans/off-8", Metrics: map[string]float64{"experiments/op": 4096}},
+	}}
+	if fails := checkCeilings(rep, ceil); len(fails) != 0 {
+		t.Errorf("within-budget run failed: %v", fails)
+	}
+	rep.Benchmarks[0].Metrics["overhead_pct"] = 7.5
+	fails := checkCeilings(rep, ceil)
+	if len(fails) != 1 || !strings.Contains(fails[0], "overhead_pct") {
+		t.Errorf("over-budget metric not flagged: %v", fails)
 	}
 }
 

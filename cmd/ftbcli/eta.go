@@ -1,0 +1,54 @@
+package main
+
+import "time"
+
+// rateWindowSpan bounds the sliding window the ETA estimate averages
+// over: long enough to smooth batch granularity, short enough that a
+// phase whose rate drifts (crash-heavy regions run faster than
+// SDC-heavy ones) re-converges within seconds.
+const rateWindowSpan = 30 * time.Second
+
+// rateWindow estimates a phase's completion rate from a sliding window
+// of recent progress samples. Unlike the cumulative PerSec a campaign
+// reports, the windowed rate tracks the *current* pace, so the derived
+// ETA stays honest when the early experiments were unrepresentative.
+type rateWindow struct {
+	samples []rateSample
+}
+
+type rateSample struct {
+	t    time.Time
+	done int
+}
+
+// observe appends one progress sample and prunes samples that have
+// aged out of the window (always keeping at least two, so a stalled
+// phase still has a baseline to measure against).
+func (w *rateWindow) observe(t time.Time, done int) {
+	w.samples = append(w.samples, rateSample{t: t, done: done})
+	cut := 0
+	for cut < len(w.samples)-2 && t.Sub(w.samples[cut+1].t) > rateWindowSpan {
+		cut++
+	}
+	w.samples = w.samples[cut:]
+}
+
+// eta returns the estimated seconds until done reaches total at the
+// windowed rate. ok is false while the rate is not yet measurable (too
+// few samples, no elapsed time, or no forward progress in the window).
+func (w *rateWindow) eta(total int) (seconds float64, ok bool) {
+	if len(w.samples) < 2 {
+		return 0, false
+	}
+	first, last := w.samples[0], w.samples[len(w.samples)-1]
+	dt := last.t.Sub(first.t).Seconds()
+	dd := last.done - first.done
+	if dt <= 0 || dd <= 0 {
+		return 0, false
+	}
+	remaining := total - last.done
+	if remaining <= 0 {
+		return 0, false
+	}
+	return float64(remaining) * dt / float64(dd), true
+}

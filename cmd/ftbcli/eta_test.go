@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateWindow(t *testing.T) {
+	w := &rateWindow{}
+	base := time.Now()
+	if _, ok := w.eta(100); ok {
+		t.Error("eta with no samples")
+	}
+	w.observe(base, 0)
+	if _, ok := w.eta(100); ok {
+		t.Error("eta with one sample")
+	}
+	w.observe(base.Add(10*time.Second), 50)
+	sec, ok := w.eta(100)
+	if !ok || sec < 9.9 || sec > 10.1 {
+		t.Errorf("eta = %.2fs, %v; want ~10s (50 done in 10s, 50 left)", sec, ok)
+	}
+
+	// Old samples age out of the window: the next estimate reflects only
+	// the recent (slower) rate, not the lifetime average.
+	w.observe(base.Add(50*time.Second), 60)
+	sec, ok = w.eta(100)
+	if !ok {
+		t.Fatal("eta not measurable after window slide")
+	}
+	// Window now spans [10s, 50s]: 10 done in 40s → 4s/item × 40 left.
+	if sec < 150 || sec > 170 {
+		t.Errorf("windowed eta = %.2fs, want ~160s", sec)
+	}
+
+	// No forward progress or a finished phase yields no estimate.
+	w.observe(base.Add(51*time.Second), 60)
+	if sec, ok := w.eta(60); ok {
+		t.Errorf("eta %v for a finished phase", sec)
+	}
+	stall := &rateWindow{}
+	stall.observe(base, 10)
+	stall.observe(base.Add(5*time.Second), 10)
+	if _, ok := stall.eta(100); ok {
+		t.Error("eta for a stalled phase")
+	}
+}

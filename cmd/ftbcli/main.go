@@ -75,6 +75,8 @@ func main() {
 		err = cmdExp(ctx, os.Args[2:])
 	case "query":
 		err = cmdQuery(ctx, os.Args[2:])
+	case "profile":
+		err = cmdProfile(ctx, os.Args[2:])
 	case "sections":
 		err = cmdSections(os.Args[2:])
 	case "show":
@@ -112,6 +114,7 @@ type progressPrinter struct {
 	last    time.Time
 	lastLen int
 	dirty   bool
+	eta     map[string]*rateWindow
 }
 
 // OnProgress implements ftb.Observer.
@@ -119,6 +122,17 @@ func (p *progressPrinter) OnProgress(e ftb.ProgressEvent) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := time.Now()
+	// Feed the windowed rate estimator even on throttled events, so the
+	// ETA reflects the full sample stream, not the 10 Hz render rate.
+	if p.eta == nil {
+		p.eta = make(map[string]*rateWindow)
+	}
+	wnd := p.eta[e.Phase]
+	if wnd == nil {
+		wnd = &rateWindow{}
+		p.eta[e.Phase] = wnd
+	}
+	wnd.observe(now, e.Done)
 	if e.Done != e.Total && now.Sub(p.last) < 100*time.Millisecond {
 		return
 	}
@@ -126,6 +140,9 @@ func (p *progressPrinter) OnProgress(e ftb.ProgressEvent) {
 	line := fmt.Sprintf("%s %d/%d (%.1f%%)  %.0f/s  masked %d  sdc %d  crash %d",
 		e.Phase, e.Done, e.Total, 100*float64(e.Done)/float64(e.Total), e.PerSec,
 		e.Counts[ftb.Masked], e.Counts[ftb.SDC], e.Counts[ftb.Crash])
+	if sec, ok := wnd.eta(e.Total); ok && e.Done != e.Total {
+		line += fmt.Sprintf("  eta %v", (time.Duration(sec * float64(time.Second))).Round(time.Second))
+	}
 	pad := p.lastLen - len(line)
 	if pad < 0 {
 		pad = 0
@@ -159,13 +176,18 @@ type execFlags struct {
 	serve         *string
 	noReplay      *bool
 	replayEvery   *int
+	spans         *bool
+	spansOut      *string
+	spanSample    *int
 
 	pp      *progressPrinter
 	col     *ftb.Collector
 	cpuFile *os.File
 	logger  *slog.Logger
 	srv     *obsServer
-	store   *ftb.Store // set before begin when the command opened one
+	store   *ftb.Store        // set before begin when the command opened one
+	rec     *ftb.SpanRecorder // non-nil when span tracing is requested
+	program string            // names the Chrome trace process (set by the command)
 }
 
 // newExecFlags registers the shared execution flags on fs.
@@ -181,6 +203,9 @@ func newExecFlags(fs *flag.FlagSet) *execFlags {
 		serve:         serveFlag(fs),
 		noReplay:      fs.Bool("noreplay", false, "disable checkpointed prefix replay (full re-execution per experiment)"),
 		replayEvery:   fs.Int("replay-every", 0, "snapshot spacing of checkpointed replay, in sites (default 1)"),
+		spans:         fs.Bool("spans", false, "record a span timeline of the campaign and print the wall-clock attribution table after the run"),
+		spansOut:      fs.String("spans-out", "", "write the recorded span timeline to this file (.json = Chrome trace-event for Perfetto, otherwise JSONL); implies span recording"),
+		spanSample:    fs.Int("span-sample", 0, "record one experiment span (with typed sub-spans) per this many experiments per worker (default 64, auto-raised on very large campaigns; 1 = every experiment)"),
 	}
 }
 
@@ -197,6 +222,9 @@ func (e *execFlags) begin(ctx context.Context) error {
 	}
 	if *e.metrics != "" || *e.serve != "" {
 		e.col = ftb.NewCollector()
+	}
+	if *e.spans || *e.spansOut != "" {
+		e.rec = ftb.NewSpanRecorder()
 	}
 	if *e.serve != "" {
 		srv, err := startServer(ctx, *e.serve, e.col, e.store)
@@ -260,6 +288,9 @@ func (e *execFlags) options(ctx context.Context) []ftb.RunOption {
 	} else if *e.replayEvery > 0 {
 		opts = append(opts, ftb.WithReplay(*e.replayEvery))
 	}
+	if e.rec != nil {
+		opts = append(opts, ftb.WithSpans(ftb.SpanOptions{Recorder: e.rec, ExperimentSample: *e.spanSample}))
+	}
 	return opts
 }
 
@@ -289,9 +320,29 @@ func (e *execFlags) end() {
 	}
 }
 
-// flush writes the post-run artifacts — the metrics snapshot and the
-// heap profile. Call once after the command's normal output.
+// flush writes the post-run artifacts — the span timeline and its
+// attribution table, the metrics snapshot, and the heap profile. Call
+// once after the command's normal output.
 func (e *execFlags) flush() error {
+	if e.rec != nil {
+		spans := e.rec.Cut()
+		if d := e.rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "ftbcli: span buffer overflowed; %d spans dropped (raise -span-sample)\n", d)
+		}
+		if *e.spansOut != "" {
+			program := e.program
+			if program == "" {
+				program = "ftb"
+			}
+			if err := writeSpansFile(*e.spansOut, program, spans); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d spans to %s\n", len(spans), *e.spansOut)
+		}
+		if *e.spans {
+			renderAttribution(os.Stdout, ftb.AttributeSpans(spans))
+		}
+	}
 	if *e.metrics != "" {
 		snap := e.col.Snapshot()
 		write := func(w io.Writer) error {
@@ -359,7 +410,15 @@ commands:
               [-sites LO:HI]       program name (optional when the store holds
               [-json]              one campaign); no facet lists campaigns /
               [-serve ADDR]        summarizes the campaign; -serve exposes
-                                   /v1/query and /v1/campaigns over HTTP
+              [-diff A B]          /v1/query and /v1/campaigns over HTTP;
+                                   -diff compares two campaigns per (site,bit)
+                                   and reports outcome mismatches with counts
+  profile     -kernel K -size S    run the exhaustive campaign with span
+              [-spans FILE]        tracing and print the wall-clock attribution
+              [-spans-out FILE]    table (execute / restore / tail / predict /
+              [-span-sample N]     queue wait, per phase); -spans FILE instead
+              [-workers N] [-json] attributes a previously recorded JSONL span
+                                   file with zero engine runs
   sections    -kernel K -size S    list a kernel's declared compositional
               [-store DIR] [-json] sections (name, site range, identity hash);
                                    -store shows the persisted summary state
@@ -433,9 +492,22 @@ execution (exhaustive/infer/progressive/report/exp/trace):
   -cpuprofile FILE                 write a pprof CPU profile of the command
   -memprofile FILE                 write a pprof heap profile at command end
   -serve ADDR                      serve live observability endpoints while the
-                                   command runs: /metrics (Prometheus),
-                                   /progress (JSON frontier), /debug/pprof;
-                                   shuts down cleanly (3s bound) on Ctrl-C
+                                   command runs: /metrics (Prometheus, with the
+                                   ftb_build_info gauge), /progress (JSON
+                                   frontier with per-phase ETA), /debug/pprof,
+                                   and /v1/fleet (live per-worker telemetry
+                                   during -cluster/-selfhost campaigns); shuts
+                                   down cleanly (3s bound) on Ctrl-C
+  -spans                           record a hierarchical span timeline
+                                   (campaign/phase/batch/sampled experiments
+                                   with restore, tail, predict sub-spans) and
+                                   print the wall-clock attribution table
+                                   (ftbcli profile renders the same table)
+  -spans-out FILE                  write the span timeline: .json is a Chrome
+                                   trace-event file (open in Perfetto), any
+                                   other name is JSONL for profile -spans
+  -span-sample N                   record one experiment span per N per worker
+                                   (default 64; 1 = every experiment)
   -v                               log campaign lifecycle events (start, stop,
                                    checkpoints, trace mismatches) on stderr;
                                    FTB_LOG=debug|info|warn|error sets the
@@ -511,6 +583,7 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	exec.program = *kernel
 	var runOpts []ftb.RunOption
 	if *storeDir != "" {
 		st, err := ftb.OpenStore(*storeDir)
@@ -528,6 +601,13 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 	if exec.store != nil && exec.col != nil {
 		exec.store.SetCollector(exec.col)
 	}
+	if exec.srv != nil {
+		id := an.StoreIdentity()
+		exec.srv.setBuildInfo(map[string]string{
+			"program":    id.Program,
+			"golden_crc": fmt.Sprintf("%08x", id.GoldenCRC),
+		})
+	}
 	an = exec.apply(ctx, an)
 	defer exec.finish()
 	if *clusterURLs != "" || *selfhost > 0 {
@@ -535,6 +615,11 @@ func cmdExhaustive(ctx context.Context, args []string) error {
 			SelfHost:  *selfhost,
 			ShardSize: *shard,
 			SpawnLog:  os.Stderr,
+		}
+		if exec.srv != nil {
+			// The coordinator hands the final worker pool to the -serve
+			// server, lighting up its /v1/fleet aggregation mid-campaign.
+			co.OnWorkers = exec.srv.setFleet
 		}
 		if *clusterURLs != "" {
 			for _, u := range strings.Split(*clusterURLs, ",") {
@@ -626,6 +711,7 @@ func cmdInfer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	exec.program = *kernel
 	if err := exec.begin(ctx); err != nil {
 		return err
 	}
@@ -944,6 +1030,7 @@ func cmdProgressive(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	exec.program = *kernel
 	if err := exec.begin(ctx); err != nil {
 		return err
 	}

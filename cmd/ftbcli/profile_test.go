@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftb"
+)
+
+// TestCmdProfileGoldenFiles pins the attribution table (text and -json)
+// rendered from a checked-in span file. The file was recorded once from
+// a deterministic stencil/test campaign (profile -kernel stencil -size
+// test -span-sample 4 -workers 4 -spans-out testdata/profile_spans.jsonl);
+// attributing it is pure arithmetic, so the output is byte-stable.
+func TestCmdProfileGoldenFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"profile.golden", []string{"-spans", "testdata/profile_spans.jsonl"}},
+		{"profile_json.golden", []string{"-spans", "testdata/profile_spans.jsonl", "-json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := capture(t, func() error { return cmdProfile(context.Background(), tc.args) })
+			golden := filepath.Join("testdata", tc.name)
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./cmd/ftbcli -run CmdProfileGolden -args -update)", err)
+			}
+			if out != string(want) {
+				t.Errorf("output diverged from golden file\ngot:\n%s\nwant:\n%s", out, want)
+			}
+		})
+	}
+}
+
+// TestCmdProfileRun drives the live mode end to end: run the campaign
+// with spans on, write the timeline, re-attribute the written file.
+// Durations vary run to run, so only the table structure is asserted.
+func TestCmdProfileRun(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	out := capture(t, func() error {
+		return cmdProfile(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+			"-workers", "4", "-span-sample", "4", "-spans-out", spansPath})
+	})
+	for _, want := range []string{"profiled exhaustive campaign", "campaign stencil", "phase exhaustive", "execute", "restore", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	out = capture(t, func() error {
+		return cmdProfile(context.Background(), []string{"-spans", spansPath})
+	})
+	if !strings.Contains(out, "campaign stencil") || !strings.Contains(out, "phase exhaustive") {
+		t.Errorf("re-attributed output:\n%s", out)
+	}
+}
+
+// TestCmdProfileErrors pins the failure modes: missing span file, a
+// file with no spans, unknown kernel.
+func TestCmdProfileErrors(t *testing.T) {
+	if err := cmdProfile(context.Background(), []string{"-spans", filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
+		t.Error("missing span file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProfile(context.Background(), []string{"-spans", empty}); err == nil {
+		t.Error("empty span file accepted")
+	}
+	if err := cmdProfile(context.Background(), []string{"-kernel", "nope"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestCmdExhaustiveSpansFlags runs the campaign subcommand with the
+// shared span flags: the attribution table follows the campaign
+// summary, and -spans-out with a .json name emits a parseable Chrome
+// trace-event file.
+func TestCmdExhaustiveSpansFlags(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out := capture(t, func() error {
+		return cmdExhaustive(context.Background(), []string{"-kernel", "stencil", "-size", "test",
+			"-spans", "-spans-out", tracePath, "-span-sample", "8"})
+	})
+	for _, want := range []string{"exhaustive campaign", "wrote", "campaign stencil", "phase exhaustive", "execute"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not a Chrome trace-event document: %v", tracePath, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace holds no events")
+	}
+}
+
+// TestWriteSpansFileFormats pins the extension switch: .json means
+// Chrome trace, anything else means JSONL round-trippable by
+// ReadSpansJSONL.
+func TestWriteSpansFileFormats(t *testing.T) {
+	rec := ftb.NewSpanRecorder()
+	rec.Start(ftb.SpanCampaign, "x", 0, -1).End(0)
+	spans := rec.Cut()
+
+	jsonl := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := writeSpansFile(jsonl, "x", spans); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ftb.ReadSpansJSONL(f)
+	f.Close()
+	if err != nil || len(back) != len(spans) {
+		t.Fatalf("JSONL round trip: %d spans, err %v", len(back), err)
+	}
+
+	chrome := filepath.Join(t.TempDir(), "spans.json")
+	if err := writeSpansFile(chrome, "x", spans); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace: %v, %d events", err, len(doc.TraceEvents))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -25,6 +26,7 @@ func cmdQuery(ctx context.Context, args []string) error {
 	site := fs.Int("site", -1, "point query: dynamic-instruction site")
 	bit := fs.Int("bit", -1, "point query: bit position (requires -site)")
 	sites := fs.String("sites", "", "range query: LO:HI half-open site range")
+	diff := fs.Bool("diff", false, "compare two campaigns per (site,bit): ftbcli query -store DIR -diff A B")
 	jsonOut := jsonFlag(fs)
 	serve := serveFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -38,6 +40,14 @@ func cmdQuery(ctx context.Context, args []string) error {
 		return err
 	}
 	defer st.Close()
+
+	if *diff {
+		refs := fs.Args()
+		if len(refs) != 2 {
+			return errors.New("query: -diff takes exactly two campaign references (directory or unique program names)")
+		}
+		return queryDiff(st, refs[0], refs[1], *jsonOut)
+	}
 
 	if *serve != "" {
 		col := ftb.NewCollector()
@@ -260,6 +270,138 @@ func pointDoc(c *ftb.StoreCampaign, site, bit int) (pointResult, error) {
 		doc.Outcome = k.String()
 	}
 	return doc, nil
+}
+
+// diffSampleCap bounds the mismatch examples carried in a diff
+// document; the transition counts cover the full space regardless.
+const diffSampleCap = 20
+
+// diffResult is the document of `ftbcli query -diff A B`: the
+// per-(site,bit) outcome comparison of two campaigns with the same
+// experiment shape. Transitions count mismatches by outcome pair
+// ("masked->sdc"); Samples holds the first few mismatching experiments.
+type diffResult struct {
+	CampaignA   string         `json:"campaign_a"`
+	CampaignB   string         `json:"campaign_b"`
+	Sites       int            `json:"sites"`
+	Bits        int            `json:"bits"`
+	Compared    int            `json:"compared"`
+	Agree       int            `json:"agree"`
+	Mismatches  int            `json:"mismatches"`
+	OnlyA       int            `json:"only_a"`
+	OnlyB       int            `json:"only_b"`
+	Transitions map[string]int `json:"transitions,omitempty"`
+	Samples     []diffSample   `json:"samples,omitempty"`
+}
+
+type diffSample struct {
+	Site int    `json:"site"`
+	Bit  int    `json:"bit"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// queryDiff materializes two campaigns and reports where their stored
+// outcomes disagree. Experiments covered by only one campaign are
+// tallied separately, not counted as mismatches, so a partial campaign
+// diffs cleanly against a complete one.
+func queryDiff(st *ftb.Store, refA, refB string, jsonOut bool) error {
+	ca, err := st.Lookup(refA)
+	if err != nil {
+		return fmt.Errorf("query: campaign %q: %w", refA, err)
+	}
+	cb, err := st.Lookup(refB)
+	if err != nil {
+		return fmt.Errorf("query: campaign %q: %w", refB, err)
+	}
+	ida, idb := ca.ID(), cb.ID()
+	if ida.Sites != idb.Sites || ida.Bits != idb.Bits {
+		return fmt.Errorf("query: campaigns cover different spaces: %s is %d sites × %d bits, %s is %d sites × %d bits",
+			ida.DirName(), ida.Sites, ida.Bits, idb.DirName(), idb.Sites, idb.Bits)
+	}
+	gta, rangesA, err := ca.MaterializeSparse()
+	if err != nil {
+		return err
+	}
+	gtb, rangesB, err := cb.MaterializeSparse()
+	if err != nil {
+		return err
+	}
+	total := ida.Sites * ida.Bits
+	covA := coverageMask(total, rangesA)
+	covB := coverageMask(total, rangesB)
+
+	doc := diffResult{
+		CampaignA:   ida.DirName(),
+		CampaignB:   idb.DirName(),
+		Sites:       ida.Sites,
+		Bits:        ida.Bits,
+		Transitions: make(map[string]int),
+	}
+	for i := 0; i < total; i++ {
+		switch {
+		case covA[i] && covB[i]:
+			doc.Compared++
+			ka, kb := gta.Kinds[i], gtb.Kinds[i]
+			if ka == kb {
+				doc.Agree++
+				continue
+			}
+			doc.Mismatches++
+			doc.Transitions[ka.String()+"->"+kb.String()]++
+			if len(doc.Samples) < diffSampleCap {
+				doc.Samples = append(doc.Samples, diffSample{
+					Site: i / ida.Bits, Bit: i % ida.Bits,
+					A: ka.String(), B: kb.String(),
+				})
+			}
+		case covA[i]:
+			doc.OnlyA++
+		case covB[i]:
+			doc.OnlyB++
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	fmt.Printf("diff %s vs %s (%d sites × %d bits)\n", doc.CampaignA, doc.CampaignB, doc.Sites, doc.Bits)
+	fmt.Printf("  compared %d  agree %d (%.2f%%)  mismatch %d\n",
+		doc.Compared, doc.Agree, 100*float64(doc.Agree)/float64(max(doc.Compared, 1)), doc.Mismatches)
+	if doc.OnlyA > 0 || doc.OnlyB > 0 {
+		fmt.Printf("  covered only by %s: %d   only by %s: %d\n", doc.CampaignA, doc.OnlyA, doc.CampaignB, doc.OnlyB)
+	}
+	if doc.Mismatches > 0 {
+		keys := make([]string, 0, len(doc.Transitions))
+		for k := range doc.Transitions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("  mismatch transitions:")
+		for _, k := range keys {
+			fmt.Printf("    %-16s %d\n", k, doc.Transitions[k])
+		}
+		fmt.Println("  first mismatches:")
+		for _, s := range doc.Samples {
+			fmt.Printf("    site %6d bit %2d: %s -> %s\n", s.Site, s.Bit, s.A, s.B)
+		}
+	}
+	return nil
+}
+
+// coverageMask expands a campaign's completed experiment ranges into a
+// per-experiment bitmap.
+func coverageMask(total int, ranges []store.Range) []bool {
+	m := make([]bool, total)
+	for _, r := range ranges {
+		lo, hi := max(r.Lo, 0), min(r.Hi, total)
+		for i := lo; i < hi; i++ {
+			m[i] = true
+		}
+	}
+	return m
 }
 
 func rangeDoc(c *ftb.StoreCampaign, loSite, hiSite int) (rangeResult, error) {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ftb"
+	"ftb/internal/outcome"
+)
+
+// buildDiffStore populates a store with two handcrafted campaigns over
+// the same 4×2 experiment space: B flips two of A's outcomes and covers
+// two experiments fewer, so every diff tally is pinned exactly.
+func buildDiffStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := ftb.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mk := func(program string, kinds []outcome.Kind) {
+		t.Helper()
+		c, err := st.Campaign(ftb.StoreIdentity{
+			Program: program, Sites: 4, Bits: 2, Width: 64, Tol: 1e-9, GoldenCRC: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(0, kinds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Experiment index = site*2 + bit.
+	mk("proga", []outcome.Kind{
+		outcome.Masked, outcome.Masked,
+		outcome.SDC, outcome.Crash,
+		outcome.Masked, outcome.Masked,
+		outcome.Masked, outcome.Masked,
+	})
+	// B: index 2 sdc→masked, index 5 masked→crash; indexes 6,7 uncovered.
+	mk("progb", []outcome.Kind{
+		outcome.Masked, outcome.Masked,
+		outcome.Masked, outcome.Crash,
+		outcome.Masked, outcome.Crash,
+	})
+	return dir
+}
+
+func TestCmdQueryDiff(t *testing.T) {
+	dir := buildDiffStore(t)
+	out := capture(t, func() error {
+		return cmdQuery(context.Background(), []string{"-store", dir, "-diff", "proga", "progb"})
+	})
+	for _, want := range []string{
+		"diff", "compared 6", "agree 4", "mismatch 2",
+		"only by", "sdc->masked", "masked->crash",
+		"site      1 bit  0: sdc -> masked",
+		"site      2 bit  1: masked -> crash",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	out = capture(t, func() error {
+		return cmdQuery(context.Background(), []string{"-store", dir, "-json", "-diff", "proga", "progb"})
+	})
+	var doc diffResult
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-diff -json is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Compared != 6 || doc.Agree != 4 || doc.Mismatches != 2 ||
+		doc.OnlyA != 2 || doc.OnlyB != 0 {
+		t.Errorf("diff doc = %+v", doc)
+	}
+	if doc.Transitions["sdc->masked"] != 1 || doc.Transitions["masked->crash"] != 1 {
+		t.Errorf("transitions = %v", doc.Transitions)
+	}
+	if len(doc.Samples) != 2 {
+		t.Errorf("samples = %+v", doc.Samples)
+	}
+
+	// The order of the references flips the tallies' direction.
+	out = capture(t, func() error {
+		return cmdQuery(context.Background(), []string{"-store", dir, "-json", "-diff", "progb", "proga"})
+	})
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OnlyA != 0 || doc.OnlyB != 2 || doc.Transitions["masked->sdc"] != 1 {
+		t.Errorf("reversed diff doc = %+v", doc)
+	}
+}
+
+func TestCmdQueryDiffValidation(t *testing.T) {
+	dir := buildDiffStore(t)
+	if err := cmdQuery(context.Background(), []string{"-store", dir, "-diff", "proga"}); err == nil {
+		t.Error("-diff with one reference accepted")
+	}
+	if err := cmdQuery(context.Background(), []string{"-store", dir, "-diff", "proga", "nope"}); err == nil {
+		t.Error("-diff against an unknown campaign accepted")
+	}
+	// A campaign with a different shape cannot be diffed.
+	st, err := ftb.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Campaign(ftb.StoreIdentity{Program: "odd", Sites: 3, Bits: 2, Width: 64, Tol: 1e-9, GoldenCRC: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(0, make([]outcome.Kind, 6)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := cmdQuery(context.Background(), []string{"-store", dir, "-diff", "proga", "odd"}); err == nil {
+		t.Error("-diff across different experiment shapes accepted")
+	}
+}

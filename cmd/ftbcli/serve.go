@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"ftb"
+	"ftb/internal/cluster"
+	"ftb/internal/obs"
 )
 
 // setupLogger builds the CLI's structured event logger. Campaign
@@ -61,9 +63,12 @@ type obsServer struct {
 	start  time.Time
 	served chan struct{} // closed when Serve returns
 
-	mu     sync.Mutex
-	phases map[string]ftb.ProgressEvent
-	order  []string
+	mu        sync.Mutex
+	phases    map[string]ftb.ProgressEvent
+	order     []string
+	eta       map[string]*rateWindow
+	fleet     []string          // worker URLs behind /v1/fleet (empty = 404)
+	buildInfo map[string]string // extra ftb_build_info labels (program, golden CRC)
 
 	stop sync.Once
 }
@@ -83,12 +88,14 @@ func startServer(ctx context.Context, addr string, col *ftb.Collector, st *ftb.S
 		start:  time.Now(),
 		served: make(chan struct{}),
 		phases: make(map[string]ftb.ProgressEvent),
+		eta:    make(map[string]*rateWindow),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/v1/fleet", s.handleFleet)
 	// The pprof handlers are registered explicitly on this private mux;
 	// importing net/http/pprof only for its DefaultServeMux side effect
 	// would leak the endpoints onto any other default-mux server.
@@ -124,31 +131,78 @@ func (s *obsServer) shutdown() {
 	})
 }
 
-// OnProgress implements ftb.Observer: retain the latest event per phase.
+// OnProgress implements ftb.Observer: retain the latest event per phase
+// and feed the sliding-window rate estimator behind the /progress ETA.
 func (s *obsServer) OnProgress(e ftb.ProgressEvent) {
 	s.mu.Lock()
 	if _, ok := s.phases[e.Phase]; !ok {
 		s.order = append(s.order, e.Phase)
 	}
 	s.phases[e.Phase] = e
+	wnd := s.eta[e.Phase]
+	if wnd == nil {
+		wnd = &rateWindow{}
+		s.eta[e.Phase] = wnd
+	}
+	wnd.observe(time.Now(), e.Done)
+	s.mu.Unlock()
+}
+
+// setFleet records the worker URL pool behind /v1/fleet. The cluster
+// coordinator invokes it (through ClusterOptions.OnWorkers) once the
+// pool is final — configured plus self-hosted workers — before the
+// first lease, so the fleet view is live for the whole campaign.
+func (s *obsServer) setFleet(urls []string) {
+	s.mu.Lock()
+	s.fleet = append([]string(nil), urls...)
+	s.mu.Unlock()
+}
+
+// setBuildInfo adds identity labels (program, golden CRC) to the
+// ftb_build_info gauge on /metrics.
+func (s *obsServer) setBuildInfo(labels map[string]string) {
+	s.mu.Lock()
+	s.buildInfo = labels
 	s.mu.Unlock()
 }
 
 func (s *obsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mu.Lock()
+	extra := s.buildInfo
+	s.mu.Unlock()
+	obs.WriteBuildInfo(w, extra)
 	s.col.Snapshot().WritePrometheus(w)
 }
 
-// phaseProgress is one phase's row in the /progress document.
+// handleFleet aggregates the live telemetry of the campaign's worker
+// pool: per-worker reachability, uptime, and lifetime outcome tallies,
+// with killed workers reported as unreachable rather than omitted.
+func (s *obsServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	urls := append([]string(nil), s.fleet...)
+	s.mu.Unlock()
+	if len(urls) == 0 {
+		http.Error(w, "no worker fleet attached (run a -cluster/-selfhost campaign with -serve)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, cluster.FetchFleet(r.Context(), urls, 5*time.Second))
+}
+
+// phaseProgress is one phase's row in the /progress document. Done and
+// Total give completed/total experiments; ETASeconds estimates the time
+// to completion from the frontier rate over a sliding window (absent
+// until the rate is measurable, and once the phase finishes).
 type phaseProgress struct {
-	Phase    string  `json:"phase"`
-	Done     int     `json:"done"`
-	Total    int     `json:"total"`
-	Frontier int     `json:"frontier"`
-	PerSec   float64 `json:"per_sec"`
-	Masked   int     `json:"masked"`
-	SDC      int     `json:"sdc"`
-	Crash    int     `json:"crash"`
+	Phase      string  `json:"phase"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Frontier   int     `json:"frontier"`
+	PerSec     float64 `json:"per_sec"`
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	Masked     int     `json:"masked"`
+	SDC        int     `json:"sdc"`
+	Crash      int     `json:"crash"`
 }
 
 func (s *obsServer) handleProgress(w http.ResponseWriter, r *http.Request) {
@@ -159,7 +213,7 @@ func (s *obsServer) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}{ElapsedSeconds: time.Since(s.start).Seconds()}
 	for _, name := range s.order {
 		e := s.phases[name]
-		doc.Phases = append(doc.Phases, phaseProgress{
+		pp := phaseProgress{
 			Phase:    e.Phase,
 			Done:     e.Done,
 			Total:    e.Total,
@@ -168,7 +222,13 @@ func (s *obsServer) handleProgress(w http.ResponseWriter, r *http.Request) {
 			Masked:   e.Counts[ftb.Masked],
 			SDC:      e.Counts[ftb.SDC],
 			Crash:    e.Counts[ftb.Crash],
-		})
+		}
+		if wnd := s.eta[name]; wnd != nil && e.Done < e.Total {
+			if sec, ok := wnd.eta(e.Total); ok {
+				pp.ETASeconds = sec
+			}
+		}
+		doc.Phases = append(doc.Phases, pp)
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

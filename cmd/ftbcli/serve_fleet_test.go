@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ftb"
+	"ftb/internal/cluster"
+	"ftb/internal/telemetry"
+)
+
+// TestServeBuildInfoAndFleet drives the two fleet-era -serve surfaces:
+// the ftb_build_info gauge on /metrics (with and without campaign
+// identity labels) and the /v1/fleet aggregation over a pool holding a
+// live and a dead worker.
+func TestServeBuildInfoAndFleet(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := startServer(ctx, "127.0.0.1:0", ftb.NewCollector(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.shutdown()
+	base := "http://" + s.addr()
+
+	// Build info is present before any campaign identity is attached…
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "ftb_build_info") {
+		t.Fatalf("/metrics (status %d) missing ftb_build_info:\n%s", code, body)
+	}
+	// …and carries campaign identity labels once one is.
+	s.setBuildInfo(map[string]string{"program": "stencil", "golden_crc": "0000abcd"})
+	_, body = get(t, base+"/metrics")
+	for _, want := range []string{"# TYPE ftb_build_info gauge", `program="stencil"`, `golden_crc="0000abcd"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// No fleet attached yet: /v1/fleet explains itself with a 404.
+	if code, body := get(t, base+"/v1/fleet"); code != http.StatusNotFound || !strings.Contains(body, "no worker fleet") {
+		t.Errorf("/v1/fleet without a fleet: status %d, body %q", code, body)
+	}
+
+	// A stand-in worker answering /v1/telemetry, plus a dead URL.
+	status := cluster.WorkerStatus{
+		UptimeSeconds: 1.5,
+		Telemetry: &telemetry.Snapshot{
+			Experiments: 5,
+			Outcomes:    telemetry.OutcomeCounts{Masked: 3, SDC: 1, Crash: 1},
+		},
+	}
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/telemetry" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(status)
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	s.setFleet([]string{live.URL, deadURL})
+	code, body = get(t, base+"/v1/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/fleet status %d:\n%s", code, body)
+	}
+	var fleet cluster.Fleet
+	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+		t.Fatalf("/v1/fleet is not valid JSON: %v\n%s", err, body)
+	}
+	if len(fleet.Workers) != 2 || fleet.Reachable != 1 {
+		t.Fatalf("fleet = %+v, want 2 workers with 1 reachable", fleet)
+	}
+	if fleet.Experiments != 5 || fleet.Outcomes.Masked != 3 {
+		t.Errorf("fleet totals = %+v", fleet)
+	}
+	for _, w := range fleet.Workers {
+		switch w.URL {
+		case live.URL:
+			if !w.Reachable || w.Status == nil {
+				t.Errorf("live worker entry = %+v", w)
+			}
+		case deadURL:
+			if w.Reachable || w.Error == "" {
+				t.Errorf("dead worker entry = %+v, want unreachable with error", w)
+			}
+		default:
+			t.Errorf("unexpected fleet URL %q", w.URL)
+		}
+	}
+}

@@ -56,6 +56,7 @@ func cmdWorker(ctx context.Context, args []string) error {
 			return err
 		}
 		obs = srv
+		srv.setBuildInfo(map[string]string{"program": *kernel})
 		cfg.Collector = col
 		cfg.Observer = srv
 		fmt.Fprintf(os.Stderr, "ftbcli: worker observability on http://%s (/metrics /progress /debug/pprof)\n", srv.addr())

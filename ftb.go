@@ -285,6 +285,9 @@ type runConfig struct {
 	replayEvery int             // snapshot spacing in sites; 0 = campaign default
 	sections    []Section       // nil = the program's declared layout
 	compose     *ComposeOptions // nil = full-suffix execution
+	spans       *SpanRecorder   // nil = no span tracing
+	spanParent  uint64          // root campaign span ID, set per call
+	spanSample  int             // experiment sampling stride; 0 = default
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -570,6 +573,9 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 		// vanilla execution on their own.
 		Replay:      !rc.replayOff,
 		ReplayEvery: rc.replayEvery,
+		Spans:       rc.spans,
+		SpanParent:  rc.spanParent,
+		SpanSample:  rc.spanSample,
 	}
 	if rc.traceSink != nil {
 		sink, o := rc.traceSink, rc.traceOpts
@@ -594,6 +600,8 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 // and never appended to an attached store.
 func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 	rc := a.resolve(opts)
+	endSpan := a.startCampaignSpan(&rc)
+	defer endSpan()
 	if rc.compose != nil {
 		return a.composedExhaustive(rc)
 	}
@@ -611,7 +619,7 @@ func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 		// With a store attached the campaign's result is also the durable
 		// record: append it and hand back the store-materialized copy, so
 		// the caller's ground truth is exactly what later queries serve.
-		return a.storeFinalize(rc.store, gt)
+		return a.storeFinalize(rc, gt)
 	}
 	return gt, nil
 }
@@ -630,6 +638,8 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts
 	if rc.compose != nil {
 		return nil, errors.New("ftb: WithCompose applies to Exhaustive only; composed campaigns persist section summaries, not checkpoints")
 	}
+	endSpan := a.startCampaignSpan(&rc)
+	defer endSpan()
 	if rc.store != nil {
 		return a.storeCheckpointed(rc, checkpointPath, batch)
 	}

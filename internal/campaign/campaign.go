@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"runtime"
 
+	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
@@ -143,6 +144,21 @@ type Config struct {
 	// Warn for aborts). Nil discards events; the engine never logs from
 	// the per-experiment hot path.
 	Logger *slog.Logger
+	// Spans, when non-nil, records the campaign's hierarchical execution
+	// spans: one phase span, chained queue-wait/batch spans per worker,
+	// sampled experiment spans, and typed sub-spans (checkpoint restore,
+	// compose predict/tail/fallback). Like Collector it is fed from the
+	// hot path, so it is the concrete striped recorder, not an interface.
+	Spans *obs.Recorder
+	// SpanParent is the span ID the phase span attaches to (0 = root),
+	// typically a facade-level campaign span or, on a cluster worker, 0
+	// so the coordinator can graft the lease's spans under its own tree.
+	SpanParent uint64
+	// SpanSample records one experiment span (with sub-spans) per this
+	// many experiments per worker (0 = obs.DefaultSampleEvery).
+	// Unsampled experiments cost one counter increment and no clock
+	// reads, which is what keeps span overhead inside the ≤5% budget.
+	SpanSample int
 }
 
 // Tracer consumes one worker's propagation trajectories. It extends
@@ -275,6 +291,7 @@ type pairWorker struct {
 	tracer Tracer                      // nil when the campaign is untraced
 	replay *replayCache                // nil when replay is off or unsupported
 	rec    *telemetry.CampaignRecorder // nil when the campaign is uncollected
+	sp     *obs.WorkerSpans            // nil-safe when the campaign records no spans
 }
 
 // newPairWorker builds one worker's state, attaching its tracer when the
@@ -282,8 +299,8 @@ type pairWorker struct {
 // replays prefixes and the program can snapshot. A program that does not
 // implement trace.Snapshotter silently keeps the vanilla full-execution
 // path — Replay is a pure optimization, never a capability requirement.
-func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder) *pairWorker {
-	pw := &pairWorker{p: cfg.Factory(), worker: w, rec: rec}
+func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *pairWorker {
+	pw := &pairWorker{p: cfg.Factory(), worker: w, rec: rec, sp: sp}
 	if cfg.Tracer != nil {
 		pw.tracer = cfg.Tracer(w)
 	}
@@ -309,7 +326,9 @@ func (w *pairWorker) runChecked(cfg Config, run int, pair Pair) (Record, error) 
 	if w.replay != nil {
 		var hit bool
 		var err error
+		t := w.sp.SubClock()
 		resume, hit, err = w.replay.prepare(&w.ctx, pair.Site)
+		w.sp.Sub(obs.CatRestore, t, int64(resume))
 		if err != nil {
 			return Record{}, err
 		}
@@ -367,7 +386,9 @@ func RunPairsInPhase(cfg Config, pairs []Pair, phase string) ([]Record, error) {
 	}
 	records := make([]Record, len(pairs))
 	_, err = runEngine(cfg, phase, len(pairs),
-		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
+		func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *pairWorker {
+			return newPairWorker(cfg, w, rec, sp)
+		},
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			rec, err := w.runChecked(cfg, i, pairs[i])
 			if err != nil {
@@ -426,7 +447,7 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 	cfg.Tracer = nil
 	sinks := make([]PropagationSink, cfg.Workers)
 	_, err = runEngine(cfg, "propagate", len(pairs),
-		func(w int, _ *telemetry.CampaignRecorder) *propWorker {
+		func(w int, _ *telemetry.CampaignRecorder, _ *obs.WorkerSpans) *propWorker {
 			sink := newSink()
 			sinks[w] = sink
 			return &propWorker{p: cfg.Factory(), sink: sink}

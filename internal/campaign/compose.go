@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/rng"
 	"ftb/internal/sections"
@@ -203,6 +204,7 @@ type composeWorker struct {
 	canTail bool // p supports cursor-guided resume (fallbacks finish from the pause boundary)
 	replay  *replayCache
 	rec     *telemetry.CampaignRecorder
+	sp      *obs.WorkerSpans // nil-safe when the campaign records no spans
 	agg     *calibAggregator
 	bnd     boundarySink
 	// locals are this worker's private summary builders (calibration
@@ -257,7 +259,9 @@ func (w *composeWorker) prepare(site int) (int, error) {
 	if w.replay == nil {
 		return 0, nil
 	}
+	t := w.sp.SubClock()
 	resume, hit, err := w.replay.prepare(&w.ctx, site)
+	w.sp.Sub(obs.CatRestore, t, int64(resume))
 	if err != nil {
 		return 0, err
 	}
@@ -335,8 +339,8 @@ func ComposedExhaustive(cfg Config, opts ComposeOptions) (*GroundTruth, *Compose
 	}
 	calibrated := make([]bool, space)
 
-	newWorker := func(w int, rec *telemetry.CampaignRecorder) *composeWorker {
-		cw := &composeWorker{p: cfg.Factory(), worker: w, rec: rec, sums: sums}
+	newWorker := func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *composeWorker {
+		cw := &composeWorker{p: cfg.Factory(), worker: w, rec: rec, sp: sp, sums: sums}
 		cw.agg = newCalibAggregator(secs)
 		cw.stats.bySec = make([]sectionCounters, len(secs))
 		if s, ok := cw.p.(trace.Snapshotter); ok {
@@ -366,8 +370,8 @@ func ComposedExhaustive(cfg Config, opts ComposeOptions) (*GroundTruth, *Compose
 
 		var mu workerMerge
 		_, err = runEngine(cfg, "compose-calibrate", len(sample),
-			func(w int, rec *telemetry.CampaignRecorder) *composeWorker {
-				cw := newWorker(w, rec)
+			func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *composeWorker {
+				cw := newWorker(w, rec, sp)
 				cw.locals = make([]*sections.Summary, len(secs))
 				for j := 1; j < len(secs); j++ {
 					if !rep.Sections[j].Reused {
@@ -419,8 +423,8 @@ func ComposedExhaustive(cfg Config, opts ComposeOptions) (*GroundTruth, *Compose
 	// entries short-circuit: their exact result is already in).
 	var mu workerMerge
 	_, err = runEngine(cfg, "compose", space,
-		func(w int, rec *telemetry.CampaignRecorder) *composeWorker {
-			cw := newWorker(w, rec)
+		func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *composeWorker {
+			cw := newWorker(w, rec, sp)
 			mu.add(cw)
 			return cw
 		},
@@ -493,7 +497,9 @@ func (w *composeWorker) runComposed(cfg Config, pair Pair, sec, until, sites int
 		w.stats.baseline += int64(sites - resume)
 		return outcome.Masked, nil
 	}
+	pt := w.sp.SubClock()
 	pred := sections.Compose(w.sums, sec, w.bnd.max, cfg.Tol, params)
+	w.sp.Sub(obs.CatPredict, pt, int64(pred.Why))
 	if pred.Composed {
 		// Compose only ever predicts Masked, so the avoided full run
 		// would have executed every remaining store: the baseline term
@@ -517,7 +523,9 @@ func (w *composeWorker) runComposed(cfg Config, pair Pair, sec, until, sites int
 		// never shrinks and the chained bins are coarse, so under 0.2%
 		// of declines ever rescued, while each extra pause/resume
 		// segment re-paid the cursor skip-walk.)
+		tt := w.sp.SubClock()
 		full, err := trace.RunResumeTail(&w.ctx, w.p, cfg.Golden, until)
+		w.sp.Sub(obs.CatTail, tt, int64(until))
 		if err != nil {
 			return 0, err
 		}
@@ -538,7 +546,9 @@ func (w *composeWorker) runComposed(cfg Config, pair Pair, sec, until, sites int
 	if err != nil {
 		return 0, err
 	}
+	ft := w.sp.SubClock()
 	full := trace.RunInjectFrom(&w.ctx, w.p, pair.Site, uint(pair.Bit), resume)
+	w.sp.Sub(obs.CatFallback, ft, int64(pair.Site))
 	if !full.Crashed && w.ctx.Sites() != sites {
 		return 0, fmt.Errorf("%w: got %d, golden %d (program %q)",
 			trace.ErrTraceMismatch, w.ctx.Sites(), sites, w.p.Name())

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
@@ -156,7 +157,7 @@ func (p *progress) currentFrontier() int {
 // the context's error. The returned int is the final frontier: items
 // [0, frontier) are guaranteed complete even on error.
 func runEngine[S any](cfg Config, phase string, n int,
-	setup func(worker int, rec *telemetry.CampaignRecorder) S,
+	setup func(worker int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) S,
 	item func(s S, i int) (outcome.Kind, error),
 	onFrontier func(frontier int) error,
 ) (int, error) {
@@ -197,6 +198,14 @@ func runEngine[S any](cfg Config, phase string, n int,
 		defer rec.End()
 	}
 
+	// The span layer mirrors the collector's discipline: nothing on the
+	// unsampled hot path, chained timestamps elsewhere. The phase span is
+	// opened before the pool spawns so worker spans can parent to it, and
+	// closed after every worker has exited (span export requires
+	// quiescence anyway).
+	phaseSpan := cfg.Spans.Start(obs.CatPhase, phase, cfg.SpanParent, -1)
+	defer phaseSpan.End(int64(n))
+
 	prog := &progress{
 		phase:      phase,
 		total:      n,
@@ -229,7 +238,12 @@ func runEngine[S any](cfg Config, phase string, n int,
 				rec.WorkerStart()
 				defer rec.WorkerStop()
 			}
-			s := setup(w, rec)
+			// ws chains queue-wait and batch spans so they tile this
+			// worker's lifetime; Finish closes the trailing wait (and an
+			// open batch on a cancelled exit). Nil without Config.Spans.
+			ws := cfg.Spans.Worker(phaseSpan.ID(), w, obs.EffectiveSample(n, cfg.SpanSample))
+			defer ws.Finish()
+			s := setup(w, rec, ws)
 			// Static mode walks the worker's own contiguous chunk in
 			// batch-sized steps; dynamic mode claims batches off the
 			// shared queue head. The steps bound cancellation latency
@@ -278,12 +292,15 @@ func runEngine[S any](cfg Config, phase string, n int,
 				if !ok {
 					return
 				}
+				ws.StartBatch()
 				var c outcome.Counts
 				for i := lo; i < hi; i++ {
 					if ctx.Err() != nil {
 						return
 					}
+					ws.BeginExperiment()
 					k, err := item(s, i)
+					ws.EndExperiment(i)
 					if err != nil {
 						if errors.Is(err, trace.ErrTraceMismatch) {
 							if rec != nil {
@@ -305,6 +322,10 @@ func runEngine[S any](cfg Config, phase string, n int,
 					}
 					c.Add(k)
 				}
+				// Close the batch before the progress merge: merge time is
+				// queue overhead and belongs to the next wait span, matching
+				// the collector's Wait attribution.
+				ws.EndBatch(lo, hi)
 				err := prog.rangeDone(lo, hi, c)
 				if rec != nil {
 					now := time.Now()

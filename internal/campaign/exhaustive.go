@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ftb/internal/bits"
+	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
@@ -89,7 +90,9 @@ func Exhaustive(cfg Config) (*GroundTruth, error) {
 		Kinds:  make([]outcome.Kind, sites*cfg.Bits),
 	}
 	_, err = runEngine(cfg, "exhaustive", sites*cfg.Bits,
-		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
+		func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *pairWorker {
+			return newPairWorker(cfg, w, rec, sp)
+		},
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			pair := PairAt(i, cfg.Bits)
 			rec, err := w.runChecked(cfg, i, pair)
@@ -187,7 +190,9 @@ func ExhaustiveCheckpointed(cfg Config, prior *GroundTruth, priorSites, batch in
 		}
 	}
 	frontier, err := runEngine(cfg, "exhaustive", n,
-		func(w int, rec *telemetry.CampaignRecorder) *pairWorker { return newPairWorker(cfg, w, rec) },
+		func(w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *pairWorker {
+			return newPairWorker(cfg, w, rec, sp)
+		},
 		func(w *pairWorker, i int) (outcome.Kind, error) {
 			abs := priorSites*cfg.Bits + i
 			pair := PairAt(abs, cfg.Bits)

@@ -1,0 +1,104 @@
+package campaign_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ftb/internal/campaign"
+	"ftb/internal/obs"
+)
+
+// spanPair holds the interleaved off/on measurement for span recording,
+// taken once and reported by both sub-benchmarks. The layout mirrors
+// the collector benchmark: the span layer rides the same hot path and
+// carries the same ≤5% acceptance budget.
+var spanPair struct {
+	once        sync.Once
+	offNs, onNs float64
+	overheadPct float64
+	experiments int
+}
+
+// measureSpanPair times the same campaign with and without a span
+// recorder in alternating rounds (flipping the order each round), so
+// machine-load drift charges both variants equally. Spans at the
+// default sampling rate cost two clock reads per batch plus two per
+// sampled experiment, which should disappear against representative
+// multi-microsecond experiments.
+func measureSpanPair() {
+	const rounds = 12 // plus one warmup round
+	cfgOff := benchConfig(2048, 4)
+	cfgOn := benchConfig(2048, 4)
+	pairs := campaign.AllPairs(cfgOff.Golden.Sites(), 64)[:2048]
+	run := func(cfg *campaign.Config, spans bool) time.Duration {
+		if spans {
+			// A fresh recorder per round: a full stripe would silently
+			// stop paying the write cost and flatter the measurement.
+			cfg.Spans = obs.NewRecorder()
+		}
+		start := time.Now()
+		if _, err := campaign.RunPairs(*cfg, pairs); err != nil {
+			panic(err)
+		}
+		return time.Since(start)
+	}
+	var offTot, onTot time.Duration
+	ratios := make([]float64, 0, rounds)
+	for r := 0; r <= rounds; r++ {
+		var off, on time.Duration
+		if r%2 == 0 {
+			off = run(&cfgOff, false)
+			on = run(&cfgOn, true)
+		} else {
+			on = run(&cfgOn, true)
+			off = run(&cfgOff, false)
+		}
+		if r == 0 {
+			continue // warmup: first round pays cache and allocator fills
+		}
+		offTot += off
+		onTot += on
+		ratios = append(ratios, float64(on-off)/float64(off))
+	}
+	spanPair.offNs = float64(offTot.Nanoseconds()) / rounds
+	spanPair.onNs = float64(onTot.Nanoseconds()) / rounds
+	// The overhead figure gated against the 5% budget is the median of
+	// the per-round paired ratios, not the ratio of means: a single
+	// scheduler hiccup in one round (routine on a loaded host) would
+	// otherwise swing the mean by more than the effect being measured.
+	sort.Float64s(ratios)
+	spanPair.overheadPct = 100 * ratios[len(ratios)/2]
+	spanPair.experiments = len(pairs)
+}
+
+// BenchmarkEngineSpans reports span recording's hot-path overhead: the
+// same campaign with and without a recorder attached, measured
+// interleaved (see measureSpanPair). ns/op is per campaign; the "on"
+// sub-benchmark also reports overhead_pct, the number the ≤5% budget
+// gates in bench-check.
+func BenchmarkEngineSpans(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ns   *float64
+	}{
+		{"off", &spanPair.offNs},
+		{"on", &spanPair.onNs},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			spanPair.once.Do(measureSpanPair)
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(*mode.ns, "ns/op")
+			b.ReportMetric(float64(spanPair.experiments), "experiments/op")
+			if mode.name == "on" {
+				b.ReportMetric(spanPair.overheadPct, "overhead_pct")
+				if spanPair.overheadPct > 5 {
+					b.Errorf("span overhead %.2f%% exceeds the 5%% budget (off %.0fns, on %.0fns)",
+						spanPair.overheadPct, spanPair.offNs, spanPair.onNs)
+				}
+			}
+		})
+	}
+}

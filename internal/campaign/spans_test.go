@@ -1,0 +1,183 @@
+// Engine↔span integration tests, external-package like the collector
+// suite so they exercise the exact surface the facade wires (Config.Spans
+// plus the campaign entry points). The Makefile race target runs this
+// package, making these the race-gated "8 workers recording sampled
+// experiment spans" proof at engine level.
+package campaign_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ftb/internal/campaign"
+	"ftb/internal/kernels"
+	"ftb/internal/obs"
+	"ftb/internal/outcome"
+	"ftb/internal/trace"
+)
+
+// kernelConfig builds a replay-enabled config for a kernel at test size.
+func kernelConfig(t *testing.T, name string, workers int) campaign.Config {
+	t.Helper()
+	k, err := kernels.New(name, kernels.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := trace.Golden(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaign.Config{
+		Factory: func() trace.Program {
+			kk, err := kernels.New(name, kernels.SizeTest)
+			if err != nil {
+				panic(err)
+			}
+			return kk
+		},
+		Golden:  golden,
+		Tol:     k.Tolerance(),
+		Width:   k.Width(),
+		Workers: workers,
+		Replay:  true,
+	}
+}
+
+// TestExhaustiveSpans runs the deterministic stencil test campaign on 8
+// workers with spans on and checks the recorded tree: results identical
+// to a spans-off run, a single phase span, per-worker wait/batch tiling,
+// sampled experiment spans with restore sub-spans, and an attribution
+// that explains the phase's worker-time.
+func TestExhaustiveSpans(t *testing.T) {
+	want, err := campaign.Exhaustive(kernelConfig(t, "stencil", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := kernelConfig(t, "stencil", 8)
+	rec := obs.NewRecorder()
+	cfg.Spans = rec
+	cfg.SpanSample = 4
+	got, err := campaign.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outcomeBytes(got.Kinds), outcomeBytes(want.Kinds)) {
+		t.Fatal("spans-on ground truth differs from spans-off")
+	}
+	if d := rec.Dropped(); d != 0 {
+		t.Fatalf("dropped %d spans", d)
+	}
+
+	spans := rec.Cut()
+	var phase obs.Span
+	counts := make(map[obs.Category]int)
+	for _, sp := range spans {
+		counts[sp.Cat]++
+		if sp.Cat == obs.CatPhase {
+			phase = sp
+		}
+	}
+	if counts[obs.CatPhase] != 1 || phase.Name != "exhaustive" {
+		t.Fatalf("phase spans: %d (%q), want one %q", counts[obs.CatPhase], phase.Name, "exhaustive")
+	}
+	n := len(want.Kinds)
+	if phase.Meta != int64(n) {
+		t.Errorf("phase meta = %d, want %d experiments", phase.Meta, n)
+	}
+	if counts[obs.CatBatch] == 0 || counts[obs.CatWait] == 0 {
+		t.Fatalf("missing batch/wait spans: %v", counts)
+	}
+	// Each worker samples experiments 1, 1+sample, ... so across workers
+	// the total is at least n/sample spans and at most one extra per
+	// worker; every sampled experiment restores from a snapshot.
+	if counts[obs.CatExperiment] < n/cfg.SpanSample || counts[obs.CatExperiment] > n/cfg.SpanSample+8 {
+		t.Errorf("experiment spans = %d for n=%d sample=%d", counts[obs.CatExperiment], n, cfg.SpanSample)
+	}
+	if counts[obs.CatRestore] != counts[obs.CatExperiment] {
+		t.Errorf("restore spans = %d, want one per sampled experiment (%d)",
+			counts[obs.CatRestore], counts[obs.CatExperiment])
+	}
+
+	// Wait/batch spans must tile each worker's lifetime: chained spans,
+	// alternating categories, no gaps. That structural guarantee is what
+	// makes the profile table's coverage claim hold.
+	perWorker := make(map[int][]obs.Span)
+	for _, sp := range spans {
+		if sp.Parent == phase.ID && (sp.Cat == obs.CatWait || sp.Cat == obs.CatBatch) {
+			perWorker[sp.Worker] = append(perWorker[sp.Worker], sp)
+		}
+	}
+	for w, tile := range perWorker {
+		for i := 1; i < len(tile); i++ {
+			if tile[i].Start != tile[i-1].End() {
+				t.Fatalf("worker %d: span gap at %d", w, i)
+			}
+		}
+	}
+
+	a := obs.Attribute(spans)
+	if len(a.Phases) != 1 {
+		t.Fatalf("attribution phases = %d", len(a.Phases))
+	}
+	p := a.Phases[0]
+	if p.Workers != len(perWorker) {
+		t.Errorf("attribution workers = %d, want %d", p.Workers, len(perWorker))
+	}
+	// Tiling means coverage is structurally ~100%; allow slack for
+	// worker start/stop skew against the phase span.
+	if p.CoveragePct < 80 {
+		t.Errorf("phase coverage = %.1f%%, want ≥ 80%%", p.CoveragePct)
+	}
+	var restore bool
+	for _, c := range p.Categories {
+		if c.Cat == obs.CatRestore && c.NS > 0 {
+			restore = true
+		}
+	}
+	if !restore {
+		t.Error("attribution has no restore line")
+	}
+}
+
+// TestComposeSpans checks that a composed campaign emits the compose-
+// specific sub-span categories (predict plus tail or fallback) under
+// both of its phases.
+func TestComposeSpans(t *testing.T) {
+	cfg, secs := composeConfig(t, "stencil")
+	rec := obs.NewRecorder()
+	cfg.Spans = rec
+	cfg.SpanSample = 1 // sample everything: fallback paths are sparse
+	if _, _, err := campaign.ComposedExhaustive(cfg, campaign.ComposeOptions{Sections: secs}); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Cut()
+	phases := make(map[string]bool)
+	counts := make(map[obs.Category]int)
+	for _, sp := range spans {
+		counts[sp.Cat]++
+		if sp.Cat == obs.CatPhase {
+			phases[sp.Name] = true
+		}
+	}
+	if !phases["compose"] || !phases["compose-calibrate"] {
+		t.Fatalf("phases = %v, want compose and compose-calibrate", phases)
+	}
+	if counts[obs.CatPredict] == 0 {
+		t.Error("no predict spans recorded")
+	}
+	if counts[obs.CatTail]+counts[obs.CatFallback] == 0 {
+		t.Error("no tail/fallback spans recorded")
+	}
+	if counts[obs.CatRestore] == 0 {
+		t.Error("no restore spans recorded")
+	}
+}
+
+func outcomeBytes(ks []outcome.Kind) []byte {
+	b := make([]byte, len(ks))
+	for i, k := range ks {
+		b[i] = byte(k)
+	}
+	return b
+}

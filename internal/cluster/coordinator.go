@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ftb/internal/campaign"
+	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
@@ -91,6 +92,15 @@ type Config struct {
 	// as it arrives, so live exports reflect the whole fleet
 	// mid-campaign.
 	Collector *telemetry.Collector
+	// Spans, when non-nil, records the campaign's coordinator-side span
+	// timeline — one lease span per shard attempt, parented under
+	// SpanParent — and grafts each completed lease's worker spans under
+	// its lease span, stitching the fleet's recordings into one campaign
+	// timeline. SpanSample is the per-engine-worker experiment sampling
+	// stride forwarded to workers (default obs.DefaultSampleEvery).
+	Spans      *obs.Recorder
+	SpanParent uint64
+	SpanSample int
 	// Logger receives lease lifecycle events (Debug) and worker-loss /
 	// retry events (Warn). Nil discards.
 	Logger *slog.Logger
@@ -437,19 +447,32 @@ func (co *coordinator) runWorker(ctx context.Context, wc *workerClient, wantCRC 
 		l.attempts++
 		seq++
 		leaseID := fmt.Sprintf("%s#%d", wc.url, seq)
+		sampleEvery := 0
+		if cfg.Spans != nil {
+			sampleEvery = cfg.SpanSample
+			if sampleEvery <= 0 {
+				sampleEvery = obs.DefaultSampleEvery
+			}
+		}
+		// The lease span covers the attempt's full round trip including
+		// the merge; failed attempts are recorded too (meta 0), so retry
+		// cost shows up in the timeline instead of vanishing.
+		ls := cfg.Spans.Start(obs.CatLease, leaseID, cfg.SpanParent, -1)
 		resp, err := wc.run(ctx, runRequest{
-			Lease:     leaseID,
-			Lo:        l.lo,
-			Hi:        l.hi,
-			Bits:      cfg.Bits,
-			Width:     cfg.Width,
-			Tol:       cfg.Tol,
-			GoldenCRC: wantCRC,
+			Lease:      leaseID,
+			Lo:         l.lo,
+			Hi:         l.hi,
+			Bits:       cfg.Bits,
+			Width:      cfg.Width,
+			Tol:        cfg.Tol,
+			GoldenCRC:  wantCRC,
+			SpanSample: sampleEvery,
 		})
 		if err == nil {
 			err = co.validateResponse(l, resp)
 		}
 		if err != nil {
+			ls.End(0)
 			if ctx.Err() != nil {
 				// Cancellation, not worker failure: put the lease back
 				// for a future resume and stop quietly.
@@ -482,7 +505,9 @@ func (co *coordinator) runWorker(ctx context.Context, wc *workerClient, wantCRC 
 			continue
 		}
 		failures = 0
-		if err := co.merge(l, resp, wc.url); err != nil {
+		err = co.merge(l, resp, wc.url, ls.ID())
+		ls.End(int64(l.hi - l.lo))
+		if err != nil {
 			co.fail(err)
 			return
 		}
@@ -538,7 +563,7 @@ func (co *coordinator) validateResponse(l lease, resp *runResponse) error {
 // the observer stream, and the merged telemetry. Serialized under mu, so
 // observer callbacks and the frontier hook see monotonic state exactly
 // like the in-process engine's.
-func (co *coordinator) merge(l lease, resp *runResponse, workerURL string) error {
+func (co *coordinator) merge(l lease, resp *runResponse, workerURL string, leaseSpan uint64) error {
 	var c outcome.Counts
 	for i, k := range resp.Kinds {
 		kind := outcome.Kind(k)
@@ -548,6 +573,13 @@ func (co *coordinator) merge(l lease, resp *runResponse, workerURL string) error
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.shards++
+	if co.cfg.Spans != nil && len(resp.Spans) > 0 {
+		// Stitch the shard's worker-local spans into the campaign
+		// timeline: fresh IDs (worker processes allocate independently),
+		// roots re-parented under this lease's span, shard stamped with
+		// the worker URL.
+		co.cfg.Spans.Graft(resp.Spans, leaseSpan, workerURL)
+	}
 	co.doneCount += l.hi - l.lo
 	co.counts.Merge(c)
 	advanced := co.frontier.RangeDone(l.lo-co.start, l.hi-co.start)

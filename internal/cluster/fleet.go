@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ftb/internal/telemetry"
+)
+
+// WorkerStatus is one worker's live state, served on its /v1/telemetry
+// endpoint: identity, uptime, and the lifetime telemetry snapshot
+// accumulated across every lease it has executed.
+type WorkerStatus struct {
+	Info          Info                `json:"info"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Telemetry     *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// FleetWorker is one worker's entry in a fleet view: its URL, whether
+// the status poll reached it, and — when reachable — its status.
+// Unreachable workers stay in the view with their error, so a fleet
+// snapshot taken mid-campaign shows killed workers as dead rather than
+// silently omitting them.
+type FleetWorker struct {
+	URL       string        `json:"url"`
+	Reachable bool          `json:"reachable"`
+	Error     string        `json:"error,omitempty"`
+	Status    *WorkerStatus `json:"status,omitempty"`
+}
+
+// Fleet aggregates the live telemetry of a worker pool mid-campaign:
+// per-worker statuses plus fleet-wide totals, the payload behind the
+// coordinator's /v1/fleet endpoint.
+type Fleet struct {
+	Workers   []FleetWorker `json:"workers"`
+	Reachable int           `json:"reachable"`
+	// Experiments and Outcomes total the reachable workers' lifetime
+	// telemetry: experiment executions and their Masked/SDC/Crash
+	// tallies.
+	Experiments int64                   `json:"experiments"`
+	Outcomes    telemetry.OutcomeCounts `json:"outcomes"`
+}
+
+// FetchFleet polls every worker's /v1/telemetry concurrently (bounded by
+// timeout per worker) and aggregates the answers. It never fails as a
+// whole: a dead worker is one unreachable entry, not an error — the
+// whole point of a fleet view during a campaign that tolerates worker
+// loss.
+func FetchFleet(ctx context.Context, urls []string, timeout time.Duration) Fleet {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	workers := make([]FleetWorker, len(urls))
+	var wg sync.WaitGroup
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			workers[i] = fetchWorkerStatus(ctx, url, timeout)
+		}(i, url)
+	}
+	wg.Wait()
+	sort.SliceStable(workers, func(i, j int) bool { return workers[i].URL < workers[j].URL })
+
+	fleet := Fleet{Workers: workers}
+	for _, w := range workers {
+		if !w.Reachable {
+			continue
+		}
+		fleet.Reachable++
+		if w.Status == nil || w.Status.Telemetry == nil {
+			continue
+		}
+		snap := w.Status.Telemetry
+		fleet.Experiments += snap.Experiments
+		fleet.Outcomes.Masked += snap.Outcomes.Masked
+		fleet.Outcomes.SDC += snap.Outcomes.SDC
+		fleet.Outcomes.Crash += snap.Outcomes.Crash
+		fleet.Outcomes.Mismatch += snap.Outcomes.Mismatch
+	}
+	return fleet
+}
+
+// fetchWorkerStatus polls one worker's /v1/telemetry.
+func fetchWorkerStatus(ctx context.Context, url string, timeout time.Duration) FleetWorker {
+	fw := FleetWorker{URL: url}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+pathTelemetry, nil)
+	if err != nil {
+		fw.Error = err.Error()
+		return fw
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fw.Error = err.Error()
+		return fw
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fw.Error = fmt.Sprintf("status %s", resp.Status)
+		return fw
+	}
+	var st WorkerStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<22)).Decode(&st); err != nil {
+		fw.Error = fmt.Sprintf("decode: %v", err)
+		return fw
+	}
+	fw.Reachable = true
+	fw.Status = &st
+	return fw
+}

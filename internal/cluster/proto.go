@@ -22,7 +22,13 @@
 //	POST /v1/run   — execute one lease: experiments [lo, hi) of the
 //	                 canonical row-major (site-major, bit-minor) space,
 //	                 returning one outcome byte per experiment plus the
-//	                 shard's telemetry snapshot.
+//	                 shard's telemetry snapshot (and, when the lease asks
+//	                 for it, the shard's span timeline).
+//
+// Two observability endpoints ride alongside the protocol proper:
+// GET /v1/telemetry (the worker's live lifetime telemetry, aggregated
+// fleet-wide by FetchFleet) and GET /metrics (Prometheus text
+// exposition, including the ftb_build_info gauge).
 //
 // Determinism is the contract: outcome classification is a pure function
 // of (program, site, bit), so which worker executes a lease, how often a
@@ -35,6 +41,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"ftb/internal/obs"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
@@ -42,9 +49,11 @@ import (
 // Protocol endpoints, shared by the worker mux and the coordinator
 // client.
 const (
-	pathHealth = "/healthz"
-	pathInfo   = "/v1/info"
-	pathRun    = "/v1/run"
+	pathHealth    = "/healthz"
+	pathInfo      = "/v1/info"
+	pathRun       = "/v1/run"
+	pathTelemetry = "/v1/telemetry"
+	pathMetrics   = "/metrics"
 )
 
 // Info is a worker's program identity, served on /v1/info. The
@@ -76,6 +85,12 @@ type runRequest struct {
 	Width     int     `json:"width"`
 	Tol       float64 `json:"tol"`
 	GoldenCRC uint32  `json:"golden_crc"`
+	// SpanSample, when positive, asks the worker to record a span
+	// timeline of the lease (batch/wait spans plus one sampled
+	// experiment span per SpanSample experiments per engine worker) and
+	// return it in the response. Zero disables span recording — the
+	// trace-context propagation behind stitched cluster timelines.
+	SpanSample int `json:"span_sample,omitempty"`
 }
 
 // runResponse is one completed lease: the classified outcome of every
@@ -87,6 +102,10 @@ type runResponse struct {
 	Hi        int                 `json:"hi"`
 	Kinds     []byte              `json:"kinds"`
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Spans is the lease's span timeline (present only when the request
+	// set SpanSample). Span IDs are worker-local: the coordinator grafts
+	// them under its lease span with fresh IDs.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // errorResponse carries a worker-side failure reason to the coordinator

@@ -12,6 +12,7 @@ import (
 
 	"ftb/internal/campaign"
 	"ftb/internal/kernels"
+	"ftb/internal/obs"
 	"ftb/internal/trace"
 )
 
@@ -106,9 +107,11 @@ func TestSelfHostDeterminism(t *testing.T) {
 	}
 }
 
-// TestSelfHostWorkerKill SIGKILLs one worker mid-campaign: the campaign
-// must still complete, losing only that worker's in-flight lease to a
-// retry, with an identical ground truth.
+// TestSelfHostWorkerKill SIGKILLs one worker mid-campaign while span
+// tracing is on: the campaign must still complete, losing only that
+// worker's in-flight lease to a retry, with an identical ground truth —
+// and the coordinator must still emit one stitched timeline from the
+// surviving workers' spans.
 func TestSelfHostWorkerKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("forks worker processes")
@@ -124,6 +127,8 @@ func TestSelfHostWorkerKill(t *testing.T) {
 	procs := spawnTestWorkers(t, name+":"+kernels.SizeTest, 3)
 	victim := procs[0]
 	killed := false
+	rec := obs.NewRecorder()
+	root := rec.Start(obs.CatCampaign, name, 0, -1)
 	res, err := Exhaustive(Config{
 		Workers:           URLs(procs),
 		Golden:            golden,
@@ -135,6 +140,8 @@ func TestSelfHostWorkerKill(t *testing.T) {
 		MaxWorkerFailures: 2,
 		MaxLeaseAttempts:  100,
 		LeaseTimeout:      30 * time.Second,
+		Spans:             rec,
+		SpanParent:        root.ID(),
 		Observer: campaign.ObserverFunc(func(e campaign.Event) {
 			// SIGKILL the victim after the first shard lands, while more
 			// than half the campaign remains. The observer runs under
@@ -149,11 +156,47 @@ func TestSelfHostWorkerKill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	root.End(0)
 	if !killed {
 		t.Fatal("campaign finished before the kill fired; shrink ShardSize")
 	}
 	if got := gtBytes(t, res.GT); !bytes.Equal(got, want) {
 		t.Fatal("ground truth diverged after SIGKILLing a worker")
+	}
+
+	// One stitched timeline from the survivors: every span parents back
+	// to the root, worker spans cover the full experiment space, and the
+	// victim contributed at most its merged pre-kill leases.
+	spans := rec.Cut()
+	byID := make(map[uint64]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	var leases, phases int
+	for _, sp := range spans {
+		switch sp.Cat {
+		case obs.CatLease:
+			leases++
+		case obs.CatPhase:
+			phases++
+		}
+		for cur := sp; cur.ID != root.ID(); {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %d (%s, shard %q) does not chain to the root: dangling parent %d", sp.ID, sp.Cat, sp.Shard, cur.Parent)
+			}
+			cur = parent
+		}
+	}
+	// Failed attempts against the killed worker record lease spans too
+	// (that is the retry cost showing up in the timeline), so leases may
+	// exceed merged shards; phase spans only arrive with merges.
+	if leases < res.Shards || phases != res.Shards {
+		t.Errorf("lease/phase spans = %d/%d, want ≥/= merged shards (%d)", leases, phases, res.Shards)
+	}
+	a := obs.Attribute(spans)
+	if len(a.Phases) != 1 || a.Phases[0].BusyNS <= 0 {
+		t.Fatalf("stitched attribution = %+v, want one busy exhaustive group", a.Phases)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ftb/internal/campaign"
+	"ftb/internal/obs"
 	"ftb/internal/telemetry"
 	"ftb/internal/trace"
 )
@@ -47,9 +48,10 @@ type WorkerConfig struct {
 	// Observer, when non-nil, receives progress events from shard runs
 	// (e.g. the -serve /progress endpoint).
 	Observer campaign.Observer
-	// Collector, when non-nil, accumulates this worker process's
-	// lifetime telemetry across all shards (e.g. the -serve /metrics
-	// endpoint). Each shard additionally returns its own private
+	// Collector accumulates this worker process's lifetime telemetry
+	// across all shards, served on /v1/telemetry and /metrics (and by
+	// the ftbcli -serve endpoints when shared with them). Defaults to a
+	// fresh collector. Each shard additionally returns its own private
 	// snapshot to the coordinator.
 	Collector *telemetry.Collector
 	// Logger receives lease lifecycle events (Debug) and rejected
@@ -59,9 +61,10 @@ type WorkerConfig struct {
 
 // Worker serves fault-injection leases for one program over HTTP.
 type Worker struct {
-	cfg  WorkerConfig
-	crc  uint32
-	info Info
+	cfg   WorkerConfig
+	crc   uint32
+	info  Info
+	start time.Time
 
 	// runs serializes shard execution: each shard already saturates
 	// Procs goroutines, so concurrent leases would only oversubscribe
@@ -97,7 +100,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
-	w := &Worker{cfg: cfg, crc: GoldenCRC(cfg.Golden)}
+	if cfg.Collector == nil {
+		cfg.Collector = telemetry.New()
+	}
+	w := &Worker{cfg: cfg, crc: GoldenCRC(cfg.Golden), start: time.Now()}
 	w.info = Info{
 		Program:   cfg.Name,
 		Sites:     cfg.Golden.Sites(),
@@ -122,7 +128,29 @@ func (w *Worker) Handler() http.Handler {
 		writeJSON(rw, http.StatusOK, w.info)
 	})
 	mux.HandleFunc(pathRun, w.handleRun)
+	mux.HandleFunc(pathTelemetry, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, w.Status())
+	})
+	mux.HandleFunc(pathMetrics, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteBuildInfo(rw, map[string]string{
+			"program":    w.info.Program,
+			"golden_crc": fmt.Sprintf("%08x", w.crc),
+		})
+		w.cfg.Collector.Snapshot().WritePrometheus(rw)
+	})
 	return mux
+}
+
+// Status is the worker's live telemetry snapshot, served on
+// /v1/telemetry and aggregated fleet-wide by FetchFleet.
+func (w *Worker) Status() WorkerStatus {
+	snap := w.cfg.Collector.Snapshot()
+	return WorkerStatus{
+		Info:          w.info,
+		UptimeSeconds: time.Since(w.start).Seconds(),
+		Telemetry:     &snap,
+	}
 }
 
 // writeJSON encodes v with the given status.
@@ -189,9 +217,15 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		pairs = append(pairs, campaign.PairAt(i, req.Bits))
 	}
 	// Each shard runs with a private collector so the response snapshot
-	// covers exactly this lease; the worker's lifetime collector (if
-	// any) absorbs it afterwards.
+	// covers exactly this lease; the worker's lifetime collector absorbs
+	// it afterwards. Span recording likewise: a private recorder per
+	// lease whose cut rides back in the response with worker-local IDs,
+	// for the coordinator to graft under its lease span.
 	col := telemetry.New()
+	var spans *obs.Recorder
+	if req.SpanSample > 0 {
+		spans = obs.NewRecorder()
+	}
 	recs, err := campaign.RunPairsInPhase(campaign.Config{
 		Factory:   w.cfg.Factory,
 		Golden:    w.cfg.Golden,
@@ -208,7 +242,9 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		// per-worker snapshot cache is reused within the lease exactly as
 		// in a single-process campaign. Non-Snapshotter factories fall
 		// back to vanilla execution.
-		Replay: true,
+		Replay:     true,
+		Spans:      spans,
+		SpanSample: req.SpanSample,
 	}, pairs, "exhaustive")
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -238,6 +274,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		Hi:        req.Hi,
 		Kinds:     kinds,
 		Telemetry: &snap,
+		Spans:     spans.Cut(),
 	})
 }
 

@@ -1,0 +1,225 @@
+package obs
+
+import "sort"
+
+// CategoryNS is one attribution-table row: estimated wall-clock
+// (summed across workers) spent in a category during a phase, and its
+// share of the phase's attributed time.
+type CategoryNS struct {
+	Cat Category `json:"category"`
+	NS  int64    `json:"ns"`
+	Pct float64  `json:"pct"`
+}
+
+// PhaseAttribution aggregates every phase span with the same name (a
+// local campaign has one per phase; a stitched cluster trace has one
+// per lease, summed here).
+type PhaseAttribution struct {
+	Phase string `json:"phase"`
+	// WallNS sums the phase spans' durations; Workers counts distinct
+	// (shard, worker) pairs that recorded batches under them.
+	WallNS  int64 `json:"wall_ns"`
+	Workers int   `json:"workers"`
+	// BusyNS sums batch spans (experiment execution); WaitNS sums
+	// queue-wait spans (claim + merge). Together they tile each
+	// worker's lifetime inside the phase.
+	BusyNS int64 `json:"busy_ns"`
+	WaitNS int64 `json:"wait_ns"`
+	// Samples counts sampled experiment spans; SampledNS their total
+	// duration — the basis for scaling sub-span categories over BusyNS.
+	Samples   int   `json:"samples"`
+	SampledNS int64 `json:"sampled_ns"`
+	// Categories splits BusyNS+WaitNS into execute, restore, tail,
+	// predict, fallback (scaled from the sample) and queue_wait,
+	// largest first. The rows sum to BusyNS+WaitNS.
+	Categories []CategoryNS `json:"categories"`
+	// WorkerNS is the phase's observed worker-time: the sum over
+	// workers of each worker's span extent (last batch/wait end minus
+	// first start). On an oversubscribed pool this is close to WallNS
+	// (goroutines timeshare), on idle cores close to WallNS × Workers —
+	// either way it is what the workers actually lived through.
+	WorkerNS int64 `json:"worker_ns"`
+	// CoveragePct is (BusyNS+WaitNS) / WorkerNS: how much of the
+	// phase's worker-time the typed spans explain.
+	CoveragePct float64 `json:"coverage_pct"`
+}
+
+// Attribution is the wall-clock attribution derived from a span set —
+// the table behind `ftbcli profile`.
+type Attribution struct {
+	// Campaign is the root span's name, if present.
+	Campaign string `json:"campaign,omitempty"`
+	// WallNS is the root campaign span's duration, or the span
+	// extent when no root was recorded.
+	WallNS int64              `json:"wall_ns"`
+	Phases []PhaseAttribution `json:"phases"`
+	// StoreAppendNS and LeaseNS total those control spans; they
+	// overlap phase time (store appends run inside frontier hooks,
+	// leases wrap remote phase execution) so they are reported as
+	// their own lines, not added to coverage.
+	StoreAppendNS int64 `json:"store_append_ns,omitempty"`
+	LeaseNS       int64 `json:"lease_ns,omitempty"`
+	Leases        int   `json:"leases,omitempty"`
+	// CoveragePct aggregates phase coverage weighted by worker-time.
+	CoveragePct float64 `json:"coverage_pct"`
+}
+
+// subCats are the typed experiment sub-spans scaled from samples.
+var subCats = [...]Category{CatRestore, CatTail, CatPredict, CatFallback}
+
+// Attribute builds the wall-clock attribution for a quiesced span set
+// (local Cut or a stitched cluster timeline).
+func Attribute(spans []Span) Attribution {
+	byID := make(map[uint64]Span, len(spans))
+	children := make(map[uint64][]Span, len(spans))
+	var a Attribution
+	var minStart, maxEnd int64
+	for i, sp := range spans {
+		if sp.Cat >= numCategories {
+			continue
+		}
+		byID[sp.ID] = sp
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		if i == 0 || sp.Start < minStart {
+			minStart = sp.Start
+		}
+		if e := sp.End(); e > maxEnd {
+			maxEnd = e
+		}
+		switch sp.Cat {
+		case CatCampaign:
+			if sp.Dur > a.WallNS {
+				a.WallNS = sp.Dur
+				a.Campaign = sp.Name
+			}
+		case CatStoreAppend:
+			a.StoreAppendNS += sp.Dur
+		case CatLease:
+			a.LeaseNS += sp.Dur
+			a.Leases++
+		}
+	}
+	if a.WallNS == 0 {
+		a.WallNS = maxEnd - minStart
+	}
+
+	type phaseAgg struct {
+		PhaseAttribution
+		firstStart int64
+		workers    map[[2]any]bool
+		subNS      map[Category]int64
+		workerTime int64 // Σ per-worker batch/wait span extents
+	}
+	groups := make(map[string]*phaseAgg)
+	var order []string
+
+	for _, sp := range spans {
+		if sp.Cat != CatPhase {
+			continue
+		}
+		g := groups[sp.Name]
+		if g == nil {
+			g = &phaseAgg{
+				firstStart: sp.Start,
+				workers:    make(map[[2]any]bool),
+				subNS:      make(map[Category]int64),
+			}
+			g.Phase = sp.Name
+			groups[sp.Name] = g
+			order = append(order, sp.Name)
+		}
+		if sp.Start < g.firstStart {
+			g.firstStart = sp.Start
+		}
+		g.WallNS += sp.Dur
+
+		var busy, wait int64
+		type extent struct{ min, max int64 }
+		extents := make(map[[2]any]*extent)
+		for _, ch := range children[sp.ID] {
+			switch ch.Cat {
+			case CatWait:
+				wait += ch.Dur
+			case CatBatch:
+				busy += ch.Dur
+				for _, ex := range children[ch.ID] {
+					if ex.Cat != CatExperiment {
+						continue
+					}
+					g.Samples++
+					g.SampledNS += ex.Dur
+					for _, sub := range children[ex.ID] {
+						g.subNS[sub.Cat] += sub.Dur
+					}
+				}
+			default:
+				continue
+			}
+			key := [2]any{ch.Shard, ch.Worker}
+			g.workers[key] = true
+			e := extents[key]
+			if e == nil {
+				extents[key] = &extent{min: ch.Start, max: ch.End()}
+			} else {
+				if ch.Start < e.min {
+					e.min = ch.Start
+				}
+				if ch.End() > e.max {
+					e.max = ch.End()
+				}
+			}
+		}
+		g.BusyNS += busy
+		g.WaitNS += wait
+		for _, e := range extents {
+			g.workerTime += e.max - e.min
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].firstStart < groups[order[j]].firstStart
+	})
+
+	var sumExplained, sumWorkerTime int64
+	for _, name := range order {
+		g := groups[name]
+		g.Workers = len(g.workers)
+
+		// Scale sampled sub-span categories over the full busy time;
+		// whatever the sample doesn't explain is execution proper.
+		execute := g.BusyNS
+		if g.SampledNS > 0 {
+			var subTotal int64
+			for _, c := range subCats {
+				ns := g.subNS[c] * g.BusyNS / g.SampledNS
+				subTotal += ns
+				if ns > 0 {
+					g.Categories = append(g.Categories, CategoryNS{Cat: c, NS: ns})
+				}
+			}
+			execute = g.BusyNS - subTotal
+		}
+		g.Categories = append(g.Categories, CategoryNS{Cat: CatExecute, NS: execute})
+		g.Categories = append(g.Categories, CategoryNS{Cat: CatWait, NS: g.WaitNS})
+		attributed := g.BusyNS + g.WaitNS
+		for i := range g.Categories {
+			if attributed > 0 {
+				g.Categories[i].Pct = 100 * float64(g.Categories[i].NS) / float64(attributed)
+			}
+		}
+		sort.SliceStable(g.Categories, func(i, j int) bool {
+			return g.Categories[i].NS > g.Categories[j].NS
+		})
+		g.WorkerNS = g.workerTime
+		if g.workerTime > 0 {
+			g.CoveragePct = 100 * float64(attributed) / float64(g.workerTime)
+		}
+		sumExplained += attributed
+		sumWorkerTime += g.workerTime
+		a.Phases = append(a.Phases, g.PhaseAttribution)
+	}
+	if sumWorkerTime > 0 {
+		a.CoveragePct = 100 * float64(sumExplained) / float64(sumWorkerTime)
+	}
+	return a
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// BuildVersion resolves the binary's version: the main module version
+// when set, else the VCS revision (short), else "devel". Fleet scrapes
+// compare it across coordinator and workers to spot drifted binaries
+// before the golden-CRC handshake rejects them.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "devel"
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WriteBuildInfo emits the ftb_build_info Prometheus gauge: value 1
+// with version and go_version labels plus any extra identity labels
+// (program, golden_crc). Label order is sorted for deterministic
+// exposition, matching telemetry's WritePrometheus discipline.
+func WriteBuildInfo(w io.Writer, extra map[string]string) {
+	labels := map[string]string{
+		"version":    BuildVersion(),
+		"go_version": runtime.Version(),
+	}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+`="`+labelEscaper.Replace(labels[k])+`"`)
+	}
+	fmt.Fprintf(w, "# HELP ftb_build_info Build and identity metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE ftb_build_info gauge\n")
+	fmt.Fprintf(w, "ftb_build_info{%s} 1\n", strings.Join(parts, ","))
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes one span per line. The format round-trips through
+// ReadJSONL and is what `-spans-out file.jsonl` and the cluster smoke
+// artifacts use; `ftbcli profile -spans` reads it back.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a span-per-line stream written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(b, &sp); err != nil {
+			return nil, fmt.Errorf("obs: spans line %d: %w", line, err)
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sortSpans(out)
+	return out, nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with
+// duration). Timestamps are microseconds relative to the earliest span
+// so Perfetto opens the file at t=0.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports spans in Chrome trace-event format
+// (chrome://tracing, Perfetto). Each shard becomes a process track —
+// pid 0 is the local/coordinator process — and each engine worker a
+// thread; control spans render on tid 0.
+func WriteChromeTrace(w io.Writer, program string, spans []Span) error {
+	shards := make(map[string]int)
+	order := []string{}
+	for _, sp := range spans {
+		if _, ok := shards[sp.Shard]; !ok {
+			shards[sp.Shard] = 0
+			order = append(order, sp.Shard)
+		}
+	}
+	sort.Strings(order)
+	for i, s := range order {
+		shards[s] = i
+	}
+
+	var t0 int64
+	for i, sp := range spans {
+		if i == 0 || sp.Start < t0 {
+			t0 = sp.Start
+		}
+	}
+
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, 0, len(spans)+2*len(order)),
+	}
+	if program != "" {
+		tr.OtherData = map[string]any{"program": program}
+	}
+	for _, s := range order {
+		name := s
+		if name == "" {
+			name = "local"
+			if len(order) > 1 {
+				name = "coordinator"
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: shards[s],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		name := sp.Name
+		if name == "" {
+			name = sp.Cat.String()
+		}
+		ev := chromeEvent{
+			Name: name,
+			Cat:  sp.Cat.String(),
+			Ph:   "X",
+			TS:   float64(sp.Start-t0) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			PID:  shards[sp.Shard],
+			TID:  sp.Worker + 1, // control spans (-1) on tid 0
+		}
+		if sp.Meta != 0 {
+			ev.Args = map[string]any{"meta": sp.Meta}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCategoryJSONRoundTrip(t *testing.T) {
+	for c := CatCampaign; c < numCategories; c++ {
+		b, err := c.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Category
+		if err := got.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+	var bad Category
+	if err := bad.UnmarshalJSON([]byte(`"no-such-cat"`)); err != nil {
+		t.Fatal(err)
+	}
+	if bad < numCategories {
+		t.Errorf("unknown category decoded as %v, want invalid", bad)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Cat: CatCampaign, Name: "cg", Worker: -1, Start: 100, Dur: 900},
+		{ID: 2, Parent: 1, Cat: CatPhase, Name: "exhaustive", Worker: -1, Start: 110, Dur: 880},
+		{ID: 3, Parent: 2, Cat: CatBatch, Worker: 0, Shard: "http://w1", Start: 120, Dur: 100, Meta: 64},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("got %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Errorf("span %d: %+v != %+v", i, got[i], spans[i])
+		}
+	}
+}
+
+// TestRecorderConcurrent is the race-gated proof: 8 workers record
+// chained wait/batch spans with sampled experiment spans and typed
+// sub-spans concurrently; nothing is lost, every ID is unique, and
+// each worker's wait+batch spans tile its lifetime exactly.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		workers    = 8
+		batches    = 10
+		perBatch   = 4
+		sample     = 4
+		perWorker  = batches * perBatch
+		wantSample = (perWorker + sample - 1) / sample
+	)
+	rec := NewRecorder()
+	ph := rec.Start(CatPhase, "classify", 0, -1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := rec.Worker(ph.ID(), w, sample)
+			defer ws.Finish()
+			for b := 0; b < batches; b++ {
+				ws.StartBatch()
+				for i := 0; i < perBatch; i++ {
+					ws.BeginExperiment()
+					c := ws.SubClock()
+					ws.Sub(CatRestore, c, int64(i))
+					ws.EndExperiment(b*perBatch + i)
+				}
+				ws.EndBatch(b*perBatch, (b+1)*perBatch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ph.End(int64(workers * perWorker))
+
+	if d := rec.Dropped(); d != 0 {
+		t.Fatalf("dropped %d spans", d)
+	}
+	spans := rec.Cut()
+	ids := make(map[uint64]bool)
+	counts := make(map[Category]int)
+	perWorkerTile := make(map[int][]Span)
+	for _, sp := range spans {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %d", sp.ID)
+		}
+		ids[sp.ID] = true
+		counts[sp.Cat]++
+		if sp.Parent == ph.ID() && (sp.Cat == CatWait || sp.Cat == CatBatch) {
+			perWorkerTile[sp.Worker] = append(perWorkerTile[sp.Worker], sp)
+		}
+	}
+	if counts[CatPhase] != 1 {
+		t.Errorf("phase spans = %d, want 1", counts[CatPhase])
+	}
+	if counts[CatBatch] != workers*batches {
+		t.Errorf("batch spans = %d, want %d", counts[CatBatch], workers*batches)
+	}
+	if counts[CatWait] != workers*(batches+1) {
+		t.Errorf("wait spans = %d, want %d", counts[CatWait], workers*(batches+1))
+	}
+	if counts[CatExperiment] != workers*wantSample {
+		t.Errorf("experiment spans = %d, want %d", counts[CatExperiment], workers*wantSample)
+	}
+	if counts[CatRestore] != workers*wantSample {
+		t.Errorf("restore spans = %d, want %d", counts[CatRestore], workers*wantSample)
+	}
+	for w, tile := range perWorkerTile {
+		if len(tile) != 2*batches+1 {
+			t.Fatalf("worker %d: %d wait+batch spans, want %d", w, len(tile), 2*batches+1)
+		}
+		for i := 1; i < len(tile); i++ {
+			if tile[i].Start != tile[i-1].End() {
+				t.Fatalf("worker %d: span %d starts at %d, previous ends at %d",
+					w, i, tile[i].Start, tile[i-1].End())
+			}
+			if (tile[i].Cat == CatWait) == (tile[i-1].Cat == CatWait) {
+				t.Fatalf("worker %d: spans %d,%d do not alternate wait/batch", w, i-1, i)
+			}
+		}
+	}
+}
+
+func TestRecorderDrops(t *testing.T) {
+	// Worker spans spill across every stripe before dropping, so the
+	// full worker capacity (numStripes × stripeCap = 32 here) is usable
+	// even though one worker records everything. Control spans have
+	// their own single stripe.
+	rec := NewRecorderSize(2, 1)
+	for i := 0; i < 36; i++ {
+		rec.Start(CatBatch, "", 0, 0).End(0)
+	}
+	rec.Start(CatPhase, "p", 0, -1).End(0)
+	rec.Start(CatPhase, "q", 0, -1).End(0)
+	if got := len(rec.Cut()); got != 33 {
+		t.Errorf("cut %d spans, want 33 (32 worker + 1 control)", got)
+	}
+	if rec.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5 (4 worker + 1 control)", rec.Dropped())
+	}
+}
+
+func TestEffectiveSample(t *testing.T) {
+	if got := EffectiveSample(1000, 7); got != 7 {
+		t.Errorf("explicit rate = %d, want 7", got)
+	}
+	if got := EffectiveSample(100_000, 0); got != DefaultSampleEvery {
+		t.Errorf("small-campaign rate = %d, want default %d", got, DefaultSampleEvery)
+	}
+	// Large campaigns raise the rate so the expected sample count stays
+	// within budget.
+	n := 2_054_656 // gmres at paper size
+	rate := EffectiveSample(n, 0)
+	if rate <= DefaultSampleEvery {
+		t.Fatalf("paper-size rate = %d, want > default", rate)
+	}
+	if samples := n / rate; samples > sampledBudget {
+		t.Errorf("expected samples = %d, want <= %d", samples, sampledBudget)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	h := rec.Start(CatPhase, "p", 0, -1)
+	h.End(0)
+	ws := rec.Worker(0, 0, 0)
+	ws.StartBatch()
+	ws.BeginExperiment()
+	ws.Sub(CatRestore, ws.SubClock(), 0)
+	ws.EndExperiment(0)
+	ws.EndBatch(0, 1)
+	ws.Finish()
+	rec.Graft(nil, 0, "")
+	if rec.Cut() != nil || rec.Dropped() != 0 {
+		t.Error("nil recorder should be inert")
+	}
+}
+
+func TestGraft(t *testing.T) {
+	// A worker-side forest: phase(1) -> batch(2) -> experiment(3),
+	// plus one span with a corrupt category that must be dropped.
+	remote := []Span{
+		{ID: 1, Parent: 0, Cat: CatPhase, Name: "exhaustive", Worker: -1, Start: 10, Dur: 100},
+		{ID: 2, Parent: 1, Cat: CatBatch, Worker: 0, Start: 20, Dur: 50},
+		{ID: 3, Parent: 2, Cat: CatExperiment, Worker: 0, Start: 21, Dur: 10},
+		{ID: 4, Parent: 1, Cat: numCategories + 5, Worker: 0, Start: 30, Dur: 1},
+	}
+	rec := NewRecorder()
+	lease := rec.Start(CatLease, "w#0", 0, -1)
+	rec.Graft(remote, lease.ID(), "http://w1")
+	lease.End(0)
+
+	spans := rec.Cut()
+	if len(spans) != 4 { // lease + 3 grafted
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if rec.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1 (corrupt category)", rec.Dropped())
+	}
+	byCat := make(map[Category]Span)
+	for _, sp := range spans {
+		byCat[sp.Cat] = sp
+	}
+	if byCat[CatPhase].Parent != lease.ID() {
+		t.Errorf("grafted root parent = %d, want lease %d", byCat[CatPhase].Parent, lease.ID())
+	}
+	if byCat[CatBatch].Parent != byCat[CatPhase].ID {
+		t.Errorf("batch parent = %d, want remapped phase %d", byCat[CatBatch].Parent, byCat[CatPhase].ID)
+	}
+	if byCat[CatExperiment].Parent != byCat[CatBatch].ID {
+		t.Errorf("experiment parent not remapped")
+	}
+	for _, c := range []Category{CatPhase, CatBatch, CatExperiment} {
+		if byCat[c].Shard != "http://w1" {
+			t.Errorf("%v shard = %q, want worker URL", c, byCat[c].Shard)
+		}
+		if byCat[c].ID == 0 || byCat[c].ID == lease.ID() {
+			t.Errorf("%v kept a stale ID %d", c, byCat[c].ID)
+		}
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Cat: CatCampaign, Name: "cg", Worker: -1, Start: 5_000, Dur: 90_000},
+		{ID: 2, Parent: 1, Cat: CatLease, Name: "w#0", Worker: -1, Start: 6_000, Dur: 80_000},
+		{ID: 3, Parent: 2, Cat: CatPhase, Name: "exhaustive", Worker: -1, Shard: "http://w1", Start: 7_000, Dur: 70_000},
+		{ID: 4, Parent: 3, Cat: CatBatch, Worker: 2, Shard: "http://w1", Start: 8_000, Dur: 10_000, Meta: 64},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "cg", spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var meta, complete int
+	pids := make(map[int]string)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			pids[ev.PID] = ev.Args["name"].(string)
+		case "X":
+			complete++
+			if ev.TS < 0 {
+				t.Errorf("negative ts %g", ev.TS)
+			}
+		}
+	}
+	if meta != 2 || complete != len(spans) {
+		t.Errorf("meta=%d complete=%d, want 2 and %d", meta, complete, len(spans))
+	}
+	if pids[0] != "coordinator" || pids[1] != "http://w1" {
+		t.Errorf("process names = %v", pids)
+	}
+	// The coordinator campaign span starts at the timeline origin.
+	if doc.TraceEvents[2].TS != 0 {
+		t.Errorf("first complete event ts = %g, want 0", doc.TraceEvents[2].TS)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Cat: CatCampaign, Name: "cg", Worker: -1, Start: 1000, Dur: 1100},
+		{ID: 2, Parent: 1, Cat: CatPhase, Name: "exhaustive", Worker: -1, Start: 1000, Dur: 1000},
+		// worker 0: wait 100 / batch 800 / wait 100
+		{ID: 10, Parent: 2, Cat: CatWait, Worker: 0, Start: 1000, Dur: 100},
+		{ID: 11, Parent: 2, Cat: CatBatch, Worker: 0, Start: 1100, Dur: 800},
+		{ID: 14, Parent: 2, Cat: CatWait, Worker: 0, Start: 1900, Dur: 100},
+		// worker 1: wait 200 / batch 700 / wait 100
+		{ID: 20, Parent: 2, Cat: CatWait, Worker: 1, Start: 1000, Dur: 200},
+		{ID: 21, Parent: 2, Cat: CatBatch, Worker: 1, Start: 1200, Dur: 700},
+		{ID: 22, Parent: 2, Cat: CatWait, Worker: 1, Start: 1900, Dur: 100},
+		// one sampled experiment in worker 0's batch: 200ns total,
+		// 50 restore + 20 predict
+		{ID: 12, Parent: 11, Cat: CatExperiment, Worker: 0, Start: 1100, Dur: 200, Meta: 7},
+		{ID: 13, Parent: 12, Cat: CatRestore, Worker: 0, Start: 1100, Dur: 50, Meta: 3},
+		{ID: 15, Parent: 12, Cat: CatPredict, Worker: 0, Start: 1160, Dur: 20},
+		// a store append under the campaign root
+		{ID: 30, Parent: 1, Cat: CatStoreAppend, Worker: -1, Start: 1950, Dur: 40},
+	}
+	a := Attribute(spans)
+	if a.Campaign != "cg" || a.WallNS != 1100 {
+		t.Errorf("campaign = %q wall = %d", a.Campaign, a.WallNS)
+	}
+	if a.StoreAppendNS != 40 {
+		t.Errorf("store append = %d, want 40", a.StoreAppendNS)
+	}
+	if len(a.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(a.Phases))
+	}
+	p := a.Phases[0]
+	if p.Phase != "exhaustive" || p.Workers != 2 {
+		t.Errorf("phase %q workers %d", p.Phase, p.Workers)
+	}
+	if p.BusyNS != 1500 || p.WaitNS != 500 {
+		t.Errorf("busy = %d wait = %d, want 1500/500", p.BusyNS, p.WaitNS)
+	}
+	if p.Samples != 1 || p.SampledNS != 200 {
+		t.Errorf("samples = %d sampled = %d", p.Samples, p.SampledNS)
+	}
+	// Scaling: restore 50/200 of 1500 = 375, predict 20/200 = 150,
+	// execute the remaining 975; coverage (1500+500)/(1000×2) = 100%.
+	want := map[Category]int64{
+		CatExecute: 975, CatRestore: 375, CatPredict: 150, CatWait: 500,
+	}
+	var total int64
+	for _, c := range p.Categories {
+		if want[c.Cat] != c.NS {
+			t.Errorf("%v = %d, want %d", c.Cat, c.NS, want[c.Cat])
+		}
+		total += c.NS
+	}
+	if total != p.BusyNS+p.WaitNS {
+		t.Errorf("category rows sum to %d, want %d", total, p.BusyNS+p.WaitNS)
+	}
+	if p.CoveragePct != 100 || a.CoveragePct != 100 {
+		t.Errorf("coverage = %g/%g, want 100", p.CoveragePct, a.CoveragePct)
+	}
+	if p.Categories[0].Cat != CatExecute {
+		t.Errorf("largest row = %v, want execute", p.Categories[0].Cat)
+	}
+}
+
+func TestWriteBuildInfo(t *testing.T) {
+	var buf bytes.Buffer
+	WriteBuildInfo(&buf, map[string]string{"program": "cg", "golden_crc": "0x1234"})
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ftb_build_info gauge",
+		`program="cg"`, `golden_crc="0x1234"`, `go_version="go`, `version="`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "} 1") {
+		t.Errorf("gauge value line malformed:\n%s", out)
+	}
+}

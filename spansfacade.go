@@ -1,0 +1,123 @@
+package ftb
+
+import (
+	"io"
+
+	"ftb/internal/obs"
+)
+
+// Span tracing types, re-exported from the internal obs package. A span
+// is one timed interval of a traced campaign; the recorder collects them
+// into a hierarchical timeline: campaign → phase → (lease →) batch →
+// sampled experiment → typed sub-spans (checkpoint restore, replay tail,
+// compose predict/fallback), plus queue-wait, store-append, and lease
+// control spans.
+type (
+	// Span is one recorded interval: identity (ID/Parent), category,
+	// name, worker, shard, and nanosecond start/duration.
+	Span = obs.Span
+	// SpanCategory classifies a span (campaign, phase, batch, restore,
+	// ...); it marshals to/from its snake_case name in JSON.
+	SpanCategory = obs.Category
+	// SpanRecorder collects spans from concurrent campaign workers into
+	// worker-striped fixed-capacity buffers. The hot path is a few atomic
+	// ops and clock reads; when a stripe fills, further spans are dropped
+	// and counted rather than blocking the campaign. Construct with
+	// NewSpanRecorder; one recorder may serve several sequential
+	// campaigns, but Cut only after the runs using it have returned.
+	SpanRecorder = obs.Recorder
+	// SpanAttribution is the wall-clock attribution derived from a span
+	// set: per-phase busy/wait split, sampled sub-span categories scaled
+	// over busy time, and the coverage of worker-time the table explains.
+	SpanAttribution = obs.Attribution
+	// SpanPhaseAttribution is one phase's attribution row group.
+	SpanPhaseAttribution = obs.PhaseAttribution
+	// SpanCategoryNS is one attribution table row: a category's
+	// estimated nanoseconds and share.
+	SpanCategoryNS = obs.CategoryNS
+)
+
+// Span categories, re-exported for callers that filter or label spans.
+const (
+	SpanCampaign    = obs.CatCampaign
+	SpanPhase       = obs.CatPhase
+	SpanLease       = obs.CatLease
+	SpanQueueWait   = obs.CatWait
+	SpanBatch       = obs.CatBatch
+	SpanExperiment  = obs.CatExperiment
+	SpanRestore     = obs.CatRestore
+	SpanTail        = obs.CatTail
+	SpanPredict     = obs.CatPredict
+	SpanFallback    = obs.CatFallback
+	SpanStoreAppend = obs.CatStoreAppend
+)
+
+// NewSpanRecorder builds an empty span recorder with the default
+// capacity (≈140k spans across 16 worker stripes).
+func NewSpanRecorder() *SpanRecorder { return obs.NewRecorder() }
+
+// SpanOptions configures span tracing for WithSpans.
+type SpanOptions struct {
+	// Recorder receives the spans. Required; a nil recorder disables
+	// tracing (every recording call is a nil-safe no-op).
+	Recorder *SpanRecorder
+	// ExperimentSample records one experiment span (with its typed
+	// sub-spans) per this many experiments per worker (default
+	// obs.DefaultSampleEvery = 64). 1 records every experiment — full
+	// detail at measurable cost; leave the default for campaigns whose
+	// timing is being measured.
+	ExperimentSample int
+}
+
+// WithSpans records a hierarchical span timeline of the call's campaigns
+// into o.Recorder: campaign, phase, per-worker batch and queue-wait
+// spans, sampled experiment spans with typed sub-spans (checkpoint
+// restore, replay tail, compose calibrate/predict/fallback), and store
+// append / cluster lease control spans. Results are byte-identical with
+// or without spans; the recording budget is ≤5% of campaign wall-clock
+// (gated by make bench-obs). Under WithCluster, workers record their own
+// spans and the coordinator grafts them under its lease spans, yielding
+// one stitched campaign timeline.
+//
+// After the run, Cut the recorder and feed the spans to AttributeSpans
+// (the `ftbcli profile` table), WriteSpansJSONL, or
+// WriteSpansChromeTrace.
+func WithSpans(o SpanOptions) RunOption {
+	return func(rc *runConfig) {
+		rc.spans = o.Recorder
+		rc.spanSample = o.ExperimentSample
+	}
+}
+
+// AttributeSpans reduces a quiesced span set to the wall-clock
+// attribution table: per phase, how much worker time went to executing
+// experiments vs restoring checkpoints vs replaying tails vs predicting
+// vs waiting on the queue, and how much of the campaign the spans
+// explain.
+func AttributeSpans(spans []Span) SpanAttribution { return obs.Attribute(spans) }
+
+// WriteSpansJSONL writes spans as JSON Lines, one span per line — the
+// lossless archival format ReadSpansJSONL and `ftbcli profile -spans`
+// consume.
+func WriteSpansJSONL(w io.Writer, spans []Span) error { return obs.WriteJSONL(w, spans) }
+
+// ReadSpansJSONL reads spans written by WriteSpansJSONL, returning them
+// sorted by start time.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) { return obs.ReadJSONL(r) }
+
+// WriteSpansChromeTrace writes spans in Chrome trace-event format,
+// loadable in Perfetto or chrome://tracing: one process per shard
+// (coordinator plus each cluster worker), one thread per campaign
+// worker.
+func WriteSpansChromeTrace(w io.Writer, program string, spans []Span) error {
+	return obs.WriteChromeTrace(w, program, spans)
+}
+
+// startCampaignSpan opens the root campaign span for a traced run and
+// points the run's phase spans at it. The returned closer ends the root
+// span with the campaign's experiment count.
+func (a *Analysis) startCampaignSpan(rc *runConfig) func() {
+	h := rc.spans.Start(obs.CatCampaign, a.name, 0, -1)
+	rc.spanParent = h.ID()
+	return func() { h.End(int64(a.SampleSpace())) }
+}

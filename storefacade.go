@@ -6,6 +6,7 @@ import (
 
 	"ftb/internal/campaign"
 	"ftb/internal/cluster"
+	"ftb/internal/obs"
 	"ftb/internal/persist"
 	"ftb/internal/store"
 )
@@ -105,12 +106,15 @@ func (a *Analysis) ImportGroundTruthFile(st *Store, path string) error {
 // storeFinalize appends a completed ground truth to the analysis's
 // campaign in st and returns the store-materialized copy, so the
 // caller's result is exactly what later queries will serve.
-func (a *Analysis) storeFinalize(st *Store, gt *GroundTruth) (*GroundTruth, error) {
-	c, err := a.StoreCampaign(st)
+func (a *Analysis) storeFinalize(rc runConfig, gt *GroundTruth) (*GroundTruth, error) {
+	c, err := a.StoreCampaign(rc.store)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.ImportGroundTruth(gt); err != nil {
+	h := rc.spans.Start(obs.CatStoreAppend, "finalize", rc.spanParent, -1)
+	err = c.ImportGroundTruth(gt)
+	h.End(int64(len(gt.Kinds)))
+	if err != nil {
 		return nil, err
 	}
 	return c.Materialize()
@@ -150,7 +154,10 @@ func (a *Analysis) storeCheckpointed(rc runConfig, checkpointPath string, batch 
 			ranges[i] = cluster.Range{Lo: r.Lo, Hi: r.Hi}
 		}
 		onShard := func(lo, hi int, kinds []Outcome) error {
-			return c.Append(lo, kinds)
+			h := rc.spans.Start(obs.CatStoreAppend, "shard", rc.spanParent, -1)
+			err := c.Append(lo, kinds)
+			h.End(int64(len(kinds)))
+			return err
 		}
 		if _, err := a.clusterExhaustive(rc, prior, prefixSites, ranges, onShard, nil); err != nil {
 			return nil, err
@@ -166,7 +173,10 @@ func (a *Analysis) storeCheckpointed(rc runConfig, checkpointPath string, batch 
 			return nil
 		}
 		start := lastSaved * a.bits
-		if err := c.Append(start, partial.Kinds[start:done*a.bits]); err != nil {
+		h := rc.spans.Start(obs.CatStoreAppend, "frontier", rc.spanParent, -1)
+		err := c.Append(start, partial.Kinds[start:done*a.bits])
+		h.End(int64(done*a.bits - start))
+		if err != nil {
 			return err
 		}
 		lastSaved = done
