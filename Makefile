@@ -2,7 +2,24 @@
 
 GO ?= go
 
-.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-compose bench-obs bench-check bench-all examples repro clean
+.PHONY: all check ci build test vet lint race cover bench bench-proptrace bench-cluster bench-replay bench-store bench-compose bench-obs bench-scenarios bench-check bench-all scenario-validate scenario-run crashtest examples repro clean
+
+# GATE holds the statistical-gate knobs shared by the cheap benchmark
+# suites: three reruns per benchmark (the variance floor) aggregated to
+# their median, with an ns/op coefficient-of-variation bound so a noisy
+# measurement fails loudly instead of gating on garbage.
+GATE_RUNS ?= 3
+GATE_MAX_CV ?= 0.50
+GATE = -gate -runs $(GATE_RUNS) -max-cv $(GATE_MAX_CV)
+# GATE_THRESHOLD is the ns/op regression bound for the -compare lines.
+# Shared/virtualized runners drift between sustained-throughput modes,
+# and isolated benchmarks show 25-50% outliers between back-to-back
+# windows (measured on the 1-core reference box), so the default must
+# sit above that band; tighten it (GATE_THRESHOLD=0.25) on quiet
+# dedicated hardware. Ratio-based gates (the obs overhead ceiling, the
+# in-bench cluster-tax and compose bounds) are measured within one run
+# and stay tight regardless.
+GATE_THRESHOLD ?= 0.60
 
 all: check
 
@@ -57,21 +74,21 @@ cover:
 # telemetry collector on/off comparison) and records them as
 # machine-readable JSON alongside the raw text.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | tee BENCH_campaign.txt | $(GO) run ./cmd/benchjson > BENCH_campaign.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x -count=$(GATE_RUNS) ./internal/campaign/ | tee BENCH_campaign.txt | $(GO) run ./cmd/benchjson $(GATE) > BENCH_campaign.json
 	@echo "wrote BENCH_campaign.txt and BENCH_campaign.json"
 
 # bench-proptrace measures trajectory-recording overhead on diff-mode
 # runs (interleaved paired batches, so machine noise hits both sides
 # equally) and records the result next to the engine benchmarks.
 bench-proptrace:
-	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | tee BENCH_proptrace.txt | $(GO) run ./cmd/benchjson > BENCH_proptrace.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem -count=$(GATE_RUNS) ./internal/proptrace/ | tee BENCH_proptrace.txt | $(GO) run ./cmd/benchjson $(GATE) > BENCH_proptrace.json
 	@echo "wrote BENCH_proptrace.txt and BENCH_proptrace.json"
 
 # bench-cluster records the coordinator tax: one exhaustive campaign
 # in-process versus through a single self-hosted worker process. The
 # selfhost1 figure must stay within ~10% of inprocess.
 bench-cluster:
-	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | tee BENCH_cluster.txt | $(GO) run ./cmd/benchjson > BENCH_cluster.json
+	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x -count=$(GATE_RUNS) ./internal/cluster/ | tee BENCH_cluster.txt | $(GO) run ./cmd/benchjson $(GATE) > BENCH_cluster.json
 	@echo "wrote BENCH_cluster.txt and BENCH_cluster.json"
 
 # bench-replay records what checkpointed prefix replay buys on a full
@@ -87,7 +104,7 @@ bench-replay:
 # legacy container load it replaces (LoadGroundTruth, the migration
 # baseline).
 bench-store:
-	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | tee BENCH_store.txt | $(GO) run ./cmd/benchjson > BENCH_store.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem -count=$(GATE_RUNS) ./internal/store/ | tee BENCH_store.txt | $(GO) run ./cmd/benchjson $(GATE) > BENCH_store.json
 	@echo "wrote BENCH_store.txt and BENCH_store.json"
 
 # bench-compose records what compositional section campaigns buy over a
@@ -107,21 +124,54 @@ bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkEngineSpans -benchtime=1x ./internal/campaign/ | tee BENCH_obs.txt | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo "wrote BENCH_obs.txt and BENCH_obs.json"
 
-# bench-check is the regression gate: re-run every recorded benchmark
-# suite with the same flags that produced its committed BENCH_*.json and
-# fail on any >25% ns/op regression (benchjson -compare). The obs suite
-# additionally enforces the absolute ≤5% span-overhead ceiling.
+# bench-scenarios records the end-to-end scenario suite (parse, campaign,
+# gate evaluation per checked-in scenario) as a statistical baseline:
+# three samples per scenario aggregated to their median by benchjson -gate.
+bench-scenarios:
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario' -benchtime=10x -count=$(GATE_RUNS) . | tee BENCH_scenarios.txt | $(GO) run ./cmd/benchjson $(GATE) > BENCH_scenarios.json
+	@echo "wrote BENCH_scenarios.txt and BENCH_scenarios.json"
+
+# bench-check is the release gate: re-run every recorded benchmark
+# suite against its committed BENCH_*.json and fail on any ns/op
+# regression beyond GATE_THRESHOLD (benchjson -compare). The cheap
+# suites run through the statistical -gate path — three reruns per
+# benchmark, aggregated to the median, with a variance bound — so a
+# single noisy sample can neither pass nor fail the gate on its own.
+# The minutes-long 1x suites (replay, compose, obs) stay single-sample
+# with the floor relaxed; the obs suite additionally enforces the
+# absolute ≤5% span-overhead ceiling.
 bench-check:
-	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_campaign.json
-	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem ./internal/proptrace/ | $(GO) run ./cmd/benchjson -compare BENCH_proptrace.json
-	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x ./internal/cluster/ | $(GO) run ./cmd/benchjson -compare BENCH_cluster.json
-	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem ./internal/store/ | $(GO) run ./cmd/benchjson -compare BENCH_store.json
-	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_replay.json
-	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_compose.json
-	$(GO) test -run '^$$' -bench BenchmarkEngineSpans -benchtime=1x ./internal/campaign/ | $(GO) run ./cmd/benchjson -compare BENCH_obs.json -ceiling overhead_pct=5
+	$(GO) test -run '^$$' -bench '^(BenchmarkScheduling|BenchmarkEngineCollector)' -benchmem -benchtime=50x -count=$(GATE_RUNS) ./internal/campaign/ | $(GO) run ./cmd/benchjson $(GATE) -compare BENCH_campaign.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench 'BenchmarkRecorder' -benchmem -count=$(GATE_RUNS) ./internal/proptrace/ | $(GO) run ./cmd/benchjson $(GATE) -compare BENCH_proptrace.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench BenchmarkClusterOverhead -benchtime=50x -count=$(GATE_RUNS) ./internal/cluster/ | $(GO) run ./cmd/benchjson $(GATE) -compare BENCH_cluster.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench '^(BenchmarkStore|BenchmarkLoadGroundTruth)' -benchmem -count=$(GATE_RUNS) ./internal/store/ | $(GO) run ./cmd/benchjson $(GATE) -compare BENCH_store.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario' -benchtime=10x -count=$(GATE_RUNS) . | $(GO) run ./cmd/benchjson $(GATE) -compare BENCH_scenarios.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench BenchmarkReplayExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -gate -runs 1 -compare BENCH_replay.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench BenchmarkComposeExhaustive -benchtime=1x -timeout 90m ./internal/campaign/ | $(GO) run ./cmd/benchjson -gate -runs 1 -compare BENCH_compose.json -threshold $(GATE_THRESHOLD)
+	$(GO) test -run '^$$' -bench BenchmarkEngineSpans -benchtime=1x ./internal/campaign/ | $(GO) run ./cmd/benchjson -gate -runs 1 -compare BENCH_obs.json -threshold $(GATE_THRESHOLD) -ceiling overhead_pct=5
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# scenario-validate parses and validates every checked-in scenario
+# without running any campaign — the PR-time CI job.
+scenario-validate:
+	$(GO) run ./cmd/ftbcli scenario validate ./scenarios/...
+
+# scenario-run executes the scenario suite and fails on any gate
+# violation; the gates pin exact outcome counts, so this is the
+# end-to-end determinism check.
+scenario-run:
+	$(GO) run ./cmd/ftbcli scenario run scenarios
+
+# crashtest proves resumability under SIGKILL: a worker process killed
+# mid-lease and a coordinator process killed mid-campaign must both
+# resume to a ground truth byte-identical to an undisturbed run, under a
+# non-default fault model. The JSON report is the CI artifact.
+crashtest:
+	$(GO) build -o bin/ftbcli ./cmd/ftbcli
+	$(GO) build -o bin/crashtest ./cmd/crashtest
+	./bin/crashtest -scenario scenarios/stencil-burst3.yaml -ftbcli bin/ftbcli -report crashtest-report.json
 
 examples:
 	$(GO) run ./examples/quickstart

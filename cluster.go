@@ -76,6 +76,10 @@ func errClusterUnsupported(method string) error {
 	return fmt.Errorf("ftb: %s does not support WithCluster; only Exhaustive and ExhaustiveCheckpointed shard across workers", method)
 }
 
+func errFaultModelUnsupported(method string) error {
+	return fmt.Errorf("ftb: %s does not support a non-default WithFaultModel; boundary inference is defined over the single-bit-flip space", method)
+}
+
 // clusterExhaustive runs the exhaustive campaign through the cluster
 // coordinator. onFrontier, when non-nil, receives the partial ground
 // truth and the absolute experiment frontier on every frontier advance
@@ -112,8 +116,9 @@ func (a *Analysis) clusterExhaustive(rc runConfig, prior *GroundTruth, priorSite
 		Golden:            a.golden,
 		Program:           a.name,
 		Tol:               a.tol,
-		Bits:              a.bits,
+		Bits:              a.bitsFor(rc),
 		Width:             a.width,
+		Model:             rc.model,
 		ShardSize:         co.ShardSize,
 		LeaseTimeout:      co.LeaseTimeout,
 		MaxWorkerFailures: co.MaxWorkerFailures,

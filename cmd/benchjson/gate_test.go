@@ -1,0 +1,120 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	rep := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 110), bench("BenchmarkA-8", 120),
+		bench("BenchmarkB-8", 50), bench("BenchmarkB-8", 50), bench("BenchmarkB-8", 50),
+	}}
+	agg, fails := aggregate(rep, 3, 0.5)
+	if len(fails) != 0 {
+		t.Fatalf("unexpected gate failures: %v", fails)
+	}
+	if len(agg.Benchmarks) != 2 {
+		t.Fatalf("aggregated to %d benchmarks, want 2", len(agg.Benchmarks))
+	}
+	a := agg.Benchmarks[0]
+	if a.Name != "BenchmarkA-8" || a.NsPerOp != 110 || a.Iterations != 300 {
+		t.Errorf("A = %+v", a)
+	}
+	if a.Metrics["gate_runs"] != 3 {
+		t.Errorf("A gate_runs = %v", a.Metrics)
+	}
+	wantCV := 100 * 10 / 110.0 // stddev of {100,110,120} is 10
+	if math.Abs(a.Metrics["gate_cv_pct"]-wantCV) > 1e-9 {
+		t.Errorf("A gate_cv_pct = %g, want %g", a.Metrics["gate_cv_pct"], wantCV)
+	}
+	b := agg.Benchmarks[1]
+	if b.NsPerOp != 50 || b.Metrics["gate_cv_pct"] != 0 {
+		t.Errorf("B = %+v", b)
+	}
+}
+
+// TestAggregateMedianRobust: the point estimate is the median, so one
+// contended sample widens gate_cv_pct without moving the compared
+// figure.
+func TestAggregateMedianRobust(t *testing.T) {
+	rep := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 105), bench("BenchmarkA-8", 300),
+	}}
+	agg, fails := aggregate(rep, 3, 0)
+	if len(fails) != 0 {
+		t.Fatalf("unexpected gate failures: %v", fails)
+	}
+	if got := agg.Benchmarks[0].NsPerOp; got != 105 {
+		t.Fatalf("NsPerOp = %g, want median 105", got)
+	}
+	if cv := agg.Benchmarks[0].Metrics["gate_cv_pct"]; cv < 50 {
+		t.Fatalf("gate_cv_pct = %g, want the outlier reflected in variance", cv)
+	}
+}
+
+func TestAggregateRunsFloor(t *testing.T) {
+	rep := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 100),
+	}}
+	_, fails := aggregate(rep, 3, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "below the -runs floor") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestAggregateCVBound(t *testing.T) {
+	noisy := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 300), bench("BenchmarkA-8", 500),
+	}}
+	_, fails := aggregate(noisy, 3, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "above -max-cv") {
+		t.Fatalf("fails = %v", fails)
+	}
+	// 0 disables the bound.
+	if _, fails := aggregate(noisy, 3, 0); len(fails) != 0 {
+		t.Fatalf("disabled cv bound still failed: %v", fails)
+	}
+}
+
+func TestAggregateMergesMetrics(t *testing.T) {
+	b1 := bench("BenchmarkA-8", 100)
+	b1.Metrics = map[string]float64{"overhead_pct": 4}
+	bytes1 := 128.0
+	b1.BytesPerOp = &bytes1
+	b2 := bench("BenchmarkA-8", 200)
+	b2.Metrics = map[string]float64{"overhead_pct": 6}
+	bytes2 := 256.0
+	b2.BytesPerOp = &bytes2
+	agg, _ := aggregate(Report{Benchmarks: []Result{b1, b2}}, 2, 0)
+	a := agg.Benchmarks[0]
+	if a.Metrics["overhead_pct"] != 5 {
+		t.Errorf("metric median = %v", a.Metrics)
+	}
+	if a.BytesPerOp == nil || *a.BytesPerOp != 192 {
+		t.Errorf("bytes median = %v", a.BytesPerOp)
+	}
+}
+
+// TestGateThenCompare: the aggregated medians feed the existing
+// -compare machinery, so one invocation gates runs, variance, and
+// regressions.
+func TestGateThenCompare(t *testing.T) {
+	fresh := Report{Benchmarks: []Result{
+		bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 110), bench("BenchmarkA-8", 120),
+	}}
+	agg, fails := aggregate(fresh, 3, 0.5)
+	if len(fails) != 0 {
+		t.Fatal(fails)
+	}
+	baseline := Report{Benchmarks: []Result{bench("BenchmarkA-8", 100)}}
+	diffs, _, _ := compare(baseline, agg, 0.05)
+	if len(diffs) != 1 || !diffs[0].regessed {
+		t.Fatalf("median 110 vs baseline 100 at 5%% threshold: %+v", diffs)
+	}
+	diffs, _, _ = compare(baseline, agg, 0.25)
+	if diffs[0].regessed {
+		t.Fatalf("median 110 vs baseline 100 at 25%% threshold regressed: %+v", diffs)
+	}
+}

@@ -24,6 +24,23 @@
 // e.g. -ceiling overhead_pct=5 enforces the span-recording overhead
 // budget against the absolute number the benchmark reports, independent
 // of any baseline drift.
+//
+// With -gate, the stream is treated as a statistical release gate: the
+// input holds repeated samples per benchmark (`go test -count=3`), and
+// benchjson aggregates each benchmark to its median ns/op before any
+// comparison (the median, not the mean, so one contended sample on
+// shared hardware widens the reported variance instead of moving the
+// compared figure). The gate fails when a benchmark has fewer than
+// -runs samples (the variance floor — a single noisy run cannot gate a
+// release), or when the coefficient of variation of its ns/op samples
+// exceeds -max-cv (too noisy to compare meaningfully). -compare and
+// -ceiling fold into the same invocation, so one command enforces rerun
+// count, variance, regression threshold, and absolute ceilings in one
+// report; without -compare, the aggregated report (with gate_runs and
+// gate_cv_pct metrics per benchmark) is emitted as the new baseline:
+//
+//	go test -bench=Scenario -count=3 . | \
+//	    go run ./cmd/benchjson -gate -runs 3 -max-cv 0.40 -compare BENCH_scenarios.json
 package main
 
 import (
@@ -32,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -158,6 +176,102 @@ func compare(baseline, fresh Report, threshold float64) (diffs []diff, onlyOld, 
 	return diffs, onlyOld, onlyNew
 }
 
+// meanStddev returns the mean and sample standard deviation of xs.
+func meanStddev(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// median returns the median of xs (mean of the middle pair for even
+// counts). xs is not modified.
+func median(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// aggregate folds repeated samples of each benchmark (input order
+// preserved) into one median result carrying gate_runs and gate_cv_pct
+// metrics, and returns one failure line per gate violation: fewer than
+// minRuns samples, or an ns/op coefficient of variation above maxCV
+// (0 disables the CV bound). The point estimate is the median rather
+// than the mean — on shared hardware one contended sample should widen
+// gate_cv_pct, not drag the figure the regression gate compares.
+func aggregate(rep Report, minRuns int, maxCV float64) (Report, []string) {
+	var order []string
+	groups := make(map[string][]Result)
+	for _, b := range rep.Benchmarks {
+		if _, ok := groups[b.Name]; !ok {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := Report{Goos: rep.Goos, Goarch: rep.Goarch, Pkg: rep.Pkg, CPU: rep.CPU}
+	var fails []string
+	for _, name := range order {
+		rs := groups[name]
+		ns := make([]float64, len(rs))
+		agg := Result{Name: name, Metrics: make(map[string]float64)}
+		var bytesS, allocsS []float64
+		metricS := make(map[string][]float64)
+		for i, r := range rs {
+			ns[i] = r.NsPerOp
+			agg.Iterations += r.Iterations
+			if r.BytesPerOp != nil {
+				bytesS = append(bytesS, *r.BytesPerOp)
+			}
+			if r.AllocsPerOp != nil {
+				allocsS = append(allocsS, *r.AllocsPerOp)
+			}
+			for m, v := range r.Metrics {
+				metricS[m] = append(metricS[m], v)
+			}
+		}
+		mean, sd := meanStddev(ns)
+		agg.NsPerOp = median(ns)
+		if len(bytesS) > 0 {
+			v := median(bytesS)
+			agg.BytesPerOp = &v
+		}
+		if len(allocsS) > 0 {
+			v := median(allocsS)
+			agg.AllocsPerOp = &v
+		}
+		for m, samples := range metricS {
+			agg.Metrics[m] = median(samples)
+		}
+		cv := 0.0
+		if mean > 0 {
+			cv = sd / mean
+		}
+		agg.Metrics["gate_runs"] = float64(len(rs))
+		agg.Metrics["gate_cv_pct"] = 100 * cv
+		if len(rs) < minRuns {
+			fails = append(fails, fmt.Sprintf("%s: %d samples below the -runs floor %d", name, len(rs), minRuns))
+		}
+		if maxCV > 0 && cv > maxCV {
+			fails = append(fails, fmt.Sprintf("%s: ns/op cv %.3f above -max-cv %g (mean %.0f, stddev %.0f)", name, cv, maxCV, mean, sd))
+		}
+		out.Benchmarks = append(out.Benchmarks, agg)
+	}
+	return out, fails
+}
+
 // parseCeilings parses the -ceiling flag value: comma-separated
 // metric=value pairs, e.g. "overhead_pct=5".
 func parseCeilings(s string) (map[string]float64, error) {
@@ -237,6 +351,9 @@ func main() {
 	comparePath := flag.String("compare", "", "diff the fresh run on stdin against this committed JSON baseline instead of emitting JSON; exit non-zero on ns/op regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression as a fraction (with -compare)")
 	ceiling := flag.String("ceiling", "", "comma-separated metric=value bounds; exit non-zero if any benchmark reports a metric above its bound (e.g. overhead_pct=5)")
+	gate := flag.Bool("gate", false, "statistical gate mode: aggregate repeated samples per benchmark (go test -count=N) to their median before -compare/-ceiling, and fail on too few samples or too-noisy measurements")
+	runs := flag.Int("runs", 3, "minimum samples per benchmark (with -gate)")
+	maxCV := flag.Float64("max-cv", 0, "maximum ns/op coefficient of variation per benchmark, e.g. 0.40 (with -gate; 0 disables)")
 	flag.Parse()
 	ceil, err := parseCeilings(*ceiling)
 	if err != nil {
@@ -253,6 +370,14 @@ func main() {
 		os.Exit(1)
 	}
 	failed := false
+	if *gate {
+		var gateFails []string
+		rep, gateFails = aggregate(rep, *runs, *maxCV)
+		for _, msg := range gateFails {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", msg)
+			failed = true
+		}
+	}
 	for _, msg := range checkCeilings(rep, ceil) {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", msg)
 		failed = true

@@ -1,0 +1,321 @@
+// Command crashtest asserts the resiliency story the cluster and store
+// layers promise: a fault-injection campaign survives SIGKILL — of a
+// worker process mid-lease, and of the coordinating process mid-campaign
+// — with a resumed ground truth byte-identical to an undisturbed run.
+//
+// Three phases, all over one declarative scenario (which should use a
+// non-default fault model, so resumability is proven for the generalized
+// injection path, not just single-bit flips):
+//
+//	A  reference: run the scenario's campaign in-process, serialize the
+//	   ground truth.
+//	B  worker kill: shard the same campaign across two forked worker
+//	   processes, SIGKILL one after the first merged shard, and require
+//	   the completed campaign to match phase A byte for byte.
+//	C  coordinator kill: fork `ftbcli scenario run -store ...`, SIGKILL
+//	   the process once durable appends appear, re-run it to completion,
+//	   and require the store-materialized ground truth to match phase A.
+//
+// Usage:
+//
+//	crashtest -scenario scenarios/stencil-burst3.yaml -ftbcli bin/ftbcli
+//	          [-dir DIR] [-report FILE] [-v]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ftb"
+	"ftb/internal/cluster"
+	"ftb/internal/persist"
+)
+
+// report is the JSON artifact CI uploads.
+type report struct {
+	Scenario    string     `json:"scenario"`
+	Fault       string     `json:"fault"`
+	Experiments int        `json:"experiments"`
+	GroundCRC   string     `json:"ground_truth_crc32"`
+	WorkerKill  phaseProof `json:"worker_kill"`
+	CoordKill   phaseProof `json:"coordinator_kill"`
+	Pass        bool       `json:"pass"`
+}
+
+// phaseProof records one kill phase's evidence.
+type phaseProof struct {
+	KilledPid     int    `json:"killed_pid"`
+	Attempts      int    `json:"attempts,omitempty"`
+	PartialAtKill bool   `json:"partial_at_kill,omitempty"`
+	ByteIdentical bool   `json:"byte_identical"`
+	Error         string `json:"error,omitempty"`
+}
+
+func main() {
+	scenarioPath := flag.String("scenario", "scenarios/stencil-burst3.yaml", "scenario file the campaign replays (should use a non-default fault model)")
+	ftbcli := flag.String("ftbcli", "ftbcli", "path to the ftbcli binary (worker + coordinator processes)")
+	dir := flag.String("dir", "", "working directory for stores and logs (default: a fresh temp dir)")
+	reportPath := flag.String("report", "", "write the JSON report to this file as well as stdout")
+	verbose := flag.Bool("v", false, "forward worker / coordinator process output to stderr")
+	flag.Parse()
+	if err := run(*scenarioPath, *ftbcli, *dir, *reportPath, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenarioPath, ftbcli, dir, reportPath string, verbose bool) error {
+	ctx := context.Background()
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "crashtest-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	logOut := io.Discard
+	if verbose {
+		logOut = os.Stderr
+	}
+	sc, err := ftb.LoadScenario(scenarioPath)
+	if err != nil {
+		return err
+	}
+	if sc.EffectiveMode() != ftb.ScenarioExhaustive {
+		return fmt.Errorf("scenario %q: crashtest needs an exhaustive scenario", sc.Name)
+	}
+	if sc.Fault == "" {
+		fmt.Fprintln(os.Stderr, "crashtest: warning: scenario uses the default fault model; resumability will not be proven for the generalized path")
+	}
+	rep := &report{Scenario: sc.Name, Fault: sc.Fault}
+
+	// Phase A: the undisturbed reference.
+	an, err := ftb.NewScenarioAnalysis(sc)
+	if err != nil {
+		return err
+	}
+	refGT, err := an.Exhaustive()
+	if err != nil {
+		return fmt.Errorf("phase A: %w", err)
+	}
+	ref, err := gtBytes(refGT)
+	if err != nil {
+		return err
+	}
+	rep.Experiments = len(refGT.Kinds)
+	rep.GroundCRC = fmt.Sprintf("%08x", crc32.ChecksumIEEE(ref))
+	fmt.Fprintf(os.Stderr, "crashtest: phase A: reference ground truth %d experiments, crc %s\n",
+		rep.Experiments, rep.GroundCRC)
+
+	rep.WorkerKill = workerKillPhase(ctx, an, sc, ftbcli, ref, logOut)
+	rep.CoordKill = coordKillPhase(an, sc, scenarioPath, ftbcli, dir, ref, logOut)
+	rep.Pass = rep.WorkerKill.ByteIdentical && rep.CoordKill.ByteIdentical &&
+		rep.WorkerKill.Error == "" && rep.CoordKill.Error == ""
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if reportPath != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Pass {
+		return errors.New("resumed ground truth is not byte-identical to the reference")
+	}
+	fmt.Fprintln(os.Stderr, "crashtest: pass")
+	return nil
+}
+
+// workerKillPhase shards the campaign across two forked workers,
+// SIGKILLs one after the first merged shard, and compares the completed
+// result to the reference.
+func workerKillPhase(ctx context.Context, an *ftb.Analysis, sc *ftb.Scenario, ftbcli string, ref []byte, logOut io.Writer) phaseProof {
+	var proof phaseProof
+	fail := func(err error) phaseProof { proof.Error = err.Error(); return proof }
+	argv := []string{ftbcli, "worker", "-kernel", sc.Kernel, "-size", sc.EffectiveSize(), "-addr", "127.0.0.1:0"}
+	procs, err := cluster.SpawnWorkers(ctx, argv, 2, logOut, 0)
+	if err != nil {
+		return fail(err)
+	}
+	defer cluster.KillAll(procs)
+	victim := procs[0]
+	proof.KilledPid = victim.Pid()
+	var once sync.Once
+	obs := ftb.ObserverFunc(func(ftb.ProgressEvent) {
+		// The first merged shard proves the campaign is mid-flight; the
+		// SIGKILL lands while later shards are outstanding, so at least
+		// one lease is re-queued to the surviving worker.
+		once.Do(func() {
+			fmt.Fprintf(os.Stderr, "crashtest: phase B: SIGKILL worker pid %d\n", victim.Pid())
+			victim.Kill()
+		})
+	})
+	shard := len(ref) / 16 // many shards, so the kill always lands mid-campaign
+	if shard < 1 {
+		shard = 1
+	}
+	gt, err := an.Exhaustive(
+		ftb.WithObserver(obs),
+		ftb.WithCluster(ftb.ClusterOptions{Workers: cluster.URLs(procs), ShardSize: shard}))
+	if err != nil {
+		return fail(fmt.Errorf("phase B: %w", err))
+	}
+	got, err := gtBytes(gt)
+	if err != nil {
+		return fail(err)
+	}
+	proof.ByteIdentical = bytes.Equal(got, ref)
+	fmt.Fprintf(os.Stderr, "crashtest: phase B: campaign survived worker kill, byte-identical=%v\n", proof.ByteIdentical)
+	return proof
+}
+
+// coordKillPhase forks the scenario through ftbcli with a durable store,
+// SIGKILLs the process once committed appends appear, re-runs it to
+// completion, and compares the store-materialized ground truth to the
+// reference. If a run completes before the kill window opens (tiny
+// scenario, fast machine), the phase retries with a fresh store.
+func coordKillPhase(an *ftb.Analysis, sc *ftb.Scenario, scenarioPath, ftbcli, dir string, ref []byte, logOut io.Writer) phaseProof {
+	var proof phaseProof
+	fail := func(err error) phaseProof { proof.Error = err.Error(); return proof }
+	const maxAttempts = 5
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		proof.Attempts = attempt
+		storeDir := filepath.Join(dir, fmt.Sprintf("store-coord-%d", attempt))
+		// -workers 1 stretches the campaign so durable appends (one per
+		// completed site) are observable before completion.
+		cmd := exec.Command(ftbcli, "scenario", "run", "-store", storeDir, "-workers", "1", scenarioPath)
+		cmd.Stdout = logOut
+		cmd.Stderr = logOut
+		if err := cmd.Start(); err != nil {
+			return fail(err)
+		}
+		killed := false
+		for start := time.Now(); time.Since(start) < 30*time.Second; {
+			if hasCommittedRecords(storeDir) {
+				fmt.Fprintf(os.Stderr, "crashtest: phase C: SIGKILL coordinator pid %d (attempt %d)\n", cmd.Process.Pid, attempt)
+				proof.KilledPid = cmd.Process.Pid
+				cmd.Process.Signal(syscall.SIGKILL)
+				killed = true
+				break
+			}
+			if cmd.ProcessState != nil {
+				break
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		err := cmd.Wait()
+		if !killed {
+			if err != nil {
+				return fail(fmt.Errorf("phase C: scenario run failed before any durable append: %w", err))
+			}
+			// Completed before the kill window opened; try again.
+			os.RemoveAll(storeDir)
+			continue
+		}
+		// The killed run must have left a partial campaign behind —
+		// otherwise the resume below proves nothing.
+		proof.PartialAtKill = !storeComplete(an, storeDir, len(ref))
+		rerun := exec.Command(ftbcli, "scenario", "run", "-store", storeDir, scenarioPath)
+		rerun.Stdout = logOut
+		rerun.Stderr = logOut
+		if err := rerun.Run(); err != nil {
+			return fail(fmt.Errorf("phase C: resumed run: %w", err))
+		}
+		got, err := materializeStore(an, storeDir)
+		if err != nil {
+			return fail(fmt.Errorf("phase C: %w", err))
+		}
+		proof.ByteIdentical = bytes.Equal(got, ref)
+		fmt.Fprintf(os.Stderr, "crashtest: phase C: resume after coordinator kill, partial=%v byte-identical=%v\n",
+			proof.PartialAtKill, proof.ByteIdentical)
+		if !proof.PartialAtKill && attempt < maxAttempts {
+			// The kill landed after the final append; retry for a kill
+			// that provably interrupted the campaign.
+			continue
+		}
+		return proof
+	}
+	return fail(errors.New("phase C: could not interrupt the campaign mid-run; scenario completes too fast"))
+}
+
+// hasCommittedRecords reports whether any campaign segment under the
+// store root holds appended records yet (segment files carry a header
+// before the first record).
+func hasCommittedRecords(storeDir string) bool {
+	found := false
+	filepath.WalkDir(storeDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || found {
+			return nil
+		}
+		if d.IsDir() || !strings.HasPrefix(d.Name(), "seg-") || !strings.HasSuffix(d.Name(), ".log") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil && info.Size() > 64 {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+// storeComplete reports whether the store already covers the full
+// experiment space of the analysis's campaign.
+func storeComplete(an *ftb.Analysis, storeDir string, want int) bool {
+	st, err := ftb.OpenStore(storeDir)
+	if err != nil {
+		return false
+	}
+	defer st.Close()
+	c, err := an.StoreCampaign(st)
+	if err != nil {
+		return false
+	}
+	gt, err := c.Materialize()
+	return err == nil && gt != nil && len(gt.Kinds) == want
+}
+
+// materializeStore serializes the store's completed campaign.
+func materializeStore(an *ftb.Analysis, storeDir string) ([]byte, error) {
+	st, err := ftb.OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	c, err := an.StoreCampaign(st)
+	if err != nil {
+		return nil, err
+	}
+	gt, err := c.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return gtBytes(gt)
+}
+
+// gtBytes serializes a ground truth with the canonical container
+// encoding, the byte-identity yardstick of every phase.
+func gtBytes(gt *ftb.GroundTruth) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := persist.SaveGroundTruth(&buf, gt); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -89,6 +89,8 @@ func main() {
 		err = cmdReport(ctx, os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -434,6 +436,14 @@ commands:
   report      -kernel K -size S    write a markdown resiliency report
               [-frac F] [-evaluate] [-o FILE]
   compare     FILE1 FILE2          compare two saved boundaries
+  scenario    validate PATHS...    parse and validate declarative fault
+                                   scenarios (files, dirs, or dir/... trees)
+  scenario    list PATHS... [-json] table the scenarios a suite contains
+  scenario    run PATHS...         execute scenarios and evaluate their
+              [-store DIR]         outcome gates; -store appends exhaustive
+              [-selfhost N]        scenarios durably (killed runs resume),
+              [-workers N] [-json] -selfhost shards them across forked
+              [-progress] [-v]     worker processes
 
 persistence:
   exhaustive  -save FILE           save the ground truth for later analysis

@@ -80,8 +80,12 @@ func cmdQuery(ctx context.Context, args []string) error {
 		return emit(doc, func() error {
 			fmt.Printf("campaigns: %d\n", len(doc.Campaigns))
 			for _, c := range doc.Campaigns {
-				fmt.Printf("  %-24s %-10s %7d sites × %2d bits  w%d  tol %g  coverage %d/%d (%.1f%%)  %d segments  %d B\n",
-					c.Campaign, c.Program, c.Sites, c.Bits, c.Width, c.Tol,
+				fault := c.Fault
+				if fault == "" {
+					fault = "bitflip"
+				}
+				fmt.Printf("  %-24s %-10s %7d sites × %2d bits  w%d  tol %g  %-18s coverage %d/%d (%.1f%%)  %d segments  %d B\n",
+					c.Campaign, c.Program, c.Sites, c.Bits, c.Width, c.Tol, fault,
 					c.Covered, c.Total, 100*float64(c.Covered)/float64(max(c.Total, 1)),
 					c.Segments, c.Bytes)
 			}
@@ -139,8 +143,12 @@ func cmdQuery(ctx context.Context, args []string) error {
 			return err
 		}
 		return emit(doc, func() error {
-			fmt.Printf("campaign %s: program %s, %d sites × %d bits, width %d, tolerance %g\n",
-				doc.Campaign, doc.Program, doc.Sites, doc.Bits, doc.Width, doc.Tol)
+			fault := doc.Fault
+			if fault == "" {
+				fault = "bitflip"
+			}
+			fmt.Printf("campaign %s: program %s, %d sites × %d bits, width %d, tolerance %g, fault %s\n",
+				doc.Campaign, doc.Program, doc.Sites, doc.Bits, doc.Width, doc.Tol, fault)
 			fmt.Printf("  coverage: %d/%d experiments (%.1f%%)\n",
 				doc.Covered, doc.Total, 100*float64(doc.Covered)/float64(max(doc.Total, 1)))
 			classified := doc.Masked + doc.SDC + doc.Crash
@@ -182,6 +190,7 @@ type campaignDoc struct {
 	Bits      int     `json:"bits"`
 	Width     int     `json:"width"`
 	Tol       float64 `json:"tol"`
+	Fault     string  `json:"fault,omitempty"`
 	GoldenCRC uint32  `json:"golden_crc"`
 	Covered   int64   `json:"covered"`
 	Total     int64   `json:"total"`
@@ -227,6 +236,7 @@ func infoDoc(info store.CampaignInfo) campaignDoc {
 		Bits:      info.Identity.Bits,
 		Width:     info.Identity.Width,
 		Tol:       info.Identity.Tol,
+		Fault:     info.Identity.Fault,
 		GoldenCRC: info.Identity.GoldenCRC,
 		Covered:   info.Covered,
 		Total:     info.Total,

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ftb"
+)
+
+// cmdScenario drives the declarative fault-scenario suite:
+//
+//	ftbcli scenario validate ./scenarios/...   parse + validate, no runs
+//	ftbcli scenario list     ./scenarios       table of scenarios
+//	ftbcli scenario run      ./scenarios/...   execute and evaluate gates
+//
+// Paths are scenario files, directories (direct *.yaml children), or
+// `dir/...` trees (recursive walk).
+func cmdScenario(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return errors.New("scenario: want a verb: validate, run, or list")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "validate":
+		return cmdScenarioValidate(rest)
+	case "list":
+		return cmdScenarioList(rest)
+	case "run":
+		return cmdScenarioRun(ctx, rest)
+	default:
+		return fmt.Errorf("scenario: unknown verb %q (want validate, run, or list)", verb)
+	}
+}
+
+// collectScenarios expands path arguments into parsed, validated
+// scenarios with unique names, in deterministic (sorted-path) order.
+func collectScenarios(paths []string) ([]*ftb.Scenario, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("scenario: no scenario paths given")
+	}
+	var files []string
+	for _, p := range paths {
+		switch {
+		case strings.HasSuffix(p, "/...") || p == "...":
+			root := strings.TrimSuffix(p, "...")
+			if root = strings.TrimSuffix(root, "/"); root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && isScenarioFile(path) {
+					files = append(files, path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			info, err := os.Stat(p)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				files = append(files, p)
+				continue
+			}
+			entries, err := os.ReadDir(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && isScenarioFile(e.Name()) {
+					files = append(files, filepath.Join(p, e.Name()))
+				}
+			}
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("scenario: no scenario files (*.yaml) under %s", strings.Join(paths, " "))
+	}
+	byName := map[string]string{}
+	scs := make([]*ftb.Scenario, 0, len(files))
+	for _, f := range files {
+		sc, err := ftb.LoadScenario(f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := byName[sc.Name]; dup {
+			return nil, fmt.Errorf("%s: scenario name %q already used by %s", f, sc.Name, prev)
+		}
+		byName[sc.Name] = f
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}
+
+func isScenarioFile(name string) bool {
+	ext := filepath.Ext(name)
+	return ext == ".yaml" || ext == ".yml"
+}
+
+func cmdScenarioValidate(args []string) error {
+	fs := flag.NewFlagSet("scenario validate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scs, err := collectScenarios(fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, sc := range scs {
+		fmt.Printf("ok  %-24s %s\n", sc.Name, sc.Path)
+	}
+	fmt.Printf("%d scenarios valid\n", len(scs))
+	return nil
+}
+
+func cmdScenarioList(args []string) error {
+	fs := flag.NewFlagSet("scenario list", flag.ExitOnError)
+	jsonOut := jsonFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scs, err := collectScenarios(fs.Args())
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(scs)
+	}
+	fmt.Printf("%-24s %-10s %-6s %-18s %-10s %s\n", "NAME", "KERNEL", "SIZE", "FAULT", "MODE", "FILE")
+	for _, sc := range scs {
+		fault := sc.Fault
+		if fault == "" {
+			fault = "bitflip"
+		}
+		fmt.Printf("%-24s %-10s %-6s %-18s %-10s %s\n",
+			sc.Name, sc.Kernel, sc.EffectiveSize(), fault, sc.EffectiveMode(), sc.Path)
+	}
+	return nil
+}
+
+func cmdScenarioRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	storeDir := storeDirFlag(fs, "ground-truth store directory: exhaustive scenarios append outcomes durably and resume from prior progress")
+	selfhost := fs.Int("selfhost", 0, "shard each exhaustive scenario across this many locally forked worker processes")
+	workers := fs.Int("workers", 0, "cap campaign parallelism, overriding each scenario's workers field")
+	progress := fs.Bool("progress", false, "render a live progress line on stderr")
+	verbose := verboseFlag(fs)
+	jsonOut := jsonFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scs, err := collectScenarios(fs.Args())
+	if err != nil {
+		return err
+	}
+	logger := setupLogger(*verbose)
+	var st *ftb.Store
+	if *storeDir != "" {
+		st, err = ftb.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	results := make([]*ftb.ScenarioResult, 0, len(scs))
+	failed := 0
+	for _, sc := range scs {
+		opts := []ftb.RunOption{ftb.WithContext(ctx), ftb.WithLogger(logger)}
+		if st != nil {
+			opts = append(opts, ftb.WithStore(st))
+		}
+		if *workers > 0 {
+			opts = append(opts, ftb.WithWorkers(*workers))
+		}
+		var pp *progressPrinter
+		if *progress {
+			pp = &progressPrinter{}
+			opts = append(opts, ftb.WithObserver(pp))
+		}
+		if *selfhost > 0 {
+			if sc.EffectiveMode() != ftb.ScenarioExhaustive {
+				return fmt.Errorf("scenario %q: -selfhost applies to exhaustive scenarios only", sc.Name)
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("-selfhost: %w", err)
+			}
+			opts = append(opts, ftb.WithCluster(ftb.ClusterOptions{
+				SelfHost: *selfhost,
+				SpawnLog: os.Stderr,
+				SelfHostCommand: []string{exe, "worker",
+					"-kernel", sc.Kernel, "-size", sc.EffectiveSize(), "-addr", "127.0.0.1:0"},
+			}))
+		}
+		res, err := ftb.RunScenario(sc, opts...)
+		if pp != nil {
+			pp.Finish()
+		}
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		results = append(results, res)
+		if !res.Passed() {
+			failed++
+		}
+		if !*jsonOut {
+			printScenarioResult(res)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("scenario: %d of %d scenarios failed their gates", failed, len(results))
+	}
+	if !*jsonOut {
+		fmt.Printf("%d scenarios passed\n", len(results))
+	}
+	return nil
+}
+
+func printScenarioResult(res *ftb.ScenarioResult) {
+	status := "ok  "
+	if !res.Passed() {
+		status = "FAIL"
+	}
+	pct := func(n int) float64 {
+		if res.Experiments == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(res.Experiments)
+	}
+	fmt.Printf("%s %-24s %d experiments: %d masked (%.1f%%), %d sdc (%.1f%%), %d crash (%.1f%%)\n",
+		status, res.Name, res.Experiments,
+		res.Masked, pct(res.Masked), res.SDC, pct(res.SDC), res.Crash, pct(res.Crash))
+	for _, f := range res.Failures {
+		fmt.Printf("     gate violated: %s\n", f)
+	}
+}

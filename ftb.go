@@ -62,6 +62,7 @@ import (
 	"log/slog"
 	"os"
 
+	"ftb/internal/bits"
 	"ftb/internal/boundary"
 	"ftb/internal/campaign"
 	"ftb/internal/kernels"
@@ -288,6 +289,7 @@ type runConfig struct {
 	spans       *SpanRecorder   // nil = no span tracing
 	spanParent  uint64          // root campaign span ID, set per call
 	spanSample  int             // experiment sampling stride; 0 = default
+	model       bits.FaultModel // zero value = single-bit flip
 }
 
 // RunOption adjusts the execution of the campaigns behind one call —
@@ -389,6 +391,56 @@ func WithoutReplay() RunOption {
 // aborts). The engine never logs from the per-experiment hot path.
 func WithLogger(l *slog.Logger) RunOption {
 	return func(rc *runConfig) { rc.logger = l }
+}
+
+// Fault-model types, re-exported from the internal implementation.
+type (
+	// FaultModel describes how a campaign corrupts the value at an
+	// injection site: the corruption kind (single/multi/burst bit flips,
+	// stuck-at), the IEEE-754 region it targets, and the kind's arity.
+	// The zero value is the paper's model — a single bit flip anywhere in
+	// the word. Corruption is a pure function of (value, site,
+	// coordinate), so results stay deterministic across workers, replay,
+	// and cluster execution.
+	FaultModel = bits.FaultModel
+	// FaultKind is the corruption kind of a FaultModel.
+	FaultKind = bits.FaultKind
+	// FaultRegion restricts a FaultModel to an IEEE-754 region.
+	FaultRegion = bits.Region
+)
+
+// FaultModel kinds and regions.
+const (
+	FaultBitFlip   = bits.FaultBitFlip
+	FaultMultiFlip = bits.FaultMultiFlip
+	FaultBurstFlip = bits.FaultBurstFlip
+	FaultStuckAt0  = bits.FaultStuckAt0
+	FaultStuckAt1  = bits.FaultStuckAt1
+
+	RegionAll      = bits.RegionAll
+	RegionExponent = bits.RegionExponent
+	RegionMantissa = bits.RegionMantissa
+	RegionSign     = bits.RegionSign
+)
+
+// ParseFaultModel parses a canonical fault-model string — the format
+// FaultModel.String produces, e.g. "bitflip", "burst3", "exponent:stuck1"
+// (empty = the default single-bit flip).
+func ParseFaultModel(s string) (FaultModel, error) { return bits.ParseFaultModel(s) }
+
+// WithFaultModel runs the call's campaigns under a generalized fault
+// model instead of the default single-bit flip: multi-bit flips, burst
+// flips, region-targeted injection (exponent / mantissa / sign), and
+// stuck-at faults. The experiment space becomes sites × the model's
+// population (FaultModel.BitsPerSite); a non-default model supersedes
+// Options.Bits, which applies to the default model only. Campaigns under
+// distinct fault models are stored and checkpointed under distinct
+// identities. Only classification campaigns (Exhaustive,
+// ExhaustiveCheckpointed, RunPairs) accept a non-default model;
+// inference methods return an error, because the propagation thresholds
+// they aggregate are defined over the single-bit-flip space.
+func WithFaultModel(m FaultModel) RunOption {
+	return func(rc *runConfig) { rc.model = m }
 }
 
 // Analysis binds a program to its golden run and fault model and exposes
@@ -522,15 +574,18 @@ func (a *Analysis) Golden() *GoldenRun { return a.golden }
 // Sites returns the number of dynamic instructions (injection sites).
 func (a *Analysis) Sites() int { return a.golden.Sites() }
 
-// Bits returns the flips-per-site count of the fault model.
-func (a *Analysis) Bits() int { return a.bits }
+// Bits returns the flips-per-site count of the fault model — the
+// configured low-order restriction under the default single-bit flip, or
+// the model population when a non-default fault model has been applied
+// persistently with With(WithFaultModel(...)).
+func (a *Analysis) Bits() int { return a.bitsFor(a.run) }
 
 // Width returns the IEEE-754 width of the program's data elements.
 func (a *Analysis) Width() int { return a.width }
 
 // SampleSpace returns the total number of possible experiments
 // (sites × bits).
-func (a *Analysis) SampleSpace() int { return a.Sites() * a.bits }
+func (a *Analysis) SampleSpace() int { return a.Sites() * a.Bits() }
 
 // Tolerance returns the acceptable output deviation T.
 func (a *Analysis) Tolerance() float64 { return a.tol }
@@ -543,6 +598,17 @@ func (a *Analysis) resolve(opts []RunOption) runConfig {
 		o(&rc)
 	}
 	return rc
+}
+
+// bitsFor returns the effective flips-per-site count of a resolved run:
+// the analysis's configured bits under the default fault model, or the
+// model's full population under a non-default one (a model defines its
+// own coordinate space; Options.Bits applies to the default model only).
+func (a *Analysis) bitsFor(rc runConfig) int {
+	if rc.model.IsDefault() {
+		return a.bits
+	}
+	return rc.model.BitsPerSite(a.width)
 }
 
 // campaignConfig materializes the engine configuration for one call:
@@ -559,8 +625,9 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 		Factory:   a.factory,
 		Golden:    a.golden,
 		Tol:       a.tol,
-		Bits:      a.bits,
+		Bits:      a.bitsFor(rc),
 		Width:     a.width,
+		Model:     rc.model,
 		Workers:   rc.workers,
 		Sched:     rc.sched,
 		Batch:     a.batch,
@@ -603,6 +670,9 @@ func (a *Analysis) Exhaustive(opts ...RunOption) (*GroundTruth, error) {
 	endSpan := a.startCampaignSpan(&rc)
 	defer endSpan()
 	if rc.compose != nil {
+		if !rc.model.IsDefault() {
+			return nil, errFaultModelUnsupported("WithCompose")
+		}
 		return a.composedExhaustive(rc)
 	}
 	var gt *GroundTruth
@@ -665,8 +735,9 @@ func (a *Analysis) ExhaustiveCheckpointed(checkpointPath string, batch int, opts
 		// time it clears another site, so a killed coordinator resumes
 		// without re-running any completed shard.
 		lastSaved := priorSites
+		bitsN := a.bitsFor(rc)
 		gt, err = a.clusterExhaustive(rc, prior, priorSites, nil, nil, func(partial *GroundTruth, frontier int) error {
-			done := frontier / a.bits
+			done := frontier / bitsN
 			if done <= lastSaved {
 				return nil
 			}
@@ -762,8 +833,10 @@ func (a *Analysis) InferBoundary(opts InferOptions, runOpts ...RunOption) (*Resu
 	if k > a.SampleSpace() {
 		return nil, fmt.Errorf("ftb: sample budget %d exceeds sample space %d", k, a.SampleSpace())
 	}
-	if a.resolve(runOpts).cluster != nil {
+	if rc := a.resolve(runOpts); rc.cluster != nil {
 		return nil, errClusterUnsupported("InferBoundary")
+	} else if !rc.model.IsDefault() {
+		return nil, errFaultModelUnsupported("InferBoundary")
 	}
 	pairs := sampling.Uniform(rng.New(opts.Seed), a.Sites(), a.bits, k)
 	known := boundary.NewKnown(a.Sites(), a.bits)
@@ -784,8 +857,10 @@ func (a *Analysis) InferFromPairs(pairs []Pair, filter bool, opts ...RunOption) 
 	if len(pairs) == 0 {
 		return nil, errors.New("ftb: InferFromPairs requires at least one pair")
 	}
-	if a.resolve(opts).cluster != nil {
+	if rc := a.resolve(opts); rc.cluster != nil {
 		return nil, errClusterUnsupported("InferFromPairs")
+	} else if !rc.model.IsDefault() {
+		return nil, errFaultModelUnsupported("InferFromPairs")
 	}
 	known := boundary.NewKnown(a.Sites(), a.bits)
 	bld, recs, err := boundary.Build(a.campaignConfig(opts...), pairs, boundary.BuildOptions{
@@ -826,8 +901,10 @@ func (a *Analysis) Progressive(opts ProgressiveOptions, runOpts ...RunOption) (*
 	if opts.Width == 0 {
 		opts.Width = a.width
 	}
-	if a.resolve(runOpts).cluster != nil {
+	if rc := a.resolve(runOpts); rc.cluster != nil {
 		return nil, nil, errClusterUnsupported("Progressive")
+	} else if !rc.model.IsDefault() {
+		return nil, nil, errFaultModelUnsupported("Progressive")
 	}
 	pres, err := sampling.RunProgressive(a.campaignConfig(runOpts...), opts)
 	if err != nil {

@@ -1,0 +1,317 @@
+package bits
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// FaultKind selects how a fault perturbs the bit pattern of a stored value.
+type FaultKind uint8
+
+const (
+	// FaultBitFlip flips exactly one bit — the paper's fault model and the
+	// zero value, so an unconfigured FaultModel reproduces historical
+	// behavior exactly.
+	FaultBitFlip FaultKind = iota
+	// FaultMultiFlip flips the selected bit plus K-1 further bits of the
+	// same region, chosen by a deterministic hash of (site, coordinate) so
+	// the fault is a pure function of the experiment identity.
+	FaultMultiFlip
+	// FaultBurstFlip flips K consecutive bits starting at the selected
+	// coordinate, clamped at the region's upper edge (a burst starting
+	// near the edge flips fewer bits rather than wrapping).
+	FaultBurstFlip
+	// FaultStuckAt0 forces the selected bit to 0. If the bit is already 0
+	// the store is unperturbed (injErr 0) but still counts as injected.
+	FaultStuckAt0
+	// FaultStuckAt1 forces the selected bit to 1.
+	FaultStuckAt1
+	numFaultKinds
+)
+
+// Region restricts the per-site fault population to a field of the IEEE-754
+// representation. Coordinates are region-relative: coordinate 0 is the
+// region's lowest physical bit.
+type Region uint8
+
+const (
+	// RegionAll is the full word: 64 or 32 coordinates.
+	RegionAll Region = iota
+	// RegionExponent covers the biased-exponent field: bits 52..62 of a
+	// float64 (11 coordinates), bits 23..30 of a float32 (8).
+	RegionExponent
+	// RegionMantissa covers the fraction field: bits 0..51 of a float64
+	// (52 coordinates), bits 0..22 of a float32 (23).
+	RegionMantissa
+	// RegionSign is the sign bit alone: one coordinate.
+	RegionSign
+	numRegions
+)
+
+// FaultModel describes the perturbation applied at the injection site. The
+// zero value is the paper's model: a single bit flip anywhere in the word.
+//
+// A model defines, per width, a population of BitsPerSite coordinates; a
+// campaign over the model enumerates (site, coordinate) pairs exactly as the
+// single-flip campaign enumerates (site, bit) pairs. Every perturbation is a
+// pure function of (value, site, coordinate), so ground truth remains
+// deterministic and byte-identical across worker counts, replay, and
+// cluster execution.
+type FaultModel struct {
+	Kind   FaultKind
+	Region Region
+	// K is the arity of multi/burst faults (number of bits touched).
+	// Ignored by the other kinds. 0 is treated as 1 for convenience.
+	K int
+}
+
+// DefaultFaultModel is the paper's single-bit-flip model.
+var DefaultFaultModel = FaultModel{}
+
+// IsDefault reports whether m is behaviorally the paper's model: a single
+// bit flip over the whole word.
+func (m FaultModel) IsDefault() bool {
+	return m.Region == RegionAll && (m.Kind == FaultBitFlip ||
+		((m.Kind == FaultMultiFlip || m.Kind == FaultBurstFlip) && m.K <= 1))
+}
+
+// regionSpan returns the physical bit offset of the region's lowest bit and
+// the number of coordinates in the region at the given width.
+func (m FaultModel) regionSpan(width int) (start, n uint) {
+	var mant, exp uint
+	switch width {
+	case Width64:
+		mant, exp = 52, 11
+	case Width32:
+		mant, exp = 23, 8
+	default:
+		panic(fmt.Sprintf("bits: fault model width %d (want 32 or 64)", width))
+	}
+	switch m.Region {
+	case RegionAll:
+		return 0, mant + exp + 1
+	case RegionMantissa:
+		return 0, mant
+	case RegionExponent:
+		return mant, exp
+	case RegionSign:
+		return mant + exp, 1
+	default:
+		panic(fmt.Sprintf("bits: invalid fault region %d", m.Region))
+	}
+}
+
+// BitsPerSite returns the size of the per-site fault population at the
+// given width (32 or 64): the number of valid injection coordinates.
+func (m FaultModel) BitsPerSite(width int) int {
+	_, n := m.regionSpan(width)
+	return int(n)
+}
+
+// Validate checks that the model is well-formed for the given width.
+func (m FaultModel) Validate(width int) error {
+	if width != Width32 && width != Width64 {
+		return fmt.Errorf("bits: fault model width %d (want 32 or 64)", width)
+	}
+	if m.Kind >= numFaultKinds {
+		return fmt.Errorf("bits: invalid fault kind %d", m.Kind)
+	}
+	if m.Region >= numRegions {
+		return fmt.Errorf("bits: invalid fault region %d", m.Region)
+	}
+	switch m.Kind {
+	case FaultMultiFlip, FaultBurstFlip:
+		_, n := m.regionSpan(width)
+		if m.K < 0 {
+			return fmt.Errorf("bits: fault arity %d is negative", m.K)
+		}
+		if uint(m.K) > n {
+			return fmt.Errorf("bits: fault arity %d exceeds region population %d", m.K, n)
+		}
+	default:
+		if m.K != 0 {
+			return fmt.Errorf("bits: fault kind %q does not take an arity (K=%d)", kindName(m.Kind), m.K)
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used to
+// derive multi-flip partner coordinates deterministically from the
+// experiment identity. Not cryptographic; stability across releases is the
+// only requirement (changing it would change ground truth).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// xorMask returns the set of physical bits to flip for flip-style kinds.
+// coord must be < BitsPerSite(width).
+func (m FaultModel) xorMask(width int, site int, coord uint) uint64 {
+	start, n := m.regionSpan(width)
+	if coord >= n {
+		panic(fmt.Sprintf("bits: fault coordinate %d outside population %d", coord, n))
+	}
+	mask := uint64(1) << (start + coord)
+	k := m.K
+	if k < 1 {
+		k = 1
+	}
+	switch m.Kind {
+	case FaultBitFlip:
+		return mask
+	case FaultBurstFlip:
+		for j := uint(1); j < uint(k) && coord+j < n; j++ {
+			mask |= 1 << (start + coord + j)
+		}
+		return mask
+	case FaultMultiFlip:
+		// Draw partner coordinates from a hash stream seeded by the
+		// experiment identity, skipping duplicates. k ≤ n is enforced by
+		// Validate, so the loop terminates.
+		state := splitmix64(uint64(site)<<20 ^ uint64(coord) ^ 0xf17bf17b)
+		for bits.OnesCount64(mask) < k {
+			state = splitmix64(state)
+			mask |= 1 << (start + uint(state%uint64(n)))
+		}
+		return mask
+	default:
+		panic(fmt.Sprintf("bits: xorMask on fault kind %q", kindName(m.Kind)))
+	}
+}
+
+// apply perturbs the raw bit pattern b of a width-bit value stored at the
+// given site, at the given region-relative coordinate.
+func (m FaultModel) apply(b uint64, width int, site int, coord uint) uint64 {
+	switch m.Kind {
+	case FaultStuckAt0, FaultStuckAt1:
+		start, n := m.regionSpan(width)
+		if coord >= n {
+			panic(fmt.Sprintf("bits: fault coordinate %d outside population %d", coord, n))
+		}
+		if m.Kind == FaultStuckAt0 {
+			return b &^ (1 << (start + coord))
+		}
+		return b | 1<<(start+coord)
+	default:
+		return b ^ m.xorMask(width, site, coord)
+	}
+}
+
+// Apply64 perturbs a float64 stored at the given site. Panics if coord is
+// outside the model's population at width 64.
+func (m FaultModel) Apply64(v float64, site int, coord uint) float64 {
+	return math.Float64frombits(m.apply(math.Float64bits(v), Width64, site, coord))
+}
+
+// Apply32 perturbs a float32 stored at the given site. Panics if coord is
+// outside the model's population at width 32.
+func (m FaultModel) Apply32(v float32, site int, coord uint) float32 {
+	return math.Float32frombits(uint32(m.apply(uint64(math.Float32bits(v)), Width32, site, coord)))
+}
+
+func kindName(k FaultKind) string {
+	switch k {
+	case FaultBitFlip:
+		return "bitflip"
+	case FaultMultiFlip:
+		return "multi"
+	case FaultBurstFlip:
+		return "burst"
+	case FaultStuckAt0:
+		return "stuck0"
+	case FaultStuckAt1:
+		return "stuck1"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+func regionName(r Region) string {
+	switch r {
+	case RegionAll:
+		return ""
+	case RegionExponent:
+		return "exponent"
+	case RegionMantissa:
+		return "mantissa"
+	case RegionSign:
+		return "sign"
+	default:
+		return fmt.Sprintf("Region(%d)", uint8(r))
+	}
+}
+
+// String renders the canonical form parsed by ParseFaultModel:
+// "bitflip", "multi3", "burst4", "stuck0", "stuck1", optionally prefixed by
+// a region — "exponent:bitflip", "mantissa:burst3", "sign:stuck1". The
+// canonical form is a store-identity facet, so it must be stable.
+func (m FaultModel) String() string {
+	var sb strings.Builder
+	if name := regionName(m.Region); name != "" {
+		sb.WriteString(name)
+		sb.WriteByte(':')
+	}
+	sb.WriteString(kindName(m.Kind))
+	if m.Kind == FaultMultiFlip || m.Kind == FaultBurstFlip {
+		k := m.K
+		if k < 1 {
+			k = 1
+		}
+		sb.WriteString(strconv.Itoa(k))
+	}
+	return sb.String()
+}
+
+// ParseFaultModel parses the canonical form produced by String. The empty
+// string parses as the default single-bit-flip model. Width-dependent
+// bounds (arity vs region population) are checked by Validate, not here.
+func ParseFaultModel(s string) (FaultModel, error) {
+	var m FaultModel
+	if s == "" {
+		return m, nil
+	}
+	kind := s
+	if region, rest, ok := strings.Cut(s, ":"); ok {
+		switch region {
+		case "exponent":
+			m.Region = RegionExponent
+		case "mantissa":
+			m.Region = RegionMantissa
+		case "sign":
+			m.Region = RegionSign
+		case "all":
+			m.Region = RegionAll
+		default:
+			return m, fmt.Errorf("bits: unknown fault region %q in %q", region, s)
+		}
+		kind = rest
+	}
+	switch {
+	case kind == "bitflip":
+		m.Kind = FaultBitFlip
+	case kind == "stuck0":
+		m.Kind = FaultStuckAt0
+	case kind == "stuck1":
+		m.Kind = FaultStuckAt1
+	case strings.HasPrefix(kind, "multi"), strings.HasPrefix(kind, "burst"):
+		m.Kind = FaultMultiFlip
+		digits := kind[len("multi"):]
+		if strings.HasPrefix(kind, "burst") {
+			m.Kind = FaultBurstFlip
+		}
+		k, err := strconv.Atoi(digits)
+		if err != nil || k < 1 {
+			return m, fmt.Errorf("bits: fault model %q: arity must be a positive integer", s)
+		}
+		m.K = k
+	default:
+		return m, fmt.Errorf("bits: unknown fault model %q (want bitflip, multiK, burstK, stuck0, or stuck1, optionally region-prefixed)", s)
+	}
+	return m, nil
+}

@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"runtime"
 
+	"ftb/internal/bits"
 	"ftb/internal/obs"
 	"ftb/internal/outcome"
 	"ftb/internal/telemetry"
@@ -79,12 +80,20 @@ type Config struct {
 	Golden *trace.GoldenRun
 	// Tol is the acceptable L∞ output deviation T.
 	Tol float64
-	// Bits is the number of bit positions per site (default Width).
+	// Bits is the number of fault coordinates probed per site (default:
+	// the Model's full population at Width — the word width for the
+	// default single-bit-flip model).
 	Bits int
 	// Width is the IEEE-754 width of the program's data elements: 64 for
 	// programs instrumented with Ctx.Store (the default) or 32 for
-	// programs instrumented with Ctx.Store32. Bits may not exceed Width.
+	// programs instrumented with Ctx.Store32. Bits may not exceed the
+	// Model's population at this width.
 	Width int
+	// Model is the fault model applied at injection sites. The zero value
+	// is the paper's single-bit flip; see bits.FaultModel for the
+	// multi/burst/region/stuck-at generalizations. Pair.Bit is then a
+	// region-relative fault coordinate in [0, Model.BitsPerSite(Width)).
+	Model bits.FaultModel
 	// Workers caps the pool size (default runtime.GOMAXPROCS(0), at most
 	// MaxWorkers).
 	Workers int
@@ -194,11 +203,16 @@ func (c *Config) normalized() (Config, error) {
 	if out.Width != 32 && out.Width != 64 {
 		return out, fmt.Errorf("campaign: width %d must be 32 or 64", out.Width)
 	}
-	if out.Bits == 0 {
-		out.Bits = out.Width
+	if err := out.Model.Validate(out.Width); err != nil {
+		return out, fmt.Errorf("campaign: %w", err)
 	}
-	if out.Bits < 1 || out.Bits > out.Width {
-		return out, fmt.Errorf("campaign: bits %d outside [1, %d]", out.Bits, out.Width)
+	pop := out.Model.BitsPerSite(out.Width)
+	if out.Bits == 0 {
+		out.Bits = pop
+	}
+	if out.Bits < 1 || out.Bits > pop {
+		return out, fmt.Errorf("campaign: bits %d outside [1, %d] (fault model %q at width %d)",
+			out.Bits, pop, out.Model, out.Width)
 	}
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
@@ -237,17 +251,19 @@ func (c *Config) normalized() (Config, error) {
 	return out, nil
 }
 
-// validatePairs rejects experiments outside the program's (site × width)
-// space up front, so a bad selection fails loudly instead of panicking in
-// a worker or silently probing the wrong site.
+// validatePairs rejects experiments outside the program's (site ×
+// population) space up front, so a bad selection fails loudly instead of
+// panicking in a worker or silently probing the wrong site.
 func validatePairs(cfg Config, pairs []Pair) error {
 	sites := cfg.Golden.Sites()
+	pop := cfg.Model.BitsPerSite(cfg.Width)
 	for _, p := range pairs {
 		if p.Site < 0 || p.Site >= sites {
 			return fmt.Errorf("campaign: pair site %d outside [0, %d)", p.Site, sites)
 		}
-		if int(p.Bit) >= cfg.Width {
-			return fmt.Errorf("campaign: pair bit %d outside the %d-bit fault population", p.Bit, cfg.Width)
+		if int(p.Bit) >= pop {
+			return fmt.Errorf("campaign: pair coordinate %d outside the %d-coordinate fault population (model %q, width %d)",
+				p.Bit, pop, cfg.Model, cfg.Width)
 		}
 	}
 	return nil
@@ -301,6 +317,7 @@ type pairWorker struct {
 // path — Replay is a pure optimization, never a capability requirement.
 func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans) *pairWorker {
 	pw := &pairWorker{p: cfg.Factory(), worker: w, rec: rec, sp: sp}
+	pw.ctx.SetFaultModel(cfg.Model)
 	if cfg.Tracer != nil {
 		pw.tracer = cfg.Tracer(w)
 	}
@@ -450,7 +467,9 @@ func Propagate(cfg Config, pairs []Pair, newSink func() PropagationSink) ([]Prop
 		func(w int, _ *telemetry.CampaignRecorder, _ *obs.WorkerSpans) *propWorker {
 			sink := newSink()
 			sinks[w] = sink
-			return &propWorker{p: cfg.Factory(), sink: sink}
+			pw := &propWorker{p: cfg.Factory(), sink: sink}
+			pw.ctx.SetFaultModel(cfg.Model)
+			return pw
 		},
 		func(w *propWorker, i int) (outcome.Kind, error) {
 			pair := pairs[i]

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ftb/internal/bits"
 	"ftb/internal/campaign"
 	"ftb/internal/obs"
 	"ftb/internal/outcome"
@@ -59,10 +60,15 @@ type Config struct {
 	Program string
 	// Tol is the acceptable L∞ output deviation.
 	Tol float64
-	// Bits is the flips-per-site count (default Width).
+	// Bits is the fault coordinates probed per site (default: the
+	// Model's full population at Width).
 	Bits int
 	// Width is the IEEE-754 data-element width (default 64).
 	Width int
+	// Model is the fault model every lease runs under (zero value: the
+	// default single-bit flip). It rides in each lease request, so
+	// workers need no per-campaign configuration.
+	Model bits.FaultModel
 	// ShardSize is the lease granularity in experiments (default
 	// DefaultShardSize).
 	ShardSize int
@@ -168,11 +174,15 @@ func (c *Config) normalized() (Config, error) {
 	if out.Width != 32 && out.Width != 64 {
 		return out, fmt.Errorf("cluster: width %d must be 32 or 64", out.Width)
 	}
-	if out.Bits == 0 {
-		out.Bits = out.Width
+	if err := out.Model.Validate(out.Width); err != nil {
+		return out, fmt.Errorf("cluster: %w", err)
 	}
-	if out.Bits < 1 || out.Bits > out.Width {
-		return out, fmt.Errorf("cluster: bits %d outside [1, %d]", out.Bits, out.Width)
+	pop := out.Model.BitsPerSite(out.Width)
+	if out.Bits == 0 {
+		out.Bits = pop
+	}
+	if out.Bits < 1 || out.Bits > pop {
+		return out, fmt.Errorf("cluster: bits %d outside [1, %d] (fault model %q)", out.Bits, pop, out.Model)
 	}
 	if out.ShardSize <= 0 {
 		out.ShardSize = DefaultShardSize
@@ -458,6 +468,10 @@ func (co *coordinator) runWorker(ctx context.Context, wc *workerClient, wantCRC 
 		// the merge; failed attempts are recorded too (meta 0), so retry
 		// cost shows up in the timeline instead of vanishing.
 		ls := cfg.Spans.Start(obs.CatLease, leaseID, cfg.SpanParent, -1)
+		fault := ""
+		if !cfg.Model.IsDefault() {
+			fault = cfg.Model.String()
+		}
 		resp, err := wc.run(ctx, runRequest{
 			Lease:      leaseID,
 			Lo:         l.lo,
@@ -466,6 +480,7 @@ func (co *coordinator) runWorker(ctx context.Context, wc *workerClient, wantCRC 
 			Width:      cfg.Width,
 			Tol:        cfg.Tol,
 			GoldenCRC:  wantCRC,
+			Fault:      fault,
 			SpanSample: sampleEvery,
 		})
 		if err == nil {

@@ -85,6 +85,11 @@ type runRequest struct {
 	Width     int     `json:"width"`
 	Tol       float64 `json:"tol"`
 	GoldenCRC uint32  `json:"golden_crc"`
+	// Fault is the canonical fault-model string (bits.FaultModel.String)
+	// the lease's experiments run under. Empty — the wire form older
+	// coordinators send — is the default single-bit flip, so mixed-version
+	// fleets running default campaigns stay compatible.
+	Fault string `json:"fault,omitempty"`
 	// SpanSample, when positive, asks the worker to record a span
 	// timeline of the lease (batch/wait spans plus one sampled
 	// experiment span per SpanSample experiments per engine worker) and

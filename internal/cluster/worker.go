@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ftb/internal/bits"
 	"ftb/internal/campaign"
 	"ftb/internal/obs"
 	"ftb/internal/telemetry"
@@ -189,8 +190,17 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		w.reject(rw, http.StatusConflict, "width %d does not match worker %d", req.Width, w.cfg.Width)
 		return
 	}
-	if req.Bits < 1 || req.Bits > w.cfg.Width {
-		w.reject(rw, http.StatusBadRequest, "bits %d outside [1, %d]", req.Bits, w.cfg.Width)
+	model, err := bits.ParseFaultModel(req.Fault)
+	if err != nil {
+		w.reject(rw, http.StatusBadRequest, "fault model: %v", err)
+		return
+	}
+	if err := model.Validate(w.cfg.Width); err != nil {
+		w.reject(rw, http.StatusBadRequest, "fault model: %v", err)
+		return
+	}
+	if pop := model.BitsPerSite(w.cfg.Width); req.Bits < 1 || req.Bits > pop {
+		w.reject(rw, http.StatusBadRequest, "bits %d outside [1, %d] (fault model %q)", req.Bits, pop, req.Fault)
 		return
 	}
 	if req.Tol <= 0 {
@@ -232,6 +242,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		Tol:       req.Tol,
 		Bits:      req.Bits,
 		Width:     w.cfg.Width,
+		Model:     model,
 		Workers:   w.cfg.Procs,
 		Context:   r.Context(),
 		Observer:  w.cfg.Observer,

@@ -1,0 +1,415 @@
+// Package scenario loads and validates declarative fault-scenario files:
+// checked-in YAML documents that bind a kernel, a size preset, a fault
+// model, a campaign mode, and the gates the campaign's outcome must pass.
+// Scenarios make resiliency regressions executable — `ftbcli scenario run`
+// executes every scenario in a directory and fails if any gate is
+// violated, and the crashtest harness replays them under SIGKILL.
+//
+// The file format is a strict subset of YAML, parsed by hand so the
+// module stays stdlib-only: top-level `key: value` lines, one optional
+// `expect:` block whose keys are indented by exactly two spaces, `#`
+// comments (full-line, or trailing after ` #`), and blank lines. Unknown
+// keys, duplicate keys, and malformed values are errors — a scenario
+// that parses is a scenario whose every line is meaningful.
+//
+//	name: stencil-burst3            # [a-z0-9-]+, unique per suite
+//	kernel: stencil                 # a built-in kernel name
+//	size: test                      # test | small | paper | large
+//	fault: burst3                   # canonical fault-model string
+//	mode: exhaustive                # exhaustive | sample
+//	expect:
+//	  experiments: 640
+//	  crash: 129
+//
+// Fixed seeds plus the engine's determinism contract make every scenario
+// outcome reproducible bit-for-bit: the same file always produces the
+// same counts, on any worker layout.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftb/internal/bits"
+	"ftb/internal/kernels"
+)
+
+// Unset marks an Expect count gate that the scenario does not check.
+const Unset = -1
+
+// Expect is the gate block of a scenario: exact outcome counts and
+// percentage bounds the campaign result must satisfy. Count fields use
+// Unset (-1) for "not checked" so an explicit zero (e.g. `crash: 0`)
+// remains expressible.
+type Expect struct {
+	// Experiments is the exact experiment count (sites × population in
+	// exhaustive mode, the sample budget in sample mode).
+	Experiments int
+	// Masked, SDC, Crash are exact per-outcome counts.
+	Masked int
+	SDC    int
+	Crash  int
+	// MaxSDCPct bounds the SDC percentage of the run from above
+	// (negative = not checked).
+	MaxSDCPct float64
+	// MinMaskedPct bounds the masked percentage from below
+	// (negative = not checked).
+	MinMaskedPct float64
+}
+
+// NewExpect returns an Expect with every gate unset.
+func NewExpect() Expect {
+	return Expect{Experiments: Unset, Masked: Unset, SDC: Unset, Crash: Unset, MaxSDCPct: Unset, MinMaskedPct: Unset}
+}
+
+// Check evaluates the gates against a completed campaign's outcome
+// counts and returns one message per violation (empty = all gates pass).
+func (e Expect) Check(experiments, masked, sdc, crash int) []string {
+	var fails []string
+	exact := func(gate string, want, got int) {
+		if want != Unset && got != want {
+			fails = append(fails, fmt.Sprintf("%s = %d, want %d", gate, got, want))
+		}
+	}
+	exact("experiments", e.Experiments, experiments)
+	exact("masked", e.Masked, masked)
+	exact("sdc", e.SDC, sdc)
+	exact("crash", e.Crash, crash)
+	if experiments > 0 {
+		if e.MaxSDCPct >= 0 {
+			if pct := 100 * float64(sdc) / float64(experiments); pct > e.MaxSDCPct {
+				fails = append(fails, fmt.Sprintf("sdc %.2f%% above max_sdc_pct %g", pct, e.MaxSDCPct))
+			}
+		}
+		if e.MinMaskedPct >= 0 {
+			if pct := 100 * float64(masked) / float64(experiments); pct < e.MinMaskedPct {
+				fails = append(fails, fmt.Sprintf("masked %.2f%% below min_masked_pct %g", pct, e.MinMaskedPct))
+			}
+		}
+	}
+	return fails
+}
+
+// Scenario is one declarative fault scenario.
+type Scenario struct {
+	// Name identifies the scenario ([a-z0-9-]+).
+	Name string
+	// Description is free-form documentation.
+	Description string
+	// Kernel is the built-in kernel name.
+	Kernel string
+	// Size is the kernel size preset (default "test").
+	Size string
+	// Fault is the canonical fault-model string ("" = single-bit flip).
+	Fault string
+	// Mode selects the campaign: "exhaustive" (default) covers the full
+	// experiment space; "sample" draws a fixed-seed uniform sample.
+	Mode string
+	// Seed drives sample selection in sample mode.
+	Seed uint64
+	// SampleFrac is the sample-mode budget as a fraction of the space.
+	SampleFrac float64
+	// Samples is the sample-mode budget as an absolute count
+	// (mutually exclusive with SampleFrac).
+	Samples int
+	// Tolerance overrides the kernel's default output tolerance when
+	// positive.
+	Tolerance float64
+	// Workers caps campaign parallelism (0 = engine default).
+	Workers int
+	// Expect gates the campaign outcome.
+	Expect Expect
+	// Path is the source file (set by ParseFile / LoadDir).
+	Path string
+}
+
+// Modes.
+const (
+	ModeExhaustive = "exhaustive"
+	ModeSample     = "sample"
+)
+
+var sizes = []string{kernels.SizeTest, kernels.SizeSmall, kernels.SizePaper, kernels.SizeLarge}
+
+// Validate checks the scenario for structural soundness: the kernel
+// exists, the size preset and mode are known, the fault model parses and
+// fits the kernel's width, sample budgets are consistent, and gate
+// values are in range. It is cheap (the kernel is probed at test size)
+// and does not run any campaign.
+func (s *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %v", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario (%s): name is required", s.Path)
+	}
+	for _, r := range s.Name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return fail("name must match [a-z0-9-]+")
+		}
+	}
+	if s.Kernel == "" {
+		return fail("kernel is required")
+	}
+	// Probe at test size: kernel existence and width are size-independent,
+	// and test-size construction is cheap even for the large presets.
+	k, err := kernels.New(s.Kernel, kernels.SizeTest)
+	if err != nil {
+		return fail("%v", err)
+	}
+	size := s.Size
+	if size == "" {
+		size = kernels.SizeTest
+	}
+	validSize := false
+	for _, known := range sizes {
+		validSize = validSize || size == known
+	}
+	if !validSize {
+		return fail("size %q not one of %v", s.Size, sizes)
+	}
+	model, err := bits.ParseFaultModel(s.Fault)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if err := model.Validate(k.Width()); err != nil {
+		return fail("%v", err)
+	}
+	switch s.Mode {
+	case "", ModeExhaustive:
+		if s.SampleFrac != 0 || s.Samples != 0 {
+			return fail("sample_frac/samples apply to mode sample only")
+		}
+	case ModeSample:
+		if (s.SampleFrac > 0) == (s.Samples > 0) {
+			return fail("mode sample requires exactly one of sample_frac or samples")
+		}
+		if s.SampleFrac < 0 || s.SampleFrac > 1 {
+			return fail("sample_frac %g outside (0, 1]", s.SampleFrac)
+		}
+	default:
+		return fail("mode %q not one of exhaustive, sample", s.Mode)
+	}
+	if s.Tolerance < 0 {
+		return fail("tolerance %g must not be negative", s.Tolerance)
+	}
+	if s.Workers < 0 {
+		return fail("workers %d must not be negative", s.Workers)
+	}
+	e := s.Expect
+	for gate, v := range map[string]int{"experiments": e.Experiments, "masked": e.Masked, "sdc": e.SDC, "crash": e.Crash} {
+		if v < Unset {
+			return fail("expect.%s %d must be a count or omitted", gate, v)
+		}
+	}
+	for gate, v := range map[string]float64{"max_sdc_pct": e.MaxSDCPct, "min_masked_pct": e.MinMaskedPct} {
+		if v != Unset && (v < 0 || v > 100) {
+			return fail("expect.%s %g outside [0, 100]", gate, v)
+		}
+	}
+	if e.Experiments != Unset && e.Masked != Unset && e.SDC != Unset && e.Crash != Unset {
+		if sum := e.Masked + e.SDC + e.Crash; sum != e.Experiments {
+			return fail("expect counts sum to %d, experiments says %d", sum, e.Experiments)
+		}
+	}
+	return nil
+}
+
+// EffectiveSize returns the size preset with the default applied.
+func (s *Scenario) EffectiveSize() string {
+	if s.Size == "" {
+		return kernels.SizeTest
+	}
+	return s.Size
+}
+
+// EffectiveMode returns the campaign mode with the default applied.
+func (s *Scenario) EffectiveMode() string {
+	if s.Mode == "" {
+		return ModeExhaustive
+	}
+	return s.Mode
+}
+
+// Parse parses one scenario document. src must follow the strict subset
+// described in the package documentation; every violation is an error
+// with a line number.
+func Parse(src []byte) (*Scenario, error) {
+	sc := &Scenario{Expect: NewExpect()}
+	seen := map[string]bool{}
+	inExpect := false
+	for ln, raw := range strings.Split(strings.ReplaceAll(string(src), "\r\n", "\n"), "\n") {
+		lineNo := ln + 1
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		nested := strings.HasPrefix(line, " ")
+		if nested {
+			if !inExpect {
+				return nil, fmt.Errorf("line %d: indented line outside an expect block", lineNo)
+			}
+			if !strings.HasPrefix(line, "  ") || strings.HasPrefix(line, "   ") {
+				return nil, fmt.Errorf("line %d: expect keys must be indented by exactly two spaces", lineNo)
+			}
+		} else {
+			inExpect = false
+		}
+		key, value, ok := strings.Cut(strings.TrimSpace(line), ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want `key: value`", lineNo)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		full := key
+		if nested {
+			full = "expect." + key
+		}
+		if seen[full] {
+			return nil, fmt.Errorf("line %d: duplicate key %q", lineNo, full)
+		}
+		seen[full] = true
+		if err := sc.set(full, value, &inExpect); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	return sc, nil
+}
+
+// stripComment removes a full-line or trailing ` #` comment. Values
+// therefore cannot contain a space-hash sequence; scenario values never
+// need one.
+func stripComment(line string) string {
+	if strings.HasPrefix(strings.TrimSpace(line), "#") {
+		return ""
+	}
+	if i := strings.Index(line, " #"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// set assigns one parsed key. inExpect flips when the expect block opens.
+func (sc *Scenario) set(key, value string, inExpect *bool) error {
+	atoi := func(dst *int) error {
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("%s: %v", key, err)
+		}
+		*dst = n
+		return nil
+	}
+	atof := func(dst *float64) error {
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %v", key, err)
+		}
+		*dst = f
+		return nil
+	}
+	switch key {
+	case "name":
+		sc.Name = value
+	case "description":
+		sc.Description = value
+	case "kernel":
+		sc.Kernel = value
+	case "size":
+		sc.Size = value
+	case "fault":
+		sc.Fault = value
+	case "mode":
+		sc.Mode = value
+	case "seed":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed: %v", err)
+		}
+		sc.Seed = n
+	case "sample_frac":
+		return atof(&sc.SampleFrac)
+	case "samples":
+		return atoi(&sc.Samples)
+	case "tolerance":
+		return atof(&sc.Tolerance)
+	case "workers":
+		return atoi(&sc.Workers)
+	case "expect":
+		if value != "" {
+			return fmt.Errorf("expect: opens a block and takes no value (got %q)", value)
+		}
+		*inExpect = true
+	case "expect.experiments":
+		return atoi(&sc.Expect.Experiments)
+	case "expect.masked":
+		return atoi(&sc.Expect.Masked)
+	case "expect.sdc":
+		return atoi(&sc.Expect.SDC)
+	case "expect.crash":
+		return atoi(&sc.Expect.Crash)
+	case "expect.max_sdc_pct":
+		return atof(&sc.Expect.MaxSDCPct)
+	case "expect.min_masked_pct":
+		return atof(&sc.Expect.MinMaskedPct)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// ParseFile parses and validates one scenario file.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sc.Path = path
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// LoadDir parses and validates every *.yaml / *.yml file directly inside
+// dir, sorted by file name, and rejects duplicate scenario names.
+func LoadDir(dir string) ([]*Scenario, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ext := filepath.Ext(e.Name()); ext == ".yaml" || ext == ".yml" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no scenario files (*.yaml)", dir)
+	}
+	byName := map[string]string{}
+	scs := make([]*Scenario, 0, len(paths))
+	for _, p := range paths {
+		sc, err := ParseFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := byName[sc.Name]; dup {
+			return nil, fmt.Errorf("%s: scenario name %q already used by %s", p, sc.Name, prev)
+		}
+		byName[sc.Name] = p
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"testing"
+)
+
+func faultIdentity(fault string) Identity {
+	return Identity{Program: "stencil", Sites: 10, Bits: 64, Width: 64, Tol: 1e-6, GoldenCRC: 0xdeadbeef, Fault: fault}
+}
+
+// TestIdentityFaultDistinct: campaigns under different fault models never
+// share a directory, and the default model keeps its pre-fault-model hash.
+func TestIdentityFaultDistinct(t *testing.T) {
+	base := faultIdentity("")
+	seen := map[string]string{base.DirName(): ""}
+	for _, fault := range []string{"burst3", "multi2", "stuck0", "stuck1", "exponent:bitflip"} {
+		id := faultIdentity(fault)
+		if fault == "exponent:bitflip" {
+			id.Bits = 11
+		}
+		dir := id.DirName()
+		if prev, dup := seen[dir]; dup {
+			t.Fatalf("fault %q and %q share directory %q", fault, prev, dir)
+		}
+		seen[dir] = fault
+	}
+	// The default-model hash must not move: it names existing directories.
+	if got, want := base.ConfigHash(), (Identity{Program: "stencil", Sites: 10, Bits: 64, Width: 64, Tol: 1e-6, GoldenCRC: 0xdeadbeef}).ConfigHash(); got != want {
+		t.Fatalf("default identity hash drifted: %08x != %08x", got, want)
+	}
+}
+
+func TestIdentityFaultValidation(t *testing.T) {
+	bad := faultIdentity("nonsense")
+	if err := bad.validate(); err == nil {
+		t.Fatal("unparseable fault model accepted")
+	}
+	// Bits above the fault model's population is rejected even though it
+	// fits the width.
+	over := faultIdentity("exponent:bitflip")
+	over.Bits = 12
+	if err := over.validate(); err == nil {
+		t.Fatal("bits 12 accepted against an 11-coordinate exponent population")
+	}
+	ok := faultIdentity("exponent:bitflip")
+	ok.Bits = 11
+	if err := ok.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManifestFaultRoundTrip: non-default identities survive the manifest;
+// default identities keep the version-1 encoding older builds read.
+func TestManifestFaultRoundTrip(t *testing.T) {
+	id := faultIdentity("mantissa:burst3")
+	id.Bits = 52
+	m := &manifest{id: id, nextSeq: 7, segs: []manifestSeg{{seq: 3, committed: segHeaderSize + 4*recordSize}}}
+	got, err := decodeManifest(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.id != id || got.nextSeq != 7 || len(got.segs) != 1 {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+
+	legacy := &manifest{id: faultIdentity(""), nextSeq: 1}
+	enc := legacy.encode()
+	if enc[4] != manifestVersion {
+		t.Fatalf("default-model manifest encoded as version %d, want %d", enc[4], manifestVersion)
+	}
+	back, err := decodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.id.Fault != "" {
+		t.Fatalf("version-1 decode produced fault %q", back.id.Fault)
+	}
+}
+
+// TestDBFaultCampaignsCoexist: two campaigns differing only in fault model
+// live side by side and reopen with their own identities.
+func TestDBFaultCampaignsCoexist(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := faultIdentity("")
+	b := faultIdentity("burst3")
+	ca, err := db.Campaign(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := db.Campaign(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Dir() == cb.Dir() {
+		t.Fatal("default and burst3 campaigns share a directory")
+	}
+	// Reopen from a fresh DB handle: identities must match exactly.
+	db2, err := Open(db.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Campaign(b); err != nil {
+		t.Fatalf("reopen burst3 campaign: %v", err)
+	}
+	wrong := b
+	wrong.Fault = "burst4"
+	// burst4 would hash to a different directory; forcing the existing
+	// burst3 directory open with the drifted identity must fail.
+	if _, err := openCampaign(cb.Dir(), wrong, nil); err == nil {
+		t.Fatal("drifted fault identity opened an existing campaign")
+	}
+}

@@ -17,9 +17,14 @@ import (
 // point leaves the previous manifest in place and at most a torn tail
 // past some segment's committed length, which reopen ignores.
 const (
-	manifestName    = "MANIFEST"
-	manifestMagic   = "FTBM"
-	manifestVersion = 1
+	manifestName  = "MANIFEST"
+	manifestMagic = "FTBM"
+	// Version 1 predates fault models; version 2 appends the identity's
+	// fault-model string after the golden CRC. Default-model campaigns
+	// still encode as version 1, so their manifests stay byte-identical
+	// to (and readable by) pre-fault-model builds.
+	manifestVersion      = 1
+	manifestVersionFault = 2
 )
 
 type manifestSeg struct {
@@ -34,9 +39,13 @@ type manifest struct {
 }
 
 func (m *manifest) encode() []byte {
+	version := byte(manifestVersion)
+	if m.id.Fault != "" {
+		version = manifestVersionFault
+	}
 	var b []byte
 	b = append(b, manifestMagic...)
-	b = append(b, manifestVersion, 0, 0, 0)
+	b = append(b, version, 0, 0, 0)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.id.Program)))
 	b = append(b, m.id.Program...)
 	b = binary.LittleEndian.AppendUint64(b, uint64(m.id.Sites))
@@ -44,6 +53,10 @@ func (m *manifest) encode() []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.id.Width))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.id.Tol))
 	b = binary.LittleEndian.AppendUint32(b, m.id.GoldenCRC)
+	if version == manifestVersionFault {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.id.Fault)))
+		b = append(b, m.id.Fault...)
+	}
 	b = binary.LittleEndian.AppendUint64(b, m.nextSeq)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.segs)))
 	for _, s := range m.segs {
@@ -64,8 +77,9 @@ func decodeManifest(b []byte) (*manifest, error) {
 	if string(body[:4]) != manifestMagic {
 		return nil, fmt.Errorf("%w: manifest magic %q", ErrCorrupt, body[:4])
 	}
-	if body[4] != manifestVersion {
-		return nil, fmt.Errorf("store: manifest version %d, this build reads %d", body[4], manifestVersion)
+	version := body[4]
+	if version != manifestVersion && version != manifestVersionFault {
+		return nil, fmt.Errorf("store: manifest version %d, this build reads %d and %d", version, manifestVersion, manifestVersionFault)
 	}
 	r := reader{b: body, off: 8}
 	m := &manifest{}
@@ -80,6 +94,14 @@ func decodeManifest(b []byte) (*manifest, error) {
 	m.id.Width = int(r.u32())
 	m.id.Tol = math.Float64frombits(r.u64())
 	m.id.GoldenCRC = r.u32()
+	if version == manifestVersionFault {
+		faultLen := int(r.u32())
+		if faultLen <= 0 || r.off+faultLen > len(body) {
+			return nil, fmt.Errorf("%w: manifest fault-model length %d", ErrCorrupt, faultLen)
+		}
+		m.id.Fault = string(body[r.off : r.off+faultLen])
+		r.off += faultLen
+	}
 	m.nextSeq = r.u64()
 	nseg := int(r.u32())
 	for i := 0; i < nseg; i++ {

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 
+	"ftb/internal/bits"
 	"ftb/internal/telemetry"
 )
 
@@ -58,10 +59,15 @@ var (
 type Identity struct {
 	Program   string  // analysis/program name, e.g. "gmres"
 	Sites     int     // dynamic instruction count of the golden run
-	Bits      int     // bit flips per site
+	Bits      int     // fault coordinates probed per site
 	Width     int     // IEEE-754 data width (32 or 64)
 	Tol       float64 // domain tolerance T
 	GoldenCRC uint32  // CRC-32 of the golden run (see cluster.GoldenCRC)
+	// Fault is the canonical fault-model string (bits.FaultModel.String).
+	// Empty means the paper's default single-bit flip — the only value
+	// that existed before fault models, so pre-existing campaign
+	// directories keep their identity, hash, and manifest encoding.
+	Fault string
 }
 
 func (id Identity) validate() error {
@@ -74,8 +80,15 @@ func (id Identity) validate() error {
 	if id.Width != 32 && id.Width != 64 {
 		return fmt.Errorf("store: identity width %d must be 32 or 64", id.Width)
 	}
-	if id.Bits < 1 || id.Bits > id.Width {
-		return fmt.Errorf("store: identity bits %d outside [1, %d]", id.Bits, id.Width)
+	model, err := bits.ParseFaultModel(id.Fault)
+	if err != nil {
+		return fmt.Errorf("store: identity fault model: %w", err)
+	}
+	if err := model.Validate(id.Width); err != nil {
+		return fmt.Errorf("store: identity fault model: %w", err)
+	}
+	if pop := model.BitsPerSite(id.Width); id.Bits < 1 || id.Bits > pop {
+		return fmt.Errorf("store: identity bits %d outside [1, %d] (fault model %q)", id.Bits, pop, id.Fault)
 	}
 	if id.Sites > math.MaxUint32/id.Bits {
 		return fmt.Errorf("store: identity %d sites × %d bits overflows the record key space", id.Sites, id.Bits)
@@ -103,6 +116,11 @@ func (id Identity) ConfigHash() uint32 {
 	put(uint64(id.Width))
 	put(math.Float64bits(id.Tol))
 	put(uint64(id.GoldenCRC))
+	// The fault facet is folded in only when non-default, so every
+	// pre-fault-model campaign directory keeps its hash.
+	if id.Fault != "" {
+		h.Write([]byte(id.Fault))
+	}
 	return h.Sum32()
 }
 
@@ -115,8 +133,12 @@ func (id Identity) DirName() string {
 
 // String renders the identity the way mismatch errors report it.
 func (id Identity) String() string {
-	return fmt.Sprintf("program %q config %08x (sites %d, bits %d, width %d, tol %g, golden crc %08x)",
-		id.Program, id.ConfigHash(), id.Sites, id.Bits, id.Width, id.Tol, id.GoldenCRC)
+	fault := id.Fault
+	if fault == "" {
+		fault = "bitflip"
+	}
+	return fmt.Sprintf("program %q config %08x (sites %d, bits %d, width %d, tol %g, golden crc %08x, fault %s)",
+		id.Program, id.ConfigHash(), id.Sites, id.Bits, id.Width, id.Tol, id.GoldenCRC, fault)
 }
 
 // sanitize maps a program name onto a filesystem-safe slug.

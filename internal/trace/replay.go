@@ -58,7 +58,7 @@ func (c *Ctx) InjectFrom(site int, bit uint, resume int) {
 	if site < resume {
 		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
 	}
-	*c = Ctx{mode: ModeInject, site: site, bit: bit, n: resume, resume: resume}
+	*c = Ctx{mode: ModeInject, site: site, bit: bit, n: resume, resume: resume, model: c.model}
 }
 
 // InjectDiffFrom arms c like InjectDiff, resuming from a checkpoint
@@ -69,7 +69,7 @@ func (c *Ctx) InjectDiffFrom(site int, bit uint, golden []float64, sink DiffSink
 	if site < resume {
 		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
 	}
-	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink, n: resume, resume: resume}
+	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink, n: resume, resume: resume, model: c.model}
 }
 
 // InjectDiffUntil arms c like InjectDiffFrom but additionally truncates
@@ -86,7 +86,7 @@ func (c *Ctx) InjectDiffUntil(site int, bit uint, golden []float64, sink DiffSin
 		panic(fmt.Sprintf("trace: truncation boundary %d does not cover injection site %d", until, site))
 	}
 	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink,
-		n: resume, resume: resume, pauseAt: until}
+		n: resume, resume: resume, pauseAt: until, model: c.model}
 }
 
 // ResumeTail arms c to finish a paused truncated injection run: the
@@ -96,7 +96,7 @@ func (c *Ctx) InjectDiffUntil(site int, bit uint, golden []float64, sink DiffSin
 // committed stores, and executes the suffix with crash trapping armed
 // and no further injection (site -1 never matches a store index).
 func (c *Ctx) ResumeTail(resume int) {
-	*c = Ctx{mode: ModeInject, site: -1, n: resume, resume: resume}
+	*c = Ctx{mode: ModeInject, site: -1, n: resume, resume: resume, model: c.model}
 }
 
 // armAdvance arms c to run stores [from, to) and pause: the run skips
@@ -104,7 +104,7 @@ func (c *Ctx) ResumeTail(resume int) {
 // commits stores [from, to), and aborts inside the Store call for store
 // `to` — before the kernel assigns its value anywhere.
 func (c *Ctx) armAdvance(from, to int) {
-	*c = Ctx{mode: modeAdvance, n: from, resume: from, pauseAt: to}
+	*c = Ctx{mode: modeAdvance, n: from, resume: from, pauseAt: to, model: c.model}
 }
 
 // Advance drives p from a state holding the first `from` stores to one

@@ -90,7 +90,10 @@ type Ctx struct {
 	// Record mode.
 	golden []float64
 
-	// Inject modes.
+	// Inject modes. model is sticky across re-arming (see SetFaultModel):
+	// its zero value is the paper's single-bit flip, and bit is then the
+	// region-relative fault coordinate of the armed experiment.
+	model    bits.FaultModel
 	site     int
 	bit      uint
 	injected bool
@@ -110,37 +113,46 @@ type Ctx struct {
 	pauseAt int // modeAdvance: store index to pause at, pre-commit
 }
 
+// SetFaultModel installs the perturbation applied at injection sites. The
+// model is sticky: it survives every subsequent re-arming of c (Count,
+// Inject, InjectFrom, ...) until overwritten. The zero model is the paper's
+// single-bit flip.
+func (c *Ctx) SetFaultModel(m bits.FaultModel) { c.model = m }
+
+// FaultModel returns the installed fault model.
+func (c *Ctx) FaultModel() bits.FaultModel { return c.model }
+
 // Count arms c to count dynamic instructions.
 func (c *Ctx) Count() {
-	*c = Ctx{mode: ModeCount}
+	*c = Ctx{mode: ModeCount, model: c.model}
 }
 
 // Record arms c to record the golden trace into buf (reused if capacity
 // allows).
 func (c *Ctx) Record(buf []float64) {
-	*c = Ctx{mode: ModeRecord, golden: buf[:0]}
+	*c = Ctx{mode: ModeRecord, golden: buf[:0], model: c.model}
 }
 
-// Inject arms c to flip bit of the value stored at dynamic instruction
-// site.
+// Inject arms c to perturb the value stored at dynamic instruction site,
+// applying the installed fault model at coordinate bit.
 func (c *Ctx) Inject(site int, bit uint) {
-	*c = Ctx{mode: ModeInject, site: site, bit: bit}
+	*c = Ctx{mode: ModeInject, site: site, bit: bit, model: c.model}
 }
 
 // InjectDiff arms c to inject like Inject and stream per-site propagation
 // errors against the golden trace to sink.
 func (c *Ctx) InjectDiff(site int, bit uint, golden []float64, sink DiffSink) {
-	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink}
+	*c = Ctx{mode: ModeInjectDiff, site: site, bit: bit, ref: golden, sink: sink, model: c.model}
 }
 
 // armStreamSource arms c as the golden half of a dual run.
 func (c *Ctx) armStreamSource(out chan<- float64) {
-	*c = Ctx{mode: modeStreamSource, streamOut: out}
+	*c = Ctx{mode: modeStreamSource, streamOut: out, model: c.model}
 }
 
 // armStreamDiff arms c as the injected half of a dual run.
 func (c *Ctx) armStreamDiff(site int, bit uint, in <-chan float64, sink DiffSink) {
-	*c = Ctx{mode: modeStreamDiff, site: site, bit: bit, streamIn: in, sink: sink}
+	*c = Ctx{mode: modeStreamDiff, site: site, bit: bit, streamIn: in, sink: sink, model: c.model}
 }
 
 // Sites returns the number of Store calls observed so far.
@@ -174,7 +186,7 @@ func (c *Ctx) Store(v float64) float64 {
 	case ModeInject:
 		if i == c.site {
 			orig := v
-			v = bits.Flip64(v, c.bit)
+			v = c.model.Apply64(v, i, c.bit)
 			c.injected = true
 			c.injErr = injectionError(orig, v)
 		}
@@ -193,7 +205,7 @@ func (c *Ctx) Store(v float64) float64 {
 		}
 		if i == c.site {
 			orig := v
-			v = bits.Flip64(v, c.bit)
+			v = c.model.Apply64(v, i, c.bit)
 			c.injected = true
 			c.injErr = injectionError(orig, v)
 		}
@@ -215,7 +227,7 @@ func (c *Ctx) Store(v float64) float64 {
 	case modeStreamDiff:
 		if i == c.site {
 			orig := v
-			v = bits.Flip64(v, c.bit)
+			v = c.model.Apply64(v, i, c.bit)
 			c.injected = true
 			c.injErr = injectionError(orig, v)
 		}
@@ -266,11 +278,11 @@ func (c *Ctx) Store32(v float32) float32 {
 			panic(pauseSignal{}) // truncation boundary, see Store
 		}
 		if i == c.site {
-			if c.bit >= bits.Width32 {
-				panic(fmt.Sprintf("trace: bit %d armed against 32-bit site %d", c.bit, i))
+			if int(c.bit) >= c.model.BitsPerSite(bits.Width32) {
+				panic(fmt.Sprintf("trace: coordinate %d armed against 32-bit site %d (population %d)", c.bit, i, c.model.BitsPerSite(bits.Width32)))
 			}
 			orig := v
-			v = bits.Flip32(v, c.bit)
+			v = c.model.Apply32(v, i, c.bit)
 			c.injected = true
 			c.injErr = injectionError32(orig, v)
 		}
@@ -291,11 +303,11 @@ func (c *Ctx) Store32(v float32) float32 {
 		return v
 	case modeStreamDiff:
 		if i == c.site {
-			if c.bit >= bits.Width32 {
-				panic(fmt.Sprintf("trace: bit %d armed against 32-bit site %d", c.bit, i))
+			if int(c.bit) >= c.model.BitsPerSite(bits.Width32) {
+				panic(fmt.Sprintf("trace: coordinate %d armed against 32-bit site %d (population %d)", c.bit, i, c.model.BitsPerSite(bits.Width32)))
 			}
 			orig := v
-			v = bits.Flip32(v, c.bit)
+			v = c.model.Apply32(v, i, c.bit)
 			c.injected = true
 			c.injErr = injectionError32(orig, v)
 		}

@@ -1,0 +1,33 @@
+package ftb_test
+
+import (
+	"testing"
+
+	"ftb"
+)
+
+// BenchmarkScenario runs each checked-in scenario end to end — parse,
+// campaign, gate evaluation — as its own sub-benchmark. The nightly CI
+// gate reruns this with -count=3 and feeds the samples through
+// `benchjson -gate`, so scenario wall-clock regressions (and noisy
+// measurements) fail the release gate statistically rather than on a
+// single run.
+func BenchmarkScenario(b *testing.B) {
+	scs, err := ftb.LoadScenarioDir("scenarios")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range scs {
+		b.Run(sc.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ftb.RunScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Passed() {
+					b.Fatalf("gates violated: %v", res.Failures)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package ftb
+
+import (
+	"testing"
+)
+
+// TestScenarioSuite: every checked-in scenario parses, validates, and
+// passes its gates — the gates pin exact outcome counts, so this is also
+// the end-to-end determinism check against the committed values.
+func TestScenarioSuite(t *testing.T) {
+	scs, err := LoadScenarioDir("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 5 {
+		t.Fatalf("suite holds %d scenarios, want at least 5", len(scs))
+	}
+	kinds := map[string]bool{}
+	for _, sc := range scs {
+		res, err := RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !res.Passed() {
+			t.Errorf("%s: gates violated: %v", sc.Name, res.Failures)
+		}
+		kinds[sc.Fault] = true
+	}
+	if !kinds["burst3"] || !kinds["exponent:bitflip"] {
+		t.Error("suite must cover burst and region-targeted fault models")
+	}
+}
+
+// TestRunScenarioDeterministic: the same scenario value produces
+// identical results across repeated runs and worker counts, in both
+// campaign modes.
+func TestRunScenarioDeterministic(t *testing.T) {
+	for _, sc := range []*Scenario{
+		{Name: "det-burst", Kernel: "stencil", Fault: "burst3", Expect: newUnsetExpect()},
+		{Name: "det-sample", Kernel: "cg", Mode: ScenarioSample, Samples: 100, Seed: 3, Expect: newUnsetExpect()},
+	} {
+		first, err := RunScenario(sc, WithWorkers(1))
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		again, err := RunScenario(sc, WithWorkers(4))
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if first.Masked != again.Masked || first.SDC != again.SDC ||
+			first.Crash != again.Crash || first.Experiments != again.Experiments {
+			t.Errorf("%s: %+v != %+v across worker counts", sc.Name, first, again)
+		}
+	}
+}
+
+// newUnsetExpect mirrors scenario.NewExpect for literals built in tests.
+func newUnsetExpect() ScenarioExpect {
+	return ScenarioExpect{Experiments: -1, Masked: -1, SDC: -1, Crash: -1, MaxSDCPct: -1, MinMaskedPct: -1}
+}
+
+// TestRunScenarioStore: an exhaustive scenario with a store attached
+// persists its campaign and replays it for free on the next run.
+func TestRunScenarioStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sc := &Scenario{Name: "store-burst", Kernel: "stencil", Fault: "burst3", Expect: newUnsetExpect()}
+	first, err := RunScenario(sc, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunScenario(sc, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Masked != again.Masked || first.SDC != again.SDC || first.Crash != again.Crash {
+		t.Fatalf("store replay drifted: %+v != %+v", first, again)
+	}
+	an, err := NewScenarioAnalysis(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := an.StoreIdentity(); id.Fault != "burst3" {
+		t.Fatalf("store identity fault = %q, want burst3", id.Fault)
+	}
+}
+
+// TestWithFaultModelFacade: the RunOption threads through effective
+// bits, the sample space, store identity, and the inference rejections.
+func TestWithFaultModelFacade(t *testing.T) {
+	an, err := NewKernelAnalysis("stencil", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := FaultModel{Kind: FaultBitFlip, Region: RegionExponent}
+	anF := an.With(WithFaultModel(model))
+	if anF.Bits() != 11 || an.Bits() != 64 {
+		t.Fatalf("bits = %d / %d, want 11 / 64", anF.Bits(), an.Bits())
+	}
+	if anF.SampleSpace() != an.Sites()*11 {
+		t.Fatalf("sample space = %d", anF.SampleSpace())
+	}
+	if id := anF.StoreIdentity(); id.Fault != "exponent:bitflip" || id.Bits != 11 {
+		t.Fatalf("identity = %+v", id)
+	}
+	if id := an.StoreIdentity(); id.Fault != "" {
+		t.Fatalf("default identity gained a fault facet: %+v", id)
+	}
+
+	gt, err := anF.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.BitsN != 11 || len(gt.Kinds) != an.Sites()*11 {
+		t.Fatalf("ground truth shape %d × %d", gt.SitesN, gt.BitsN)
+	}
+
+	if _, err := anF.InferBoundary(InferOptions{Samples: 10, Seed: 1}); err == nil {
+		t.Error("InferBoundary accepted a non-default fault model")
+	}
+	if _, err := anF.InferFromPairs([]Pair{{Site: 0, Bit: 0}}, false); err == nil {
+		t.Error("InferFromPairs accepted a non-default fault model")
+	}
+	if _, _, err := anF.Progressive(ProgressiveOptions{RoundFrac: 0.01, Seed: 1}); err == nil {
+		t.Error("Progressive accepted a non-default fault model")
+	}
+	if _, err := anF.Exhaustive(WithCompose(ComposeOptions{})); err == nil {
+		t.Error("WithCompose accepted a non-default fault model")
+	}
+}

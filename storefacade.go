@@ -63,16 +63,29 @@ func WithStore(st *Store) RunOption {
 
 // StoreIdentity returns the identity under which this analysis's
 // campaigns are keyed in a store: program name, site count, bits, width,
-// tolerance, and the golden-run fingerprint.
+// tolerance, fault model, and the golden-run fingerprint. A fault model
+// applied persistently with With(WithFaultModel(...)) is part of the
+// identity — campaigns under distinct models never share a log.
 func (a *Analysis) StoreIdentity() StoreIdentity {
-	return store.Identity{
+	return a.storeIdentityFor(a.run)
+}
+
+// storeIdentityFor builds the store key of one resolved run. The Fault
+// facet stays empty under the default model, so pre-fault-model store
+// directories keep their identities.
+func (a *Analysis) storeIdentityFor(rc runConfig) StoreIdentity {
+	id := store.Identity{
 		Program:   a.name,
 		Sites:     a.golden.Sites(),
-		Bits:      a.bits,
+		Bits:      a.bitsFor(rc),
 		Width:     a.width,
 		Tol:       a.tol,
 		GoldenCRC: cluster.GoldenCRC(a.golden),
 	}
+	if !rc.model.IsDefault() {
+		id.Fault = rc.model.String()
+	}
+	return id
 }
 
 // StoreCampaign opens (creating if absent) this analysis's campaign log
@@ -107,7 +120,7 @@ func (a *Analysis) ImportGroundTruthFile(st *Store, path string) error {
 // campaign in st and returns the store-materialized copy, so the
 // caller's result is exactly what later queries will serve.
 func (a *Analysis) storeFinalize(rc runConfig, gt *GroundTruth) (*GroundTruth, error) {
-	c, err := a.StoreCampaign(rc.store)
+	c, err := rc.store.Campaign(a.storeIdentityFor(rc))
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +144,7 @@ func (a *Analysis) storeCheckpointed(rc runConfig, checkpointPath string, batch 
 	if checkpointPath != "" {
 		return nil, errors.New("ftb: WithStore and a checkpoint file are mutually exclusive; pass an empty checkpointPath and let the store carry resume state")
 	}
-	c, err := a.StoreCampaign(rc.store)
+	c, err := rc.store.Campaign(a.storeIdentityFor(rc))
 	if err != nil {
 		return nil, err
 	}
@@ -168,14 +181,15 @@ func (a *Analysis) storeCheckpointed(rc runConfig, checkpointPath string, batch 
 	// delta appends — each checkpoint call persists only the sites
 	// completed since the last one.
 	lastSaved := prefixSites
+	bitsN := a.bitsFor(rc)
 	save := func(partial *GroundTruth, done int) error {
 		if done <= lastSaved {
 			return nil
 		}
-		start := lastSaved * a.bits
+		start := lastSaved * bitsN
 		h := rc.spans.Start(obs.CatStoreAppend, "frontier", rc.spanParent, -1)
-		err := c.Append(start, partial.Kinds[start:done*a.bits])
-		h.End(int64(done*a.bits - start))
+		err := c.Append(start, partial.Kinds[start:done*bitsN])
+		h.End(int64(done*bitsN - start))
 		if err != nil {
 			return err
 		}
