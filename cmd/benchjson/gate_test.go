@@ -118,3 +118,61 @@ func TestGateThenCompare(t *testing.T) {
 		t.Fatalf("median 110 vs baseline 100 at 25%% threshold regressed: %+v", diffs)
 	}
 }
+
+// TestSpeedupFloor pins the -speedup gate: the slow/fast ns/op ratio
+// must meet the floor, names match with or without the -GOMAXPROCS
+// suffix, and a missing side fails rather than silently passing.
+func TestSpeedupFloor(t *testing.T) {
+	rep := Report{Benchmarks: []Result{
+		bench("BenchmarkX/vanilla-8", 400), bench("BenchmarkX/replay-8", 100),
+	}}
+
+	floors, err := parseSpeedups("BenchmarkX/vanilla:BenchmarkX/replay=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checkSpeedups(rep, floors); len(fails) != 0 {
+		t.Fatalf("4x speedup failed a 2x floor: %v", fails)
+	}
+
+	floors, err = parseSpeedups("BenchmarkX/vanilla:BenchmarkX/replay=5.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := checkSpeedups(rep, floors)
+	if len(fails) != 1 || !strings.Contains(fails[0], "below floor") {
+		t.Fatalf("fails = %v", fails)
+	}
+
+	floors, err = parseSpeedups("BenchmarkX/vanilla:BenchmarkX/nope=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails = checkSpeedups(rep, floors)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing side did not fail: %v", fails)
+	}
+}
+
+func TestParseSpeedupsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"a=2", "a:b", "a:b=x", ":b=2", "a:=2"} {
+		if _, err := parseSpeedups(bad); err == nil {
+			t.Errorf("parseSpeedups(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTrimProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkA-8":            "BenchmarkA",
+		"BenchmarkA":              "BenchmarkA",
+		"BenchmarkA/cg-test/x-16": "BenchmarkA/cg-test/x",
+		"BenchmarkA/cg-test/x":    "BenchmarkA/cg-test/x",
+		"BenchmarkA-":             "BenchmarkA-",
+	}
+	for in, want := range cases {
+		if got := trimProcsSuffix(in); got != want {
+			t.Errorf("trimProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

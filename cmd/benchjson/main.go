@@ -25,6 +25,15 @@
 // budget against the absolute number the benchmark reports, independent
 // of any baseline drift.
 //
+// -speedup "slow:fast=min,..." enforces relative-speedup floors between
+// two benchmarks of the same run: the ns/op ratio slow/fast must be at
+// least min. Unlike -ceiling, a missing side fails the gate — a floor
+// that silently passes because its benchmark never ran is no gate at
+// all. Names match with or without go test's -GOMAXPROCS suffix, so the
+// same floor works across machines:
+//
+//	-speedup 'BenchmarkReplayExhaustive/gmres-paper/vanilla:BenchmarkReplayExhaustive/gmres-paper/replay=2.0'
+//
 // With -gate, the stream is treated as a statistical release gate: the
 // input holds repeated samples per benchmark (`go test -count=3`), and
 // benchjson aggregates each benchmark to its median ns/op before any
@@ -293,6 +302,82 @@ func parseCeilings(s string) (map[string]float64, error) {
 	return ceil, nil
 }
 
+// speedupFloor is one -speedup bound: ns/op of slow divided by ns/op of
+// fast must be at least min.
+type speedupFloor struct {
+	slow, fast string
+	min        float64
+}
+
+// parseSpeedups parses the -speedup flag value: comma-separated
+// slow:fast=min triples.
+func parseSpeedups(s string) ([]speedupFloor, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var floors []speedupFloor
+	for _, part := range strings.Split(s, ",") {
+		pair, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("speedup %q: want slow:fast=min", part)
+		}
+		slow, fast, ok := strings.Cut(pair, ":")
+		if !ok || slow == "" || fast == "" {
+			return nil, fmt.Errorf("speedup %q: want slow:fast=min", part)
+		}
+		min, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("speedup %q: %w", part, err)
+		}
+		floors = append(floors, speedupFloor{slow: slow, fast: fast, min: min})
+	}
+	return floors, nil
+}
+
+// trimProcsSuffix strips go test's "-GOMAXPROCS" benchmark-name suffix,
+// so floors written without it match runs recorded on any machine.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// checkSpeedups returns one failure line per violated -speedup floor.
+// Missing benchmarks fail too: a relative floor exists to be enforced,
+// so a side that never ran must not silently pass the gate.
+func checkSpeedups(rep Report, floors []speedupFloor) []string {
+	byName := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[trimProcsSuffix(b.Name)] = b
+	}
+	var fails []string
+	for _, f := range floors {
+		slow, okS := byName[trimProcsSuffix(f.slow)]
+		fast, okF := byName[trimProcsSuffix(f.fast)]
+		switch {
+		case !okS || !okF:
+			fails = append(fails, fmt.Sprintf("speedup %s:%s: benchmark missing from the run", f.slow, f.fast))
+		case fast.NsPerOp <= 0:
+			fails = append(fails, fmt.Sprintf("speedup %s:%s: fast side reports no ns/op", f.slow, f.fast))
+		case slow.NsPerOp/fast.NsPerOp < f.min:
+			fails = append(fails, fmt.Sprintf("speedup %s:%s: %.2fx below floor %gx",
+				f.slow, f.fast, slow.NsPerOp/fast.NsPerOp, f.min))
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}
+
 // checkCeilings returns one failure line per benchmark metric that
 // exceeds its -ceiling bound. Benchmarks that don't report a bounded
 // metric are ignored: ceilings constrain values that exist, they don't
@@ -351,11 +436,17 @@ func main() {
 	comparePath := flag.String("compare", "", "diff the fresh run on stdin against this committed JSON baseline instead of emitting JSON; exit non-zero on ns/op regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression as a fraction (with -compare)")
 	ceiling := flag.String("ceiling", "", "comma-separated metric=value bounds; exit non-zero if any benchmark reports a metric above its bound (e.g. overhead_pct=5)")
+	speedup := flag.String("speedup", "", "comma-separated slow:fast=min relative-speedup floors on ns/op; exit non-zero if slow/fast falls below min or either benchmark is missing")
 	gate := flag.Bool("gate", false, "statistical gate mode: aggregate repeated samples per benchmark (go test -count=N) to their median before -compare/-ceiling, and fail on too few samples or too-noisy measurements")
 	runs := flag.Int("runs", 3, "minimum samples per benchmark (with -gate)")
 	maxCV := flag.Float64("max-cv", 0, "maximum ns/op coefficient of variation per benchmark, e.g. 0.40 (with -gate; 0 disables)")
 	flag.Parse()
 	ceil, err := parseCeilings(*ceiling)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	floors, err := parseSpeedups(*speedup)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
@@ -379,6 +470,10 @@ func main() {
 		}
 	}
 	for _, msg := range checkCeilings(rep, ceil) {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", msg)
+		failed = true
+	}
+	for _, msg := range checkSpeedups(rep, floors) {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", msg)
 		failed = true
 	}

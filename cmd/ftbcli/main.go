@@ -178,6 +178,9 @@ type execFlags struct {
 	serve         *string
 	noReplay      *bool
 	replayEvery   *int
+	replayPool    *int
+	replaySite    *bool
+	replayConv    *bool
 	spans         *bool
 	spansOut      *string
 	spanSample    *int
@@ -205,6 +208,9 @@ func newExecFlags(fs *flag.FlagSet) *execFlags {
 		serve:         serveFlag(fs),
 		noReplay:      fs.Bool("noreplay", false, "disable checkpointed prefix replay (full re-execution per experiment)"),
 		replayEvery:   fs.Int("replay-every", 0, "snapshot spacing of checkpointed replay, in sites (default 1)"),
+		replayPool:    fs.Int("replay-pool", 0, "per-worker pool of golden boundary snapshots seeding out-of-order rebuilds (0 = default capacity, negative = off)"),
+		replaySite:    fs.Bool("replay-site-snap", true, "keep the replay head snapshot at the injection site (second tier) instead of the checkpoint boundary"),
+		replayConv:    fs.Bool("replay-converge", true, "cut runs short when their state provably reconverges with the golden trace"),
 		spans:         fs.Bool("spans", false, "record a span timeline of the campaign and print the wall-clock attribution table after the run"),
 		spansOut:      fs.String("spans-out", "", "write the recorded span timeline to this file (.json = Chrome trace-event for Perfetto, otherwise JSONL); implies span recording"),
 		spanSample:    fs.Int("span-sample", 0, "record one experiment span (with typed sub-spans) per this many experiments per worker (default 64, auto-raised on very large campaigns; 1 = every experiment)"),
@@ -287,8 +293,13 @@ func (e *execFlags) options(ctx context.Context) []ftb.RunOption {
 	}
 	if *e.noReplay {
 		opts = append(opts, ftb.WithoutReplay())
-	} else if *e.replayEvery > 0 {
-		opts = append(opts, ftb.WithReplay(*e.replayEvery))
+	} else if *e.replayEvery > 0 || *e.replayPool != 0 || !*e.replaySite || !*e.replayConv {
+		opts = append(opts, ftb.WithReplayOptions(ftb.ReplayOptions{
+			Every:           *e.replayEvery,
+			Pool:            *e.replayPool,
+			NoSiteSnapshots: !*e.replaySite,
+			NoConverge:      !*e.replayConv,
+		}))
 	}
 	if e.rec != nil {
 		opts = append(opts, ftb.WithSpans(ftb.SpanOptions{Recorder: e.rec, ExperimentSample: *e.spanSample}))

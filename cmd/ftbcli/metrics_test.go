@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ftb"
+	"ftb/internal/telemetry"
 )
 
 // -update regenerates the golden files under testdata.
@@ -20,7 +21,13 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // experiment counts, outcome counters, latency observation counts, and
 // per-phase aggregates. Wall-clock, histogram sums and bucket spreads,
 // queue-wait counts (claim interleaving is scheduling-dependent), and
-// per-worker distributions vary run to run.
+// per-worker distributions vary run to run. Within the replay counters
+// the totals are deterministic but two splits depend on which worker
+// claimed which batch: a rebuilt snapshot seeds from the pool or from
+// the golden prefix depending on the worker's previous position (the
+// pool/miss split is folded, preserving the rebuild total), and the
+// per-bit converge arming adapts to the order a worker saw coordinates
+// (both converge counters are blanked).
 func normalizeSnapshot(s *ftb.MetricsSnapshot) {
 	s.WallSeconds = 0
 	s.RunLatency.SumSeconds = 0
@@ -29,13 +36,24 @@ func normalizeSnapshot(s *ftb.MetricsSnapshot) {
 	s.QueueWait.SumSeconds = 0
 	s.QueueWait.Buckets = nil
 	s.Workers = nil
+	normalizeReplay(&s.Replay)
 	for name, ph := range s.Phases {
 		ph.WallSeconds = 0
+		normalizeReplay(&ph.Replay)
 		s.Phases[name] = ph
 	}
 	for i := range s.Sections {
 		s.Sections[i].WallSeconds = 0
 	}
+}
+
+// normalizeReplay folds the scheduling-dependent replay splits; see
+// normalizeSnapshot.
+func normalizeReplay(r *telemetry.ReplayCounts) {
+	r.PrefixMisses += r.PoolHits
+	r.PoolHits = 0
+	r.ConvergeExits = 0
+	r.StoresConvergeSkipped = 0
 }
 
 // TestCmdExhaustiveMetricsGolden pins the `exhaustive -metrics` snapshot

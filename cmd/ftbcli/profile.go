@@ -125,6 +125,14 @@ func renderAttribution(w io.Writer, a ftb.SpanAttribution) {
 		for _, c := range p.Categories {
 			fmt.Fprintf(w, "  %-14s %14v %6.1f%%\n", c.Cat, fmtNS(c.NS), c.Pct)
 		}
+		// Restore-tier mix: where the sampled experiments' prefixes came
+		// from (zero restores means the phase ran without replay).
+		if n := p.Restores.Total(); n > 0 {
+			r := p.Restores
+			pct := func(c int) float64 { return 100 * float64(c) / float64(n) }
+			fmt.Fprintf(w, "  restores: %d sampled: %.0f%% per-site, %.0f%% boundary, %.0f%% pool-seeded, %.0f%% golden-prefix\n",
+				n, pct(r.Tier2), pct(r.Tier1), pct(r.Pool), pct(r.Build))
+		}
 	}
 	if a.Leases > 0 {
 		fmt.Fprintf(w, "\ncluster leases: %d, total %v (overlaps phase time)\n", a.Leases, fmtNS(a.LeaseNS))

@@ -53,7 +53,7 @@ func TestCmdProfileRun(t *testing.T) {
 		return cmdProfile(context.Background(), []string{"-kernel", "stencil", "-size", "test",
 			"-workers", "4", "-span-sample", "4", "-spans-out", spansPath})
 	})
-	for _, want := range []string{"profiled exhaustive campaign", "campaign stencil", "phase exhaustive", "execute", "restore", "wrote"} {
+	for _, want := range []string{"profiled exhaustive campaign", "campaign stencil", "phase exhaustive", "execute", "restore", "restores:", "wrote"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in output:\n%s", want, out)
 		}

@@ -284,6 +284,9 @@ type runConfig struct {
 	store       *Store          // nil = no durable ground-truth store
 	replayOff   bool            // checkpointed replay is on unless opted out
 	replayEvery int             // snapshot spacing in sites; 0 = campaign default
+	replayPool  int             // pooled boundary snapshots; 0 = default, < 0 = off
+	replaySite  int             // per-site second tier; 0 = default on, < 0 = off
+	replayConv  int             // reconvergence early exit; 0 = default on, < 0 = off
 	sections    []Section       // nil = the program's declared layout
 	compose     *ComposeOptions // nil = full-suffix execution
 	spans       *SpanRecorder   // nil = no span tracing
@@ -383,6 +386,52 @@ func WithReplay(every int) RunOption {
 // auditing a kernel's Snapshotter implementation.
 func WithoutReplay() RunOption {
 	return func(rc *runConfig) { rc.replayOff = true }
+}
+
+// ReplayOptions tunes the two-tier replay cache beyond the checkpoint
+// spacing WithReplay controls. The zero value is the default
+// configuration (all tiers on); each field opts a tier out or resizes
+// it. Every combination is byte-identical in classification results —
+// the options trade memory and bookkeeping for restore cost.
+type ReplayOptions struct {
+	// Every is the tier-1 checkpoint spacing in sites (see WithReplay);
+	// 0 keeps the campaign default of 1.
+	Every int
+	// Pool sizes the per-worker pool of golden boundary snapshots that
+	// seeds rebuilds when a worker's head snapshot is behind or past the
+	// target (dynamic scheduling handing it an out-of-order batch). 0
+	// keeps the default capacity, negative disables the pool — which
+	// also disables reconvergence probing, since probes compare against
+	// pooled golden states. Kernels without multi-snapshot support
+	// never pool regardless.
+	Pool int
+	// NoSiteSnapshots disables the second tier: the head snapshot stays
+	// at the experiment's checkpoint boundary instead of following the
+	// injection site, so each experiment re-executes boundary→site.
+	NoSiteSnapshots bool
+	// NoConverge disables the reconvergence early exit: runs whose
+	// state provably rejoins the golden trace stop being cut short and
+	// always execute their full suffix.
+	NoConverge bool
+}
+
+// WithReplayOptions enables checkpointed replay with explicit cache
+// tuning. WithReplay(n) is equivalent to
+// WithReplayOptions(ReplayOptions{Every: n}).
+func WithReplayOptions(o ReplayOptions) RunOption {
+	return func(rc *runConfig) {
+		rc.replayOff = false
+		rc.replayEvery = o.Every
+		rc.replayPool = o.Pool
+		rc.replaySite = 0
+		if o.NoSiteSnapshots {
+			rc.replaySite = -1
+		}
+		rc.replayConv = 0
+		if o.NoConverge {
+			rc.replayConv = -1
+		}
+	}
 }
 
 // WithLogger attaches a structured event log to the call's campaigns:
@@ -638,11 +687,14 @@ func (a *Analysis) configFrom(rc runConfig) campaign.Config {
 		// The facade enables checkpointed replay by default — it never
 		// changes results, and kernels that cannot snapshot fall back to
 		// vanilla execution on their own.
-		Replay:      !rc.replayOff,
-		ReplayEvery: rc.replayEvery,
-		Spans:       rc.spans,
-		SpanParent:  rc.spanParent,
-		SpanSample:  rc.spanSample,
+		Replay:         !rc.replayOff,
+		ReplayEvery:    rc.replayEvery,
+		ReplayPool:     rc.replayPool,
+		ReplaySiteSnap: rc.replaySite,
+		ReplayConverge: rc.replayConv,
+		Spans:          rc.spans,
+		SpanParent:     rc.spanParent,
+		SpanSample:     rc.spanSample,
 	}
 	if rc.traceSink != nil {
 		sink, o := rc.traceSink, rc.traceOpts

@@ -147,6 +147,29 @@ type Config struct {
 	// values trade replayed stores for fewer snapshot copies, which can
 	// win when kernel state is large relative to the per-site store cost.
 	ReplayEvery int
+	// ReplayPool bounds the per-worker pool of golden boundary snapshots
+	// kept alongside the moving head snapshot (programs implementing
+	// trace.MultiSnapshotter only). The pool seeds rebuilds when dynamic
+	// scheduling hands a worker a batch behind its head, and provides the
+	// comparison targets for reconvergence probes. 0 selects
+	// DefaultReplayPool; negative disables the pool.
+	ReplayPool int
+	// ReplaySiteSnap controls second-tier per-site snapshots: when on,
+	// the worker advances once from the prefix boundary to the injection
+	// site, snapshots there, and every experiment at that site restores
+	// with zero re-executed stores. 0 (the default) enables them;
+	// negative keeps the head at the boundary only.
+	ReplaySiteSnap int
+	// ReplayConverge controls the reconvergence early-exit: untraced
+	// replay experiments on programs implementing trace.StateComparer
+	// track their deviation from the golden trace and, at a quiet pooled
+	// boundary whose live state compares bit-identical to the pooled
+	// golden state, return the golden output immediately instead of
+	// executing the suffix. Classification is byte-identical either way
+	// (bit-equality of the full state plus fixed control flow imply the
+	// remaining stores replay the golden run exactly). 0 (the default)
+	// enables it; negative disables. Requires the pool.
+	ReplayConverge int
 	// Logger, when non-nil, receives the engine's structured event log:
 	// campaign start/stop, checkpoint saves and resumes, and trace-
 	// mismatch aborts, at conventional slog levels (Debug for lifecycle,
@@ -323,10 +346,47 @@ func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder, sp *obs.W
 	}
 	if cfg.Replay {
 		if s, ok := pw.p.(trace.Snapshotter); ok {
-			pw.replay = &replayCache{snap: s, every: cfg.ReplayEvery, cached: -1}
+			pw.replay = newReplayCache(cfg, s)
 		}
 	}
 	return pw
+}
+
+// chargeRestore records one prepared experiment's restore accounting:
+// the typed obs sub-span (started at t) and the telemetry tier counters.
+// Tier-1 and tier-2 hits count as snapshot hits; pool-seeded and
+// golden-prefix rebuilds as misses, preserving the coarse hit/miss split
+// alongside the finer attribution.
+func chargeRestore(rec *telemetry.CampaignRecorder, sp *obs.WorkerSpans, worker int, t int64, pr prep) {
+	cat := obs.CatRestore
+	switch pr.tier {
+	case tierSite:
+		cat = obs.CatRestoreSite
+	case tierPool:
+		cat = obs.CatRestorePool
+	case tierMiss:
+		cat = obs.CatRestoreBuild
+	}
+	sp.Sub(cat, t, int64(pr.resume))
+	if rec == nil {
+		return
+	}
+	switch pr.tier {
+	case tierBoundary:
+		rec.RestoreTier1(worker)
+	case tierSite:
+		rec.RestoreTier2(worker)
+	case tierPool:
+		rec.RestorePool(worker)
+	case tierMiss:
+		rec.RestoreMiss(worker)
+	default:
+		return
+	}
+	if pr.delta {
+		rec.DeltaRestore(worker)
+	}
+	rec.StoresSkipped(worker, int64(pr.resume))
 }
 
 // runChecked executes one experiment on this worker: the plain inject
@@ -341,24 +401,35 @@ func newPairWorker(cfg Config, w int, rec *telemetry.CampaignRecorder, sp *obs.W
 func (w *pairWorker) runChecked(cfg Config, run int, pair Pair) (Record, error) {
 	resume := 0
 	if w.replay != nil {
-		var hit bool
-		var err error
 		t := w.sp.SubClock()
-		resume, hit, err = w.replay.prepare(&w.ctx, pair.Site)
-		w.sp.Sub(obs.CatRestore, t, int64(resume))
+		pr, err := w.replay.prepare(&w.ctx, pair.Site)
+		chargeRestore(w.rec, w.sp, w.worker, t, pr)
 		if err != nil {
 			return Record{}, err
 		}
-		if w.rec != nil && resume > 0 {
-			if hit {
-				w.rec.SnapshotHit(w.worker)
-			} else {
-				w.rec.SnapshotMiss(w.worker)
-			}
-			w.rec.StoresSkipped(w.worker, int64(resume))
-		}
+		resume = pr.resume
 	}
 	if w.tracer == nil {
+		// Untraced runs on a pooled, state-comparable kernel may prove
+		// mid-run that they replay the golden suffix exactly and return
+		// early with the golden output — byte-identical classification,
+		// fewer executed stores. Traced runs never take this path: the
+		// tracer needs the full delta stream.
+		if w.replay != nil {
+			if first, step, ok := w.replay.convergeSchedule(pair.Site, uint(pair.Bit)); ok {
+				res, convergedAt, probes, err := trace.RunInjectConvergeFrom(
+					&w.ctx, w.p, cfg.Golden, pair.Site, uint(pair.Bit), resume, first, step,
+					w.replay.poolStateAt)
+				if err != nil {
+					return Record{}, err
+				}
+				w.replay.convergeResult(uint(pair.Bit), convergedAt, probes, res.Crashed)
+				if w.rec != nil && convergedAt >= 0 {
+					w.rec.Converge(w.worker, int64(cfg.Golden.Sites()-convergedAt))
+				}
+				return classify(cfg.Golden, cfg.Tol, pair, res), nil
+			}
+		}
 		res := trace.RunInjectFrom(&w.ctx, w.p, pair.Site, uint(pair.Bit), resume)
 		if !res.Crashed && w.ctx.Sites() != cfg.Golden.Sites() {
 			return Record{}, fmt.Errorf("%w: got %d, golden %d (program %q)",

@@ -260,20 +260,12 @@ func (w *composeWorker) prepare(site int) (int, error) {
 		return 0, nil
 	}
 	t := w.sp.SubClock()
-	resume, hit, err := w.replay.prepare(&w.ctx, site)
-	w.sp.Sub(obs.CatRestore, t, int64(resume))
+	pr, err := w.replay.prepare(&w.ctx, site)
+	chargeRestore(w.rec, w.sp, w.worker, t, pr)
 	if err != nil {
 		return 0, err
 	}
-	if w.rec != nil && resume > 0 {
-		if hit {
-			w.rec.SnapshotHit(w.worker)
-		} else {
-			w.rec.SnapshotMiss(w.worker)
-		}
-		w.rec.StoresSkipped(w.worker, int64(resume))
-	}
-	return resume, nil
+	return pr.resume, nil
 }
 
 // ComposedExhaustive runs the exhaustive campaign in composed mode and
@@ -346,7 +338,7 @@ func ComposedExhaustive(cfg Config, opts ComposeOptions) (*GroundTruth, *Compose
 		if s, ok := cw.p.(trace.Snapshotter); ok {
 			cw.canTail = true
 			if cfg.Replay {
-				cw.replay = &replayCache{snap: s, every: cfg.ReplayEvery, cached: -1}
+				cw.replay = newReplayCache(cfg, s)
 			}
 		}
 		return cw

@@ -115,6 +115,53 @@ func TestReplaySpacingByteIdentical(t *testing.T) {
 	}
 }
 
+// TestReplayFeatureTogglesByteIdentical walks the tentpole's feature
+// toggles — snapshot pool, per-site second tier, reconvergence early
+// exit — over the delta-restore kernels at both element widths (stencil
+// is float64, stencil32 float32) plus a dense non-delta kernel, and
+// requires every combination to reproduce the vanilla ground truth
+// byte for byte. Each toggle changes only where a prefix comes from or
+// when a run is allowed to stop early, never what gets classified.
+func TestReplayFeatureTogglesByteIdentical(t *testing.T) {
+	toggles := []struct {
+		name string
+		mut  func(*campaign.Config)
+	}{
+		{"default", func(*campaign.Config) {}},
+		{"no-pool", func(c *campaign.Config) { c.ReplayPool = -1 }},
+		{"no-site-snap", func(c *campaign.Config) { c.ReplaySiteSnap = -1 }},
+		{"no-converge", func(c *campaign.Config) { c.ReplayConverge = -1 }},
+		{"all-off", func(c *campaign.Config) {
+			c.ReplayPool, c.ReplaySiteSnap, c.ReplayConverge = -1, -1, -1
+		}},
+	}
+	for _, name := range []string{"stencil", "stencil32", "cg"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := kernelConfig(t, name, 2)
+			base.Replay = false
+			want, err := campaign.Exhaustive(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tg := range toggles {
+				cfg := kernelConfig(t, name, 2)
+				tg.mut(&cfg)
+				got, err := campaign.Exhaustive(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", tg.name, err)
+				}
+				for i := range want.Kinds {
+					if got.Kinds[i] != want.Kinds[i] {
+						t.Fatalf("%s: record %d (site %d, bit %d) = %v, want %v",
+							tg.name, i, i/cfg.Width, i%cfg.Width, got.Kinds[i], want.Kinds[i])
+					}
+				}
+			}
+		})
+	}
+}
+
 // plainProg is a program that deliberately does NOT implement
 // trace.Snapshotter, to pin the transparent-fallback contract.
 type plainProg struct {
@@ -170,10 +217,11 @@ func TestReplayFallbackNonSnapshotter(t *testing.T) {
 }
 
 // TestReplayTelemetryCounts pins the counter arithmetic for the densest
-// policy (every=1, site-aligned batches): each site past the first costs
-// exactly one snapshot miss (the incremental advance) and serves its
-// remaining flips from cache, and the skipped-store total is the sum of
-// every experiment's prefix length.
+// policy (every=1, per-site snapshots): each site past the first costs
+// exactly one snapshot rebuild — seeded from the boundary pool or the
+// golden prefix, the split is scheduling-dependent but the total is not —
+// and serves its remaining flips from the second-tier (per-site) cache.
+// The skipped-store total is the sum of every experiment's prefix length.
 func TestReplayTelemetryCounts(t *testing.T) {
 	k, err := kernels.New("matmul", kernels.SizeTest)
 	if err != nil {
@@ -216,5 +264,18 @@ func TestReplayTelemetryCounts(t *testing.T) {
 	}
 	if snap.Replay.StoresSkipped != wantSkipped {
 		t.Errorf("stores skipped = %d, want %d", snap.Replay.StoresSkipped, wantSkipped)
+	}
+	// Tier decomposition: with per-site snapshots on (the default) every
+	// cache hit is a second-tier hit, and the coarse hits/misses are
+	// exactly the sums of their fine-grained buckets.
+	if snap.Replay.Tier2Hits != wantHits || snap.Replay.Tier1Hits != 0 {
+		t.Errorf("tier hits = %d/%d, want %d second-tier and 0 boundary",
+			snap.Replay.Tier1Hits, snap.Replay.Tier2Hits, wantHits)
+	}
+	if got := snap.Replay.PoolHits + snap.Replay.PrefixMisses; got != wantMisses {
+		t.Errorf("pool + prefix rebuilds = %d, want %d", got, wantMisses)
+	}
+	if snap.Replay.DeltaRestores != 0 {
+		t.Errorf("delta restores = %d on a kernel without RestoreDelta", snap.Replay.DeltaRestores)
 	}
 }

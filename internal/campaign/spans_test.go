@@ -94,9 +94,17 @@ func TestExhaustiveSpans(t *testing.T) {
 	if counts[obs.CatExperiment] < n/cfg.SpanSample || counts[obs.CatExperiment] > n/cfg.SpanSample+8 {
 		t.Errorf("experiment spans = %d for n=%d sample=%d", counts[obs.CatExperiment], n, cfg.SpanSample)
 	}
-	if counts[obs.CatRestore] != counts[obs.CatExperiment] {
+	// Every sampled experiment records exactly one restore-tier sub-span
+	// (boundary hit, per-site hit, pool-seeded rebuild, or golden-prefix
+	// build); most are second-tier hits under the default config.
+	restores := counts[obs.CatRestore] + counts[obs.CatRestoreSite] +
+		counts[obs.CatRestorePool] + counts[obs.CatRestoreBuild]
+	if restores != counts[obs.CatExperiment] {
 		t.Errorf("restore spans = %d, want one per sampled experiment (%d)",
-			counts[obs.CatRestore], counts[obs.CatExperiment])
+			restores, counts[obs.CatExperiment])
+	}
+	if counts[obs.CatRestoreSite] == 0 {
+		t.Error("no second-tier (per-site) restore spans recorded")
 	}
 
 	// Wait/batch spans must tile each worker's lifetime: chained spans,
@@ -131,8 +139,11 @@ func TestExhaustiveSpans(t *testing.T) {
 	}
 	var restore bool
 	for _, c := range p.Categories {
-		if c.Cat == obs.CatRestore && c.NS > 0 {
-			restore = true
+		switch c.Cat {
+		case obs.CatRestore, obs.CatRestoreSite, obs.CatRestorePool, obs.CatRestoreBuild:
+			if c.NS > 0 {
+				restore = true
+			}
 		}
 	}
 	if !restore {

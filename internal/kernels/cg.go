@@ -252,6 +252,28 @@ func (k *CG) Restore(s trace.State) {
 	k.st = sn.st
 }
 
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *CG) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*cgState)
+	if sn == nil {
+		sn = &cgState{}
+	}
+	sn.x = snapInto(sn.x, k.x)
+	sn.r = snapInto(sn.r, k.r)
+	sn.p = snapInto(sn.p, k.p)
+	sn.q = snapInto(sn.q, k.q)
+	sn.st = k.st
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *CG) StateEqual(s trace.State) bool {
+	sn := s.(*cgState)
+	return eqBits(k.x, sn.x) && eqBits(k.r, sn.r) && eqBits(k.p, sn.p) && eqBits(k.q, sn.q) &&
+		feq(k.st.rho, sn.st.rho) && feq(k.st.pq, sn.st.pq) && feq(k.st.alpha, sn.st.alpha) &&
+		feq(k.st.rhoNew, sn.st.rhoNew) && feq(k.st.beta, sn.st.beta)
+}
+
 func init() {
 	Register("cg", func(size string) (Kernel, error) {
 		type shape struct {

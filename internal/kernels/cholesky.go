@@ -169,3 +169,14 @@ func init() {
 		return NewCholesky(CholeskyConfig{N: n, Seed: 0xC0, Tolerance: 1e-4})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *Cholesky) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.([]float64)
+	return trace.State(snapInto(sn, k.work.Data))
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *Cholesky) StateEqual(s trace.State) bool {
+	return eqBits(k.work.Data, s.([]float64))
+}

@@ -358,3 +358,23 @@ func init() {
 		return NewFFT(FFTConfig{N1: s.n1, N2: s.n2, Seed: 0xFF7, Tolerance: 1e-2})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *FFT) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*fftState)
+	if sn == nil {
+		sn = &fftState{}
+	}
+	sn.bufA = snapInto(sn.bufA, k.bufA)
+	sn.bufB = snapInto(sn.bufB, k.bufB)
+	sn.st = k.st
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *FFT) StateEqual(s trace.State) bool {
+	sn := s.(*fftState)
+	return eqBits(k.bufA, sn.bufA) && eqBits(k.bufB, sn.bufB) &&
+		feq(k.st.ar, sn.st.ar) && feq(k.st.ai, sn.st.ai) &&
+		feq(k.st.br, sn.st.br) && feq(k.st.bi, sn.st.bi)
+}

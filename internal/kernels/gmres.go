@@ -385,3 +385,39 @@ func init() {
 		})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *GMRES) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*gmresState)
+	if sn == nil {
+		sn = &gmresState{v: make([]linalg.Vector, len(k.v))}
+	}
+	sn.x = snapInto(sn.x, k.x)
+	sn.r = snapInto(sn.r, k.r)
+	sn.w = snapInto(sn.w, k.w)
+	for i := range k.v {
+		sn.v[i] = snapInto(sn.v[i], k.v[i])
+	}
+	sn.h = snapInto(sn.h, k.h.Data)
+	sn.cs = snapInto(sn.cs, k.cs)
+	sn.sn = snapInto(sn.sn, k.sn)
+	sn.g = snapInto(sn.g, k.g)
+	sn.y = snapInto(sn.y, k.y)
+	sn.st = k.st
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *GMRES) StateEqual(s trace.State) bool {
+	sn := s.(*gmresState)
+	for i := range k.v {
+		if !eqBits(k.v[i], sn.v[i]) {
+			return false
+		}
+	}
+	return eqBits(k.x, sn.x) && eqBits(k.r, sn.r) && eqBits(k.w, sn.w) &&
+		eqBits(k.h.Data, sn.h) && eqBits(k.cs, sn.cs) && eqBits(k.sn, sn.sn) &&
+		eqBits(k.g, sn.g) && eqBits(k.y, sn.y) &&
+		feq(k.st.beta, sn.st.beta) && feq(k.st.rotH0, sn.st.rotH0) && feq(k.st.rotH1, sn.st.rotH1) &&
+		feq(k.st.hjj, sn.st.hjj) && feq(k.st.hj1j, sn.st.hj1j) && feq(k.st.gj, sn.st.gj)
+}

@@ -194,3 +194,23 @@ func init() {
 		})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *Heat3D) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*heat3dState)
+	if sn == nil {
+		sn = &heat3dState{}
+	}
+	sn.cur = snapInto(sn.cur, k.cur)
+	sn.next = snapInto(sn.next, k.next)
+	sn.energy = snapInto(sn.energy, k.energy)
+	sn.stEnergy = k.stEnergy
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *Heat3D) StateEqual(s trace.State) bool {
+	sn := s.(*heat3dState)
+	return eqBits(k.cur, sn.cur) && eqBits(k.next, sn.next) &&
+		eqBits(k.energy, sn.energy) && feq(k.stEnergy, sn.stEnergy)
+}

@@ -232,3 +232,14 @@ func init() {
 		return NewLU(LUConfig{N: s.n, Block: s.block, Seed: 0x10, Tolerance: 1e-4})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *LU) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.([]float64)
+	return trace.State(snapInto(sn, k.work.Data))
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *LU) StateEqual(s trace.State) bool {
+	return eqBits(k.work.Data, s.([]float64))
+}

@@ -119,3 +119,14 @@ func init() {
 		return NewMatMul(MatMulConfig{N: n, Seed: 0x33, Tolerance: 1e-8})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *MatMul) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.([]float64)
+	return trace.State(snapInto(sn, k.c.Data))
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *MatMul) StateEqual(s trace.State) bool {
+	return eqBits(k.c.Data, s.([]float64))
+}

@@ -168,3 +168,20 @@ func init() {
 		return NewMatVec(MatVecConfig{N: s.n, Steps: s.steps, Seed: 0x3A7, Tolerance: 1e-8})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *MatVec) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*matVecState)
+	if sn == nil {
+		sn = &matVecState{}
+	}
+	sn.x = snapInto(sn.x, k.x)
+	sn.y = snapInto(sn.y, k.y)
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *MatVec) StateEqual(s trace.State) bool {
+	sn := s.(*matVecState)
+	return eqBits(k.x, sn.x) && eqBits(k.y, sn.y)
+}

@@ -279,3 +279,32 @@ func init() {
 		})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *Multigrid) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*multigridState)
+	if sn == nil {
+		sn = &multigridState{
+			u:   make([][]float64, k.levels),
+			f:   make([][]float64, k.levels),
+			res: make([][]float64, k.levels),
+		}
+	}
+	for l := 0; l < k.levels; l++ {
+		sn.u[l] = snapInto(sn.u[l], k.u[l])
+		sn.f[l] = snapInto(sn.f[l], k.f[l])
+		sn.res[l] = snapInto(sn.res[l], k.res[l])
+	}
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *Multigrid) StateEqual(s trace.State) bool {
+	sn := s.(*multigridState)
+	for l := 0; l < k.levels; l++ {
+		if !eqBits(k.u[l], sn.u[l]) || !eqBits(k.f[l], sn.f[l]) || !eqBits(k.res[l], sn.res[l]) {
+			return false
+		}
+	}
+	return true
+}

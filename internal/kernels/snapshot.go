@@ -1,0 +1,52 @@
+package kernels
+
+import "math"
+
+// Helpers shared by the kernels' trace.MultiSnapshotter,
+// trace.StateComparer, and trace.DeltaSnapshotter implementations.
+
+// snapInto copies src into dst, (re)allocating when dst does not match
+// src's length, and returns the destination. It is the building block of
+// the SnapshotInto methods: unlike the single-buffer Snapshot path, the
+// caller owns the returned storage, so several snapshots can stay live
+// at once.
+func snapInto[S ~[]E, E any](dst, src S) S {
+	if len(dst) != len(src) {
+		dst = make(S, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+// eqBits reports whether two float64 slices are bit-identical. The
+// comparison is on IEEE-754 bit patterns, not float equality: −0.0 and
+// +0.0 compare unequal, which keeps StateEqual a conservative proof of
+// identical continuation (a sign-of-zero disagreement can reach a
+// divide or copysign downstream).
+func eqBits[S ~[]float64](a, b S) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// eqBits32 is eqBits for float32 slices.
+func eqBits32[S ~[]float32](a, b S) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// feq reports bit-identity of two float64 scalars (stash fields).
+func feq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }

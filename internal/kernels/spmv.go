@@ -166,3 +166,20 @@ func init() {
 		return NewSpMV(SpMVConfig{NX: s.nx, NY: s.ny, Steps: s.steps, Seed: 0x59, Tolerance: 1e-8})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *SpMV) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*spmvState)
+	if sn == nil {
+		sn = &spmvState{}
+	}
+	sn.x = snapInto(sn.x, k.x)
+	sn.y = snapInto(sn.y, k.y)
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *SpMV) StateEqual(s trace.State) bool {
+	sn := s.(*spmvState)
+	return eqBits(k.x, sn.x) && eqBits(k.y, sn.y)
+}

@@ -150,3 +150,55 @@ func init() {
 		return NewStencil(StencilConfig{NX: s.nx, NY: s.ny, Sweeps: s.sweeps, Seed: 0x57, Tolerance: 1e-6})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *Stencil) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*stencilState)
+	if sn == nil {
+		sn = &stencilState{}
+	}
+	sn.cur = snapInto(sn.cur, k.cur)
+	sn.next = snapInto(sn.next, k.next)
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *Stencil) StateEqual(s trace.State) bool {
+	sn := s.(*stencilState)
+	return eqBits(k.cur, sn.cur) && eqBits(k.next, sn.next)
+}
+
+// RestoreDelta implements trace.DeltaSnapshotter. Store index i writes
+// cell (1 + o/(nx−2), 1 + o%(nx−2)) of sweep i/interior's destination
+// buffer (k.next on even sweeps, k.cur on odd — the swap is local to
+// Run), so an index interval maps to exact cell ranges per sweep. A
+// fresh run (from == 0) also re-copies the initial grid into both
+// buffers, which no interval bounds; that case falls back.
+func (k *Stencil) RestoreDelta(s trace.State, from, to int) bool {
+	if from <= 0 {
+		return false
+	}
+	sn := s.(*stencilState)
+	interior := (k.nx - 2) * (k.ny - 2)
+	if t := k.sweeps * interior; to > t {
+		to = t
+	}
+	for sw := from / interior; sw*interior < to; sw++ {
+		dst, src := k.next, sn.next
+		if sw%2 == 1 {
+			dst, src = k.cur, sn.cur
+		}
+		lo, hi := sw*interior, (sw+1)*interior
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		for o := lo - sw*interior; o < hi-sw*interior; o++ {
+			i := (1+o/(k.nx-2))*k.nx + 1 + o%(k.nx-2)
+			dst[i] = src[i]
+		}
+	}
+	return true
+}

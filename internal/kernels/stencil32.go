@@ -138,3 +138,51 @@ func init() {
 		return NewStencil32(StencilConfig{NX: s.nx, NY: s.ny, Sweeps: s.sweeps, Seed: 0x57, Tolerance: 1e-4})
 	})
 }
+
+// SnapshotInto implements trace.MultiSnapshotter.
+func (k *Stencil32) SnapshotInto(dst trace.State) trace.State {
+	sn, _ := dst.(*stencil32State)
+	if sn == nil {
+		sn = &stencil32State{}
+	}
+	sn.cur = snapInto(sn.cur, k.cur)
+	sn.next = snapInto(sn.next, k.next)
+	return sn
+}
+
+// StateEqual implements trace.StateComparer.
+func (k *Stencil32) StateEqual(s trace.State) bool {
+	sn := s.(*stencil32State)
+	return eqBits32(k.cur, sn.cur) && eqBits32(k.next, sn.next)
+}
+
+// RestoreDelta implements trace.DeltaSnapshotter; same index→cell
+// mapping as the double-precision stencil.
+func (k *Stencil32) RestoreDelta(s trace.State, from, to int) bool {
+	if from <= 0 {
+		return false
+	}
+	sn := s.(*stencil32State)
+	interior := (k.nx - 2) * (k.ny - 2)
+	if t := k.sweeps * interior; to > t {
+		to = t
+	}
+	for sw := from / interior; sw*interior < to; sw++ {
+		dst, src := k.next, sn.next
+		if sw%2 == 1 {
+			dst, src = k.cur, sn.cur
+		}
+		lo, hi := sw*interior, (sw+1)*interior
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		for o := lo - sw*interior; o < hi-sw*interior; o++ {
+			i := (1+o/(k.nx-2))*k.nx + 1 + o%(k.nx-2)
+			dst[i] = src[i]
+		}
+	}
+	return true
+}

@@ -11,6 +11,21 @@ type CategoryNS struct {
 	Pct float64  `json:"pct"`
 }
 
+// RestoreMix counts a phase's sampled restore sub-spans by tier —
+// where each sampled experiment's prefix came from. The counts are raw
+// samples (one restore sub-span per sampled experiment), not scaled:
+// the mix is a ratio, and the sample is uniform over experiments, so
+// the shares estimate the campaign-wide restore-tier distribution.
+type RestoreMix struct {
+	Tier1 int `json:"tier1"` // boundary snapshot restores
+	Tier2 int `json:"tier2"` // per-site snapshot restores
+	Pool  int `json:"pool"`  // rebuilds seeded from a pooled boundary
+	Build int `json:"build"` // rebuilds that ran the golden prefix
+}
+
+// Total is the number of sampled experiments that recorded any restore.
+func (m RestoreMix) Total() int { return m.Tier1 + m.Tier2 + m.Pool + m.Build }
+
 // PhaseAttribution aggregates every phase span with the same name (a
 // local campaign has one per phase; a stitched cluster trace has one
 // per lease, summed here).
@@ -33,6 +48,9 @@ type PhaseAttribution struct {
 	// predict, fallback (scaled from the sample) and queue_wait,
 	// largest first. The rows sum to BusyNS+WaitNS.
 	Categories []CategoryNS `json:"categories"`
+	// Restores is the sampled restore-tier mix (zero-valued when the
+	// phase ran without checkpointed replay).
+	Restores RestoreMix `json:"restores"`
 	// WorkerNS is the phase's observed worker-time: the sum over
 	// workers of each worker's span extent (last batch/wait end minus
 	// first start). On an oversubscribed pool this is close to WallNS
@@ -65,7 +83,10 @@ type Attribution struct {
 }
 
 // subCats are the typed experiment sub-spans scaled from samples.
-var subCats = [...]Category{CatRestore, CatTail, CatPredict, CatFallback}
+var subCats = [...]Category{
+	CatRestore, CatRestoreSite, CatRestorePool, CatRestoreBuild,
+	CatTail, CatPredict, CatFallback,
+}
 
 // Attribute builds the wall-clock attribution for a quiesced span set
 // (local Cut or a stitched cluster timeline).
@@ -150,6 +171,22 @@ func Attribute(spans []Span) Attribution {
 					g.SampledNS += ex.Dur
 					for _, sub := range children[ex.ID] {
 						g.subNS[sub.Cat] += sub.Dur
+						switch sub.Cat {
+						case CatRestore:
+							// Meta carries the resume offset; zero means the
+							// experiment ran from the program entry and no
+							// snapshot was restored — span recorded for busy-
+							// time tiling, excluded from the restore mix.
+							if sub.Meta > 0 {
+								g.Restores.Tier1++
+							}
+						case CatRestoreSite:
+							g.Restores.Tier2++
+						case CatRestorePool:
+							g.Restores.Pool++
+						case CatRestoreBuild:
+							g.Restores.Build++
+						}
 					}
 				}
 			default:

@@ -50,9 +50,22 @@ const (
 	// Meta is the experiment index.
 	CatExperiment
 	// CatRestore is the checkpoint-restore prefix of a sampled
-	// experiment (snapshot restore or full/gap re-execution). Meta is
-	// the resume site.
+	// experiment served by a first-tier boundary snapshot hit (or, for a
+	// replay-less prepare, the no-op entry path). Meta is the resume
+	// site.
 	CatRestore
+	// CatRestoreSite is a second-tier restore: the held per-site
+	// snapshot served the prefix, including the boundary→site gap. Meta
+	// is the resume site.
+	CatRestoreSite
+	// CatRestorePool is a snapshot rebuild seeded from a pooled golden
+	// boundary snapshot (typically a backward batch jump under dynamic
+	// scheduling). Meta is the resume site.
+	CatRestorePool
+	// CatRestoreBuild is a golden-prefix rebuild: the prefix was
+	// re-executed forward from the held snapshot or the program entry.
+	// Meta is the resume site.
+	CatRestoreBuild
 	// CatTail is a compose resume-from-boundary tail run.
 	CatTail
 	// CatPredict is a compose section-summary prediction.
@@ -72,7 +85,8 @@ const (
 
 var catNames = [numCategories]string{
 	"campaign", "phase", "lease", "queue_wait", "batch",
-	"experiment", "restore", "tail", "predict", "fallback",
+	"experiment", "restore", "restore_site", "restore_pool",
+	"restore_build", "tail", "predict", "fallback",
 	"store_append", "execute",
 }
 

@@ -40,9 +40,7 @@ func (s *Snapshot) Merge(o Snapshot, shard string) error {
 	s.Outcomes.SDC += o.Outcomes.SDC
 	s.Outcomes.Crash += o.Outcomes.Crash
 	s.Outcomes.Mismatch += o.Outcomes.Mismatch
-	s.Replay.SnapshotHits += o.Replay.SnapshotHits
-	s.Replay.SnapshotMisses += o.Replay.SnapshotMisses
-	s.Replay.StoresSkipped += o.Replay.StoresSkipped
+	s.Replay.add(o.Replay)
 	s.Store.Appends += o.Store.Appends
 	s.Store.RecordsAppended += o.Store.RecordsAppended
 	s.Store.Lookups += o.Store.Lookups
@@ -74,9 +72,7 @@ func (s *Snapshot) Merge(o Snapshot, shard string) error {
 		p.Outcomes.SDC += op.Outcomes.SDC
 		p.Outcomes.Crash += op.Outcomes.Crash
 		p.Outcomes.Mismatch += op.Outcomes.Mismatch
-		p.Replay.SnapshotHits += op.Replay.SnapshotHits
-		p.Replay.SnapshotMisses += op.Replay.SnapshotMisses
-		p.Replay.StoresSkipped += op.Replay.StoresSkipped
+		p.Replay.add(op.Replay)
 		p.WallSeconds += op.WallSeconds
 		s.Phases[name] = p
 	}
@@ -170,9 +166,16 @@ func (c *Collector) Absorb(s Snapshot) error {
 		ph.outcomes[outcome.Crash].add(0, p.Outcomes.Crash)
 		ph.traced.add(0, p.Trajectories)
 		ph.mismatches.Add(p.Outcomes.Mismatch)
-		ph.snapHits.add(0, p.Replay.SnapshotHits)
-		ph.snapMisses.add(0, p.Replay.SnapshotMisses)
+		// The coarse hit/miss split is derived from the tier buckets at
+		// snapshot time, so only the fine-grained counters are absorbed.
+		ph.snapTier1.add(0, p.Replay.Tier1Hits)
+		ph.snapTier2.add(0, p.Replay.Tier2Hits)
+		ph.snapPool.add(0, p.Replay.PoolHits)
+		ph.snapMisses.add(0, p.Replay.PrefixMisses)
+		ph.deltaRestores.add(0, p.Replay.DeltaRestores)
+		ph.convergeExits.add(0, p.Replay.ConvergeExits)
 		ph.storesSkipped.add(0, p.Replay.StoresSkipped)
+		ph.convergeStores.add(0, p.Replay.StoresConvergeSkipped)
 		ph.wallNanos.Add(int64(p.WallSeconds * 1e9))
 	}
 	for _, sec := range s.Sections {

@@ -38,14 +38,27 @@ type Snapshot struct {
 }
 
 // ReplayCounts is the checkpointed-replay accounting of campaigns run
-// with Replay enabled: how often a worker's cached kernel snapshot
-// served an experiment's prefix (hit) versus had to be built or extended
-// (miss), and the total prefix stores replay avoided re-executing. All
-// zero for campaigns run without replay.
+// with Replay enabled. Every prepared experiment lands in exactly one of
+// the four restore-attribution buckets: a first-tier boundary-snapshot
+// hit, a second-tier per-site-snapshot hit, a rebuild seeded from the
+// pooled golden boundary snapshots, or a golden-prefix rebuild (miss).
+// SnapshotHits and SnapshotMisses keep the coarse split (hits =
+// tier 1 + tier 2, misses = pool + prefix misses). DeltaRestores counts
+// head restores served by the kernel's dirty-interval delta path;
+// ConvergeExits counts runs cut short by a proven reconvergence onto
+// the golden trace, with the suffix stores they skipped in
+// StoresConvergeSkipped. All zero for campaigns run without replay.
 type ReplayCounts struct {
-	SnapshotHits   int64 `json:"snapshot_hits"`
-	SnapshotMisses int64 `json:"snapshot_misses"`
-	StoresSkipped  int64 `json:"stores_skipped"`
+	SnapshotHits          int64 `json:"snapshot_hits"`
+	SnapshotMisses        int64 `json:"snapshot_misses"`
+	Tier1Hits             int64 `json:"tier1_hits"`
+	Tier2Hits             int64 `json:"tier2_hits"`
+	PoolHits              int64 `json:"pool_hits"`
+	PrefixMisses          int64 `json:"prefix_misses"`
+	DeltaRestores         int64 `json:"delta_restores"`
+	ConvergeExits         int64 `json:"converge_exits"`
+	StoresSkipped         int64 `json:"stores_skipped"`
+	StoresConvergeSkipped int64 `json:"stores_converge_skipped"`
 }
 
 // StoreCounts is the ground-truth-store accounting (internal/store):
@@ -120,6 +133,39 @@ type SectionSnapshot struct {
 }
 
 func nanosToSeconds(n int64) float64 { return float64(n) / 1e9 }
+
+// add folds another ReplayCounts into r (snapshot aggregation, cluster
+// merges).
+func (r *ReplayCounts) add(o ReplayCounts) {
+	r.SnapshotHits += o.SnapshotHits
+	r.SnapshotMisses += o.SnapshotMisses
+	r.Tier1Hits += o.Tier1Hits
+	r.Tier2Hits += o.Tier2Hits
+	r.PoolHits += o.PoolHits
+	r.PrefixMisses += o.PrefixMisses
+	r.DeltaRestores += o.DeltaRestores
+	r.ConvergeExits += o.ConvergeExits
+	r.StoresSkipped += o.StoresSkipped
+	r.StoresConvergeSkipped += o.StoresConvergeSkipped
+}
+
+// replayCounts assembles a phase's replay accounting; the coarse
+// hit/miss split is derived from the restore-attribution buckets.
+func replayCounts(ph *phaseStats) ReplayCounts {
+	rc := ReplayCounts{
+		Tier1Hits:             ph.snapTier1.Value(),
+		Tier2Hits:             ph.snapTier2.Value(),
+		PoolHits:              ph.snapPool.Value(),
+		PrefixMisses:          ph.snapMisses.Value(),
+		DeltaRestores:         ph.deltaRestores.Value(),
+		ConvergeExits:         ph.convergeExits.Value(),
+		StoresSkipped:         ph.storesSkipped.Value(),
+		StoresConvergeSkipped: ph.convergeStores.Value(),
+	}
+	rc.SnapshotHits = rc.Tier1Hits + rc.Tier2Hits
+	rc.SnapshotMisses = rc.PoolHits + rc.PrefixMisses
+	return rc
+}
 
 func outcomeCounts(o *[outcome.NumKinds]stripedCounter, mismatches int64) OutcomeCounts {
 	return OutcomeCounts{
@@ -196,17 +242,11 @@ func (c *Collector) Snapshot() Snapshot {
 			Experiments:  ph.experiments.Value(),
 			Trajectories: ph.traced.Value(),
 			Outcomes:     pc,
-			Replay: ReplayCounts{
-				SnapshotHits:   ph.snapHits.Value(),
-				SnapshotMisses: ph.snapMisses.Value(),
-				StoresSkipped:  ph.storesSkipped.Value(),
-			},
-			WallSeconds: nanosToSeconds(ph.wallNanos.Value()),
+			Replay:       replayCounts(ph),
+			WallSeconds:  nanosToSeconds(ph.wallNanos.Value()),
 		}
 		s.Trajectories += ps.Trajectories
-		s.Replay.SnapshotHits += ps.Replay.SnapshotHits
-		s.Replay.SnapshotMisses += ps.Replay.SnapshotMisses
-		s.Replay.StoresSkipped += ps.Replay.StoresSkipped
+		s.Replay.add(ps.Replay)
 		s.Phases[name] = ps
 	}
 	for _, name := range c.sectionOrder {
@@ -291,6 +331,31 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := counter("ftb_replay_stores_skipped_total", "Prefix stores replay avoided re-executing.", s.Replay.StoresSkipped); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, "# HELP ftb_replay_restores_total Prepared experiments by restore tier.\n# TYPE ftb_replay_restores_total counter\n"); err != nil {
+		return err
+	}
+	for _, kv := range []struct {
+		label string
+		v     int64
+	}{
+		{"tier1", s.Replay.Tier1Hits},
+		{"tier2", s.Replay.Tier2Hits},
+		{"pool", s.Replay.PoolHits},
+		{"miss", s.Replay.PrefixMisses},
+	} {
+		if _, err := fmt.Fprintf(w, "ftb_replay_restores_total{tier=%q} %d\n", kv.label, kv.v); err != nil {
+			return err
+		}
+	}
+	if err := counter("ftb_replay_delta_restores_total", "Head-snapshot restores served by the dirty-interval delta path.", s.Replay.DeltaRestores); err != nil {
+		return err
+	}
+	if err := counter("ftb_replay_converge_exits_total", "Runs cut short by a proven reconvergence onto the golden trace.", s.Replay.ConvergeExits); err != nil {
+		return err
+	}
+	if err := counter("ftb_replay_converge_stores_skipped_total", "Suffix stores skipped by reconvergence early-exits.", s.Replay.StoresConvergeSkipped); err != nil {
 		return err
 	}
 	if err := counter("ftb_store_appends_total", "Durable outcome-batch appends into the ground-truth store.", s.Store.Appends); err != nil {

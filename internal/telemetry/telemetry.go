@@ -197,13 +197,24 @@ type phaseStats struct {
 	traced      stripedCounter
 	mismatches  Counter
 	wallNanos   Counter
-	// Checkpointed-replay accounting (campaigns run with Replay enabled):
-	// snapshot-cache hits and misses, plus the total number of prefix
-	// stores replay avoided re-executing. All three ride the per-
-	// experiment hot path, so they stripe like the outcome counters.
-	snapHits      stripedCounter
-	snapMisses    stripedCounter
-	storesSkipped stripedCounter
+	// Checkpointed-replay accounting (campaigns run with Replay enabled).
+	// Every prepared experiment is charged to exactly one restore tier:
+	// a first-tier boundary-snapshot hit, a second-tier per-site-snapshot
+	// hit, a rebuild seeded from a pooled golden boundary snapshot, or a
+	// golden-prefix rebuild (miss). deltaRestores counts head restores
+	// served by the kernel's dirty-interval delta path; convergeExits
+	// counts runs cut short by a proven reconvergence, with the suffix
+	// stores they skipped in convergeStores. storesSkipped totals the
+	// prefix stores replay avoided re-executing. All of these ride the
+	// per-experiment hot path, so they stripe like the outcome counters.
+	snapTier1      stripedCounter
+	snapTier2      stripedCounter
+	snapPool       stripedCounter
+	snapMisses     stripedCounter
+	storesSkipped  stripedCounter
+	deltaRestores  stripedCounter
+	convergeExits  stripedCounter
+	convergeStores stripedCounter
 }
 
 // storeStats aggregates ground-truth-store activity (internal/store):
@@ -359,16 +370,46 @@ func (r *CampaignRecorder) Wait(worker int, d time.Duration) {
 // different, or non-data-oblivious, program).
 func (r *CampaignRecorder) Mismatch() { r.ph.mismatches.Inc() }
 
-// SnapshotHit records that the given worker served an experiment's
-// prefix from its cached kernel snapshot (checkpointed replay).
-func (r *CampaignRecorder) SnapshotHit(worker int) {
-	r.ph.snapHits.add(worker&stripeMask, 1)
+// RestoreTier1 records that the given worker served an experiment's
+// prefix from its held boundary snapshot (first-tier hit).
+func (r *CampaignRecorder) RestoreTier1(worker int) {
+	r.ph.snapTier1.add(worker&stripeMask, 1)
 }
 
-// SnapshotMiss records that the given worker had to (re)build its kernel
-// snapshot — by running or extending the prefix — before injecting.
-func (r *CampaignRecorder) SnapshotMiss(worker int) {
+// RestoreTier2 records that the given worker served an experiment's
+// prefix from its held per-site snapshot (second-tier hit: the restore
+// covered the boundary→site gap too).
+func (r *CampaignRecorder) RestoreTier2(worker int) {
+	r.ph.snapTier2.add(worker&stripeMask, 1)
+}
+
+// RestorePool records that the given worker rebuilt its head snapshot
+// seeded from a pooled golden boundary snapshot instead of re-running
+// the golden prefix from the program entry.
+func (r *CampaignRecorder) RestorePool(worker int) {
+	r.ph.snapPool.add(worker&stripeMask, 1)
+}
+
+// RestoreMiss records that the given worker had to (re)build its kernel
+// snapshot by running or extending the golden prefix before injecting.
+func (r *CampaignRecorder) RestoreMiss(worker int) {
 	r.ph.snapMisses.add(worker&stripeMask, 1)
+}
+
+// DeltaRestore records that a head-snapshot restore went through the
+// kernel's dirty-interval delta path instead of a full state copy.
+func (r *CampaignRecorder) DeltaRestore(worker int) {
+	r.ph.deltaRestores.add(worker&stripeMask, 1)
+}
+
+// Converge records one run cut short by a proven reconvergence onto the
+// golden trace, skipping the given number of suffix stores.
+func (r *CampaignRecorder) Converge(worker int, skipped int64) {
+	stripe := worker & stripeMask
+	r.ph.convergeExits.add(stripe, 1)
+	if skipped > 0 {
+		r.ph.convergeStores.add(stripe, skipped)
+	}
 }
 
 // StoresSkipped records how many prefix stores one experiment avoided

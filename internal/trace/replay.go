@@ -40,6 +40,45 @@ type Snapshotter interface {
 	Restore(State)
 }
 
+// MultiSnapshotter is implemented by Snapshotter programs that support
+// several live snapshots at once. SnapshotInto deep-copies the current
+// run state into dst — reusing its storage when dst was produced by a
+// previous SnapshotInto on the same instance, allocating a fresh buffer
+// when dst is nil — and returns it. Unlike Snapshot, the returned State
+// stays valid across later Snapshot/SnapshotInto calls, which is what
+// lets the campaign layer keep a pool of boundary snapshots alongside
+// the moving per-site snapshot.
+type MultiSnapshotter interface {
+	Snapshotter
+	SnapshotInto(dst State) State
+}
+
+// StateComparer is implemented by Snapshotter programs that can compare
+// their live run state against a snapshot. StateEqual must compare
+// bit-patterns (math.Float64bits / Float32bits), not float equality:
+// a −0.0/+0.0 disagreement must report unequal, so that callers using
+// equality as a proof of identical continuation stay conservative.
+type StateComparer interface {
+	Program
+	StateEqual(s State) bool
+}
+
+// DeltaSnapshotter is implemented by MultiSnapshotter programs that can
+// restore a snapshot by copying back only the state a bounded run could
+// have dirtied. RestoreDelta rewinds the instance to s, given that every
+// live mutation since s last matched the live state came from tracked
+// stores with dynamic indices in [from, to) (plus any unit-local
+// intermediates those stores' statements stash). The kernel maps the
+// index interval to the array regions those stores write — in-tree
+// kernels are data-oblivious, so the mapping is a fixed function of the
+// index — and copies only those regions plus all stashed scalars. It
+// returns false when it cannot bound the dirty region for that interval,
+// and the caller falls back to a full Restore.
+type DeltaSnapshotter interface {
+	MultiSnapshotter
+	RestoreDelta(s State, from, to int) bool
+}
+
 // pauseSignal aborts an advance run once the target store boundary is
 // reached. It never escapes this package.
 type pauseSignal struct{}
@@ -97,6 +136,34 @@ func (c *Ctx) InjectDiffUntil(site int, bit uint, golden []float64, sink DiffSin
 // and no further injection (site -1 never matches a store index).
 func (c *Ctx) ResumeTail(resume int) {
 	*c = Ctx{mode: ModeInject, site: -1, n: resume, resume: resume, model: c.model}
+}
+
+// injectConvergeFrom arms c like InjectFrom with reconvergence probing:
+// the run additionally compares every committed store against the golden
+// trace, and pauses pre-commit at the first probe boundary (first, then
+// every step stores) whose preceding window saw no deviation. The first
+// boundary must lie beyond the injection site so the flip always fires
+// before any pause.
+func (c *Ctx) injectConvergeFrom(site int, bit uint, golden []float64, resume, first, step int) {
+	if site < resume {
+		panic(fmt.Sprintf("trace: injection site %d precedes resume offset %d", site, resume))
+	}
+	if first <= site || step <= 0 {
+		panic(fmt.Sprintf("trace: converge probe (first %d, step %d) does not cover injection site %d", first, step, site))
+	}
+	*c = Ctx{mode: modeInjectConverge, site: site, bit: bit, ref: golden,
+		n: resume, resume: resume, pauseAt: first, convStep: step, model: c.model}
+}
+
+// resumeConverge re-arms c to continue a converge run that paused at
+// store `from` but failed its state comparison: the instance still holds
+// the corrupted mid-run state with `from` stores committed. The flip has
+// already fired (the first probe boundary lies beyond the site), so no
+// injection is armed, and the fired injection's record is carried over.
+func (c *Ctx) resumeConverge(from, step int) {
+	*c = Ctx{mode: modeInjectConverge, site: -1, ref: c.ref,
+		n: from, resume: from, pauseAt: from + step, convStep: step,
+		injected: c.injected, injErr: c.injErr, model: c.model}
 }
 
 // armAdvance arms c to run stores [from, to) and pause: the run skips
@@ -240,14 +307,97 @@ func RunResumeTail(ctx *Ctx, p Program, golden *GoldenRun, resume int) (InjectRe
 	return res, nil
 }
 
+// RunInjectConvergeFrom executes p like RunInjectFrom and additionally
+// proves, when it can, that the run's suffix replays the golden run
+// exactly — cutting the experiment short with a byte-identical result.
+//
+// The mechanism: the run tracks whether any committed store deviated
+// from the golden trace since the last probe boundary (boundaries start
+// at `first` and advance by `step`, both multiples of the caller's
+// pooled-snapshot spacing). At a quiet boundary k the run pauses
+// pre-commit — the live state then holds exactly the stores [0, k) — and
+// the runner compares it against the pooled golden state for prefix k
+// via StateComparer. Bit-identical state implies, by determinism of the
+// kernel's fixed control flow, that the remaining stores and the output
+// are byte-identical to the golden run: the runner returns immediately
+// with Output = golden.Output and convergedAt = k, skipping the suffix.
+// A failed comparison (a deviated slot that merely went quiet) resumes
+// the run from k with the probe spacing doubled, so pathological
+// quiet-but-diverged runs pay at most O(log(n/step)) probe walks.
+//
+// p must implement StateComparer; stateAt returns the pooled golden
+// state for an exact prefix length, or false when that boundary is not
+// pooled (the probe is then treated as failed). convergedAt is -1 when
+// the run completed (or crashed) without a proven reconvergence; the
+// result is then exactly RunInjectFrom's, trace-mismatch check included.
+// probes counts the quiet-boundary pauses the run paid (each one costs a
+// pause/resume cursor walk plus a state comparison) — callers use it to
+// stop arming converge mode for fault coordinates that never pay off.
+func RunInjectConvergeFrom(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, resume, first, step int, stateAt func(int) (State, bool)) (res InjectResult, convergedAt, probes int, err error) {
+	cmp, ok := p.(StateComparer)
+	if !ok {
+		panic(fmt.Sprintf("trace: program %q armed for converge without StateComparer", p.Name()))
+	}
+	ctx.injectConvergeFrom(site, bit, golden.Trace, resume, first, step)
+	for {
+		paused := false
+		res = func() (res InjectResult) {
+			defer func() {
+				res.InjErr = ctx.InjectedError()
+				res.Injected = ctx.Injected()
+				if r := recover(); r != nil {
+					switch s := r.(type) {
+					case crashSignal:
+						res.Crashed = true
+						res.CrashAt = s.site
+						res.Output = nil
+					case pauseSignal:
+						paused = true
+						res.Output = nil
+					default:
+						panic(r)
+					}
+				}
+			}()
+			res.Output = p.Run(ctx)
+			return res
+		}()
+		if !paused {
+			if !res.Crashed && ctx.Sites() != golden.Sites() {
+				return res, -1, probes, fmt.Errorf("%w: got %d, golden %d (program %q)",
+					ErrTraceMismatch, ctx.Sites(), golden.Sites(), p.Name())
+			}
+			return res, -1, probes, nil
+		}
+		// Paused pre-commit at the probe boundary: the live state holds
+		// exactly [0, pauseAt). (Sites() is pauseAt+1 here — the counter
+		// advances before the pause fires — so it must not be used.)
+		k := ctx.pauseAt
+		probes++
+		if st, ok := stateAt(k); ok && cmp.StateEqual(st) {
+			res.Output = golden.Output
+			return res, k, probes, nil
+		}
+		step *= 2
+		ctx.resumeConverge(k, step)
+	}
+}
+
 // RunInjectDiffFrom executes p like RunInjectDiff, resuming from a
 // restored checkpoint that holds the first `resume` stores. The skipped
 // prefix is byte-identical to the golden run, so its deltas are zero by
-// construction; they are replayed to the sink before the run starts, so
-// the sink observes the same per-site stream as a from-scratch run.
+// construction; they are replayed to the sink before the run starts —
+// in one ObserveZeroPrefix call when the sink supports it — so the sink
+// observes the same per-site stream as a from-scratch run.
 func RunInjectDiffFrom(ctx *Ctx, p Program, golden *GoldenRun, site int, bit uint, sink DiffSink, resume int) (InjectResult, error) {
-	for i := 0; i < resume && i < len(golden.Trace); i++ {
-		sink.Observe(i, golden.Trace[i], 0)
+	if n := min(resume, len(golden.Trace)); n > 0 {
+		if zp, ok := sink.(ZeroPrefixSink); ok {
+			zp.ObserveZeroPrefix(n)
+		} else {
+			for i := 0; i < n; i++ {
+				sink.Observe(i, golden.Trace[i], 0)
+			}
+		}
 	}
 	ctx.InjectDiffFrom(site, bit, golden.Trace, sink, resume)
 	res := func() (res InjectResult) {

@@ -45,6 +45,11 @@ const (
 	// modeAdvance re-executes the golden prefix up to a store boundary
 	// and pauses there, so a Snapshotter can checkpoint (see Advance).
 	modeAdvance
+	// modeInjectConverge injects like ModeInject and additionally tracks
+	// whether any store since the last probed boundary deviated from the
+	// golden trace, pausing at quiet boundaries so the runner can test
+	// for exact state reconvergence (see RunInjectConvergeFrom).
+	modeInjectConverge
 )
 
 // DiffSink consumes per-site propagation errors during a ModeInjectDiff
@@ -53,6 +58,17 @@ const (
 // golden and fault-injected runs at that site.
 type DiffSink interface {
 	Observe(site int, golden, delta float64)
+}
+
+// ZeroPrefixSink is optionally implemented by DiffSinks that can absorb
+// a run of leading zero deltas in one call. A resumed diff run
+// (RunInjectDiffFrom) skips a golden prefix whose deltas are zero by
+// construction; sinks that implement ZeroPrefixSink receive a single
+// ObserveZeroPrefix(n) — equivalent to Observe(i, golden[i], 0) for each
+// i in [0, n) — instead of n individual calls.
+type ZeroPrefixSink interface {
+	DiffSink
+	ObserveZeroPrefix(n int)
 }
 
 // Program is an instrumented benchmark kernel. Run must perform the exact
@@ -111,6 +127,12 @@ type Ctx struct {
 	// Checkpointed replay (see replay.go).
 	resume  int // stores already committed before this run started
 	pauseAt int // modeAdvance: store index to pause at, pre-commit
+
+	// Inject-converge mode (see RunInjectConvergeFrom). pauseAt doubles
+	// as the next reconvergence-probe boundary: quiet windows pause
+	// there, dirty windows slide it forward by convStep without pausing.
+	convStep  int  // probe-boundary spacing while the window stays dirty
+	convDirty bool // a store deviated from golden since the last boundary
 }
 
 // SetFaultModel installs the perturbation applied at injection sites. The
@@ -253,6 +275,32 @@ func (c *Ctx) Store(v float64) float64 {
 			panic(pauseSignal{})
 		}
 		return v
+	case modeInjectConverge:
+		if i == c.pauseAt {
+			if !c.convDirty {
+				// Quiet window: pause pre-commit (state holds exactly
+				// [0, i)) so the runner can compare against the pooled
+				// golden boundary state.
+				panic(pauseSignal{})
+			}
+			// Dirty window: slide the probe boundary forward without
+			// pausing and start a fresh window.
+			c.convDirty = false
+			c.pauseAt = i + c.convStep
+		}
+		if i == c.site {
+			orig := v
+			v = c.model.Apply64(v, i, c.bit)
+			c.injected = true
+			c.injErr = injectionError(orig, v)
+		}
+		if bits.IsUnsafe(v) {
+			panic(crashSignal{site: i})
+		}
+		if i < len(c.ref) && v != c.ref[i] {
+			c.convDirty = true
+		}
+		return v
 	default:
 		panic(fmt.Sprintf("trace: invalid mode %d", c.mode))
 	}
@@ -328,6 +376,30 @@ func (c *Ctx) Store32(v float32) float32 {
 	case modeAdvance:
 		if i == c.pauseAt {
 			panic(pauseSignal{})
+		}
+		return v
+	case modeInjectConverge:
+		if i == c.pauseAt {
+			if !c.convDirty {
+				panic(pauseSignal{}) // quiet boundary, see Store
+			}
+			c.convDirty = false
+			c.pauseAt = i + c.convStep
+		}
+		if i == c.site {
+			if int(c.bit) >= c.model.BitsPerSite(bits.Width32) {
+				panic(fmt.Sprintf("trace: coordinate %d armed against 32-bit site %d (population %d)", c.bit, i, c.model.BitsPerSite(bits.Width32)))
+			}
+			orig := v
+			v = c.model.Apply32(v, i, c.bit)
+			c.injected = true
+			c.injErr = injectionError32(orig, v)
+		}
+		if bits.IsUnsafe32(v) {
+			panic(crashSignal{site: i})
+		}
+		if i < len(c.ref) && float64(v) != c.ref[i] {
+			c.convDirty = true
 		}
 		return v
 	default:
